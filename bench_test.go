@@ -1,0 +1,459 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each benchmark
+// corresponds to a figure, theorem or design claim (see DESIGN.md §3 and
+// EXPERIMENTS.md); the headline quantity of each experiment is attached to
+// the benchmark result via ReportMetric, so `go test -bench=. -benchmem`
+// doubles as a compact reproduction run. The full-resolution sweeps (more SNR
+// points, more trials) are produced by cmd/spinalsim.
+package spinal_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"spinal"
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/experiments"
+	"spinal/internal/ldpc"
+	"spinal/internal/link"
+	"spinal/internal/rng"
+)
+
+// benchTrials keeps the per-iteration simulation small enough for the
+// default benchtime while still averaging over enough messages to be
+// meaningful.
+const benchTrials = 12
+
+func benchCfg() experiments.SpinalConfig {
+	cfg := experiments.Figure2Config()
+	cfg.Trials = benchTrials
+	cfg.MaxPasses = 400
+	return cfg
+}
+
+// BenchmarkFigure2Bounds regenerates the reference curves of Figure 2
+// (Shannon capacity and the finite-blocklength approximation for n=24,
+// eps=1e-4) over the full −10..40 dB sweep.
+func BenchmarkFigure2Bounds(b *testing.B) {
+	snrs, err := experiments.Figure2SNRs(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last []experiments.BoundPoint
+	for i := 0; i < b.N; i++ {
+		last, err = experiments.Figure2Bounds(snrs)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	mid := last[len(last)/2]
+	b.ReportMetric(mid.Shannon, "capacity_bits/sym@15dB")
+	b.ReportMetric(mid.FiniteBlock, "fbl_bound_bits/sym@15dB")
+}
+
+// BenchmarkFigure2Spinal regenerates the spinal-code curve of Figure 2
+// (m=24, k=8, c=10, B=16, 14-bit ADC) at representative SNR points across the
+// figure's range.
+func BenchmarkFigure2Spinal(b *testing.B) {
+	for _, snr := range []float64{-10, 0, 10, 20, 30, 40} {
+		snr := snr
+		b.Run(fmt.Sprintf("snr=%+.0fdB", snr), func(b *testing.B) {
+			cfg := benchCfg()
+			if snr < 0 {
+				cfg.Trials = 8 // low-SNR messages need hundreds of symbols each
+			}
+			var pt experiments.RatePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.SpinalRateAtSNR(cfg, snr)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Rate, "bits/sym")
+			b.ReportMetric(pt.Capacity, "capacity_bits/sym")
+		})
+	}
+}
+
+// BenchmarkFigure2LDPC regenerates the eight fixed-rate LDPC baselines of
+// Figure 2, each evaluated at an SNR where it is near its waterfall, and at
+// the paper's 40-iteration belief-propagation setting.
+func BenchmarkFigure2LDPC(b *testing.B) {
+	operating := map[string]float64{
+		"LDPC rate=1/2 BPSK":   2,
+		"LDPC rate=1/2 QAM-4":  5,
+		"LDPC rate=3/4 QAM-4":  8,
+		"LDPC rate=1/2 QAM-16": 11,
+		"LDPC rate=3/4 QAM-16": 15,
+		"LDPC rate=2/3 QAM-64": 19,
+		"LDPC rate=3/4 QAM-64": 21,
+		"LDPC rate=5/6 QAM-64": 24,
+	}
+	for _, cfg := range experiments.Figure2LDPCConfigs() {
+		cfg := cfg
+		cfg.Frames = 20
+		snr := operating[cfg.Label()]
+		b.Run(cfg.Label(), func(b *testing.B) {
+			var pts []experiments.ThroughputPoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = experiments.LDPCThroughputCurve(cfg, []float64{snr})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pts[0].Throughput, "bits/sym")
+			b.ReportMetric(pts[0].FER, "fer")
+		})
+	}
+}
+
+// BenchmarkEncoder measures the cost of the Figure 1 encoding process: spine
+// computation plus one pass of constellation points for a 1024-bit message.
+func BenchmarkEncoder(b *testing.B) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := spinal.RandomMessage(1024, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stream, err := code.EncodeStream(msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < code.NumSegments(); s++ {
+			stream.Next()
+		}
+	}
+	b.ReportMetric(float64(code.NumSegments())*float64(b.N)/b.Elapsed().Seconds(), "symbols/s")
+}
+
+// BenchmarkDecoder measures one beam-decode attempt (B=16, k=8) for a
+// 256-bit message with two passes of observations — the inner loop of every
+// experiment in the paper.
+func BenchmarkDecoder(b *testing.B) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := spinal.RandomMessage(256, 2)
+	stream, _ := code.EncodeStream(msg)
+	ch, _ := spinal.AWGNChannel(15, 3)
+	dec, _ := code.NewDecoder()
+	for i := 0; i < 2*code.NumSegments(); i++ {
+		sym := stream.Next()
+		if err := dec.Observe(sym.Pos, ch(sym.Value)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(256*float64(b.N)/b.Elapsed().Seconds(), "decoded_bits/s")
+}
+
+// BenchmarkTheorem1Gap measures the empirical gap to capacity against the
+// Theorem 1 guarantee at a mid-range SNR.
+func BenchmarkTheorem1Gap(b *testing.B) {
+	cfg := benchCfg()
+	var pts []experiments.Theorem1Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.Theorem1Gap(cfg, []float64{20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Rate, "bits/sym")
+	b.ReportMetric(pts[0].Guarantee, "theorem1_bits/sym")
+	b.ReportMetric(pts[0].GapToCap, "gap_bits/sym")
+}
+
+// BenchmarkTheorem2BSC measures the rate of the binary-channel variant
+// against the BSC capacity (Theorem 2).
+func BenchmarkTheorem2BSC(b *testing.B) {
+	for _, p := range []float64{0.05, 0.2} {
+		p := p
+		b.Run(fmt.Sprintf("p=%.2f", p), func(b *testing.B) {
+			cfg := experiments.SpinalConfig{
+				MessageBits: 16, K: 4, BeamWidth: 16, Trials: 8, MaxPasses: 400, Seed: 7,
+			}
+			var pts []experiments.BSCPoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pts, err = experiments.SpinalBSCCurve(cfg, []float64{p})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pts[0].Rate, "bits/use")
+			b.ReportMetric(pts[0].Capacity, "capacity_bits/use")
+		})
+	}
+}
+
+// BenchmarkScaleDownB quantifies the graceful scale-down property (§3.2):
+// achieved rate at 10 dB as the beam width shrinks from 64 to 1.
+func BenchmarkScaleDownB(b *testing.B) {
+	for _, beam := range []int{1, 4, 16, 64} {
+		beam := beam
+		b.Run(fmt.Sprintf("B=%d", beam), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.BeamWidth = beam
+			var pt experiments.RatePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.SpinalRateAtSNR(cfg, 10)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Rate, "bits/sym")
+		})
+	}
+}
+
+// BenchmarkPuncturing contrasts the punctured (striped) schedule with the
+// sequential one at 35 dB, where puncturing is what lifts the rate above k.
+func BenchmarkPuncturing(b *testing.B) {
+	for _, sched := range []string{"striped", "sequential"} {
+		sched := sched
+		b.Run(sched, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Schedule = sched
+			cfg.Trials = 20
+			var pt experiments.RatePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.SpinalRateAtSNR(cfg, 35)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Rate, "bits/sym")
+		})
+	}
+}
+
+// BenchmarkQuantization sweeps the receiver ADC depth at 20 dB (the paper's
+// simulations quantize each dimension to 14 bits).
+func BenchmarkQuantization(b *testing.B) {
+	for _, bits := range []int{6, 10, 14} {
+		bits := bits
+		b.Run(fmt.Sprintf("adc=%dbit", bits), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.ADCBits = bits
+			var pt experiments.RatePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.SpinalRateAtSNR(cfg, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Rate, "bits/sym")
+		})
+	}
+}
+
+// BenchmarkMappers compares the linear mapping of Eq. 3 with the uniform and
+// truncated-Gaussian mappings (§6 future work) at 20 dB.
+func BenchmarkMappers(b *testing.B) {
+	for _, mapper := range []string{"linear", "uniform", "gaussian"} {
+		mapper := mapper
+		b.Run(mapper, func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Mapper = mapper
+			var pt experiments.RatePoint
+			var err error
+			for i := 0; i < b.N; i++ {
+				pt, err = experiments.SpinalRateAtSNR(cfg, 20)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(pt.Rate, "bits/sym")
+		})
+	}
+}
+
+// BenchmarkAttemptPolicy is the decode-attempt-policy ablation: how much rate
+// the receiver loses by attempting a decode only once per pass instead of
+// after every symbol, at 25 dB where attempts are frequent.
+func BenchmarkAttemptPolicy(b *testing.B) {
+	params := core.Params{K: 8, C: 10, MessageBits: 24, Seed: core.DefaultSeed}
+	policies := map[string]core.AttemptPolicy{
+		"every-symbol": core.AttemptEverySymbol{},
+		"every-pass":   core.AttemptEveryPass{},
+	}
+	for name, policy := range policies {
+		name, policy := name, policy
+		b.Run(name, func(b *testing.B) {
+			var totalBits, totalSymbols int
+			for i := 0; i < b.N; i++ {
+				msgSrc := rng.New(uint64(i)*13 + 1)
+				msg := core.RandomMessage(msgSrc, params.MessageBits)
+				ch, err := channel.NewAWGNdB(25, rng.New(uint64(i)*17+3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, _ := core.NewStripedSchedule(params.NumSegments(), 8)
+				res, err := core.RunSymbolSession(core.SessionConfig{
+					Params: params, BeamWidth: 16, Schedule: sched, Attempts: policy,
+				}, msg, ch.Corrupt, core.GenieVerifier(msg, params.MessageBits))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Success {
+					totalBits += params.MessageBits
+				}
+				totalSymbols += res.ChannelUses
+			}
+			b.ReportMetric(float64(totalBits)/float64(totalSymbols), "bits/sym")
+		})
+	}
+}
+
+// BenchmarkLinkProtocol runs the rateless link-layer protocol end to end over
+// an in-memory transport with a 15 dB simulated radio (the §6 future-work
+// protocol, experiment E12).
+func BenchmarkLinkProtocol(b *testing.B) {
+	payload := make([]byte, 48)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var symbols, bits int
+	for i := 0; i < b.N; i++ {
+		a, peer, err := link.NewPipePair(0, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The AckPoll paces the sender like a finite-rate radio so the
+		// receiver's decode attempts keep up (see examples/ratelesslink).
+		cfg := link.Config{SymbolsPerFrame: 64, AckPoll: 25 * time.Millisecond}
+		sender, err := link.NewSender(a, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		radio, err := channel.NewQuantizedAWGN(15, 14, rng.New(uint64(i)+100))
+		if err != nil {
+			b.Fatal(err)
+		}
+		receiver, err := link.NewReceiver(peer, cfg, radio)
+		if err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for {
+				_, rerr := receiver.Receive(200 * time.Millisecond)
+				if rerr != nil {
+					return
+				}
+			}
+		}()
+		report, err := sender.Send(uint32(i)+1, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Acked {
+			bits += len(payload) * 8
+			symbols += report.SymbolsSent
+		}
+		a.Close()
+		<-done
+	}
+	if symbols > 0 {
+		b.ReportMetric(float64(bits)/float64(symbols), "bits/sym")
+	}
+}
+
+// BenchmarkAdaptationVsRateless compares reactive rate adaptation against the
+// rateless spinal code over a bursty Gilbert-Elliott channel whose state
+// changes faster than the adaptation feedback (the §1 motivation, experiment
+// E14 in EXPERIMENTS.md).
+func BenchmarkAdaptationVsRateless(b *testing.B) {
+	var pts []experiments.AdaptationPoint
+	var err error
+	scenario := experiments.DefaultAdaptationScenarios()[2:3] // fast fading
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.AdaptationComparison(scenario, 4000, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].AdaptiveThroughput, "adaptive_bits/sym")
+	b.ReportMetric(pts[0].RatelessThroughput, "rateless_bits/sym")
+}
+
+// BenchmarkFixedRateSpinal evaluates the fixed-rate (feedback-free)
+// instantiation of the spinal code at 2 bits/symbol against the rateless mode
+// at the same SNR (§3's fixed-rate remark, experiment E15).
+func BenchmarkFixedRateSpinal(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Trials = 10
+	var pts []experiments.FixedRatePoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.FixedRateSpinal(cfg, []float64{12}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Throughput, "fixed_bits/sym")
+	b.ReportMetric(pts[0].RatelessRate, "rateless_bits/sym")
+}
+
+// BenchmarkConvolutional measures the extra rated baseline (K=7 convolutional
+// code with Viterbi decoding) at its operating point.
+func BenchmarkConvolutional(b *testing.B) {
+	cfg := experiments.ConvConfig{Rate: "1/2", Modulation: "BPSK", FrameBits: 288, Frames: 20, Seed: 5}
+	var pts []experiments.ThroughputPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.ConvThroughputCurve(cfg, []float64{5})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Throughput, "bits/sym")
+}
+
+// BenchmarkHARQ measures the hybrid-ARQ (Chase combining) rateless
+// comparator built from the rate-1/2 LDPC code over QAM-16, at an SNR below
+// its single-shot threshold where combining is what delivers the frames.
+func BenchmarkHARQ(b *testing.B) {
+	cfg := experiments.HARQConfig{Rate: ldpc.Rate12, Modulation: "QAM-16", Frames: 15, Seed: 11}
+	var pts []experiments.ThroughputPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.HARQThroughputCurve(cfg, []float64{7})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Throughput, "bits/sym")
+}
+
+// BenchmarkFountainOverhead measures the LT-code reception overhead over a
+// 30% BEC — the related-work rateless comparator (§2).
+func BenchmarkFountainOverhead(b *testing.B) {
+	var pts []experiments.OverheadPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = experiments.FountainOverhead(128, 32, 5, []float64{0.3}, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pts[0].Overhead, "received/k")
+}

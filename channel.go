@@ -1,0 +1,75 @@
+package spinal
+
+import (
+	"spinal/internal/capacity"
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/crc"
+	"spinal/internal/rng"
+)
+
+// This file exposes the channel models and small utilities a library user
+// needs to run spinal codes end to end without reaching into internal
+// packages: AWGN / quantized-AWGN / BSC channel functions, random message
+// generation, CRC framing and capacity references.
+
+// AWGNChannel returns a channel function that adds complex white Gaussian
+// noise at the given SNR (dB, relative to the unit-energy constellation),
+// using a deterministic noise stream derived from seed.
+func AWGNChannel(snrDB float64, seed uint64) (func(complex128) complex128, error) {
+	ch, err := channel.NewAWGNdB(snrDB, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return ch.Corrupt, nil
+}
+
+// QuantizedAWGNChannel returns the receive path used in the paper's
+// evaluation: AWGN followed by an ADC quantizing each dimension to adcBits.
+func QuantizedAWGNChannel(snrDB float64, adcBits int, seed uint64) (func(complex128) complex128, error) {
+	ch, err := channel.NewQuantizedAWGN(snrDB, adcBits, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return ch.Corrupt, nil
+}
+
+// BSCChannel returns a bit-flipping channel function with crossover
+// probability p, for the binary-channel variant of the code.
+func BSCChannel(p float64, seed uint64) (func(byte) byte, error) {
+	ch, err := channel.NewBSC(p, rng.New(seed))
+	if err != nil {
+		return nil, err
+	}
+	return ch.CorruptBit, nil
+}
+
+// RandomMessage returns a uniformly random packed message of n bits, suitable
+// as input to Code.EncodeStream for a code with MessageBits == n.
+func RandomMessage(n int, seed uint64) []byte {
+	return core.RandomMessage(rng.New(seed), n)
+}
+
+// AppendCRC32 appends a CRC-32 to a payload so the receiver can detect
+// successful decoding without a genie; VerifyCRC32 checks and strips it.
+func AppendCRC32(payload []byte) []byte {
+	return crc.Append32(append([]byte(nil), payload...))
+}
+
+// VerifyCRC32 checks a buffer produced by AppendCRC32, returning the payload
+// and whether the checksum matched.
+func VerifyCRC32(buf []byte) ([]byte, bool) {
+	return crc.Verify32(buf)
+}
+
+// ShannonCapacity returns the AWGN channel capacity in bits per symbol at the
+// given SNR in dB, the reference curve of Figure 2.
+func ShannonCapacity(snrDB float64) float64 {
+	return capacity.AWGNdB(snrDB)
+}
+
+// BSCCapacity returns the capacity of a binary symmetric channel with
+// crossover probability p.
+func BSCCapacity(p float64) float64 {
+	return capacity.BSC(p)
+}

@@ -1,0 +1,336 @@
+// Command spinalsim regenerates the evaluation artifacts of "Rateless Spinal
+// Codes" (HotNets 2011): the Figure 2 rate-versus-SNR curves (spinal code,
+// Shannon and finite-blocklength bounds, fixed-rate LDPC baselines) and the
+// ablation experiments described in DESIGN.md.
+//
+// Examples:
+//
+//	spinalsim -exp figure2 -snr-step 5 -trials 100
+//	spinalsim -exp ldpc -frames 100
+//	spinalsim -exp bsc
+//	spinalsim -exp beam -snr 10
+//	spinalsim -exp puncture
+//	spinalsim -exp fountain
+//
+// Pass -csv to emit comma-separated values instead of aligned tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"spinal/internal/experiments"
+	"spinal/internal/ldpc"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spinalsim:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	exp      string
+	snrMin   float64
+	snrMax   float64
+	snrStep  float64
+	snr      float64
+	trials   int
+	frames   int
+	beam     int
+	k        int
+	c        int
+	msgBits  int
+	adcBits  int
+	seed     uint64
+	mapper   string
+	schedule string
+	csv      bool
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("spinalsim", flag.ContinueOnError)
+	opt := options{}
+	fs.StringVar(&opt.exp, "exp", "figure2",
+		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate")
+	fs.Float64Var(&opt.snrMin, "snr-min", -10, "sweep start (dB)")
+	fs.Float64Var(&opt.snrMax, "snr-max", 40, "sweep end (dB)")
+	fs.Float64Var(&opt.snrStep, "snr-step", 5, "sweep step (dB)")
+	fs.Float64Var(&opt.snr, "snr", 10, "single SNR (dB) for beam/adc experiments")
+	fs.IntVar(&opt.trials, "trials", 100, "messages per spinal data point")
+	fs.IntVar(&opt.frames, "frames", 60, "frames per LDPC/convolutional data point")
+	fs.IntVar(&opt.beam, "beam", 16, "decoder beam width B")
+	fs.IntVar(&opt.k, "k", 8, "bits per spine segment")
+	fs.IntVar(&opt.c, "c", 10, "coded bits per I/Q dimension")
+	fs.IntVar(&opt.msgBits, "m", 24, "message length in bits")
+	fs.IntVar(&opt.adcBits, "adc", 14, "receiver ADC bits per dimension")
+	fs.Uint64Var(&opt.seed, "seed", 0, "override experiment seed (0 = default)")
+	fs.StringVar(&opt.mapper, "mapper", "linear", "constellation mapper: linear|uniform|gaussian")
+	fs.StringVar(&opt.schedule, "schedule", "striped", "transmission schedule: striped|sequential")
+	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := dispatch(opt, out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n# completed %s in %v\n", opt.exp, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func (o options) spinalConfig() experiments.SpinalConfig {
+	cfg := experiments.Figure2Config()
+	cfg.Trials = o.trials
+	cfg.BeamWidth = o.beam
+	cfg.K = o.k
+	cfg.C = o.c
+	cfg.MessageBits = o.msgBits
+	cfg.ADCBits = o.adcBits
+	cfg.Mapper = o.mapper
+	cfg.Schedule = o.schedule
+	if o.seed != 0 {
+		cfg.Seed = o.seed
+	}
+	return cfg
+}
+
+func (o options) sweep() ([]float64, error) {
+	return experiments.SNRSweep(o.snrMin, o.snrMax, o.snrStep)
+}
+
+func emit(o options, out io.Writer, t *experiments.Table) {
+	if o.csv {
+		fmt.Fprint(out, t.CSV())
+		return
+	}
+	fmt.Fprint(out, t.String())
+}
+
+func dispatch(o options, out io.Writer) error {
+	switch o.exp {
+	case "figure2":
+		return runFigure2(o, out)
+	case "spinal":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		pts, err := experiments.SpinalRateCurve(o.spinalConfig(), snrs)
+		if err != nil {
+			return err
+		}
+		emit(o, out, experiments.FormatRateCurve("spinal", pts))
+		return nil
+	case "bounds":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		pts, err := experiments.Figure2Bounds(snrs)
+		if err != nil {
+			return err
+		}
+		emit(o, out, experiments.FormatBounds(pts))
+		return nil
+	case "ldpc":
+		return runLDPC(o, out)
+	case "conv":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		for _, rate := range []string{"1/2", "2/3", "3/4"} {
+			pts, err := experiments.ConvThroughputCurve(experiments.ConvConfig{
+				Rate: rate, Modulation: "BPSK", Frames: o.frames,
+			}, snrs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# convolutional K=7 rate %s over BPSK\n", rate)
+			emit(o, out, experiments.FormatThroughput("conv_"+strings.ReplaceAll(rate, "/", ""), pts))
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "bsc":
+		cfg := o.spinalConfig()
+		if o.k == 8 {
+			cfg.K = 4 // a k=4 code keeps BSC decoding fast; override with -k
+		}
+		pts, err := experiments.SpinalBSCCurve(cfg, []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
+		if err != nil {
+			return err
+		}
+		emit(o, out, experiments.FormatBSC(pts))
+		return nil
+	case "beam":
+		pts, err := experiments.BeamWidthSweep(o.spinalConfig(), o.snr, []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# graceful scale-down at %.1f dB\n", o.snr)
+		emit(o, out, experiments.FormatBeamSweep(pts))
+		return nil
+	case "puncture":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		punct, seq, err := experiments.PuncturingComparison(o.spinalConfig(), snrs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "# punctured (striped) schedule")
+		emit(o, out, experiments.FormatRateCurve("punctured", punct))
+		fmt.Fprintln(out, "\n# sequential schedule")
+		emit(o, out, experiments.FormatRateCurve("sequential", seq))
+		return nil
+	case "adc":
+		pts, err := experiments.QuantizationSweep(o.spinalConfig(), o.snr, []int{4, 6, 8, 10, 12, 14, 16})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# ADC resolution sweep at %.1f dB\n", o.snr)
+		emit(o, out, experiments.FormatADCSweep(pts))
+		return nil
+	case "mapper":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		curves, err := experiments.MapperComparison(o.spinalConfig(), snrs, []string{"linear", "uniform", "gaussian"})
+		if err != nil {
+			return err
+		}
+		for _, name := range []string{"linear", "uniform", "gaussian"} {
+			fmt.Fprintf(out, "# mapper: %s\n", name)
+			emit(o, out, experiments.FormatRateCurve(name, curves[name]))
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "theorem1":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		pts, err := experiments.Theorem1Gap(o.spinalConfig(), snrs)
+		if err != nil {
+			return err
+		}
+		emit(o, out, experiments.FormatTheorem1(pts))
+		return nil
+	case "fountain":
+		pts, err := experiments.FountainOverhead(256, 64, 20, []float64{0, 0.1, 0.2, 0.3, 0.5}, 1)
+		if err != nil {
+			return err
+		}
+		emit(o, out, experiments.FormatFountain(pts))
+		return nil
+	case "harq":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		for _, mod := range []string{"QAM-4", "QAM-16", "QAM-64"} {
+			pts, err := experiments.HARQThroughputCurve(experiments.HARQConfig{
+				Rate: ldpc.Rate12, Modulation: mod, Frames: o.frames,
+			}, snrs)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# hybrid ARQ (Chase combining), LDPC rate 1/2, %s\n", mod)
+			emit(o, out, experiments.FormatThroughput("harq_"+mod, pts))
+			fmt.Fprintln(out)
+		}
+		return nil
+	case "adapt":
+		budget := 20000
+		if o.trials < 100 {
+			budget = o.trials * 200 // let -trials scale the run length
+		}
+		pts, err := experiments.AdaptationComparison(experiments.DefaultAdaptationScenarios(), budget, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "# reactive rate adaptation vs rateless spinal over time-varying channels")
+		emit(o, out, experiments.FormatAdaptation(pts))
+		return nil
+	case "fixedrate":
+		snrs, err := o.sweep()
+		if err != nil {
+			return err
+		}
+		for _, passes := range []int{2, 4, 8} {
+			pts, err := experiments.FixedRateSpinal(o.spinalConfig(), snrs, passes)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# fixed-rate spinal code, %d passes (%.2f bits/symbol nominal)\n",
+				passes, float64(o.msgBits)/float64(passes*((o.msgBits+o.k-1)/o.k)))
+			emit(o, out, experiments.FormatFixedRate(pts))
+			fmt.Fprintln(out)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", o.exp)
+	}
+}
+
+// runLDPC prints the eight LDPC baseline curves of Figure 2.
+func runLDPC(o options, out io.Writer) error {
+	snrs, err := o.sweep()
+	if err != nil {
+		return err
+	}
+	for _, cfg := range experiments.Figure2LDPCConfigs() {
+		cfg.Frames = o.frames
+		pts, err := experiments.LDPCThroughputCurve(cfg, snrs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# %s (648-bit codewords, %d-iteration BP)\n", cfg.Label(), ldpc.DefaultIterations)
+		emit(o, out, experiments.FormatThroughput(strings.ReplaceAll(cfg.Label(), " ", "_"), pts))
+		fmt.Fprintln(out)
+	}
+	return nil
+}
+
+// runFigure2 prints every curve of Figure 2: the bounds, the spinal code and
+// the eight LDPC baselines.
+func runFigure2(o options, out io.Writer) error {
+	snrs, err := o.sweep()
+	if err != nil {
+		return err
+	}
+	bounds, err := experiments.Figure2Bounds(snrs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "# Figure 2 — reference bounds")
+	emit(o, out, experiments.FormatBounds(bounds))
+
+	cfg := o.spinalConfig()
+	spinalPts, err := experiments.SpinalRateCurve(cfg, snrs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n# Figure 2 — spinal code (m=%d, k=%d, c=%d, B=%d, %d-bit ADC)\n",
+		cfg.MessageBits, cfg.K, cfg.C, cfg.BeamWidth, cfg.ADCBits)
+	emit(o, out, experiments.FormatRateCurve("spinal", spinalPts))
+
+	for _, ldpcCfg := range experiments.Figure2LDPCConfigs() {
+		ldpcCfg.Frames = o.frames
+		pts, err := experiments.LDPCThroughputCurve(ldpcCfg, snrs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n# Figure 2 — %s (648-bit codewords, %d-iteration BP)\n", ldpcCfg.Label(), ldpc.DefaultIterations)
+		emit(o, out, experiments.FormatThroughput(strings.ReplaceAll(ldpcCfg.Label(), " ", "_"), pts))
+	}
+	return nil
+}

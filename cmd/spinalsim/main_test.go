@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBounds(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "bounds", "-snr-min", "0", "-snr-max", "20", "-snr-step", "10"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"shannon", "finite_block", "theorem1", "completed bounds"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSpinalCSV(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "spinal", "-snr-min", "10", "-snr-max", "10", "-snr-step", "5",
+		"-trials", "5", "-csv"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "snr_db,spinal_rate_bits_per_sym") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunBeamSweep(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-exp", "beam", "-snr", "10", "-trials", "3"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "beam_width") {
+		t.Fatalf("beam table missing:\n%s", out.String())
+	}
+}
+
+func TestRunFountain(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "fountain"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "received_overhead") {
+		t.Fatalf("fountain table missing:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "nope"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-snr-step", "abc"}, &out); err == nil {
+		t.Fatal("bad flag value accepted")
+	}
+	if err := run([]string{"-exp", "spinal", "-snr-min", "10", "-snr-max", "0"}, &out); err == nil {
+		t.Fatal("inverted sweep accepted")
+	}
+}

@@ -1,0 +1,58 @@
+// bscrelay runs the spinal code over a binary symmetric channel — the mode
+// the paper describes for systems where the PHY cannot be modified and the
+// code must ship plain bits through an existing modulation (§1, §3). Each
+// message is framed with a CRC-32, transmitted one coded bit per channel use,
+// and decoded with the Hamming-metric beam decoder; the rate is compared with
+// the BSC capacity of Theorem 2.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spinal"
+)
+
+func main() {
+	payloads := []string{
+		"spinal codes also run over plain binary channels",
+		"one coded bit per channel use, Hamming-metric decoding",
+		"the code adapts to the crossover probability on its own",
+	}
+
+	for _, p := range []float64{0.02, 0.05, 0.1} {
+		fmt.Printf("BSC crossover p = %.2f (capacity %.3f bits/use)\n", p, spinal.BSCCapacity(p))
+		for i, text := range payloads {
+			framed := spinal.AppendCRC32([]byte(text))
+			code, err := spinal.NewCode(spinal.Config{
+				MessageBits: len(framed) * 8,
+				K:           4, // smaller k keeps the bit-mode decoder fast
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ch, err := spinal.BSCChannel(p, uint64(i)*31+uint64(p*1000))
+			if err != nil {
+				log.Fatal(err)
+			}
+			verify := func(decoded []byte) bool {
+				_, ok := spinal.VerifyCRC32(decoded)
+				return ok
+			}
+			res, err := code.TransmitBits(framed, ch, verify, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !res.Delivered {
+				log.Fatalf("message %d not delivered at p=%.2f", i, p)
+			}
+			payload, ok := spinal.VerifyCRC32(res.Decoded)
+			if !ok || string(payload) != text {
+				log.Fatalf("message %d corrupted at p=%.2f", i, p)
+			}
+			fmt.Printf("  message %d: %3d payload bits in %4d coded bits -> rate %.3f\n",
+				i+1, len(text)*8, res.Symbols, float64(len(text)*8)/float64(res.Symbols))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,116 @@
+// ratelesslink transfers a small "document" over the rateless spinal link
+// layer: the sender splits it into packets, streams coded-symbol frames over
+// an in-memory link that drops 10% of frames, and the receiver — behind a
+// simulated 12 dB radio — decodes each packet and acknowledges it. This is
+// the feedback link-layer protocol sketched as future work in §6 of the
+// paper.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"spinal/internal/channel"
+	"spinal/internal/link"
+	"spinal/internal/rng"
+)
+
+const document = `Rateless spinal codes let a sender transmit without knowing the
+channel quality: it simply keeps emitting coded symbols until the receiver
+says "got it". This example pushes a few paragraphs of text across a lossy
+in-memory link whose radio runs at 12 dB SNR. Each packet carries a CRC-32 so
+the receiver knows when its decode is correct, and the sender stops as soon
+as the acknowledgement arrives — packets sent over a good channel finish in a
+single pass, while a noisier channel would transparently use more passes.`
+
+func main() {
+	senderSide, receiverSide, err := link.NewPipePair(0.10, 2024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer senderSide.Close()
+
+	// SymbolsPerFrame and AckPoll together set the effective symbol rate of
+	// the simulated link; the pacing gives the receiver time to run its
+	// decode attempts, like a real radio whose channel is the bottleneck.
+	cfg := link.Config{SymbolsPerFrame: 84, AckPoll: 25 * time.Millisecond}
+	sender, err := link.NewSender(senderSide, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	radio, err := channel.NewQuantizedAWGN(12, 14, rng.New(99))
+	if err != nil {
+		log.Fatal(err)
+	}
+	receiver, err := link.NewReceiver(receiverSide, cfg, radio)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Receiver: reassemble packets until the whole document has arrived.
+	type got struct {
+		id      uint32
+		payload []byte
+	}
+	done := make(chan []got)
+	go func() {
+		var parts []got
+		total := 0
+		for total < len(document) {
+			d, err := receiver.Receive(2 * time.Second)
+			if err == link.ErrTimeout {
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			parts = append(parts, got{id: d.MsgID, payload: d.Payload})
+			total += len(d.Payload)
+			rate := float64(len(d.Payload)*8) / float64(d.Symbols)
+			fmt.Printf("  [receiver] packet %d: %3d bytes in %4d symbols (%.2f bits/symbol)\n",
+				d.MsgID, len(d.Payload), d.Symbols, rate)
+		}
+		done <- parts
+	}()
+
+	// Sender: chunk the document into packets and send them ratelessly.
+	const chunk = 80
+	var ids []uint32
+	fmt.Printf("[sender] shipping %d bytes over a lossy 12 dB link\n", len(document))
+	for off, id := 0, uint32(1); off < len(document); off, id = off+chunk, id+1 {
+		end := off + chunk
+		if end > len(document) {
+			end = len(document)
+		}
+		report, err := sender.Send(id, []byte(document[off:end]))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !report.Acked {
+			log.Fatalf("packet %d was never acknowledged", id)
+		}
+		ids = append(ids, id)
+		fmt.Printf("[sender]   packet %d acknowledged after %d symbols in %d frames\n",
+			id, report.SymbolsSent, report.FramesSent)
+	}
+
+	parts := <-done
+	var buf bytes.Buffer
+	for _, want := range ids {
+		for _, p := range parts {
+			if p.id == want {
+				buf.Write(p.payload)
+			}
+		}
+	}
+	if buf.String() == document {
+		fmt.Println("\ndocument reassembled intact:")
+		fmt.Println(strings.Repeat("-", 60))
+		fmt.Println(buf.String())
+	} else {
+		log.Fatal("reassembled document does not match the original")
+	}
+}

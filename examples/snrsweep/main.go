@@ -1,0 +1,78 @@
+// snrsweep prints a miniature version of the paper's Figure 2: the rate the
+// spinal code achieves at each SNR from -5 dB to 30 dB, next to the Shannon
+// capacity and the best fixed-rate 802.11-style configuration (rate x
+// modulation) that would work at that SNR. It shows the core claim of the
+// paper — one rateless code replaces the whole rate-adaptation table — using
+// only the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spinal"
+)
+
+// fixedConfigs is a conventional rate-adaptation table: code rate x
+// constellation bits per symbol, with the (approximate) minimum SNR each
+// configuration needs to run essentially error free.
+var fixedConfigs = []struct {
+	name     string
+	rate     float64
+	minSNRdB float64
+}{
+	{"1/2 BPSK", 0.5, 2},
+	{"1/2 QAM-4", 1.0, 5},
+	{"3/4 QAM-4", 1.5, 8},
+	{"1/2 QAM-16", 2.0, 11},
+	{"3/4 QAM-16", 3.0, 15},
+	{"2/3 QAM-64", 4.0, 19},
+	{"3/4 QAM-64", 4.5, 21},
+	{"5/6 QAM-64", 5.0, 23},
+}
+
+func bestFixed(snrDB float64) (string, float64) {
+	name, rate := "none", 0.0
+	for _, c := range fixedConfigs {
+		if snrDB >= c.minSNRdB && c.rate > rate {
+			name, rate = c.name, c.rate
+		}
+	}
+	return name, rate
+}
+
+func main() {
+	const messageBits = 96
+	const perPoint = 20
+
+	code, err := spinal.NewCode(spinal.Config{MessageBits: messageBits})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("snr_db  spinal_rate  capacity  best_fixed_rate  best_fixed_config")
+	for snr := -5.0; snr <= 30; snr += 5 {
+		totalBits, totalSymbols := 0, 0
+		for trial := 0; trial < perPoint; trial++ {
+			msg := spinal.RandomMessage(messageBits, uint64(1000+trial))
+			ch, err := spinal.AWGNChannel(snr, uint64(trial)*7919+3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := code.Transmit(msg, ch, nil, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Delivered {
+				totalBits += messageBits
+			}
+			totalSymbols += res.Symbols
+		}
+		rate := float64(totalBits) / float64(totalSymbols)
+		fixedName, fixedRate := bestFixed(snr)
+		fmt.Printf("%6.1f  %11.2f  %8.2f  %15.2f  %s\n",
+			snr, rate, spinal.ShannonCapacity(snr), fixedRate, fixedName)
+	}
+	fmt.Println("\nThe spinal column adapts on its own; the fixed column needs SNR feedback")
+	fmt.Println("and still wastes the gap between steps of the rate table.")
+}

@@ -1,0 +1,140 @@
+package adapt
+
+import (
+	"testing"
+
+	"spinal/internal/fading"
+	"spinal/internal/ldpc"
+)
+
+func TestDefaultTableOrderedAndValid(t *testing.T) {
+	table := DefaultTable()
+	if len(table) != 8 {
+		t.Fatalf("table has %d entries, want the 8 Figure 2 configurations", len(table))
+	}
+	prevRate, prevThreshold := -1.0, -100.0
+	for _, cfg := range table {
+		bps, err := cfg.BitsPerSymbol()
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Label(), err)
+		}
+		if bps <= prevRate {
+			t.Fatalf("table not ordered by peak rate at %s", cfg.Label())
+		}
+		if cfg.MinSNRdB <= prevThreshold {
+			t.Fatalf("table not ordered by threshold at %s", cfg.Label())
+		}
+		prevRate, prevThreshold = bps, cfg.MinSNRdB
+		if _, err := ldpc.NewWiFiLike(cfg.Rate); err != nil {
+			t.Fatalf("%s: invalid rate", cfg.Label())
+		}
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	table := DefaultTable()
+	p := ThresholdPolicy{}
+	if got := p.Choose(-10, table); got != 0 {
+		t.Fatalf("at -10 dB the policy must fall back to the most robust entry, got %d", got)
+	}
+	if got := p.Choose(100, table); got != len(table)-1 {
+		t.Fatalf("at huge SNR the policy should pick the fastest entry, got %d", got)
+	}
+	mid := p.Choose(12, table)
+	if table[mid].MinSNRdB > 12 {
+		t.Fatalf("policy chose a configuration above the estimate: %s", table[mid].Label())
+	}
+	// A margin makes the choice more conservative (never faster).
+	cautious := ThresholdPolicy{MarginDB: 3}.Choose(12, table)
+	if cautious > mid {
+		t.Fatal("margin made the policy more aggressive")
+	}
+	if p.Name() == "" || (ThresholdPolicy{MarginDB: 1}).Name() == "" {
+		t.Error("empty policy name")
+	}
+}
+
+func TestRunAdaptiveStaticChannel(t *testing.T) {
+	// On a clean static 20 dB channel the adaptive scheme should settle on a
+	// high-rate configuration and deliver most of its frames.
+	cfg := Config{
+		Trace:        fading.Constant{Level: 20},
+		SymbolBudget: 2500,
+		Seed:         1,
+	}
+	res, err := RunAdaptive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames == 0 || res.Symbols < cfg.SymbolBudget {
+		t.Fatalf("adaptive run too short: %+v", res)
+	}
+	if res.Throughput < 2.5 {
+		t.Fatalf("adaptive throughput at a constant 20 dB = %v, want >= 2.5", res.Throughput)
+	}
+	if float64(res.FrameErrors) > 0.2*float64(res.Frames) {
+		t.Fatalf("too many frame errors on a constant channel: %+v", res)
+	}
+}
+
+func TestRunRatelessStaticChannel(t *testing.T) {
+	cfg := Config{
+		Trace:        fading.Constant{Level: 20},
+		SymbolBudget: 2000,
+		Seed:         2,
+	}
+	res, err := RunRateless(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput < 3 {
+		t.Fatalf("rateless throughput at 20 dB = %v, want >= 3", res.Throughput)
+	}
+	if res.FrameErrors != 0 {
+		t.Fatalf("rateless scheme lost %d packets on a clean 20 dB channel", res.FrameErrors)
+	}
+}
+
+func TestCompareUnderFastFading(t *testing.T) {
+	// Gilbert-Elliott channel whose state flips faster than the feedback
+	// delay: the reactive scheme keeps acting on stale estimates while the
+	// rateless scheme just spends more or fewer symbols per packet. The
+	// rateless throughput should be at least as good.
+	trace, err := fading.NewGilbertElliott(22, 4, 700, 700, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Trace:         trace,
+		SymbolBudget:  3500,
+		EstimateDelay: 1400, // two state dwell times stale
+		EstimateErrDB: 2,
+		Seed:          3,
+	}
+	adaptive, rateless, err := Compare(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adaptive.Scheme == rateless.Scheme {
+		t.Fatal("schemes not labelled")
+	}
+	if rateless.Throughput <= 0 {
+		t.Fatal("rateless scheme delivered nothing")
+	}
+	if rateless.Throughput < adaptive.Throughput {
+		t.Fatalf("rateless (%v bits/sym) should not lose to stale-estimate adaptation (%v bits/sym) under fast fading",
+			rateless.Throughput, adaptive.Throughput)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunAdaptive(Config{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, err := RunRateless(Config{}); err == nil {
+		t.Error("nil trace accepted")
+	}
+	if _, _, err := Compare(Config{}); err == nil {
+		t.Error("nil trace accepted by Compare")
+	}
+}

@@ -1,0 +1,142 @@
+// Package capacity computes the information-theoretic reference curves
+// plotted in Figure 2 of the paper and used by Theorems 1 and 2: Shannon
+// capacity of the complex AWGN channel, capacity of the binary symmetric
+// channel, the rate guarantee of Theorem 1 (capacity minus the
+// ½·log2(πe/6) constellation penalty), and the Polyanskiy–Poor–Verdú
+// finite-blocklength normal approximation ("fixed-block approx. bound" in the
+// figure).
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"spinal/internal/mathx"
+)
+
+// AWGN returns the Shannon capacity of the complex (two-dimensional) AWGN
+// channel in bits per symbol for a linear SNR: C = log2(1 + SNR).
+func AWGN(snr float64) float64 {
+	if snr <= 0 {
+		return 0
+	}
+	return math.Log2(1 + snr)
+}
+
+// AWGNdB is AWGN with the SNR expressed in decibels.
+func AWGNdB(snrDB float64) float64 {
+	return AWGN(mathx.DBToLinear(snrDB))
+}
+
+// BSC returns the capacity of the binary symmetric channel with crossover
+// probability p, in bits per channel use: C = 1 - H2(p).
+func BSC(p float64) float64 {
+	if p < 0 || p > 1 {
+		return math.NaN()
+	}
+	return 1 - mathx.BinaryEntropy(p)
+}
+
+// Theorem1Delta is the constant gap ∆ = ½·log2(πe/6) ≈ 0.2546 bits/symbol in
+// the rate guarantee of Theorem 1, attributed by the paper to the linear
+// (non-Gaussian) constellation mapping.
+func Theorem1Delta() float64 {
+	return 0.5 * math.Log2(math.Pi*math.E/6)
+}
+
+// Theorem1Rate returns the rate guaranteed achievable by Theorem 1 at the
+// given SNR (dB): Cawgn(SNR) − ∆, floored at zero.
+func Theorem1Rate(snrDB float64) float64 {
+	r := AWGNdB(snrDB) - Theorem1Delta()
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// AWGNDispersion returns the channel dispersion V of the complex AWGN channel
+// in bits² per channel use:
+//
+//	V = (SNR·(SNR+2) / (2·(SNR+1)²)) · log2²(e)
+//
+// which is the standard expression from Polyanskiy, Poor and Verdú (2010).
+func AWGNDispersion(snr float64) float64 {
+	if snr <= 0 {
+		return 0
+	}
+	l2e := math.Log2(math.E)
+	return snr * (snr + 2) / (2 * (snr + 1) * (snr + 1)) * l2e * l2e
+}
+
+// NormalApprox returns the normal-approximation bound on the maximum rate (in
+// bits per channel use) of a fixed-rate block code of length n channel uses
+// with block error probability eps over the complex AWGN channel at linear
+// SNR:
+//
+//	R ≈ C − sqrt(V/n)·Q⁻¹(eps) + log2(n)/(2n)
+//
+// This is the computable surrogate for the converse bound of [12] plotted as
+// the dashed "fixed-block approx. bound" in Figure 2.
+func NormalApprox(snr float64, n int, eps float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("capacity: block length must be >= 1, got %d", n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("capacity: error probability must be in (0,1), got %v", eps)
+	}
+	c := AWGN(snr)
+	v := AWGNDispersion(snr)
+	r := c - math.Sqrt(v/float64(n))*mathx.QInv(eps) + math.Log2(float64(n))/(2*float64(n))
+	if r < 0 {
+		r = 0
+	}
+	return r, nil
+}
+
+// NormalApproxdB is NormalApprox with the SNR in decibels.
+func NormalApproxdB(snrDB float64, n int, eps float64) (float64, error) {
+	return NormalApprox(mathx.DBToLinear(snrDB), n, eps)
+}
+
+// BSCNormalApprox returns the normal-approximation bound for the BSC with
+// crossover probability p, blocklength n and error probability eps:
+//
+//	R ≈ C − sqrt(V/n)·Q⁻¹(eps) + log2(n)/(2n),  V = p(1−p)·log2²((1−p)/p).
+func BSCNormalApprox(p float64, n int, eps float64) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("capacity: block length must be >= 1, got %d", n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return 0, fmt.Errorf("capacity: error probability must be in (0,1), got %v", eps)
+	}
+	if p <= 0 || p >= 1 {
+		return BSC(p), nil
+	}
+	v := p * (1 - p) * math.Pow(math.Log2((1-p)/p), 2)
+	r := BSC(p) - math.Sqrt(v/float64(n))*mathx.QInv(eps) + math.Log2(float64(n))/(2*float64(n))
+	if r < 0 {
+		r = 0
+	}
+	return r, nil
+}
+
+// MinPassesAWGN returns the smallest number of passes L for which Theorem 1
+// guarantees vanishing BER for segment size k at the given SNR (dB). It
+// returns 0 if the guarantee can never be met (rate bound non-positive).
+func MinPassesAWGN(snrDB float64, k int) int {
+	bound := AWGNdB(snrDB) - 0.5*math.Log2(math.Pi*math.E/6)
+	if bound <= 0 {
+		return 0
+	}
+	return int(math.Floor(float64(k)/bound)) + 1
+}
+
+// MinPassesBSC returns the smallest number of passes L for which Theorem 2
+// guarantees vanishing BER for segment size k on a BSC with crossover p.
+func MinPassesBSC(p float64, k int) int {
+	c := BSC(p)
+	if c <= 0 {
+		return 0
+	}
+	return int(math.Floor(float64(k)/c)) + 1
+}

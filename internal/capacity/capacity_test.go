@@ -1,0 +1,208 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAWGNKnownPoints(t *testing.T) {
+	cases := []struct{ snrDB, want float64 }{
+		{0, 1},          // log2(2)
+		{10, 3.459431},  // log2(11)
+		{30, 9.967226},  // log2(1001) — the paper's "roughly 10 bits/s/Hz at 30 dB"
+		{-10, 0.137503}, // log2(1.1)
+	}
+	for _, c := range cases {
+		if got := AWGNdB(c.snrDB); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("AWGNdB(%v) = %v, want %v", c.snrDB, got, c.want)
+		}
+	}
+	if AWGN(0) != 0 || AWGN(-3) != 0 {
+		t.Error("non-positive SNR should give zero capacity")
+	}
+}
+
+func TestAWGNMonotone(t *testing.T) {
+	prev := -1.0
+	for db := -20.0; db <= 50; db += 0.5 {
+		c := AWGNdB(db)
+		if c <= prev {
+			t.Fatalf("capacity not increasing at %v dB", db)
+		}
+		prev = c
+	}
+}
+
+func TestBSCKnownPoints(t *testing.T) {
+	if got := BSC(0); got != 1 {
+		t.Errorf("BSC(0) = %v, want 1", got)
+	}
+	if got := BSC(0.5); math.Abs(got) > 1e-12 {
+		t.Errorf("BSC(0.5) = %v, want 0", got)
+	}
+	if got := BSC(0.11); math.Abs(got-0.5) > 1e-3 {
+		t.Errorf("BSC(0.11) = %v, want about 0.5", got)
+	}
+	if !math.IsNaN(BSC(-0.1)) || !math.IsNaN(BSC(1.1)) {
+		t.Error("out-of-range p should return NaN")
+	}
+}
+
+func TestBSCSymmetry(t *testing.T) {
+	prop := func(raw uint16) bool {
+		p := float64(raw%1000) / 1000
+		return math.Abs(BSC(p)-BSC(1-p)) < 1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheorem1Delta(t *testing.T) {
+	// ∆ = ½ log2(πe/6) ≈ 0.2546; the paper rounds it to ≈ 0.25.
+	d := Theorem1Delta()
+	if math.Abs(d-0.2546) > 1e-3 {
+		t.Fatalf("Theorem1Delta = %v, want about 0.2546", d)
+	}
+}
+
+func TestTheorem1RateAt30dB(t *testing.T) {
+	// The paper: at 30 dB the code achieves roughly 97.5% of capacity.
+	frac := Theorem1Rate(30) / AWGNdB(30)
+	if math.Abs(frac-0.975) > 0.005 {
+		t.Fatalf("Theorem 1 fraction of capacity at 30 dB = %v, want about 0.975", frac)
+	}
+}
+
+func TestTheorem1RateNonNegative(t *testing.T) {
+	for db := -20.0; db <= 40; db++ {
+		if Theorem1Rate(db) < 0 {
+			t.Fatalf("negative Theorem 1 rate at %v dB", db)
+		}
+		if Theorem1Rate(db) > AWGNdB(db) {
+			t.Fatalf("Theorem 1 rate exceeds capacity at %v dB", db)
+		}
+	}
+}
+
+func TestDispersionLimits(t *testing.T) {
+	// V -> 0 as SNR -> 0 and V -> log2^2(e)/2 as SNR -> infinity.
+	if AWGNDispersion(0) != 0 {
+		t.Error("dispersion at zero SNR should be 0")
+	}
+	limit := math.Log2(math.E) * math.Log2(math.E) / 2
+	if got := AWGNDispersion(1e9); math.Abs(got-limit) > 1e-6 {
+		t.Errorf("dispersion at high SNR = %v, want %v", got, limit)
+	}
+	// Monotone increasing in SNR.
+	prev := -1.0
+	for snr := 0.01; snr < 1e4; snr *= 2 {
+		v := AWGNDispersion(snr)
+		if v <= prev {
+			t.Fatalf("dispersion not increasing at snr=%v", snr)
+		}
+		prev = v
+	}
+}
+
+func TestNormalApproxBelowCapacity(t *testing.T) {
+	for _, db := range []float64{-5, 0, 10, 20, 30} {
+		r, err := NormalApproxdB(db, 24, 1e-4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := AWGNdB(db)
+		if r > c {
+			t.Errorf("normal approximation %v exceeds capacity %v at %v dB", r, c, db)
+		}
+		if r < 0 {
+			t.Errorf("negative rate at %v dB", db)
+		}
+	}
+}
+
+func TestNormalApproxApproachesCapacity(t *testing.T) {
+	// As n grows the bound approaches capacity.
+	c := AWGNdB(20)
+	r24, _ := NormalApproxdB(20, 24, 1e-4)
+	r1000, _ := NormalApproxdB(20, 1000, 1e-4)
+	r100000, _ := NormalApproxdB(20, 100000, 1e-4)
+	if !(r24 < r1000 && r1000 < r100000 && r100000 < c) {
+		t.Fatalf("bound ordering violated: %v %v %v vs capacity %v", r24, r1000, r100000, c)
+	}
+	if c-r100000 > 0.05 {
+		t.Fatalf("bound at n=100000 too far from capacity: %v vs %v", r100000, c)
+	}
+}
+
+func TestNormalApproxErrors(t *testing.T) {
+	if _, err := NormalApprox(10, 0, 1e-4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NormalApprox(10, 10, 0); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NormalApprox(10, 10, 1); err == nil {
+		t.Error("eps=1 accepted")
+	}
+}
+
+func TestBSCNormalApprox(t *testing.T) {
+	r, err := BSCNormalApprox(0.11, 648, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := BSC(0.11)
+	if r >= c || r <= 0 {
+		t.Fatalf("BSC normal approx = %v, capacity = %v", r, c)
+	}
+	if _, err := BSCNormalApprox(0.1, 0, 1e-4); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := BSCNormalApprox(0.1, 10, 2); err == nil {
+		t.Error("eps out of range accepted")
+	}
+}
+
+func TestMinPassesAWGN(t *testing.T) {
+	// At high SNR one pass should suffice for k=8 (capacity ~13 bits at 40 dB).
+	if got := MinPassesAWGN(40, 8); got != 1 {
+		t.Errorf("MinPassesAWGN(40,8) = %d, want 1", got)
+	}
+	// At 0 dB capacity is 1 bit/symbol, minus delta ~0.745: k=8 needs 11 passes.
+	got := MinPassesAWGN(0, 8)
+	want := int(math.Floor(8/(1-Theorem1Delta()))) + 1
+	if got != want {
+		t.Errorf("MinPassesAWGN(0,8) = %d, want %d", got, want)
+	}
+	// Below the delta threshold the guarantee is vacuous.
+	if got := MinPassesAWGN(-30, 8); got != 0 {
+		t.Errorf("MinPassesAWGN(-30,8) = %d, want 0", got)
+	}
+}
+
+func TestMinPassesBSC(t *testing.T) {
+	if got := MinPassesBSC(0, 4); got != 5 {
+		// capacity 1: L*1 > 4 requires L = 5.
+		t.Errorf("MinPassesBSC(0,4) = %d, want 5", got)
+	}
+	if got := MinPassesBSC(0.5, 4); got != 0 {
+		t.Errorf("MinPassesBSC(0.5,4) = %d, want 0", got)
+	}
+	// Capacity 0.5 => need L > 8, so 9.
+	if got := MinPassesBSC(0.11002786443835955, 4); got != 9 {
+		t.Errorf("MinPassesBSC(p~0.11,4) = %d, want 9", got)
+	}
+}
+
+func TestMinPassesMonotoneInNoise(t *testing.T) {
+	prev := 0
+	for db := 40.0; db >= -5; db -= 5 {
+		l := MinPassesAWGN(db, 8)
+		if l < prev {
+			t.Fatalf("required passes decreased as SNR dropped at %v dB", db)
+		}
+		prev = l
+	}
+}

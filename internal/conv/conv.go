@@ -1,0 +1,240 @@
+// Package conv implements the industry-standard constraint-length-7
+// convolutional code (generators 133/171 octal, as used by 802.11a/g) with
+// optional puncturing to rates 2/3 and 3/4, and a soft-decision Viterbi
+// decoder. It serves as an additional fixed-rate baseline next to the LDPC
+// codes when comparing against the rateless spinal code, and as the natural
+// comparison point for the trellis-coded-modulation discussion in §2 of the
+// paper.
+package conv
+
+import (
+	"fmt"
+	"math"
+)
+
+// Code is a punctured convolutional code derived from the rate-1/2,
+// constraint-length-7 mother code.
+type Code struct {
+	constraint int
+	gens       []uint32
+	punct      []byte // puncture pattern over mother-coded bits, 1 = transmit
+	name       string
+}
+
+// Standard generator polynomials (octal 133 and 171) for constraint length 7.
+const (
+	gen0 = 0o133
+	gen1 = 0o171
+)
+
+// NewRate12 returns the unpunctured rate-1/2 code.
+func NewRate12() *Code {
+	return &Code{constraint: 7, gens: []uint32{gen0, gen1}, punct: []byte{1, 1}, name: "conv-1/2"}
+}
+
+// NewPunctured returns a punctured code at the named rate: "1/2", "2/3" or
+// "3/4", using the standard 802.11 puncturing patterns.
+func NewPunctured(rate string) (*Code, error) {
+	base := NewRate12()
+	switch rate {
+	case "1/2":
+		return base, nil
+	case "2/3":
+		base.punct = []byte{1, 1, 1, 0}
+		base.name = "conv-2/3"
+		return base, nil
+	case "3/4":
+		base.punct = []byte{1, 1, 1, 0, 0, 1}
+		base.name = "conv-3/4"
+		return base, nil
+	default:
+		return nil, fmt.Errorf("conv: unsupported rate %q", rate)
+	}
+}
+
+// Name identifies the code in experiment output.
+func (c *Code) Name() string { return c.name }
+
+// tailBits is the number of zero bits appended to flush the encoder.
+func (c *Code) tailBits() int { return c.constraint - 1 }
+
+// RateValue returns the effective code rate for a frame of infoLen
+// information bits, accounting for tail bits and puncturing.
+func (c *Code) RateValue(infoLen int) float64 {
+	return float64(infoLen) / float64(c.CodedLength(infoLen))
+}
+
+// motherLength returns the number of mother-code bits for infoLen information
+// bits including the tail.
+func (c *Code) motherLength(infoLen int) int {
+	return 2 * (infoLen + c.tailBits())
+}
+
+// CodedLength returns the number of transmitted coded bits for a frame of
+// infoLen information bits after puncturing.
+func (c *Code) CodedLength(infoLen int) int {
+	mother := c.motherLength(infoLen)
+	full := mother / len(c.punct)
+	kept := 0
+	for _, p := range c.punct {
+		if p == 1 {
+			kept++
+		}
+	}
+	n := full * kept
+	for i := full * len(c.punct); i < mother; i++ {
+		if c.punct[i%len(c.punct)] == 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// parity returns the parity (XOR of bits) of x.
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// Encode convolutionally encodes the information bits (values 0/1), appends
+// the flushing tail, and applies the puncturing pattern. The result is the
+// stream of transmitted coded bits.
+func (c *Code) Encode(info []byte) ([]byte, error) {
+	for i, b := range info {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("conv: information bit %d has value %d", i, b)
+		}
+	}
+	state := uint32(0)
+	mother := make([]byte, 0, c.motherLength(len(info)))
+	emit := func(bit byte) {
+		state = state<<1 | uint32(bit)
+		reg := state & ((1 << uint(c.constraint)) - 1)
+		for _, g := range c.gens {
+			mother = append(mother, parity(reg&g))
+		}
+	}
+	for _, b := range info {
+		emit(b)
+	}
+	for i := 0; i < c.tailBits(); i++ {
+		emit(0)
+	}
+	// Puncture.
+	out := make([]byte, 0, c.CodedLength(len(info)))
+	for i, b := range mother {
+		if c.punct[i%len(c.punct)] == 1 {
+			out = append(out, b)
+		}
+	}
+	return out, nil
+}
+
+// Decode runs soft-decision Viterbi decoding over the LLRs of the transmitted
+// coded bits (positive favours 0) and returns the estimate of the infoLen
+// information bits. The LLR slice must have exactly CodedLength(infoLen)
+// entries.
+func (c *Code) Decode(llr []float64, infoLen int) ([]byte, error) {
+	if infoLen < 1 {
+		return nil, fmt.Errorf("conv: non-positive frame length %d", infoLen)
+	}
+	if len(llr) != c.CodedLength(infoLen) {
+		return nil, fmt.Errorf("conv: need %d LLRs for %d info bits, got %d",
+			c.CodedLength(infoLen), infoLen, len(llr))
+	}
+
+	// Re-insert zero LLRs at punctured positions of the mother code.
+	mother := make([]float64, c.motherLength(infoLen))
+	src := 0
+	for i := range mother {
+		if c.punct[i%len(c.punct)] == 1 {
+			mother[i] = llr[src]
+			src++
+		}
+	}
+
+	numStates := 1 << uint(c.constraint-1)
+	steps := infoLen + c.tailBits()
+	const inf = math.MaxFloat64 / 4
+
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for s := 1; s < numStates; s++ {
+		metric[s] = inf // encoding starts in the all-zero state
+	}
+	// survivors[t][state] = input bit leading into state at step t+1, plus the
+	// predecessor state packed in the upper bits.
+	survivors := make([][]int32, steps)
+
+	stateMask := uint32(numStates - 1)
+	for t := 0; t < steps; t++ {
+		survivors[t] = make([]int32, numStates)
+		for s := range next {
+			next[s] = inf
+		}
+		// Branch costs for this step depend on the two mother LLRs.
+		l0, l1 := mother[2*t], mother[2*t+1]
+		for s := 0; s < numStates; s++ {
+			if metric[s] >= inf {
+				continue
+			}
+			maxIn := 2
+			if t >= infoLen {
+				maxIn = 1 // tail is known to be zero
+			}
+			for in := 0; in < maxIn; in++ {
+				reg := uint32(s)<<1 | uint32(in)
+				ns := int(reg & stateMask)
+				var cost float64
+				if parity(reg&gen0) == 1 {
+					cost += l0
+				} else {
+					cost -= l0
+				}
+				if parity(reg&gen1) == 1 {
+					cost += l1
+				} else {
+					cost -= l1
+				}
+				m := metric[s] + cost
+				if m < next[ns] {
+					next[ns] = m
+					survivors[t][ns] = int32(s)<<1 | int32(in)
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	// Traceback from the all-zero state (guaranteed by the tail).
+	decoded := make([]byte, infoLen)
+	state := 0
+	for t := steps - 1; t >= 0; t-- {
+		packed := survivors[t][state]
+		in := byte(packed & 1)
+		prev := int(packed >> 1)
+		if t < infoLen {
+			decoded[t] = in
+		}
+		state = prev
+	}
+	return decoded, nil
+}
+
+// HardLLR converts hard bits (0/1) into large-magnitude LLRs, for use when
+// only hard decisions are available.
+func HardLLR(bits []byte, magnitude float64) []float64 {
+	out := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			out[i] = magnitude
+		} else {
+			out[i] = -magnitude
+		}
+	}
+	return out
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"spinal/internal/constellation"
+	"spinal/internal/hash"
+)
+
+// BeamDecoder is the practical "graceful scale-down" decoder of §3.2. At each
+// level of the decoding tree it expands every surviving node into 2^k
+// children by replaying the encoder's hash, adds the distance between the
+// replayed symbols and the received symbols to the path cost, and keeps only
+// the B lowest-cost nodes. With an unbounded beam it is the exact ML decoder
+// of Eq. 4.
+//
+// Levels for which no symbols have been received (punctured spine values) are
+// expanded without pruning, up to MaxCandidates nodes, so that later
+// observations can still disambiguate them; this is what allows decoding from
+// fewer than n/k symbols and therefore rates above k bits/symbol.
+type BeamDecoder struct {
+	p       Params
+	b       int
+	maxCand int
+	family  hash.Family
+	mapper  constellation.Mapper
+
+	nodesExpanded int
+}
+
+// unlimited is the beam width used by the ML decoder.
+const unlimited = math.MaxInt32
+
+// NewBeamDecoder returns a decoder with the given beam width B (the maximum
+// number of tree nodes retained per level).
+func NewBeamDecoder(p Params, beamWidth int) (*BeamDecoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if beamWidth < 1 {
+		return nil, fmt.Errorf("core: beam width must be >= 1, got %d", beamWidth)
+	}
+	mapper, err := p.mapper()
+	if err != nil {
+		return nil, err
+	}
+	maxCand := beamWidth << uint(p.K)
+	const maxCandCap = 1 << 16
+	if maxCand > maxCandCap || maxCand <= 0 {
+		maxCand = maxCandCap
+	}
+	return &BeamDecoder{
+		p:       p,
+		b:       beamWidth,
+		maxCand: maxCand,
+		family:  p.family(),
+		mapper:  mapper,
+	}, nil
+}
+
+// NewMLDecoder returns the exact maximum-likelihood decoder: a beam decoder
+// that never prunes. Its complexity is exponential in the message length, so
+// it is practical only for short messages; it exists as the reference the
+// practical decoder scales down from.
+func NewMLDecoder(p Params) (*BeamDecoder, error) {
+	d, err := NewBeamDecoder(p, unlimited)
+	if err != nil {
+		return nil, err
+	}
+	d.b = unlimited
+	d.maxCand = unlimited
+	return d, nil
+}
+
+// BeamWidth returns the configured beam width B.
+func (d *BeamDecoder) BeamWidth() int { return d.b }
+
+// MaxCandidates returns the cap on retained nodes at punctured levels.
+func (d *BeamDecoder) MaxCandidates() int { return d.maxCand }
+
+// SetMaxCandidates overrides the cap on nodes retained at levels with no
+// observations. Larger values make decoding from heavily punctured streams
+// more reliable at the cost of more work.
+func (d *BeamDecoder) SetMaxCandidates(n int) error {
+	if n < d.b {
+		return fmt.Errorf("core: max candidates %d must be at least the beam width %d", n, d.b)
+	}
+	d.maxCand = n
+	return nil
+}
+
+// NodesExpanded reports the number of tree nodes expanded by the most recent
+// Decode call; it is the decoder's computational cost in units of one hash
+// evaluation plus one cost update.
+func (d *BeamDecoder) NodesExpanded() int { return d.nodesExpanded }
+
+// DecodeResult is the outcome of one decode attempt.
+type DecodeResult struct {
+	// Message is the most likely message found, packed LSB-first.
+	Message []byte
+	// Cost is the accumulated distance of the returned message's symbols to
+	// the observations (squared Euclidean for AWGN, Hamming for BSC).
+	Cost float64
+	// NodesExpanded is the number of decoding-tree nodes evaluated.
+	NodesExpanded int
+}
+
+// Decode runs the beam search against AWGN-channel observations and returns
+// the most likely message under the received symbols so far.
+func (d *BeamDecoder) Decode(obs *Observations) (*DecodeResult, error) {
+	if obs == nil {
+		return nil, fmt.Errorf("core: nil observations")
+	}
+	if obs.NumSegments() != d.p.NumSegments() {
+		return nil, fmt.Errorf("core: observations sized for %d segments, decoder for %d",
+			obs.NumSegments(), d.p.NumSegments())
+	}
+	coster := &awgnCoster{d: d, obs: obs}
+	return d.run(coster)
+}
+
+// DecodeBits runs the beam search against binary-channel observations using
+// the Hamming metric, which is the ML rule for the BSC (§3.2).
+func (d *BeamDecoder) DecodeBits(obs *BitObservations) (*DecodeResult, error) {
+	if obs == nil {
+		return nil, fmt.Errorf("core: nil observations")
+	}
+	if obs.NumSegments() != d.p.NumSegments() {
+		return nil, fmt.Errorf("core: observations sized for %d segments, decoder for %d",
+			obs.NumSegments(), d.p.NumSegments())
+	}
+	coster := &bscCoster{d: d, obs: obs}
+	return d.run(coster)
+}
+
+// levelCoster computes the incremental cost of hypothesizing a spine value at
+// a tree level, and reports whether any symbols were received for that level.
+type levelCoster interface {
+	observed(level int) bool
+	cost(spine uint64, level int) float64
+}
+
+type awgnCoster struct {
+	d   *BeamDecoder
+	obs *Observations
+}
+
+func (c *awgnCoster) observed(level int) bool { return len(c.obs.spines[level]) > 0 }
+
+func (c *awgnCoster) cost(spine uint64, level int) float64 {
+	var sum float64
+	for _, ob := range c.obs.spines[level] {
+		x := symbolFor(c.d.family, c.d.mapper, c.d.p.C, spine, ob.pass)
+		dI := real(ob.y) - real(x)
+		dQ := imag(ob.y) - imag(x)
+		sum += dI*dI + dQ*dQ
+	}
+	return sum
+}
+
+type bscCoster struct {
+	d   *BeamDecoder
+	obs *BitObservations
+}
+
+func (c *bscCoster) observed(level int) bool { return len(c.obs.spines[level]) > 0 }
+
+func (c *bscCoster) cost(spine uint64, level int) float64 {
+	var sum float64
+	for _, ob := range c.obs.spines[level] {
+		if codedBitFor(c.d.family, spine, ob.pass) != ob.bit {
+			sum++
+		}
+	}
+	return sum
+}
+
+// treeNode is one node of the (pruned) decoding tree.
+type treeNode struct {
+	spine  uint64
+	cost   float64
+	parent int32
+	seg    uint16
+}
+
+// run executes the level-by-level beam search.
+func (d *BeamDecoder) run(coster levelCoster) (*DecodeResult, error) {
+	nseg := d.p.NumSegments()
+	levels := make([][]treeNode, nseg)
+	frontier := []treeNode{{spine: 0, cost: 0, parent: -1}}
+	d.nodesExpanded = 0
+
+	for t := 0; t < nseg; t++ {
+		keep := d.b
+		if !coster.observed(t) {
+			keep = d.maxCand
+		}
+		sel := newSelector(keep)
+		for pi := range frontier {
+			parent := &frontier[pi]
+			nSeg := 1 << uint(d.p.SegmentBits(t))
+			for seg := 0; seg < nSeg; seg++ {
+				s := d.family.Next(parent.spine, uint64(seg))
+				c := parent.cost + coster.cost(s, t)
+				sel.offer(treeNode{spine: s, cost: c, parent: int32(pi), seg: uint16(seg)})
+				d.nodesExpanded++
+			}
+		}
+		frontier = sel.items()
+		levels[t] = frontier
+	}
+
+	// Locate the lowest-cost leaf and walk back up the tree to recover the
+	// message segments.
+	best := 0
+	for i := 1; i < len(frontier); i++ {
+		if frontier[i].cost < frontier[best].cost {
+			best = i
+		}
+	}
+	segs := make([]uint64, nseg)
+	idx := int32(best)
+	for t := nseg - 1; t >= 0; t-- {
+		n := levels[t][idx]
+		segs[t] = uint64(n.seg)
+		idx = n.parent
+	}
+	return &DecodeResult{
+		Message:       packSegments(d.p, segs),
+		Cost:          frontier[best].cost,
+		NodesExpanded: d.nodesExpanded,
+	}, nil
+}
+
+// selector retains the `keep` lowest-cost nodes offered to it, using a
+// bounded max-heap keyed on cost.
+type selector struct {
+	keep  int
+	nodes []treeNode
+}
+
+func newSelector(keep int) *selector {
+	capHint := keep
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	return &selector{keep: keep, nodes: make([]treeNode, 0, capHint)}
+}
+
+func (s *selector) offer(n treeNode) {
+	if len(s.nodes) < s.keep {
+		s.nodes = append(s.nodes, n)
+		s.siftUp(len(s.nodes) - 1)
+		return
+	}
+	if n.cost >= s.nodes[0].cost {
+		return
+	}
+	s.nodes[0] = n
+	s.siftDown(0)
+}
+
+func (s *selector) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.nodes[parent].cost >= s.nodes[i].cost {
+			break
+		}
+		s.nodes[parent], s.nodes[i] = s.nodes[i], s.nodes[parent]
+		i = parent
+	}
+}
+
+func (s *selector) siftDown(i int) {
+	n := len(s.nodes)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		largest := left
+		if right := left + 1; right < n && s.nodes[right].cost > s.nodes[left].cost {
+			largest = right
+		}
+		if s.nodes[i].cost >= s.nodes[largest].cost {
+			return
+		}
+		s.nodes[i], s.nodes[largest] = s.nodes[largest], s.nodes[i]
+		i = largest
+	}
+}
+
+// items returns the retained nodes in arbitrary order.
+func (s *selector) items() []treeNode { return s.nodes }

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+
+	"spinal/internal/constellation"
+	"spinal/internal/hash"
+)
+
+// Encoder produces the rateless symbol stream for one message. It is cheap to
+// construct (one hash invocation per message segment) and can generate an
+// unbounded number of passes; symbol generation is deterministic, so symbols
+// may be produced lazily and in any order.
+type Encoder struct {
+	p      Params
+	family hash.Family
+	mapper constellation.Mapper
+	spine  []uint64
+}
+
+// NewEncoder computes the spine of the message and returns an encoder ready
+// to emit symbols. The message must contain exactly Params.MessageBits bits
+// packed LSB-first (see MessageBytes).
+func NewEncoder(p Params, message []byte) (*Encoder, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := checkMessage(p, message); err != nil {
+		return nil, err
+	}
+	mapper, err := p.mapper()
+	if err != nil {
+		return nil, err
+	}
+	e := &Encoder{
+		p:      p,
+		family: p.family(),
+		mapper: mapper,
+	}
+	e.spine = computeSpine(p, e.family, message)
+	return e, nil
+}
+
+// computeSpine chains the hash over the message segments: s_0 = 0,
+// s_{t+1} = h(s_t, M_{t+1}). The returned slice holds s_1 ... s_{n/k}.
+func computeSpine(p Params, f hash.Family, message []byte) []uint64 {
+	nseg := p.NumSegments()
+	spine := make([]uint64, nseg)
+	s := uint64(0) // the agreed initial value s0
+	for t := 0; t < nseg; t++ {
+		s = f.Next(s, segmentOf(p, message, t))
+		spine[t] = s
+	}
+	return spine
+}
+
+// Params returns the code parameters the encoder was built with.
+func (e *Encoder) Params() Params { return e.p }
+
+// NumSegments returns the number of spine values n/k.
+func (e *Encoder) NumSegments() int { return len(e.spine) }
+
+// Spine returns a copy of the spine values s_1..s_{n/k}. It is exposed for
+// tests and diagnostics; transmitting it would defeat the code.
+func (e *Encoder) Spine() []uint64 {
+	out := make([]uint64, len(e.spine))
+	copy(out, e.spine)
+	return out
+}
+
+// Symbol returns the constellation point generated from spine value t
+// (0-based) in the given pass (0-based): the 2c bits at offset 2c*pass of the
+// spine value's expansion, run through the constellation mapper.
+func (e *Encoder) Symbol(t, pass int) complex128 {
+	return symbolFor(e.family, e.mapper, e.p.C, e.spine[t], pass)
+}
+
+// SymbolAt returns the symbol for a SymbolPos.
+func (e *Encoder) SymbolAt(pos SymbolPos) complex128 {
+	return e.Symbol(pos.Spine, pos.Pass)
+}
+
+// Pass returns all n/k symbols of one encoding pass in spine order.
+func (e *Encoder) Pass(pass int) []complex128 {
+	out := make([]complex128, len(e.spine))
+	for t := range e.spine {
+		out[t] = e.Symbol(t, pass)
+	}
+	return out
+}
+
+// CodedBit returns the single coded bit generated from spine value t in the
+// given pass, for use over a binary channel (the paper's BSC variant): bit
+// `pass` of the spine value's expansion.
+func (e *Encoder) CodedBit(t, pass int) byte {
+	return codedBitFor(e.family, e.spine[t], pass)
+}
+
+// BitPass returns the n/k coded bits of one pass for the BSC variant.
+func (e *Encoder) BitPass(pass int) []byte {
+	out := make([]byte, len(e.spine))
+	for t := range e.spine {
+		out[t] = e.CodedBit(t, pass)
+	}
+	return out
+}
+
+// symbolFor maps spine value s to its constellation point for the given pass.
+// It is shared by the encoder and by the decoder's replay of the encoder.
+func symbolFor(f hash.Family, mapper constellation.Mapper, c int, s uint64, pass int) complex128 {
+	word := f.BitRange(s, uint(2*c*pass), uint(2*c))
+	return mapper.Map(uint32(word))
+}
+
+// codedBitFor returns the coded bit for the BSC variant: successive passes
+// consume successive bits of the spine value's expansion.
+func codedBitFor(f hash.Family, s uint64, pass int) byte {
+	return byte(f.BitRange(s, uint(pass), 1))
+}
+
+// EncodeSymbols is a convenience helper that returns the first `count`
+// symbols of the stream in the order given by the schedule, along with their
+// positions. It is used by examples and tests; the session logic generates
+// symbols one at a time instead.
+func EncodeSymbols(e *Encoder, sched Schedule, count int) ([]complex128, []SymbolPos, error) {
+	if count < 0 {
+		return nil, nil, fmt.Errorf("core: negative symbol count %d", count)
+	}
+	syms := make([]complex128, count)
+	poss := make([]SymbolPos, count)
+	for i := 0; i < count; i++ {
+		pos := sched.Pos(i)
+		poss[i] = pos
+		syms[i] = e.SymbolAt(pos)
+	}
+	return syms, poss, nil
+}

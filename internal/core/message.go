@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"spinal/internal/rng"
+)
+
+// Messages are byte slices holding MessageBits bits packed LSB-first: message
+// bit i (0-based) is bit (i%8) of byte i/8. Unused high bits of the final
+// byte must be zero; EncodeMessage and the decoder maintain this invariant.
+
+// MessageBytes returns the number of bytes needed to hold n message bits.
+func MessageBytes(n int) int { return (n + 7) / 8 }
+
+// RandomMessage draws a uniformly random message of n bits using the given
+// deterministic source.
+func RandomMessage(src *rng.Rand, n int) []byte {
+	return src.Bits(n)
+}
+
+// messageBit returns bit i of the packed message.
+func messageBit(msg []byte, i int) byte {
+	return msg[i/8] >> uint(i%8) & 1
+}
+
+// segmentOf extracts segment t of the message under parameters p, returned in
+// the low SegmentBits(t) bits of a uint64 (message bit t*K+j is bit j).
+func segmentOf(p Params, msg []byte, t int) uint64 {
+	bits := p.SegmentBits(t)
+	var seg uint64
+	base := t * p.K
+	for j := 0; j < bits; j++ {
+		seg |= uint64(messageBit(msg, base+j)) << uint(j)
+	}
+	return seg
+}
+
+// packSegments assembles a packed message from per-segment values, inverting
+// segmentOf.
+func packSegments(p Params, segs []uint64) []byte {
+	msg := make([]byte, MessageBytes(p.MessageBits))
+	for t, seg := range segs {
+		bits := p.SegmentBits(t)
+		base := t * p.K
+		for j := 0; j < bits; j++ {
+			if seg>>uint(j)&1 == 1 {
+				msg[(base+j)/8] |= 1 << uint((base+j)%8)
+			}
+		}
+	}
+	return msg
+}
+
+// checkMessage validates that msg holds exactly p.MessageBits bits with the
+// padding bits cleared.
+func checkMessage(p Params, msg []byte) error {
+	if len(msg) != MessageBytes(p.MessageBits) {
+		return fmt.Errorf("core: message is %d bytes, want %d for %d bits",
+			len(msg), MessageBytes(p.MessageBits), p.MessageBits)
+	}
+	if rem := p.MessageBits % 8; rem != 0 {
+		if msg[len(msg)-1]>>uint(rem) != 0 {
+			return fmt.Errorf("core: message has non-zero padding bits beyond bit %d", p.MessageBits)
+		}
+	}
+	return nil
+}
+
+// EqualMessages reports whether two packed messages of n bits are identical.
+func EqualMessages(a, b []byte, n int) bool {
+	if len(a) != MessageBytes(n) || len(b) != MessageBytes(n) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BitErrors counts the positions at which two packed n-bit messages differ.
+func BitErrors(a, b []byte, n int) int {
+	errs := 0
+	for i := 0; i < n; i++ {
+		if messageBit(a, i) != messageBit(b, i) {
+			errs++
+		}
+	}
+	return errs
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"spinal/internal/rng"
+)
+
+func TestMessageBytes(t *testing.T) {
+	cases := map[int]int{1: 1, 7: 1, 8: 1, 9: 2, 24: 3, 25: 4, 256: 32}
+	for bits, want := range cases {
+		if got := MessageBytes(bits); got != want {
+			t.Errorf("MessageBytes(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestRandomMessageSizeAndPadding(t *testing.T) {
+	src := rng.New(1)
+	for _, n := range []int{1, 8, 24, 31, 100} {
+		m := RandomMessage(src, n)
+		if len(m) != MessageBytes(n) {
+			t.Fatalf("RandomMessage(%d) has %d bytes", n, len(m))
+		}
+		p := Params{K: 8, C: 10, MessageBits: n, Seed: 1}
+		if err := checkMessage(p, m); err != nil {
+			t.Fatalf("RandomMessage(%d) fails checkMessage: %v", n, err)
+		}
+	}
+}
+
+func TestSegmentPackRoundTrip(t *testing.T) {
+	prop := func(seed uint64, kRaw, nRaw uint8) bool {
+		k := int(kRaw%12) + 1
+		n := int(nRaw%64) + 1
+		p := Params{K: k, C: 10, MessageBits: n, Seed: 1}
+		src := rng.New(seed)
+		msg := RandomMessage(src, n)
+		segs := make([]uint64, p.NumSegments())
+		for t := range segs {
+			segs[t] = segmentOf(p, msg, t)
+			// Segment values must fit in SegmentBits(t).
+			if segs[t]>>uint(p.SegmentBits(t)) != 0 {
+				return false
+			}
+		}
+		back := packSegments(p, segs)
+		return EqualMessages(msg, back, n)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentBits(t *testing.T) {
+	p := Params{K: 8, C: 10, MessageBits: 20, Seed: 1}
+	if p.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d", p.NumSegments())
+	}
+	if p.SegmentBits(0) != 8 || p.SegmentBits(1) != 8 || p.SegmentBits(2) != 4 {
+		t.Fatalf("SegmentBits = %d %d %d", p.SegmentBits(0), p.SegmentBits(1), p.SegmentBits(2))
+	}
+	if p.SegmentBits(3) != 0 || p.SegmentBits(-1) != 0 {
+		t.Fatal("out-of-range SegmentBits should be 0")
+	}
+	exact := Params{K: 8, C: 10, MessageBits: 24, Seed: 1}
+	if exact.SegmentBits(2) != 8 {
+		t.Fatalf("exact division last segment bits = %d", exact.SegmentBits(2))
+	}
+}
+
+func TestCheckMessage(t *testing.T) {
+	p := Params{K: 8, C: 10, MessageBits: 20, Seed: 1}
+	if err := checkMessage(p, []byte{0xff, 0xff, 0x0f}); err != nil {
+		t.Errorf("valid message rejected: %v", err)
+	}
+	if err := checkMessage(p, []byte{0xff, 0xff, 0x1f}); err == nil {
+		t.Error("message with stray padding bits accepted")
+	}
+	if err := checkMessage(p, []byte{0xff, 0xff}); err == nil {
+		t.Error("short message accepted")
+	}
+	if err := checkMessage(p, []byte{0xff, 0xff, 0x0f, 0x00}); err == nil {
+		t.Error("long message accepted")
+	}
+}
+
+func TestEqualMessagesAndBitErrors(t *testing.T) {
+	a := []byte{0b10110100, 0b00000001}
+	b := []byte{0b10110100, 0b00000001}
+	if !EqualMessages(a, b, 9) {
+		t.Fatal("identical messages not equal")
+	}
+	c := []byte{0b10110101, 0b00000000}
+	if EqualMessages(a, c, 9) {
+		t.Fatal("different messages reported equal")
+	}
+	if got := BitErrors(a, c, 9); got != 2 {
+		t.Fatalf("BitErrors = %d, want 2", got)
+	}
+	if EqualMessages(a, []byte{1}, 9) {
+		t.Fatal("length mismatch reported equal")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	valid := DefaultParams()
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	cases := []Params{
+		{K: 0, C: 10, MessageBits: 24},
+		{K: 17, C: 10, MessageBits: 24},
+		{K: 8, C: 0, MessageBits: 24},
+		{K: 8, C: 17, MessageBits: 24},
+		{K: 8, C: 10, MessageBits: 0},
+		{K: 8, C: 10, MessageBits: 2 << 20},
+	}
+	for i, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParamsMapperMismatch(t *testing.T) {
+	p := DefaultParams()
+	enc, err := NewEncoder(p, make([]byte, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := p
+	p2.C = 6
+	p2.Mapper = enc.mapper // a c=10 mapper
+	if err := p2.Validate(); err == nil {
+		t.Error("mapper/C mismatch accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import "fmt"
+
+// Observations accumulates the symbols received so far for one message,
+// grouped by the spine value they were generated from. The decoder sums
+// per-pass costs over all observations of a spine value (§3.2), so the same
+// container naturally supports any number of passes and any puncturing.
+type Observations struct {
+	spines [][]symbolObs
+	count  int
+}
+
+type symbolObs struct {
+	pass int
+	y    complex128
+}
+
+// NewObservations returns an empty container for a code with nseg spine
+// values.
+func NewObservations(nseg int) (*Observations, error) {
+	if nseg < 1 {
+		return nil, fmt.Errorf("core: observations need at least one spine value, got %d", nseg)
+	}
+	return &Observations{spines: make([][]symbolObs, nseg)}, nil
+}
+
+// Add records the received value y for the symbol at pos.
+func (o *Observations) Add(pos SymbolPos, y complex128) error {
+	if pos.Spine < 0 || pos.Spine >= len(o.spines) {
+		return fmt.Errorf("core: spine index %d out of range [0,%d)", pos.Spine, len(o.spines))
+	}
+	if pos.Pass < 0 {
+		return fmt.Errorf("core: negative pass %d", pos.Pass)
+	}
+	o.spines[pos.Spine] = append(o.spines[pos.Spine], symbolObs{pass: pos.Pass, y: y})
+	o.count++
+	return nil
+}
+
+// Count returns the total number of received symbols.
+func (o *Observations) Count() int { return o.count }
+
+// NumSegments returns the number of spine values the container was sized for.
+func (o *Observations) NumSegments() int { return len(o.spines) }
+
+// PerSpine returns how many symbols have been received for spine value t.
+func (o *Observations) PerSpine(t int) int {
+	if t < 0 || t >= len(o.spines) {
+		return 0
+	}
+	return len(o.spines[t])
+}
+
+// Reset discards all recorded observations, retaining the allocation.
+func (o *Observations) Reset() {
+	for i := range o.spines {
+		o.spines[i] = o.spines[i][:0]
+	}
+	o.count = 0
+}
+
+// BitObservations is the binary-channel counterpart of Observations: it
+// stores received coded bits (possibly flipped by a BSC) grouped by spine
+// value.
+type BitObservations struct {
+	spines [][]bitObs
+	count  int
+}
+
+type bitObs struct {
+	pass int
+	bit  byte
+}
+
+// NewBitObservations returns an empty container for nseg spine values.
+func NewBitObservations(nseg int) (*BitObservations, error) {
+	if nseg < 1 {
+		return nil, fmt.Errorf("core: observations need at least one spine value, got %d", nseg)
+	}
+	return &BitObservations{spines: make([][]bitObs, nseg)}, nil
+}
+
+// Add records a received coded bit (0 or 1) for the position pos.
+func (o *BitObservations) Add(pos SymbolPos, bit byte) error {
+	if pos.Spine < 0 || pos.Spine >= len(o.spines) {
+		return fmt.Errorf("core: spine index %d out of range [0,%d)", pos.Spine, len(o.spines))
+	}
+	if pos.Pass < 0 {
+		return fmt.Errorf("core: negative pass %d", pos.Pass)
+	}
+	if bit != 0 && bit != 1 {
+		return fmt.Errorf("core: coded bit must be 0 or 1, got %d", bit)
+	}
+	o.spines[pos.Spine] = append(o.spines[pos.Spine], bitObs{pass: pos.Pass, bit: bit})
+	o.count++
+	return nil
+}
+
+// Count returns the total number of received coded bits.
+func (o *BitObservations) Count() int { return o.count }
+
+// NumSegments returns the number of spine values the container was sized for.
+func (o *BitObservations) NumSegments() int { return len(o.spines) }
+
+// PerSpine returns how many coded bits have been received for spine value t.
+func (o *BitObservations) PerSpine(t int) int {
+	if t < 0 || t >= len(o.spines) {
+		return 0
+	}
+	return len(o.spines[t])
+}
+
+// Reset discards all recorded observations, retaining the allocation.
+func (o *BitObservations) Reset() {
+	for i := range o.spines {
+		o.spines[i] = o.spines[i][:0]
+	}
+	o.count = 0
+}

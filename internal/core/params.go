@@ -1,0 +1,116 @@
+// Package core implements spinal codes: the hash-based rateless encoder of
+// §3.1 and the maximum-likelihood and practical "scale-down" beam decoders of
+// §3.2 of "Rateless Spinal Codes" (Perry, Balakrishnan, Shah, HotNets 2011).
+//
+// The encoder divides an n-bit message into k-bit segments, chains them
+// through a salted hash function to produce the spine s_1 ... s_{n/k}, and in
+// each pass maps 2c fresh bits of every spine value to a dense constellation
+// point. The decoder replays the encoder over a pruned tree of message
+// prefixes, keeping at most B candidates per level (the paper's bubble
+// decoder); with unbounded B it is the exact ML decoder.
+package core
+
+import (
+	"fmt"
+
+	"spinal/internal/constellation"
+	"spinal/internal/hash"
+)
+
+// Params describes a spinal code instance. Encoder and decoder must be
+// constructed from identical Params (including Seed) to interoperate.
+type Params struct {
+	// K is the number of message bits hashed into the spine per segment (the
+	// paper's k). Decoding complexity is exponential in K; the maximum rate of
+	// an unpunctured code is K bits/symbol.
+	K int
+	// C is the number of coded bits per I or Q dimension (the paper's c); each
+	// transmitted symbol consumes 2c bits of a spine value's expansion.
+	C int
+	// MessageBits is the message length n in bits. It does not need to be a
+	// multiple of K; a shorter final segment is handled by both encoder and
+	// decoder.
+	MessageBits int
+	// Seed selects the hash function from the family H. It is shared,
+	// non-secret state between sender and receiver.
+	Seed uint64
+	// Mapper is the constellation mapping function f. If nil, the linear
+	// mapping of Eq. 3 with parameter C is used.
+	Mapper constellation.Mapper
+}
+
+// DefaultSeed is the hash-family seed used by DefaultParams and the
+// experiment harness. It is an arbitrary non-zero constant with no special
+// properties; any value shared by sender and receiver works.
+const DefaultSeed = 0x50714a1c0de2011
+
+// DefaultParams returns the configuration used for Figure 2 of the paper:
+// k = 8, c = 10, 24-bit messages, linear constellation mapping.
+func DefaultParams() Params {
+	return Params{K: 8, C: 10, MessageBits: 24, Seed: DefaultSeed}
+}
+
+// NumSegments returns n/k rounded up: the number of spine values.
+func (p Params) NumSegments() int {
+	if p.K <= 0 {
+		return 0
+	}
+	return (p.MessageBits + p.K - 1) / p.K
+}
+
+// SegmentBits returns the number of message bits in segment t (0-based). All
+// segments carry K bits except possibly the last one.
+func (p Params) SegmentBits(t int) int {
+	nseg := p.NumSegments()
+	if t < 0 || t >= nseg {
+		return 0
+	}
+	if t == nseg-1 {
+		if rem := p.MessageBits - (nseg-1)*p.K; rem > 0 {
+			return rem
+		}
+	}
+	return p.K
+}
+
+// Validate checks the parameters and returns a descriptive error for the
+// first problem found.
+func (p Params) Validate() error {
+	if p.K < 1 || p.K > 16 {
+		return fmt.Errorf("core: K must be in [1,16], got %d", p.K)
+	}
+	if p.C < 1 || p.C > 16 {
+		return fmt.Errorf("core: C must be in [1,16], got %d", p.C)
+	}
+	if p.MessageBits < 1 {
+		return fmt.Errorf("core: MessageBits must be positive, got %d", p.MessageBits)
+	}
+	if p.MessageBits > 1<<20 {
+		return fmt.Errorf("core: MessageBits %d unreasonably large", p.MessageBits)
+	}
+	if p.Mapper != nil && p.Mapper.C() != p.C {
+		return fmt.Errorf("core: mapper is for c=%d but Params.C=%d", p.Mapper.C(), p.C)
+	}
+	return nil
+}
+
+// mapper returns the configured mapper, constructing the default linear
+// mapper of Eq. 3 when none is set.
+func (p Params) mapper() (constellation.Mapper, error) {
+	if p.Mapper != nil {
+		return p.Mapper, nil
+	}
+	return constellation.NewLinear(p.C)
+}
+
+// family returns the hash function shared by encoder and decoder.
+func (p Params) family() hash.Family {
+	return hash.NewFamily(p.Seed)
+}
+
+// SymbolPos identifies one transmitted symbol (or coded bit): the spine value
+// it was generated from and the pass it belongs to. Both are 0-based.
+type SymbolPos struct {
+	Spine int
+	Pass  int
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSequentialScheduleOrder(t *testing.T) {
+	sched, err := NewSequentialSchedule(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SymbolPos{
+		{0, 0}, {1, 0}, {2, 0},
+		{0, 1}, {1, 1}, {2, 1},
+		{0, 2},
+	}
+	for i, w := range want {
+		if got := sched.Pos(i); got != w {
+			t.Fatalf("Pos(%d) = %+v, want %+v", i, got, w)
+		}
+	}
+	if sched.Name() == "" {
+		t.Error("empty schedule name")
+	}
+}
+
+func TestSequentialScheduleCoversEveryPosition(t *testing.T) {
+	prop := func(nRaw uint8, passesRaw uint8) bool {
+		nseg := int(nRaw%10) + 1
+		passes := int(passesRaw%5) + 1
+		sched, err := NewSequentialSchedule(nseg)
+		if err != nil {
+			return false
+		}
+		seen := map[SymbolPos]bool{}
+		for i := 0; i < nseg*passes; i++ {
+			pos := sched.Pos(i)
+			if pos.Spine < 0 || pos.Spine >= nseg || pos.Pass < 0 || pos.Pass >= passes {
+				return false
+			}
+			if seen[pos] {
+				return false
+			}
+			seen[pos] = true
+		}
+		return len(seen) == nseg*passes
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripedScheduleIsPermutationPerPass(t *testing.T) {
+	prop := func(nRaw, strideRaw uint8) bool {
+		nseg := int(nRaw%20) + 1
+		stride := int(strideRaw%10) + 1
+		sched, err := NewStripedSchedule(nseg, stride)
+		if err != nil {
+			return false
+		}
+		for pass := 0; pass < 3; pass++ {
+			seen := make([]bool, nseg)
+			for j := 0; j < nseg; j++ {
+				pos := sched.Pos(pass*nseg + j)
+				if pos.Pass != pass {
+					return false
+				}
+				if pos.Spine < 0 || pos.Spine >= nseg || seen[pos.Spine] {
+					return false
+				}
+				seen[pos.Spine] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStripedScheduleSendsTailFirst(t *testing.T) {
+	for _, nseg := range []int{2, 3, 8, 17} {
+		sched, err := NewStripedSchedule(nseg, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := sched.Pos(0); got.Spine != nseg-1 || got.Pass != 0 {
+			t.Fatalf("nseg=%d: first symbol is %+v, want final spine value of pass 0", nseg, got)
+		}
+	}
+}
+
+func TestStripedScheduleClampsStride(t *testing.T) {
+	sched, err := NewStripedSchedule(3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must still enumerate a permutation of the three spine values.
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		seen[sched.Pos(i).Spine] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("clamped stride does not cover all spine values: %v", seen)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := NewSequentialSchedule(0); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := NewStripedSchedule(0, 8); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if _, err := NewStripedSchedule(4, 0); err == nil {
+		t.Error("zero stride accepted")
+	}
+}
+
+func TestSchedulePanicsOnNegativeIndex(t *testing.T) {
+	sched, _ := NewSequentialSchedule(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative index did not panic")
+		}
+	}()
+	sched.Pos(-1)
+}
+
+func TestScheduleByName(t *testing.T) {
+	if s, err := ScheduleByName("sequential", 5); err != nil || s.Name() != "sequential" {
+		t.Errorf("sequential: %v %v", s, err)
+	}
+	if s, err := ScheduleByName("", 5); err != nil || s == nil {
+		t.Errorf("default: %v %v", s, err)
+	}
+	if s, err := ScheduleByName("striped", 5); err != nil || s == nil {
+		t.Errorf("striped: %v %v", s, err)
+	}
+	if _, err := ScheduleByName("bogus", 5); err == nil {
+		t.Error("unknown schedule accepted")
+	}
+}

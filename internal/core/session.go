@@ -1,0 +1,318 @@
+package core
+
+import "fmt"
+
+// This file implements the rateless transmission loop of §3.2: the sender
+// keeps emitting symbols (in schedule order) and the receiver keeps feeding
+// them to the decoder, attempting a decode according to an attempt policy,
+// until the decoded message is verified (by a genie in the paper's
+// simulations, by a CRC in a deployed link layer) or a give-up bound is hit.
+
+// AttemptPolicy decides after which received symbols the receiver runs the
+// decoder. Attempting after every symbol gives the finest rate granularity
+// but costs the most computation; attempting once per pass is cheaper and
+// loses little at low SNR where many passes are needed anyway.
+type AttemptPolicy interface {
+	// ShouldAttempt reports whether to run the decoder after `received`
+	// symbols (1-based) have arrived, for a code with nseg spine values.
+	ShouldAttempt(received, nseg int) bool
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// AttemptEverySymbol attempts a decode after every received symbol.
+type AttemptEverySymbol struct{}
+
+// ShouldAttempt implements AttemptPolicy.
+func (AttemptEverySymbol) ShouldAttempt(received, nseg int) bool { return true }
+
+// Name implements AttemptPolicy.
+func (AttemptEverySymbol) Name() string { return "every-symbol" }
+
+// AttemptEveryPass attempts a decode only when a whole pass worth of symbols
+// (n/k of them) has arrived.
+type AttemptEveryPass struct{}
+
+// ShouldAttempt implements AttemptPolicy.
+func (AttemptEveryPass) ShouldAttempt(received, nseg int) bool {
+	return nseg > 0 && received%nseg == 0
+}
+
+// Name implements AttemptPolicy.
+func (AttemptEveryPass) Name() string { return "every-pass" }
+
+// AttemptAdaptive attempts after every symbol for the first few passes (where
+// each extra symbol can change the achieved rate substantially) and once per
+// pass afterwards (where rates are low and per-symbol attempts are wasted
+// work). This is the default policy of the experiment harness.
+type AttemptAdaptive struct {
+	// FinePasses is the number of initial passes decoded at per-symbol
+	// granularity. Zero means 2.
+	FinePasses int
+}
+
+// ShouldAttempt implements AttemptPolicy.
+func (a AttemptAdaptive) ShouldAttempt(received, nseg int) bool {
+	fine := a.FinePasses
+	if fine <= 0 {
+		fine = 2
+	}
+	if received <= fine*nseg {
+		return true
+	}
+	return nseg > 0 && received%nseg == 0
+}
+
+// Name implements AttemptPolicy.
+func (a AttemptAdaptive) Name() string { return "adaptive" }
+
+// AttemptBackoff attempts after every pass for the first several passes and
+// then backs off geometrically (every 2nd pass, then every 4th, ...). It
+// bounds the total decoding work of very long transmissions — the cost of an
+// attempt grows with the number of passes received, so attempting every pass
+// forever makes the work quadratic — at the price of a small rate loss when a
+// message finally decodes between two attempt points.
+type AttemptBackoff struct {
+	// DensePasses is the number of initial passes attempted at per-pass
+	// granularity. Zero means 8.
+	DensePasses int
+}
+
+// ShouldAttempt implements AttemptPolicy.
+func (a AttemptBackoff) ShouldAttempt(received, nseg int) bool {
+	if nseg <= 0 || received%nseg != 0 {
+		return false
+	}
+	dense := a.DensePasses
+	if dense <= 0 {
+		dense = 8
+	}
+	pass := received / nseg
+	if pass <= dense {
+		return true
+	}
+	// Beyond the dense phase, attempt at passes dense*2, dense*4, ... and at
+	// every multiple of the current backoff interval in between.
+	interval := 2
+	for threshold := dense * 2; ; threshold *= 2 {
+		if pass <= threshold {
+			return pass%interval == 0
+		}
+		interval *= 2
+		if interval > 1<<20 {
+			return pass%interval == 0
+		}
+	}
+}
+
+// Name implements AttemptPolicy.
+func (a AttemptBackoff) Name() string { return "backoff" }
+
+// Verifier reports whether a decoded message should be accepted, ending the
+// rateless transmission. GenieVerifier compares against the true message (the
+// paper's simulation methodology); link-layer deployments verify a CRC
+// embedded in the message instead.
+type Verifier func(decoded []byte) bool
+
+// GenieVerifier returns a Verifier that accepts exactly the true message.
+func GenieVerifier(truth []byte, messageBits int) Verifier {
+	ref := append([]byte(nil), truth...)
+	return func(decoded []byte) bool {
+		return EqualMessages(decoded, ref, messageBits)
+	}
+}
+
+// SessionConfig configures a rateless transmission.
+type SessionConfig struct {
+	// Params are the code parameters shared by sender and receiver.
+	Params Params
+	// BeamWidth is the decoder's B. Values below 1 default to 16 (the value
+	// used for Figure 2).
+	BeamWidth int
+	// MaxCandidates optionally overrides the decoder's cap on unpruned
+	// expansion at punctured levels (0 keeps the decoder default).
+	MaxCandidates int
+	// Schedule is the symbol transmission order; nil means the unpunctured
+	// sequential schedule.
+	Schedule Schedule
+	// Attempts is the decode-attempt policy; nil means AttemptAdaptive.
+	Attempts AttemptPolicy
+	// MaxSymbols bounds the number of channel uses before the sender gives up
+	// on the message. Zero selects 400 passes worth of symbols.
+	MaxSymbols int
+}
+
+func (c SessionConfig) withDefaults() (SessionConfig, error) {
+	if err := c.Params.Validate(); err != nil {
+		return c, err
+	}
+	if c.BeamWidth < 1 {
+		c.BeamWidth = 16
+	}
+	nseg := c.Params.NumSegments()
+	if c.Schedule == nil {
+		sched, err := NewSequentialSchedule(nseg)
+		if err != nil {
+			return c, err
+		}
+		c.Schedule = sched
+	}
+	if c.Attempts == nil {
+		c.Attempts = AttemptAdaptive{}
+	}
+	if c.MaxSymbols <= 0 {
+		c.MaxSymbols = 400 * nseg
+	}
+	return c, nil
+}
+
+// Result summarizes one rateless transmission.
+type Result struct {
+	// Decoded is the receiver's final message estimate.
+	Decoded []byte
+	// Success reports whether the verifier accepted a decode before the
+	// give-up bound.
+	Success bool
+	// ChannelUses is the number of symbols (or coded bits, for the BSC
+	// variant) transmitted up to and including the accepted decode, or up to
+	// the give-up bound on failure.
+	ChannelUses int
+	// Attempts is the number of decoder invocations.
+	Attempts int
+	// NodesExpanded is the total decoding-tree work across all attempts.
+	NodesExpanded int64
+}
+
+// Rate returns the achieved rate in message bits per channel use, or zero if
+// the transmission failed.
+func (r *Result) Rate(messageBits int) float64 {
+	if !r.Success || r.ChannelUses == 0 {
+		return 0
+	}
+	return float64(messageBits) / float64(r.ChannelUses)
+}
+
+// RunSymbolSession transmits message over a symbol channel represented by the
+// corrupt function (typically channel.AWGN.Corrupt or QuantizedAWGN.Corrupt)
+// until verify accepts a decode. It returns the transcript of the
+// transmission.
+func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128) complex128, verify Verifier) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if corrupt == nil || verify == nil {
+		return nil, fmt.Errorf("core: nil channel or verifier")
+	}
+	enc, err := NewEncoder(cfg.Params, message)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewBeamDecoder(cfg.Params, cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxCandidates > 0 {
+		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
+			return nil, err
+		}
+	}
+	obs, err := NewObservations(cfg.Params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	nseg := cfg.Params.NumSegments()
+	// No decode attempt can succeed before the received symbols could even in
+	// principle carry the whole message (2c coded bits per symbol), so skip
+	// the earliest attempts outright.
+	minUses := (cfg.Params.MessageBits + 2*cfg.Params.C - 1) / (2 * cfg.Params.C)
+	for i := 0; i < cfg.MaxSymbols; i++ {
+		pos := cfg.Schedule.Pos(i)
+		y := corrupt(enc.SymbolAt(pos))
+		if err := obs.Add(pos, y); err != nil {
+			return nil, err
+		}
+		received := i + 1
+		if received < minUses || !cfg.Attempts.ShouldAttempt(received, nseg) {
+			continue
+		}
+		out, err := dec.Decode(obs)
+		if err != nil {
+			return nil, err
+		}
+		res.Attempts++
+		res.NodesExpanded += int64(out.NodesExpanded)
+		res.Decoded = out.Message
+		if verify(out.Message) {
+			res.Success = true
+			res.ChannelUses = received
+			return res, nil
+		}
+	}
+	res.ChannelUses = cfg.MaxSymbols
+	return res, nil
+}
+
+// RunBitSession is the binary-channel counterpart of RunSymbolSession: the
+// encoder emits one coded bit per (spine value, pass) and the decoder uses
+// the Hamming metric, which is the ML rule for the BSC.
+func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte, verify Verifier) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if corruptBit == nil || verify == nil {
+		return nil, fmt.Errorf("core: nil channel or verifier")
+	}
+	enc, err := NewEncoder(cfg.Params, message)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := NewBeamDecoder(cfg.Params, cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MaxCandidates > 0 {
+		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
+			return nil, err
+		}
+	}
+	obs, err := NewBitObservations(cfg.Params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{}
+	nseg := cfg.Params.NumSegments()
+	// A decode from fewer coded bits than message bits cannot be reliable
+	// (the BSC carries at most one bit per channel use), so skip those
+	// attempts.
+	minUses := cfg.Params.MessageBits
+	for i := 0; i < cfg.MaxSymbols; i++ {
+		pos := cfg.Schedule.Pos(i)
+		bit := corruptBit(enc.CodedBit(pos.Spine, pos.Pass))
+		if err := obs.Add(pos, bit); err != nil {
+			return nil, err
+		}
+		received := i + 1
+		if received < minUses || !cfg.Attempts.ShouldAttempt(received, nseg) {
+			continue
+		}
+		out, err := dec.DecodeBits(obs)
+		if err != nil {
+			return nil, err
+		}
+		res.Attempts++
+		res.NodesExpanded += int64(out.NodesExpanded)
+		res.Decoded = out.Message
+		if verify(out.Message) {
+			res.Success = true
+			res.ChannelUses = received
+			return res, nil
+		}
+	}
+	res.ChannelUses = cfg.MaxSymbols
+	return res, nil
+}

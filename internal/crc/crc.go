@@ -1,0 +1,136 @@
+// Package crc implements the cyclic redundancy checks used by the rateless
+// link protocol to let the receiver detect when a spinal decode attempt has
+// produced the correct message (§3.2: "using a CRC at the end of each pass").
+//
+// Three generators are provided, all table-driven and implemented from
+// scratch: CRC-8 (poly 0x07), CRC-16-CCITT (poly 0x1021) and CRC-32 (IEEE
+// 802.3 poly, reflected form 0xEDB88320).
+package crc
+
+// Table8 is a precomputed table for CRC-8 with polynomial x^8+x^2+x+1 (0x07),
+// MSB-first.
+type Table8 [256]uint8
+
+// Table16 is a precomputed table for CRC-16-CCITT (0x1021), MSB-first.
+type Table16 [256]uint16
+
+// Table32 is a precomputed table for the reflected IEEE CRC-32 polynomial.
+type Table32 [256]uint32
+
+var (
+	table8  = makeTable8(0x07)
+	table16 = makeTable16(0x1021)
+	table32 = makeTable32(0xEDB88320)
+)
+
+func makeTable8(poly uint8) *Table8 {
+	var t Table8
+	for i := 0; i < 256; i++ {
+		crc := uint8(i)
+		for b := 0; b < 8; b++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+func makeTable16(poly uint16) *Table16 {
+	var t Table16
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for b := 0; b < 8; b++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ poly
+			} else {
+				crc <<= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+func makeTable32(poly uint32) *Table32 {
+	var t Table32
+	for i := 0; i < 256; i++ {
+		crc := uint32(i)
+		for b := 0; b < 8; b++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+// Checksum8 returns the CRC-8 of data with initial value 0.
+func Checksum8(data []byte) uint8 {
+	var crc uint8
+	for _, b := range data {
+		crc = table8[crc^b]
+	}
+	return crc
+}
+
+// Checksum16 returns the CRC-16-CCITT of data with initial value 0xFFFF.
+func Checksum16(data []byte) uint16 {
+	crc := uint16(0xFFFF)
+	for _, b := range data {
+		crc = crc<<8 ^ table16[byte(crc>>8)^b]
+	}
+	return crc
+}
+
+// Checksum32 returns the IEEE CRC-32 of data (reflected, init and final XOR
+// 0xFFFFFFFF), matching the conventional Ethernet / zlib CRC.
+func Checksum32(data []byte) uint32 {
+	crc := ^uint32(0)
+	for _, b := range data {
+		crc = crc>>8 ^ table32[byte(crc)^b]
+	}
+	return ^crc
+}
+
+// Append32 appends the big-endian CRC-32 of data to data and returns the
+// extended slice. Use Verify32 on the receive side.
+func Append32(data []byte) []byte {
+	c := Checksum32(data)
+	return append(data, byte(c>>24), byte(c>>16), byte(c>>8), byte(c))
+}
+
+// Verify32 checks a buffer produced by Append32. It returns the payload
+// without the trailing CRC and whether the CRC matched.
+func Verify32(buf []byte) ([]byte, bool) {
+	if len(buf) < 4 {
+		return nil, false
+	}
+	payload := buf[:len(buf)-4]
+	want := uint32(buf[len(buf)-4])<<24 | uint32(buf[len(buf)-3])<<16 |
+		uint32(buf[len(buf)-2])<<8 | uint32(buf[len(buf)-1])
+	return payload, Checksum32(payload) == want
+}
+
+// Append16 appends the big-endian CRC-16 of data to data.
+func Append16(data []byte) []byte {
+	c := Checksum16(data)
+	return append(data, byte(c>>8), byte(c))
+}
+
+// Verify16 checks a buffer produced by Append16, returning the payload and
+// whether the CRC matched.
+func Verify16(buf []byte) ([]byte, bool) {
+	if len(buf) < 2 {
+		return nil, false
+	}
+	payload := buf[:len(buf)-2]
+	want := uint16(buf[len(buf)-2])<<8 | uint16(buf[len(buf)-1])
+	return payload, Checksum16(payload) == want
+}

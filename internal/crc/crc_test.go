@@ -1,0 +1,133 @@
+package crc
+
+import (
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksum32MatchesStdlib(t *testing.T) {
+	// Our from-scratch CRC-32 must agree with the stdlib IEEE implementation,
+	// which serves as a reference oracle.
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("a"),
+		[]byte("123456789"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+		make([]byte, 1000),
+	}
+	for _, c := range cases {
+		if got, want := Checksum32(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("Checksum32(%q) = %08x, want %08x", c, got, want)
+		}
+	}
+}
+
+func TestChecksum32MatchesStdlibProperty(t *testing.T) {
+	prop := func(data []byte) bool {
+		return Checksum32(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksum16KnownVector(t *testing.T) {
+	// CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+	if got := Checksum16([]byte("123456789")); got != 0x29B1 {
+		t.Fatalf("Checksum16 = %04x, want 29b1", got)
+	}
+}
+
+func TestChecksum8KnownVector(t *testing.T) {
+	// CRC-8 (poly 0x07, init 0) of "123456789" is 0xF4.
+	if got := Checksum8([]byte("123456789")); got != 0xF4 {
+		t.Fatalf("Checksum8 = %02x, want f4", got)
+	}
+}
+
+func TestChecksumsDetectSingleBitErrors(t *testing.T) {
+	msg := []byte("spinal codes are rateless")
+	c32 := Checksum32(msg)
+	c16 := Checksum16(msg)
+	c8 := Checksum8(msg)
+	for i := 0; i < len(msg)*8; i++ {
+		corrupted := append([]byte(nil), msg...)
+		corrupted[i/8] ^= 1 << uint(i%8)
+		if Checksum32(corrupted) == c32 {
+			t.Fatalf("CRC-32 missed single-bit error at %d", i)
+		}
+		if Checksum16(corrupted) == c16 {
+			t.Fatalf("CRC-16 missed single-bit error at %d", i)
+		}
+		if Checksum8(corrupted) == c8 {
+			t.Fatalf("CRC-8 missed single-bit error at %d", i)
+		}
+	}
+}
+
+func TestAppendVerify32RoundTrip(t *testing.T) {
+	prop := func(data []byte) bool {
+		framed := Append32(append([]byte(nil), data...))
+		payload, ok := Verify32(framed)
+		if !ok || len(payload) != len(data) {
+			return false
+		}
+		for i := range data {
+			if payload[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerify32DetectsCorruption(t *testing.T) {
+	framed := Append32([]byte("hello spinal"))
+	for i := range framed {
+		bad := append([]byte(nil), framed...)
+		bad[i] ^= 0x40
+		if _, ok := Verify32(bad); ok {
+			t.Fatalf("Verify32 accepted corruption at byte %d", i)
+		}
+	}
+}
+
+func TestVerify32ShortBuffer(t *testing.T) {
+	if _, ok := Verify32([]byte{1, 2, 3}); ok {
+		t.Fatal("Verify32 accepted a buffer shorter than the CRC")
+	}
+	// A 4-byte buffer is an empty payload plus CRC; only the CRC of the empty
+	// string should verify.
+	if _, ok := Verify32(Append32(nil)); !ok {
+		t.Fatal("Verify32 rejected CRC of the empty payload")
+	}
+}
+
+func TestAppendVerify16RoundTrip(t *testing.T) {
+	framed := Append16([]byte{0xde, 0xad, 0xbe, 0xef})
+	payload, ok := Verify16(framed)
+	if !ok || len(payload) != 4 {
+		t.Fatal("Verify16 round trip failed")
+	}
+	bad := append([]byte(nil), framed...)
+	bad[0] ^= 1
+	if _, ok := Verify16(bad); ok {
+		t.Fatal("Verify16 accepted corrupted payload")
+	}
+	if _, ok := Verify16([]byte{1}); ok {
+		t.Fatal("Verify16 accepted short buffer")
+	}
+}
+
+func BenchmarkChecksum32(b *testing.B) {
+	data := make([]byte, 1500)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Checksum32(data)
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinal/internal/adapt"
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/fading"
+	"spinal/internal/rng"
+	"spinal/internal/stats"
+)
+
+// This file hosts the two experiments that go beyond Figure 2's static-SNR
+// setting: the rate-adaptation-versus-rateless comparison over time-varying
+// channels (the paper's §1 motivation) and the fixed-rate instantiation of
+// the spinal code (§3), which shows what is lost when the rateless feedback
+// loop is removed.
+
+// AdaptationScenario describes one time-varying channel scenario.
+type AdaptationScenario struct {
+	// Name labels the scenario in output tables.
+	Name string
+	// Trace builds the channel trace for a given seed, so both schemes see
+	// an identically distributed (and, per scheme, identical) channel.
+	Trace func(seed uint64) (fading.Trace, error)
+	// EstimateDelay and EstimateErrDB configure the staleness and error of
+	// the SNR estimate available to the adaptive scheme.
+	EstimateDelay int
+	EstimateErrDB float64
+}
+
+// DefaultAdaptationScenarios returns the three scenarios used by the
+// adaptation experiment: a static link, slow fading (estimates stay useful)
+// and fast fading (estimates are stale by the time they are used).
+func DefaultAdaptationScenarios() []AdaptationScenario {
+	return []AdaptationScenario{
+		{
+			Name:          "static 20 dB",
+			Trace:         func(seed uint64) (fading.Trace, error) { return fading.Constant{Level: 20}, nil },
+			EstimateDelay: 648,
+			EstimateErrDB: 1,
+		},
+		{
+			Name: "slow fading (walk 5..25 dB)",
+			Trace: func(seed uint64) (fading.Trace, error) {
+				return fading.NewWalk(5, 25, 0.01, seed)
+			},
+			EstimateDelay: 648,
+			EstimateErrDB: 1,
+		},
+		{
+			Name: "fast fading (Gilbert-Elliott 22/4 dB)",
+			Trace: func(seed uint64) (fading.Trace, error) {
+				return fading.NewGilbertElliott(22, 4, 700, 700, seed)
+			},
+			EstimateDelay: 1400,
+			EstimateErrDB: 2,
+		},
+		{
+			Name: "Rayleigh block fading (avg 15 dB)",
+			Trace: func(seed uint64) (fading.Trace, error) {
+				return fading.NewRayleighBlock(15, 300, seed)
+			},
+			EstimateDelay: 900,
+			EstimateErrDB: 1,
+		},
+	}
+}
+
+// AdaptationPoint is the outcome of one scenario.
+type AdaptationPoint struct {
+	Scenario           string
+	AdaptiveThroughput float64
+	AdaptiveFER        float64
+	RatelessThroughput float64
+	RatelessFailures   int
+	SymbolBudget       int
+}
+
+// AdaptationComparison runs reactive rate adaptation and the rateless spinal
+// code over each scenario and reports both throughputs.
+func AdaptationComparison(scenarios []AdaptationScenario, symbolBudget int, seed uint64) ([]AdaptationPoint, error) {
+	if symbolBudget < 1000 {
+		symbolBudget = 20000
+	}
+	out := make([]AdaptationPoint, 0, len(scenarios))
+	for i, sc := range scenarios {
+		trace, err := sc.Trace(seed + uint64(i))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+		}
+		cfg := adapt.Config{
+			Trace:         trace,
+			SymbolBudget:  symbolBudget,
+			EstimateDelay: sc.EstimateDelay,
+			EstimateErrDB: sc.EstimateErrDB,
+			Seed:          seed + uint64(i)*101,
+		}
+		adaptive, rateless, err := adapt.Compare(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+		}
+		fer := 0.0
+		if adaptive.Frames > 0 {
+			fer = float64(adaptive.FrameErrors) / float64(adaptive.Frames)
+		}
+		out = append(out, AdaptationPoint{
+			Scenario:           sc.Name,
+			AdaptiveThroughput: adaptive.Throughput,
+			AdaptiveFER:        fer,
+			RatelessThroughput: rateless.Throughput,
+			RatelessFailures:   rateless.FrameErrors,
+			SymbolBudget:       symbolBudget,
+		})
+	}
+	return out, nil
+}
+
+// FormatAdaptation renders the adaptation comparison.
+func FormatAdaptation(pts []AdaptationPoint) *Table {
+	t := NewTable("scenario", "adaptive_bits_per_sym", "adaptive_fer", "rateless_bits_per_sym", "rateless_failures", "symbol_budget")
+	for _, p := range pts {
+		t.AddRow(
+			p.Scenario,
+			fmt.Sprintf("%.3f", p.AdaptiveThroughput),
+			fmt.Sprintf("%.3f", p.AdaptiveFER),
+			fmt.Sprintf("%.3f", p.RatelessThroughput),
+			fmt.Sprintf("%d", p.RatelessFailures),
+			fmt.Sprintf("%d", p.SymbolBudget),
+		)
+	}
+	return t
+}
+
+// FixedRatePoint is one point of the fixed-rate spinal experiment.
+type FixedRatePoint struct {
+	SNRdB float64
+	// Passes is the fixed number of encoding passes.
+	Passes int
+	// Rate is the nominal code rate in bits/symbol.
+	Rate float64
+	// Throughput is Rate x (1 - FER): what the fixed-rate code delivers.
+	Throughput float64
+	// FER is the block error rate.
+	FER float64
+	// RatelessRate is the rate the rateless code achieves at the same SNR,
+	// for contrast.
+	RatelessRate float64
+}
+
+// FixedRateSpinal evaluates the fixed-rate instantiation of the spinal code
+// (§3: "It is straightforward to adapt the code to run at various fixed
+// rates") at each SNR, alongside the rateless rate, quantifying what the
+// feedback-free mode gives up.
+func FixedRateSpinal(cfg SpinalConfig, snrsDB []float64, passes int) ([]FixedRatePoint, error) {
+	cfg = cfg.withDefaults()
+	if passes < 1 {
+		return nil, fmt.Errorf("experiments: passes must be >= 1, got %d", passes)
+	}
+	params, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	fixed, err := core.NewFixedRate(params, passes, cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]FixedRatePoint, 0, len(snrsDB))
+	for _, snr := range snrsDB {
+		var errCount stats.ErrorCounter
+		for trial := 0; trial < cfg.Trials; trial++ {
+			msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(trial+1)))
+			msg := core.RandomMessage(msgSrc, cfg.MessageBits)
+			block, err := fixed.Encode(msg)
+			if err != nil {
+				return nil, err
+			}
+			chSrc := rng.New(cfg.Seed ^ (0xbb67ae8584caa73b * uint64(trial+1)))
+			radio, err := channel.NewQuantizedAWGN(snr, cfg.ADCBits, chSrc)
+			if err != nil {
+				return nil, err
+			}
+			rx := make([]complex128, len(block))
+			for i, x := range block {
+				rx[i] = radio.Corrupt(x)
+			}
+			got, err := fixed.Decode(rx)
+			if err != nil {
+				return nil, err
+			}
+			errCount.RecordFrameResult(core.EqualMessages(got, msg, cfg.MessageBits), cfg.MessageBits)
+		}
+		ratelessPt, err := SpinalRateAtSNR(cfg, snr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, FixedRatePoint{
+			SNRdB:        snr,
+			Passes:       passes,
+			Rate:         fixed.Rate(),
+			Throughput:   fixed.Rate() * (1 - errCount.FER()),
+			FER:          errCount.FER(),
+			RatelessRate: ratelessPt.Rate,
+		})
+	}
+	return out, nil
+}
+
+// FormatFixedRate renders the fixed-rate spinal experiment.
+func FormatFixedRate(pts []FixedRatePoint) *Table {
+	t := NewTable("snr_db", "passes", "fixed_rate", "fixed_throughput", "fixed_fer", "rateless_rate")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%d", p.Passes),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Throughput),
+			fmt.Sprintf("%.3f", p.FER),
+			fmt.Sprintf("%.3f", p.RatelessRate),
+		)
+	}
+	return t
+}

@@ -1,0 +1,431 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"spinal/internal/channel"
+	"spinal/internal/conv"
+	"spinal/internal/fountain"
+	"spinal/internal/harq"
+	"spinal/internal/ldpc"
+	"spinal/internal/modem"
+	"spinal/internal/rng"
+)
+
+// LDPCConfig describes one fixed-rate LDPC baseline: a 648-bit code at a
+// given rate, sent over a given modulation, decoded with belief propagation.
+type LDPCConfig struct {
+	Rate       ldpc.Rate
+	Modulation string
+	Frames     int
+	Iterations int
+	Seed       uint64
+}
+
+// Figure2LDPCConfigs returns the eight (rate, modulation) combinations
+// plotted as LDPC baselines in Figure 2.
+func Figure2LDPCConfigs() []LDPCConfig {
+	combos := []struct {
+		rate ldpc.Rate
+		mod  string
+	}{
+		{ldpc.Rate12, "BPSK"},
+		{ldpc.Rate12, "QAM-4"},
+		{ldpc.Rate34, "QAM-4"},
+		{ldpc.Rate12, "QAM-16"},
+		{ldpc.Rate34, "QAM-16"},
+		{ldpc.Rate23, "QAM-64"},
+		{ldpc.Rate34, "QAM-64"},
+		{ldpc.Rate56, "QAM-64"},
+	}
+	out := make([]LDPCConfig, len(combos))
+	for i, c := range combos {
+		out[i] = LDPCConfig{Rate: c.rate, Modulation: c.mod, Frames: 60, Iterations: ldpc.DefaultIterations, Seed: 0x1d9c}
+	}
+	return out
+}
+
+func (c LDPCConfig) withDefaults() LDPCConfig {
+	if c.Modulation == "" {
+		c.Modulation = "BPSK"
+	}
+	if c.Frames == 0 {
+		c.Frames = 60
+	}
+	if c.Iterations == 0 {
+		c.Iterations = ldpc.DefaultIterations
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x1d9c
+	}
+	return c
+}
+
+// Label names the baseline the way the Figure 2 legend does.
+func (c LDPCConfig) Label() string {
+	return fmt.Sprintf("LDPC rate=%s %s", c.Rate, c.Modulation)
+}
+
+// ThroughputPoint is one point of a fixed-rate baseline curve.
+type ThroughputPoint struct {
+	SNRdB float64
+	// Throughput is the delivered rate in information bits per symbol:
+	// code rate x modulation bits/symbol x frame success probability. This is
+	// the quantity a fixed-rate PHY configuration actually delivers, and what
+	// the LDPC curves in Figure 2 flatten out to.
+	Throughput float64
+	// PeakRate is the zero-error ceiling (code rate x bits per symbol).
+	PeakRate float64
+	// FER is the frame error rate observed at this SNR.
+	FER float64
+	// Frames is the number of simulated frames.
+	Frames int
+}
+
+// LDPCThroughputCurve simulates a fixed-rate LDPC + modulation combination
+// across the SNR sweep and reports its delivered throughput, reproducing one
+// LDPC curve of Figure 2.
+func LDPCThroughputCurve(cfg LDPCConfig, snrsDB []float64) ([]ThroughputPoint, error) {
+	cfg = cfg.withDefaults()
+	code, err := ldpc.NewWiFiLike(cfg.Rate)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modem.ByName(cfg.Modulation)
+	if err != nil {
+		return nil, err
+	}
+	if code.N()%mod.BitsPerSymbol() != 0 {
+		return nil, fmt.Errorf("experiments: codeword length %d not a multiple of %d bits/symbol",
+			code.N(), mod.BitsPerSymbol())
+	}
+
+	points := make([]ThroughputPoint, len(snrsDB))
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers > len(snrsDB) {
+		workers = len(snrsDB)
+	}
+	idxCh := make(chan int)
+	errMu := sync.Mutex{}
+	var firstErr error
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			dec, derr := ldpc.NewDecoder(code, cfg.Iterations)
+			if derr != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = derr
+				}
+				errMu.Unlock()
+				return
+			}
+			for i := range idxCh {
+				pt, perr := ldpcPoint(cfg, code, dec, mod, snrsDB[i])
+				if perr != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = perr
+					}
+					errMu.Unlock()
+					continue
+				}
+				points[i] = pt
+			}
+		}()
+	}
+	for i := range snrsDB {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return points, nil
+}
+
+func ldpcPoint(cfg LDPCConfig, code *ldpc.Code, dec *ldpc.Decoder, mod modem.Modulation, snrDB float64) (ThroughputPoint, error) {
+	src := rng.New(cfg.Seed ^ uint64(int64(snrDB*1000+1000000)))
+	ch, err := channel.NewAWGNdB(snrDB, src)
+	if err != nil {
+		return ThroughputPoint{}, err
+	}
+	frameErrors := 0
+	for frame := 0; frame < cfg.Frames; frame++ {
+		info := make([]byte, code.K())
+		for i := range info {
+			info[i] = byte(src.Intn(2))
+		}
+		cw, err := code.Encode(info)
+		if err != nil {
+			return ThroughputPoint{}, err
+		}
+		syms, err := mod.Modulate(cw)
+		if err != nil {
+			return ThroughputPoint{}, err
+		}
+		llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+		res, err := dec.Decode(llr)
+		if err != nil {
+			return ThroughputPoint{}, err
+		}
+		ok := res.Converged
+		if ok {
+			for i := range info {
+				if res.Info[i] != info[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		if !ok {
+			frameErrors++
+		}
+	}
+	fer := float64(frameErrors) / float64(cfg.Frames)
+	peak := code.RateValue() * float64(mod.BitsPerSymbol())
+	return ThroughputPoint{
+		SNRdB:      snrDB,
+		Throughput: peak * (1 - fer),
+		PeakRate:   peak,
+		FER:        fer,
+		Frames:     cfg.Frames,
+	}, nil
+}
+
+// ConvConfig describes a convolutional-code baseline.
+type ConvConfig struct {
+	Rate       string
+	Modulation string
+	FrameBits  int
+	Frames     int
+	Seed       uint64
+}
+
+func (c ConvConfig) withDefaults() ConvConfig {
+	if c.Rate == "" {
+		c.Rate = "1/2"
+	}
+	if c.Modulation == "" {
+		c.Modulation = "BPSK"
+	}
+	if c.FrameBits == 0 {
+		c.FrameBits = 288
+	}
+	if c.Frames == 0 {
+		c.Frames = 60
+	}
+	if c.Seed == 0 {
+		c.Seed = 0xC09F
+	}
+	return c
+}
+
+// ConvThroughputCurve simulates a punctured convolutional code with Viterbi
+// decoding across the SNR sweep, as an additional rated baseline.
+func ConvThroughputCurve(cfg ConvConfig, snrsDB []float64) ([]ThroughputPoint, error) {
+	cfg = cfg.withDefaults()
+	code, err := conv.NewPunctured(cfg.Rate)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := modem.ByName(cfg.Modulation)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ThroughputPoint, 0, len(snrsDB))
+	for _, snr := range snrsDB {
+		src := rng.New(cfg.Seed ^ uint64(int64(snr*1000+1000000)))
+		ch, err := channel.NewAWGNdB(snr, src)
+		if err != nil {
+			return nil, err
+		}
+		frameErrors := 0
+		var codedPerFrame int
+		for frame := 0; frame < cfg.Frames; frame++ {
+			info := make([]byte, cfg.FrameBits)
+			for i := range info {
+				info[i] = byte(src.Intn(2))
+			}
+			coded, err := code.Encode(info)
+			if err != nil {
+				return nil, err
+			}
+			// Pad the coded stream to a whole number of symbols.
+			for len(coded)%mod.BitsPerSymbol() != 0 {
+				coded = append(coded, 0)
+			}
+			codedPerFrame = len(coded)
+			syms, err := mod.Modulate(coded)
+			if err != nil {
+				return nil, err
+			}
+			llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+			decoded, err := code.Decode(llr[:code.CodedLength(cfg.FrameBits)], cfg.FrameBits)
+			if err != nil {
+				return nil, err
+			}
+			for i := range info {
+				if decoded[i] != info[i] {
+					frameErrors++
+					break
+				}
+			}
+		}
+		fer := float64(frameErrors) / float64(cfg.Frames)
+		symbolsPerFrame := float64(codedPerFrame) / float64(mod.BitsPerSymbol())
+		peak := float64(cfg.FrameBits) / symbolsPerFrame
+		points = append(points, ThroughputPoint{
+			SNRdB:      snr,
+			Throughput: peak * (1 - fer),
+			PeakRate:   peak,
+			FER:        fer,
+			Frames:     cfg.Frames,
+		})
+	}
+	return points, nil
+}
+
+// HARQConfig describes the hybrid-ARQ (Chase combining) rateless comparator.
+type HARQConfig struct {
+	Rate       ldpc.Rate
+	Modulation string
+	MaxRounds  int
+	Frames     int
+	Seed       uint64
+}
+
+func (c HARQConfig) withDefaults() HARQConfig {
+	if c.Modulation == "" {
+		c.Modulation = "QAM-16"
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 8
+	}
+	if c.Frames == 0 {
+		c.Frames = 40
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x4a7
+	}
+	return c
+}
+
+// HARQThroughputCurve measures the throughput of LDPC hybrid ARQ with Chase
+// combining across the SNR sweep: a conventional way to obtain rateless
+// behaviour from a fixed code, with whole-codeword granularity. Compare with
+// the spinal curve, whose granularity is a single symbol.
+func HARQThroughputCurve(cfg HARQConfig, snrsDB []float64) ([]ThroughputPoint, error) {
+	cfg = cfg.withDefaults()
+	scheme, err := harq.New(harq.Config{
+		Rate:       cfg.Rate,
+		Modulation: cfg.Modulation,
+		MaxRounds:  cfg.MaxRounds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]ThroughputPoint, 0, len(snrsDB))
+	for _, snr := range snrsDB {
+		src := rng.New(cfg.Seed ^ uint64(int64(snr*1000+1000000)))
+		ch, err := channel.NewAWGNdB(snr, src)
+		if err != nil {
+			return nil, err
+		}
+		var bits, symbols, failures int
+		for frame := 0; frame < cfg.Frames; frame++ {
+			res, err := scheme.RunFrame(ch.Corrupt, ch.Sigma2(), src)
+			if err != nil {
+				return nil, err
+			}
+			symbols += res.Symbols
+			if res.Delivered {
+				bits += scheme.InfoBits()
+			} else {
+				failures++
+			}
+		}
+		throughput := 0.0
+		if symbols > 0 {
+			throughput = float64(bits) / float64(symbols)
+		}
+		points = append(points, ThroughputPoint{
+			SNRdB:      snr,
+			Throughput: throughput,
+			PeakRate:   float64(scheme.InfoBits()) / float64(scheme.SymbolsPerRound()),
+			FER:        float64(failures) / float64(cfg.Frames),
+			Frames:     cfg.Frames,
+		})
+	}
+	return points, nil
+}
+
+// OverheadPoint is one point of the fountain-code (LT) overhead experiment.
+type OverheadPoint struct {
+	ErasureProb float64
+	// Overhead is the average number of received (not erased) symbols needed
+	// to decode, divided by k. An ideal fountain code has overhead 1.
+	Overhead float64
+	// SentPerBlock is the average number of transmitted symbols (including
+	// erased ones) divided by k.
+	SentPerBlock float64
+	Trials       int
+}
+
+// FountainOverhead measures the reception overhead of the LT baseline over a
+// BEC with the given erasure probabilities — the related-work comparator of
+// §2 (Raptor/LT codes are the classical rateless solution for erasures).
+func FountainOverhead(k, blockSize, trials int, erasures []float64, seed uint64) ([]OverheadPoint, error) {
+	if k < 1 || blockSize < 1 || trials < 1 {
+		return nil, fmt.Errorf("experiments: invalid fountain experiment parameters")
+	}
+	out := make([]OverheadPoint, 0, len(erasures))
+	for _, p := range erasures {
+		if p < 0 || p >= 1 {
+			return nil, fmt.Errorf("experiments: erasure probability %v out of range", p)
+		}
+		var totalReceived, totalSent float64
+		for trial := 0; trial < trials; trial++ {
+			src := rng.New(seed ^ uint64(trial+1)*0x9e3779b97f4a7c15)
+			lt, err := fountain.NewLT(k, blockSize, seed+uint64(trial))
+			if err != nil {
+				return nil, err
+			}
+			source := make([][]byte, k)
+			for i := range source {
+				source[i] = make([]byte, blockSize)
+				src.Bytes(source[i])
+			}
+			dec := fountain.NewDecoder(lt)
+			sent, received := 0, 0
+			for id := uint32(0); !dec.Done() && sent < 100*k; id++ {
+				sent++
+				if src.Bernoulli(p) {
+					continue // erased
+				}
+				sym, err := lt.EncodeSymbol(id, source)
+				if err != nil {
+					return nil, err
+				}
+				if err := dec.AddSymbol(id, sym); err != nil {
+					return nil, err
+				}
+				received++
+			}
+			totalReceived += float64(received)
+			totalSent += float64(sent)
+		}
+		out = append(out, OverheadPoint{
+			ErasureProb:  p,
+			Overhead:     totalReceived / float64(trials) / float64(k),
+			SentPerBlock: totalSent / float64(trials) / float64(k),
+			Trials:       trials,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"spinal/internal/capacity"
+)
+
+// BoundPoint is one point of a reference-bound curve.
+type BoundPoint struct {
+	SNRdB float64
+	// Shannon is the AWGN channel capacity in bits per symbol.
+	Shannon float64
+	// FiniteBlock is the normal-approximation bound for a rated block code of
+	// the configured length and error probability (the dashed curve in
+	// Figure 2).
+	FiniteBlock float64
+	// Theorem1 is the rate guaranteed achievable by Theorem 1.
+	Theorem1 float64
+}
+
+// BoundsCurve evaluates the reference curves of Figure 2 at the given SNRs:
+// the Shannon bound, the finite-blocklength approximation for block length n
+// channel uses at error probability eps, and the Theorem 1 guarantee.
+func BoundsCurve(snrsDB []float64, n int, eps float64) ([]BoundPoint, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: block length %d invalid", n)
+	}
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("experiments: error probability %v invalid", eps)
+	}
+	out := make([]BoundPoint, len(snrsDB))
+	for i, snr := range snrsDB {
+		fb, err := capacity.NormalApproxdB(snr, n, eps)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = BoundPoint{
+			SNRdB:       snr,
+			Shannon:     capacity.AWGNdB(snr),
+			FiniteBlock: fb,
+			Theorem1:    capacity.Theorem1Rate(snr),
+		}
+	}
+	return out, nil
+}
+
+// Figure2Bounds evaluates the bounds with the parameters used by the paper's
+// figure: block length 24 and error probability 1e-4.
+func Figure2Bounds(snrsDB []float64) ([]BoundPoint, error) {
+	return BoundsCurve(snrsDB, 24, 1e-4)
+}
+
+// SNRSweep returns an inclusive dB sweep from lo to hi with the given step.
+func SNRSweep(lo, hi, step float64) ([]float64, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("experiments: sweep step must be positive, got %v", step)
+	}
+	if hi < lo {
+		return nil, fmt.Errorf("experiments: sweep range [%v,%v] is empty", lo, hi)
+	}
+	var out []float64
+	for v := lo; v <= hi+1e-9; v += step {
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Figure2SNRs returns the SNR grid used to regenerate Figure 2:
+// −10 dB to 40 dB.
+func Figure2SNRs(step float64) ([]float64, error) {
+	return SNRSweep(-10, 40, step)
+}

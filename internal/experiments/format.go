@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file renders experiment results as plain-text tables and as
+// comma-separated values, so cmd/spinalsim can print the same rows the
+// paper's figures plot.
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends one row; missing cells render as empty strings.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+			if i != len(widths)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i, w := range widths {
+		sep[i] = strings.Repeat("-", w)
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// FormatRateCurve renders a spinal rate curve next to capacity.
+func FormatRateCurve(name string, pts []RatePoint) *Table {
+	t := NewTable("snr_db", name+"_rate_bits_per_sym", "capacity", "conf95", "failures", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Capacity),
+			fmt.Sprintf("%.3f", p.Conf95),
+			fmt.Sprintf("%d", p.Failures),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}
+
+// FormatBounds renders the reference bounds of Figure 2.
+func FormatBounds(pts []BoundPoint) *Table {
+	t := NewTable("snr_db", "shannon", "finite_block_n24_eps1e-4", "theorem1")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%.3f", p.Shannon),
+			fmt.Sprintf("%.3f", p.FiniteBlock),
+			fmt.Sprintf("%.3f", p.Theorem1),
+		)
+	}
+	return t
+}
+
+// FormatThroughput renders a fixed-rate baseline curve.
+func FormatThroughput(label string, pts []ThroughputPoint) *Table {
+	t := NewTable("snr_db", label+"_throughput", "peak_rate", "fer", "frames")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%.3f", p.Throughput),
+			fmt.Sprintf("%.3f", p.PeakRate),
+			fmt.Sprintf("%.3f", p.FER),
+			fmt.Sprintf("%d", p.Frames),
+		)
+	}
+	return t
+}
+
+// FormatBeamSweep renders the beam-width ablation.
+func FormatBeamSweep(pts []BeamPoint) *Table {
+	t := NewTable("beam_width", "rate_bits_per_sym", "capacity", "failures", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%d", p.BeamWidth),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Capacity),
+			fmt.Sprintf("%d", p.Failures),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}
+
+// FormatADCSweep renders the quantization ablation.
+func FormatADCSweep(pts []ADCPoint) *Table {
+	t := NewTable("adc_bits", "rate_bits_per_sym", "capacity", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Bits),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Capacity),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}
+
+// FormatBSC renders the Theorem 2 experiment.
+func FormatBSC(pts []BSCPoint) *Table {
+	t := NewTable("crossover_p", "rate_bits_per_use", "bsc_capacity", "failures", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.3f", p.P),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Capacity),
+			fmt.Sprintf("%d", p.Failures),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}
+
+// FormatTheorem1 renders the Theorem 1 gap experiment.
+func FormatTheorem1(pts []Theorem1Point) *Table {
+	t := NewTable("snr_db", "rate", "theorem1_guarantee", "capacity", "gap_to_capacity", "meets_bound")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%.3f", p.Rate),
+			fmt.Sprintf("%.3f", p.Guarantee),
+			fmt.Sprintf("%.3f", p.Capacity),
+			fmt.Sprintf("%.3f", p.GapToCap),
+			fmt.Sprintf("%t", p.MeetsBound),
+		)
+	}
+	return t
+}
+
+// FormatFountain renders the LT overhead experiment.
+func FormatFountain(pts []OverheadPoint) *Table {
+	t := NewTable("erasure_p", "received_overhead", "sent_per_block", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.2f", p.ErasureProb),
+			fmt.Sprintf("%.3f", p.Overhead),
+			fmt.Sprintf("%.3f", p.SentPerBlock),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}

@@ -1,0 +1,242 @@
+// Package fountain implements LT codes (Luby, FOCS 2002) over the binary
+// erasure channel. The related-work section of the paper positions Raptor/LT
+// codes as the classical capacity-achieving rateless construction for the
+// BEC; this package provides that comparator so the experiment harness can
+// contrast erasure-channel rateless overhead with the spinal code's behaviour
+// over noise channels.
+package fountain
+
+import (
+	"fmt"
+	"math"
+
+	"spinal/internal/rng"
+)
+
+// LT describes an LT code over k equal-size source blocks. Encoded symbols
+// are generated independently from a symbol identifier, so any subset of
+// symbols of sufficient size can decode the source (the fountain property).
+type LT struct {
+	k         int
+	blockSize int
+	seed      uint64
+	cdf       []float64 // robust soliton CDF over degrees 1..k
+}
+
+// NewLT returns an LT code over k source blocks of blockSize bytes each,
+// using the robust soliton distribution with the conventional parameters
+// c = 0.1 and delta = 0.5.
+func NewLT(k, blockSize int, seed uint64) (*LT, error) {
+	return NewLTWithSoliton(k, blockSize, seed, 0.1, 0.5)
+}
+
+// NewLTWithSoliton returns an LT code with explicit robust-soliton parameters
+// c and delta.
+func NewLTWithSoliton(k, blockSize int, seed uint64, c, delta float64) (*LT, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("fountain: need at least one source block, got %d", k)
+	}
+	if blockSize < 1 {
+		return nil, fmt.Errorf("fountain: block size must be positive, got %d", blockSize)
+	}
+	if c <= 0 || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("fountain: invalid soliton parameters c=%v delta=%v", c, delta)
+	}
+	lt := &LT{k: k, blockSize: blockSize, seed: seed}
+	lt.cdf = robustSolitonCDF(k, c, delta)
+	return lt, nil
+}
+
+// K returns the number of source blocks.
+func (l *LT) K() int { return l.k }
+
+// BlockSize returns the size of each source block in bytes.
+func (l *LT) BlockSize() int { return l.blockSize }
+
+// robustSolitonCDF builds the cumulative distribution of the robust soliton
+// degree distribution mu(d) for d = 1..k.
+func robustSolitonCDF(k int, c, delta float64) []float64 {
+	rho := make([]float64, k+1)
+	tau := make([]float64, k+1)
+	rho[1] = 1.0 / float64(k)
+	for d := 2; d <= k; d++ {
+		rho[d] = 1.0 / (float64(d) * float64(d-1))
+	}
+	r := c * math.Log(float64(k)/delta) * math.Sqrt(float64(k))
+	if r < 1 {
+		r = 1
+	}
+	pivot := int(math.Floor(float64(k) / r))
+	if pivot < 1 {
+		pivot = 1
+	}
+	if pivot > k {
+		pivot = k
+	}
+	for d := 1; d < pivot; d++ {
+		tau[d] = r / (float64(d) * float64(k))
+	}
+	tau[pivot] = r * math.Log(r/delta) / float64(k)
+	if tau[pivot] < 0 {
+		tau[pivot] = 0
+	}
+	var z float64
+	for d := 1; d <= k; d++ {
+		z += rho[d] + tau[d]
+	}
+	cdf := make([]float64, k+1)
+	cum := 0.0
+	for d := 1; d <= k; d++ {
+		cum += (rho[d] + tau[d]) / z
+		cdf[d] = cum
+	}
+	cdf[k] = 1
+	return cdf
+}
+
+// symbolRand returns the deterministic random stream for an encoded symbol id.
+func (l *LT) symbolRand(id uint32) *rng.Rand {
+	return rng.New(l.seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15)
+}
+
+// Neighbors returns the source block indices XORed into encoded symbol id.
+// The same id always produces the same neighbour set, which is how the
+// decoder reconstructs the code graph without side information.
+func (l *LT) Neighbors(id uint32) []int {
+	src := l.symbolRand(id)
+	// Sample the degree from the robust soliton CDF.
+	u := src.Float64()
+	degree := 1
+	for d := 1; d <= l.k; d++ {
+		if u <= l.cdf[d] {
+			degree = d
+			break
+		}
+	}
+	// Choose `degree` distinct source blocks.
+	perm := src.Perm(l.k)
+	nb := append([]int(nil), perm[:degree]...)
+	return nb
+}
+
+// EncodeSymbol produces encoded symbol id from the source blocks. Every
+// source block must have length BlockSize.
+func (l *LT) EncodeSymbol(id uint32, source [][]byte) ([]byte, error) {
+	if len(source) != l.k {
+		return nil, fmt.Errorf("fountain: need %d source blocks, got %d", l.k, len(source))
+	}
+	for idx, blk := range source {
+		if len(blk) != l.blockSize {
+			return nil, fmt.Errorf("fountain: source block %d has %d bytes, want %d", idx, len(blk), l.blockSize)
+		}
+	}
+	out := make([]byte, l.blockSize)
+	for _, idx := range l.Neighbors(id) {
+		blk := source[idx]
+		for i := range out {
+			out[i] ^= blk[i]
+		}
+	}
+	return out, nil
+}
+
+// Decoder incrementally recovers the source blocks from received encoded
+// symbols using the standard peeling (belief-propagation) process.
+type Decoder struct {
+	lt        *LT
+	recovered [][]byte
+	numKnown  int
+	// pending encoded symbols that still reference unknown blocks.
+	pending []pendingSymbol
+}
+
+type pendingSymbol struct {
+	data      []byte
+	neighbors map[int]bool
+}
+
+// NewDecoder returns an empty decoder for the given LT code.
+func NewDecoder(lt *LT) *Decoder {
+	return &Decoder{lt: lt, recovered: make([][]byte, lt.k)}
+}
+
+// Progress returns the number of recovered source blocks.
+func (d *Decoder) Progress() int { return d.numKnown }
+
+// Done reports whether every source block has been recovered.
+func (d *Decoder) Done() bool { return d.numKnown == d.lt.k }
+
+// Source returns the recovered source blocks; it is only meaningful once Done
+// returns true.
+func (d *Decoder) Source() [][]byte {
+	out := make([][]byte, len(d.recovered))
+	for i, b := range d.recovered {
+		out[i] = append([]byte(nil), b...)
+	}
+	return out
+}
+
+// AddSymbol feeds one received encoded symbol (identified by its id) to the
+// peeling decoder. Erased symbols are simply never added.
+func (d *Decoder) AddSymbol(id uint32, data []byte) error {
+	if len(data) != d.lt.blockSize {
+		return fmt.Errorf("fountain: symbol has %d bytes, want %d", len(data), d.lt.blockSize)
+	}
+	nb := map[int]bool{}
+	buf := append([]byte(nil), data...)
+	for _, idx := range d.lt.Neighbors(id) {
+		if d.recovered[idx] != nil {
+			xorInto(buf, d.recovered[idx])
+			continue
+		}
+		nb[idx] = true
+	}
+	if len(nb) == 0 {
+		return nil // redundant symbol
+	}
+	d.pending = append(d.pending, pendingSymbol{data: buf, neighbors: nb})
+	d.peel()
+	return nil
+}
+
+// peel repeatedly resolves degree-one pending symbols until no more progress
+// is possible.
+func (d *Decoder) peel() {
+	progress := true
+	for progress {
+		progress = false
+		for i := 0; i < len(d.pending); i++ {
+			p := &d.pending[i]
+			if len(p.neighbors) != 1 {
+				continue
+			}
+			var idx int
+			for k := range p.neighbors {
+				idx = k
+			}
+			if d.recovered[idx] == nil {
+				d.recovered[idx] = append([]byte(nil), p.data...)
+				d.numKnown++
+			}
+			// Remove this symbol and substitute the recovered block into the
+			// remaining pending symbols.
+			d.pending[i] = d.pending[len(d.pending)-1]
+			d.pending = d.pending[:len(d.pending)-1]
+			i--
+			for j := range d.pending {
+				q := &d.pending[j]
+				if q.neighbors[idx] {
+					xorInto(q.data, d.recovered[idx])
+					delete(q.neighbors, idx)
+				}
+			}
+			progress = true
+		}
+	}
+}
+
+func xorInto(dst, src []byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
+	}
+}

@@ -1,0 +1,243 @@
+package fountain
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"spinal/internal/rng"
+)
+
+func makeSource(src *rng.Rand, k, blockSize int) [][]byte {
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, blockSize)
+		src.Bytes(out[i])
+	}
+	return out
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewLT(0, 16, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewLT(10, 0, 1); err == nil {
+		t.Error("blockSize=0 accepted")
+	}
+	if _, err := NewLTWithSoliton(10, 16, 1, -1, 0.5); err == nil {
+		t.Error("negative c accepted")
+	}
+	if _, err := NewLTWithSoliton(10, 16, 1, 0.1, 1.5); err == nil {
+		t.Error("delta > 1 accepted")
+	}
+	lt, err := NewLT(10, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.K() != 10 || lt.BlockSize() != 16 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestSolitonCDFIsValid(t *testing.T) {
+	for _, k := range []int{1, 2, 10, 100, 500} {
+		cdf := robustSolitonCDF(k, 0.1, 0.5)
+		prev := 0.0
+		for d := 1; d <= k; d++ {
+			if cdf[d] < prev-1e-12 {
+				t.Fatalf("k=%d: CDF not monotone at degree %d", k, d)
+			}
+			prev = cdf[d]
+		}
+		if math.Abs(cdf[k]-1) > 1e-9 {
+			t.Fatalf("k=%d: CDF does not reach 1 (%v)", k, cdf[k])
+		}
+	}
+}
+
+func TestNeighborsDeterministicAndValid(t *testing.T) {
+	lt, _ := NewLT(50, 8, 42)
+	for id := uint32(0); id < 200; id++ {
+		a := lt.Neighbors(id)
+		b := lt.Neighbors(id)
+		if len(a) == 0 || len(a) > 50 {
+			t.Fatalf("symbol %d has degree %d", id, len(a))
+		}
+		if len(a) != len(b) {
+			t.Fatalf("symbol %d neighbour set not deterministic", id)
+		}
+		seen := map[int]bool{}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("symbol %d neighbour order not deterministic", id)
+			}
+			if a[i] < 0 || a[i] >= 50 || seen[a[i]] {
+				t.Fatalf("symbol %d has invalid or duplicate neighbour %d", id, a[i])
+			}
+			seen[a[i]] = true
+		}
+	}
+}
+
+func TestDegreeOneSymbolsExist(t *testing.T) {
+	lt, _ := NewLT(100, 4, 7)
+	degreeOne := 0
+	for id := uint32(0); id < 500; id++ {
+		if len(lt.Neighbors(id)) == 1 {
+			degreeOne++
+		}
+	}
+	if degreeOne == 0 {
+		t.Fatal("no degree-one symbols in 500 draws; the ripple can never start")
+	}
+}
+
+func TestEncodeSymbolValidation(t *testing.T) {
+	lt, _ := NewLT(4, 8, 1)
+	src := makeSource(rng.New(1), 4, 8)
+	if _, err := lt.EncodeSymbol(0, src[:2]); err == nil {
+		t.Error("wrong source count accepted")
+	}
+	bad := makeSource(rng.New(1), 4, 8)
+	bad[2] = bad[2][:3]
+	if _, err := lt.EncodeSymbol(0, bad); err == nil {
+		t.Error("wrong block size accepted")
+	}
+	if _, err := lt.EncodeSymbol(0, src); err != nil {
+		t.Errorf("valid encode failed: %v", err)
+	}
+}
+
+func TestEncodeSymbolIsXOROfNeighbors(t *testing.T) {
+	lt, _ := NewLT(20, 16, 3)
+	src := makeSource(rng.New(2), 20, 16)
+	for id := uint32(0); id < 50; id++ {
+		sym, err := lt.EncodeSymbol(id, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]byte, 16)
+		for _, idx := range lt.Neighbors(id) {
+			for i := range want {
+				want[i] ^= src[idx][i]
+			}
+		}
+		if !bytes.Equal(sym, want) {
+			t.Fatalf("symbol %d is not the XOR of its neighbours", id)
+		}
+	}
+}
+
+func TestDecodeWithoutErasures(t *testing.T) {
+	lt, _ := NewLT(50, 32, 9)
+	src := makeSource(rng.New(3), 50, 32)
+	dec := NewDecoder(lt)
+	id := uint32(0)
+	for !dec.Done() && id < 500 {
+		sym, err := lt.EncodeSymbol(id, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dec.AddSymbol(id, sym); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	if !dec.Done() {
+		t.Fatalf("decoder not done after %d symbols for k=50", id)
+	}
+	// Overhead should be modest (robust soliton typically needs < 60% extra
+	// at k=50).
+	if float64(id) > 50*1.8 {
+		t.Fatalf("needed %d symbols for k=50; overhead too large", id)
+	}
+	got := dec.Source()
+	for i := range src {
+		if !bytes.Equal(got[i], src[i]) {
+			t.Fatalf("source block %d wrong after decode", i)
+		}
+	}
+}
+
+func TestDecodeWithErasures(t *testing.T) {
+	// Half the symbols are erased; the decoder must still finish using later
+	// symbols — the fountain property.
+	lt, _ := NewLT(40, 16, 11)
+	src := makeSource(rng.New(4), 40, 16)
+	erasure := rng.New(5)
+	dec := NewDecoder(lt)
+	sent := 0
+	for id := uint32(0); !dec.Done() && id < 2000; id++ {
+		sent++
+		if erasure.Bernoulli(0.5) {
+			continue // erased in transit
+		}
+		sym, _ := lt.EncodeSymbol(id, src)
+		if err := dec.AddSymbol(id, sym); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Done() {
+		t.Fatal("decoder did not finish despite unlimited symbol supply")
+	}
+	got := dec.Source()
+	for i := range src {
+		if !bytes.Equal(got[i], src[i]) {
+			t.Fatalf("source block %d wrong after erasure decode", i)
+		}
+	}
+}
+
+func TestDecoderRejectsBadSymbolSize(t *testing.T) {
+	lt, _ := NewLT(4, 8, 1)
+	dec := NewDecoder(lt)
+	if err := dec.AddSymbol(0, make([]byte, 5)); err == nil {
+		t.Error("wrong-size symbol accepted")
+	}
+}
+
+func TestDecoderProgressMonotone(t *testing.T) {
+	lt, _ := NewLT(30, 8, 13)
+	src := makeSource(rng.New(6), 30, 8)
+	dec := NewDecoder(lt)
+	prev := 0
+	for id := uint32(0); !dec.Done() && id < 300; id++ {
+		sym, _ := lt.EncodeSymbol(id, src)
+		dec.AddSymbol(id, sym)
+		if dec.Progress() < prev {
+			t.Fatal("progress went backwards")
+		}
+		prev = dec.Progress()
+	}
+	if !dec.Done() {
+		t.Fatal("decode incomplete")
+	}
+}
+
+func TestSingleBlockCode(t *testing.T) {
+	lt, err := NewLT(1, 16, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := makeSource(rng.New(7), 1, 16)
+	dec := NewDecoder(lt)
+	sym, _ := lt.EncodeSymbol(0, src)
+	dec.AddSymbol(0, sym)
+	if !dec.Done() {
+		t.Fatal("k=1 should decode from one symbol")
+	}
+	if !bytes.Equal(dec.Source()[0], src[0]) {
+		t.Fatal("k=1 decode wrong")
+	}
+}
+
+func BenchmarkLTEncodeSymbol(b *testing.B) {
+	lt, _ := NewLT(256, 1024, 1)
+	src := makeSource(rng.New(1), 256, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lt.EncodeSymbol(uint32(i), src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

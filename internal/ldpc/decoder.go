@@ -1,0 +1,190 @@
+package ldpc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Decoder is a sum-product (belief propagation) decoder operating on per-bit
+// log-likelihood ratios. The paper's baselines use 40 iterations of belief
+// propagation with soft information, which is also the default here.
+type Decoder struct {
+	code    *Code
+	maxIter int
+
+	// Flattened edge structure. Edge e connects check checkOf[e] with
+	// variable varOf[e]; edges are grouped contiguously per check.
+	checkOf    []int32
+	varOf      []int32
+	checkStart []int32 // per check: first edge index
+	varEdges   [][]int32
+
+	// Message buffers, reused across Decode calls.
+	checkToVar []float64
+	varToCheck []float64
+	posterior  []float64
+	hard       []byte
+}
+
+// DefaultIterations is the iteration budget used by the paper's baseline
+// decoder.
+const DefaultIterations = 40
+
+// NewDecoder returns a belief-propagation decoder for the code with the given
+// iteration budget (values below 1 select DefaultIterations).
+func NewDecoder(code *Code, maxIter int) (*Decoder, error) {
+	if code == nil {
+		return nil, fmt.Errorf("ldpc: nil code")
+	}
+	if maxIter < 1 {
+		maxIter = DefaultIterations
+	}
+	d := &Decoder{code: code, maxIter: maxIter}
+	numEdges := 0
+	for _, vars := range code.checkVars {
+		numEdges += len(vars)
+	}
+	d.checkOf = make([]int32, 0, numEdges)
+	d.varOf = make([]int32, 0, numEdges)
+	d.checkStart = make([]int32, code.M()+1)
+	d.varEdges = make([][]int32, code.N())
+	for check, vars := range code.checkVars {
+		d.checkStart[check] = int32(len(d.varOf))
+		for _, v := range vars {
+			e := int32(len(d.varOf))
+			d.checkOf = append(d.checkOf, int32(check))
+			d.varOf = append(d.varOf, int32(v))
+			d.varEdges[v] = append(d.varEdges[v], e)
+		}
+	}
+	d.checkStart[code.M()] = int32(len(d.varOf))
+	d.checkToVar = make([]float64, numEdges)
+	d.varToCheck = make([]float64, numEdges)
+	d.posterior = make([]float64, code.N())
+	d.hard = make([]byte, code.N())
+	return d, nil
+}
+
+// MaxIterations returns the decoder's iteration budget.
+func (d *Decoder) MaxIterations() int { return d.maxIter }
+
+// Result reports the outcome of a decode attempt.
+type Result struct {
+	// Codeword is the hard-decision estimate of the full codeword.
+	Codeword []byte
+	// Info is the systematic (information) part of Codeword.
+	Info []byte
+	// Converged reports whether all parity checks were satisfied.
+	Converged bool
+	// Iterations is the number of BP iterations actually run.
+	Iterations int
+}
+
+// Decode runs belief propagation on the channel LLRs (one per codeword bit,
+// positive favouring 0) and returns the hard decision.
+func (d *Decoder) Decode(llr []float64) (*Result, error) {
+	n := d.code.N()
+	if len(llr) != n {
+		return nil, fmt.Errorf("ldpc: need %d LLRs, got %d", n, len(llr))
+	}
+
+	// Initialization: variable-to-check messages start as the channel LLRs.
+	for e := range d.varToCheck {
+		d.varToCheck[e] = llr[d.varOf[e]]
+		d.checkToVar[e] = 0
+	}
+
+	iterations := 0
+	converged := false
+	const clip = 20.0 // numerical guard on message magnitudes
+
+	for iter := 0; iter < d.maxIter; iter++ {
+		iterations = iter + 1
+
+		// Check-node update (tanh rule), computed per check with an
+		// exclude-self product.
+		for check := 0; check < d.code.M(); check++ {
+			start, end := d.checkStart[check], d.checkStart[check+1]
+			prod := 1.0
+			zero := -1 // index of a single exact-zero message, if any
+			for e := start; e < end; e++ {
+				t := math.Tanh(d.varToCheck[e] / 2)
+				if t == 0 {
+					if zero >= 0 {
+						// Two zero inputs force every outgoing message to 0.
+						prod = 0
+						zero = -2
+						break
+					}
+					zero = int(e)
+					continue
+				}
+				prod *= t
+			}
+			for e := start; e < end; e++ {
+				var out float64
+				switch {
+				case zero == -2:
+					out = 0
+				case zero >= 0:
+					if int(e) == zero {
+						out = 2 * atanhClamped(prod)
+					} else {
+						out = 0
+					}
+				default:
+					t := math.Tanh(d.varToCheck[e] / 2)
+					out = 2 * atanhClamped(prod/t)
+				}
+				if out > clip {
+					out = clip
+				} else if out < -clip {
+					out = -clip
+				}
+				d.checkToVar[e] = out
+			}
+		}
+
+		// Variable-node update and posterior.
+		for v := 0; v < n; v++ {
+			total := llr[v]
+			for _, e := range d.varEdges[v] {
+				total += d.checkToVar[e]
+			}
+			d.posterior[v] = total
+			if total < 0 {
+				d.hard[v] = 1
+			} else {
+				d.hard[v] = 0
+			}
+			for _, e := range d.varEdges[v] {
+				d.varToCheck[e] = total - d.checkToVar[e]
+			}
+		}
+
+		if d.code.CheckSyndrome(d.hard) {
+			converged = true
+			break
+		}
+	}
+
+	codeword := append([]byte(nil), d.hard...)
+	return &Result{
+		Codeword:   codeword,
+		Info:       codeword[:d.code.K()],
+		Converged:  converged,
+		Iterations: iterations,
+	}, nil
+}
+
+// atanhClamped is atanh with its argument pulled inside (-1, 1) to avoid
+// infinities from floating-point saturation.
+func atanhClamped(x float64) float64 {
+	const lim = 1 - 1e-15
+	if x > lim {
+		x = lim
+	} else if x < -lim {
+		x = -lim
+	}
+	return math.Atanh(x)
+}

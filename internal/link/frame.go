@@ -1,0 +1,151 @@
+package link
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Wire format. All integers are big-endian.
+//
+//	byte 0: magic (0xA5)
+//	byte 1: frame type (1 = data, 2 = ack)
+//
+// Data frames carry everything the receiver needs to decode statelessly:
+// code parameters, the schedule, the index of the first symbol in the frame
+// and the symbol samples as float32 I/Q pairs. Acks carry the message id and
+// a status byte.
+const (
+	frameMagic byte = 0xA5
+	typeData   byte = 1
+	typeAck    byte = 2
+
+	// ScheduleSequential and ScheduleStriped8 identify the transmission
+	// schedules supported on the wire.
+	ScheduleSequential uint8 = 0
+	ScheduleStriped8   uint8 = 1
+)
+
+// dataHeaderLen is the number of bytes before the symbol samples.
+const dataHeaderLen = 2 + 4 + 4 + 1 + 1 + 1 + 8 + 4 + 2
+
+// MaxSymbolsPerFrame is the largest number of symbols a single data frame can
+// carry within the transport frame-size limit.
+const MaxSymbolsPerFrame = (maxFrameSize - dataHeaderLen) / 8
+
+// DataFrame is one burst of coded symbols for a message.
+type DataFrame struct {
+	MsgID       uint32
+	MessageBits uint32
+	K           uint8
+	C           uint8
+	Schedule    uint8
+	Seed        uint64
+	StartIndex  uint32
+	Symbols     []complex128
+}
+
+// AckFrame is the receiver's feedback for a message.
+type AckFrame struct {
+	MsgID   uint32
+	Decoded bool
+}
+
+// Marshal serializes the data frame.
+func (f *DataFrame) Marshal() ([]byte, error) {
+	if len(f.Symbols) == 0 {
+		return nil, fmt.Errorf("link: data frame with no symbols")
+	}
+	if len(f.Symbols) > MaxSymbolsPerFrame {
+		return nil, fmt.Errorf("link: %d symbols exceed the per-frame limit %d", len(f.Symbols), MaxSymbolsPerFrame)
+	}
+	buf := make([]byte, dataHeaderLen+8*len(f.Symbols))
+	buf[0] = frameMagic
+	buf[1] = typeData
+	binary.BigEndian.PutUint32(buf[2:], f.MsgID)
+	binary.BigEndian.PutUint32(buf[6:], f.MessageBits)
+	buf[10] = f.K
+	buf[11] = f.C
+	buf[12] = f.Schedule
+	binary.BigEndian.PutUint64(buf[13:], f.Seed)
+	binary.BigEndian.PutUint32(buf[21:], f.StartIndex)
+	binary.BigEndian.PutUint16(buf[25:], uint16(len(f.Symbols)))
+	off := dataHeaderLen
+	for _, s := range f.Symbols {
+		binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(real(s))))
+		binary.BigEndian.PutUint32(buf[off+4:], math.Float32bits(float32(imag(s))))
+		off += 8
+	}
+	return buf, nil
+}
+
+// Marshal serializes the ack frame.
+func (f *AckFrame) Marshal() []byte {
+	buf := make([]byte, 7)
+	buf[0] = frameMagic
+	buf[1] = typeAck
+	binary.BigEndian.PutUint32(buf[2:], f.MsgID)
+	if f.Decoded {
+		buf[6] = 1
+	}
+	return buf
+}
+
+// ParseFrame decodes a received frame into either *DataFrame or *AckFrame.
+func ParseFrame(buf []byte) (interface{}, error) {
+	if len(buf) < 2 {
+		return nil, fmt.Errorf("link: frame too short (%d bytes)", len(buf))
+	}
+	if buf[0] != frameMagic {
+		return nil, fmt.Errorf("link: bad frame magic %#x", buf[0])
+	}
+	switch buf[1] {
+	case typeData:
+		return parseDataFrame(buf)
+	case typeAck:
+		return parseAckFrame(buf)
+	default:
+		return nil, fmt.Errorf("link: unknown frame type %d", buf[1])
+	}
+}
+
+func parseDataFrame(buf []byte) (*DataFrame, error) {
+	if len(buf) < dataHeaderLen {
+		return nil, fmt.Errorf("link: data frame header truncated (%d bytes)", len(buf))
+	}
+	f := &DataFrame{
+		MsgID:       binary.BigEndian.Uint32(buf[2:]),
+		MessageBits: binary.BigEndian.Uint32(buf[6:]),
+		K:           buf[10],
+		C:           buf[11],
+		Schedule:    buf[12],
+		Seed:        binary.BigEndian.Uint64(buf[13:]),
+		StartIndex:  binary.BigEndian.Uint32(buf[21:]),
+	}
+	count := int(binary.BigEndian.Uint16(buf[25:]))
+	if count == 0 {
+		return nil, fmt.Errorf("link: data frame with zero symbols")
+	}
+	if len(buf) != dataHeaderLen+8*count {
+		return nil, fmt.Errorf("link: data frame length %d does not match %d symbols", len(buf), count)
+	}
+	f.Symbols = make([]complex128, count)
+	off := dataHeaderLen
+	for i := range f.Symbols {
+		re := math.Float32frombits(binary.BigEndian.Uint32(buf[off:]))
+		im := math.Float32frombits(binary.BigEndian.Uint32(buf[off+4:]))
+		f.Symbols[i] = complex(float64(re), float64(im))
+		off += 8
+	}
+	return f, nil
+}
+
+func parseAckFrame(buf []byte) (*AckFrame, error) {
+	if len(buf) != 7 {
+		return nil, fmt.Errorf("link: ack frame has %d bytes, want 7", len(buf))
+	}
+	return &AckFrame{
+		MsgID:   binary.BigEndian.Uint32(buf[2:]),
+		Decoded: buf[6] == 1,
+	}, nil
+}

@@ -1,0 +1,259 @@
+package link
+
+import (
+	"fmt"
+	"time"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/crc"
+)
+
+// Receiver is the receiving half of the rateless link. It applies a simulated
+// radio impairment to every arriving symbol, feeds the result to the spinal
+// decoder, and acknowledges a packet as soon as the decoded message passes
+// its CRC.
+type Receiver struct {
+	tr         Transport
+	cfg        Config
+	impairment channel.SymbolChannel
+
+	states    map[uint32]*msgState
+	delivered []Delivered
+}
+
+// Delivered is one successfully decoded packet.
+type Delivered struct {
+	MsgID   uint32
+	Payload []byte
+	// Symbols is how many coded symbols had been received when the packet
+	// decoded, which determines the achieved rate.
+	Symbols int
+}
+
+// msgState tracks the decoding progress of one packet.
+type msgState struct {
+	params  core.Params
+	sched   core.Schedule
+	dec     *core.BeamDecoder
+	obs     *core.Observations
+	done    bool
+	payload []byte
+	symbols int
+}
+
+// NewReceiver returns a receiver that reads frames from tr and corrupts each
+// symbol with the given impairment before decoding (use a channel.AWGN to
+// model the radio, or nil for a perfect channel).
+func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*Receiver, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("link: nil transport")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Receiver{
+		tr:         tr,
+		cfg:        cfg,
+		impairment: impairment,
+		states:     map[uint32]*msgState{},
+	}, nil
+}
+
+// Receive blocks until one new packet is decoded (returning it) or the
+// timeout elapses (returning ErrTimeout).
+//
+// To keep the decoder from falling behind a fast sender, Receive first drains
+// every frame that is already queued on the transport (adding their symbols
+// to the per-message observations) and only then runs decode attempts — one
+// per message that received new symbols.
+func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
+	if len(r.delivered) > 0 {
+		d := r.delivered[0]
+		r.delivered = r.delivered[1:]
+		return &d, nil
+	}
+	deadline := time.Now().Add(timeout)
+	buf := make([]byte, maxFrameSize)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, ErrTimeout
+		}
+		// Block for the first frame, then drain whatever else is queued.
+		n, err := r.tr.Receive(buf, remaining)
+		if err == ErrTimeout {
+			return nil, ErrTimeout
+		}
+		if err != nil {
+			return nil, err
+		}
+		touched := map[uint32]bool{}
+		for {
+			if id, fresh, err := r.addFrame(buf[:n]); err == nil && fresh {
+				touched[id] = true
+			}
+			n, err = r.tr.Receive(buf, 0)
+			if err != nil {
+				break
+			}
+		}
+		for id := range touched {
+			d, err := r.tryDecode(id)
+			if err != nil {
+				return nil, err
+			}
+			if d != nil {
+				r.delivered = append(r.delivered, *d)
+			}
+		}
+		if len(r.delivered) > 0 {
+			d := r.delivered[0]
+			r.delivered = r.delivered[1:]
+			return &d, nil
+		}
+	}
+}
+
+// handleFrame processes one raw frame and, if it completes a packet, returns
+// the delivered payload. It is the single-frame path used by tests; Receive
+// batches addFrame and tryDecode for efficiency.
+func (r *Receiver) handleFrame(raw []byte) (*Delivered, error) {
+	id, fresh, err := r.addFrame(raw)
+	if err != nil || !fresh {
+		return nil, err
+	}
+	return r.tryDecode(id)
+}
+
+// addFrame parses a raw frame and merges its symbols into the per-message
+// observations. It returns the message id the frame contributed to and
+// whether that message needs a decode attempt (acks and duplicates of
+// already-delivered messages do not).
+func (r *Receiver) addFrame(raw []byte) (uint32, bool, error) {
+	parsed, err := ParseFrame(raw)
+	if err != nil {
+		return 0, false, err
+	}
+	data, ok := parsed.(*DataFrame)
+	if !ok {
+		return 0, false, nil // stray ack: ignore
+	}
+	st, err := r.stateFor(data)
+	if err != nil {
+		return 0, false, err
+	}
+	if st.done {
+		// The ack was probably lost; repeat it.
+		return data.MsgID, false, r.sendAck(data.MsgID)
+	}
+
+	nseg := st.params.NumSegments()
+	for i, sym := range data.Symbols {
+		idx := int(data.StartIndex) + i
+		pos := st.sched.Pos(idx)
+		if pos.Spine >= nseg {
+			return 0, false, fmt.Errorf("link: symbol index %d out of range", idx)
+		}
+		y := sym
+		if r.impairment != nil {
+			y = r.impairment.Corrupt(y)
+		}
+		if err := st.obs.Add(pos, y); err != nil {
+			return 0, false, err
+		}
+		st.symbols++
+	}
+	return data.MsgID, true, nil
+}
+
+// tryDecode runs one decode attempt for the message and acknowledges it if
+// the CRC verifies.
+func (r *Receiver) tryDecode(msgID uint32) (*Delivered, error) {
+	st, ok := r.states[msgID]
+	if !ok || st.done {
+		return nil, nil
+	}
+	// Attempt a decode once enough symbols could possibly carry the message.
+	minUses := (st.params.MessageBits + 2*st.params.C - 1) / (2 * st.params.C)
+	if st.obs.Count() < minUses {
+		return nil, nil
+	}
+	out, err := st.dec.Decode(st.obs)
+	if err != nil {
+		return nil, err
+	}
+	payload, okCRC := crc.Verify32(out.Message)
+	if !okCRC {
+		return nil, nil // keep listening for more symbols
+	}
+	st.done = true
+	st.payload = append([]byte(nil), payload...)
+	if err := r.sendAck(msgID); err != nil {
+		return nil, err
+	}
+	return &Delivered{MsgID: msgID, Payload: st.payload, Symbols: st.symbols}, nil
+}
+
+// stateFor finds or creates the decoding state for the message described by a
+// data frame, validating the advertised parameters.
+func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
+	if st, ok := r.states[data.MsgID]; ok {
+		if st.params.MessageBits != int(data.MessageBits) || st.params.K != int(data.K) || st.params.C != int(data.C) {
+			return nil, fmt.Errorf("link: message %d changed parameters mid-flight", data.MsgID)
+		}
+		return st, nil
+	}
+	if data.MessageBits == 0 || data.MessageBits > (MaxPayload+4)*8 {
+		return nil, fmt.Errorf("link: message of %d bits rejected", data.MessageBits)
+	}
+	if int(data.K) > 12 || data.K == 0 {
+		return nil, fmt.Errorf("link: unsupported k=%d", data.K)
+	}
+	if data.Seed != r.cfg.Seed {
+		return nil, fmt.Errorf("link: frame advertises unknown code seed")
+	}
+	params := core.Params{
+		K:           int(data.K),
+		C:           int(data.C),
+		MessageBits: int(data.MessageBits),
+		Seed:        data.Seed,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	sched, err := scheduleFor(data.Schedule, params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewBeamDecoder(params, r.cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := core.NewObservations(params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	st := &msgState{params: params, sched: sched, dec: dec, obs: obs}
+	r.states[data.MsgID] = st
+	return st, nil
+}
+
+// sendAck transmits a positive acknowledgement for msgID.
+func (r *Receiver) sendAck(msgID uint32) error {
+	ack := &AckFrame{MsgID: msgID, Decoded: true}
+	if err := r.tr.Send(ack.Marshal()); err != nil {
+		return fmt.Errorf("link: sending ack: %w", err)
+	}
+	return nil
+}
+
+// SymbolsReceived reports how many symbols have been accumulated for a
+// message; it is exported for tests and diagnostics.
+func (r *Receiver) SymbolsReceived(msgID uint32) int {
+	if st, ok := r.states[msgID]; ok {
+		return st.symbols
+	}
+	return 0
+}

@@ -1,0 +1,245 @@
+package link
+
+import (
+	"fmt"
+	"time"
+
+	"spinal/internal/core"
+	"spinal/internal/crc"
+)
+
+// Config holds the link parameters shared (by convention) between the sender
+// and the receiver. Only the code seed and parameters must genuinely match;
+// everything else is carried in each data frame.
+type Config struct {
+	// K and C are the spinal code parameters (bits per segment, bits per
+	// I/Q dimension). Zero values select k=8, c=10.
+	K int
+	C int
+	// Seed is the shared hash-family seed.
+	Seed uint64
+	// BeamWidth is the receiver's decoder beam; zero selects 16.
+	BeamWidth int
+	// SymbolsPerFrame is the number of coded symbols per data frame; zero
+	// selects 48.
+	SymbolsPerFrame int
+	// Schedule selects the transmission order (ScheduleSequential or
+	// ScheduleStriped8).
+	Schedule uint8
+	// MaxPasses bounds how many encoding passes the sender emits before
+	// giving up on a packet; zero selects 60.
+	MaxPasses int
+	// AckPoll is how long the sender waits for an acknowledgement after each
+	// data frame; zero selects 200 microseconds (in-memory links are fast;
+	// UDP deployments should raise this).
+	AckPoll time.Duration
+	// FinalWait is how long the sender keeps listening for a late
+	// acknowledgement after it has emitted its last frame, covering the time
+	// the receiver needs to catch up on decoding; zero selects one second.
+	FinalWait time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.C == 0 {
+		c.C = 10
+	}
+	if c.Seed == 0 {
+		c.Seed = core.DefaultSeed
+	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 16
+	}
+	if c.SymbolsPerFrame == 0 {
+		c.SymbolsPerFrame = 48
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 60
+	}
+	if c.AckPoll == 0 {
+		c.AckPoll = 200 * time.Microsecond
+	}
+	if c.FinalWait == 0 {
+		c.FinalWait = time.Second
+	}
+	return c
+}
+
+// validate rejects configurations the frame format or decoder cannot carry.
+func (c Config) validate() error {
+	if c.K < 1 || c.K > 12 {
+		return fmt.Errorf("link: K must be in [1,12], got %d", c.K)
+	}
+	if c.C < 2 || c.C > 16 {
+		return fmt.Errorf("link: C must be in [2,16], got %d", c.C)
+	}
+	if c.SymbolsPerFrame < 1 || c.SymbolsPerFrame > MaxSymbolsPerFrame {
+		return fmt.Errorf("link: SymbolsPerFrame must be in [1,%d], got %d", MaxSymbolsPerFrame, c.SymbolsPerFrame)
+	}
+	if c.Schedule != ScheduleSequential && c.Schedule != ScheduleStriped8 {
+		return fmt.Errorf("link: unknown schedule %d", c.Schedule)
+	}
+	if c.MaxPasses < 1 {
+		return fmt.Errorf("link: MaxPasses must be positive, got %d", c.MaxPasses)
+	}
+	return nil
+}
+
+// MaxPayload is the largest payload one packet can carry (limited so decoder
+// state stays small on embedded receivers).
+const MaxPayload = 2048
+
+// Sender is the transmitting half of the rateless link.
+type Sender struct {
+	tr  Transport
+	cfg Config
+}
+
+// NewSender returns a sender that transmits over tr.
+func NewSender(tr Transport, cfg Config) (*Sender, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("link: nil transport")
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Sender{tr: tr, cfg: cfg}, nil
+}
+
+// SendReport summarizes the transmission of one packet.
+type SendReport struct {
+	// Acked reports whether the receiver acknowledged successful decoding.
+	Acked bool
+	// SymbolsSent is the number of coded symbols transmitted.
+	SymbolsSent int
+	// FramesSent is the number of data frames transmitted.
+	FramesSent int
+	// Rate is the delivered payload bits per transmitted symbol (zero if the
+	// packet was not acknowledged).
+	Rate float64
+}
+
+// Send transmits one packet ratelessly and returns once the receiver
+// acknowledges it or the give-up bound is reached.
+func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("link: empty payload")
+	}
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("link: payload of %d bytes exceeds limit %d", len(payload), MaxPayload)
+	}
+
+	// The CRC-32 appended here is what lets the receiver detect a successful
+	// decode without a genie (§3.2 of the paper).
+	message := crc.Append32(append([]byte(nil), payload...))
+	messageBits := len(message) * 8
+	params := core.Params{K: s.cfg.K, C: s.cfg.C, MessageBits: messageBits, Seed: s.cfg.Seed}
+	enc, err := core.NewEncoder(params, message)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := scheduleFor(s.cfg.Schedule, params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+
+	report := &SendReport{}
+	maxSymbols := s.cfg.MaxPasses * params.NumSegments()
+	next := 0
+	for next < maxSymbols {
+		count := s.cfg.SymbolsPerFrame
+		if next+count > maxSymbols {
+			count = maxSymbols - next
+		}
+		frame := &DataFrame{
+			MsgID:       msgID,
+			MessageBits: uint32(messageBits),
+			K:           uint8(s.cfg.K),
+			C:           uint8(s.cfg.C),
+			Schedule:    s.cfg.Schedule,
+			Seed:        s.cfg.Seed,
+			StartIndex:  uint32(next),
+			Symbols:     make([]complex128, count),
+		}
+		for i := 0; i < count; i++ {
+			frame.Symbols[i] = enc.SymbolAt(sched.Pos(next + i))
+		}
+		buf, err := frame.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.tr.Send(buf); err != nil {
+			return nil, fmt.Errorf("link: sending data frame: %w", err)
+		}
+		next += count
+		report.FramesSent++
+		report.SymbolsSent = next
+
+		acked, err := s.waitForAck(msgID, s.cfg.AckPoll)
+		if err != nil {
+			return nil, err
+		}
+		if acked {
+			report.Acked = true
+			report.Rate = float64(len(payload)*8) / float64(report.SymbolsSent)
+			return report, nil
+		}
+	}
+
+	// Final, more patient wait: the last frames may still be in flight and the
+	// receiver may still be working through its decode backlog.
+	acked, err := s.waitForAck(msgID, s.cfg.FinalWait)
+	if err != nil {
+		return nil, err
+	}
+	if acked {
+		report.Acked = true
+		report.Rate = float64(len(payload)*8) / float64(report.SymbolsSent)
+	}
+	return report, nil
+}
+
+// waitForAck polls the transport for an acknowledgement of msgID.
+func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (bool, error) {
+	buf := make([]byte, maxFrameSize)
+	deadline := time.Now().Add(wait)
+	for {
+		remaining := time.Until(deadline)
+		if remaining < 0 {
+			remaining = 0
+		}
+		n, err := s.tr.Receive(buf, remaining)
+		switch err {
+		case nil:
+		case ErrTimeout:
+			return false, nil
+		default:
+			return false, fmt.Errorf("link: waiting for ack: %w", err)
+		}
+		parsed, err := ParseFrame(buf[:n])
+		if err != nil {
+			continue // ignore garbage
+		}
+		if ack, ok := parsed.(*AckFrame); ok && ack.MsgID == msgID && ack.Decoded {
+			return true, nil
+		}
+		if remaining == 0 {
+			return false, nil
+		}
+	}
+}
+
+// scheduleFor maps a wire schedule id to a core.Schedule.
+func scheduleFor(id uint8, nseg int) (core.Schedule, error) {
+	switch id {
+	case ScheduleSequential:
+		return core.NewSequentialSchedule(nseg)
+	case ScheduleStriped8:
+		return core.NewStripedSchedule(nseg, 8)
+	default:
+		return nil, fmt.Errorf("link: unknown schedule id %d", id)
+	}
+}

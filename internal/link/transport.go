@@ -1,0 +1,210 @@
+// Package link implements a rateless link-layer protocol on top of spinal
+// codes — the "feedback link-layer protocol" called out as future work in §6
+// of the paper. A sender streams frames of coded symbols for a packet until
+// the receiver, which feeds every arriving symbol to the spinal decoder and
+// checks an embedded CRC-32, acknowledges successful decoding.
+//
+// Frames travel over a Transport: either an in-memory pipe (for simulations
+// and tests, with configurable frame loss) or UDP datagrams (so a sender and
+// receiver can run as separate processes). The wireless channel itself is
+// simulated at the receiver by applying a symbol-level impairment
+// (channel.AWGN or similar) to the symbol payload of every received frame.
+package link
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"spinal/internal/rng"
+)
+
+// ErrTimeout is returned by Transport.Receive when no frame arrives within
+// the requested timeout.
+var ErrTimeout = errors.New("link: receive timeout")
+
+// ErrClosed is returned when operating on a closed transport.
+var ErrClosed = errors.New("link: transport closed")
+
+// Transport moves opaque frames between the two ends of a link. Frames may be
+// dropped (lossy links) but are never corrupted or reordered by the
+// transport itself; symbol-level noise is modelled separately.
+type Transport interface {
+	// Send transmits one frame.
+	Send(frame []byte) error
+	// Receive waits up to timeout for one frame and copies it into buf,
+	// returning the frame length. A zero timeout polls without blocking.
+	// It returns ErrTimeout if no frame is available in time.
+	Receive(buf []byte, timeout time.Duration) (int, error)
+	// Close releases the transport's resources.
+	Close() error
+}
+
+// maxFrameSize bounds the size of a single frame on any transport.
+const maxFrameSize = 4096
+
+// Pipe is an in-memory Transport endpoint. Frames sent on one endpoint are
+// received on its peer, subject to an optional independent loss probability.
+type Pipe struct {
+	out   chan []byte
+	in    chan []byte
+	loss  float64
+	src   *rng.Rand
+	mu    sync.Mutex
+	close chan struct{}
+	once  sync.Once
+}
+
+// NewPipePair returns two connected in-memory transports. Frames sent in
+// either direction are dropped independently with probability loss, using a
+// deterministic random source derived from seed.
+func NewPipePair(loss float64, seed uint64) (*Pipe, *Pipe, error) {
+	if loss < 0 || loss >= 1 {
+		return nil, nil, fmt.Errorf("link: loss probability %v out of [0,1)", loss)
+	}
+	ab := make(chan []byte, 1024)
+	ba := make(chan []byte, 1024)
+	closed := make(chan struct{})
+	a := &Pipe{out: ab, in: ba, loss: loss, src: rng.New(seed), close: closed}
+	b := &Pipe{out: ba, in: ab, loss: loss, src: rng.New(seed + 1), close: closed}
+	return a, b, nil
+}
+
+// Send implements Transport. Lossy pipes drop the frame silently with the
+// configured probability, exactly like a lossy radio link would.
+func (p *Pipe) Send(frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(frame), maxFrameSize)
+	}
+	select {
+	case <-p.close:
+		return ErrClosed
+	default:
+	}
+	p.mu.Lock()
+	drop := p.loss > 0 && p.src.Bernoulli(p.loss)
+	p.mu.Unlock()
+	if drop {
+		return nil
+	}
+	cp := append([]byte(nil), frame...)
+	select {
+	case p.out <- cp:
+		return nil
+	case <-p.close:
+		return ErrClosed
+	default:
+		// Queue full: behave like a saturated link and drop the frame.
+		return nil
+	}
+}
+
+// Receive implements Transport.
+func (p *Pipe) Receive(buf []byte, timeout time.Duration) (int, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	if timeout == 0 {
+		select {
+		case frame := <-p.in:
+			return copy(buf, frame), nil
+		case <-p.close:
+			return 0, ErrClosed
+		default:
+			return 0, ErrTimeout
+		}
+	}
+	select {
+	case frame := <-p.in:
+		return copy(buf, frame), nil
+	case <-p.close:
+		return 0, ErrClosed
+	case <-timer:
+		return 0, ErrTimeout
+	}
+}
+
+// Close implements Transport. Closing either endpoint closes the pair.
+func (p *Pipe) Close() error {
+	p.once.Do(func() { close(p.close) })
+	return nil
+}
+
+// UDP is a Transport over UDP datagrams, so the sender and receiver can run
+// as separate processes (see cmd/spinalsend and cmd/spinalrecv).
+type UDP struct {
+	conn net.PacketConn
+	peer net.Addr
+	mu   sync.Mutex
+}
+
+// NewUDP opens a UDP transport bound to localAddr (e.g. "127.0.0.1:9000" or
+// ":0") and directed at peerAddr. If peerAddr is empty, the peer is learned
+// from the first received frame (server style).
+func NewUDP(localAddr, peerAddr string) (*UDP, error) {
+	conn, err := net.ListenPacket("udp", localAddr)
+	if err != nil {
+		return nil, fmt.Errorf("link: listen %q: %w", localAddr, err)
+	}
+	u := &UDP{conn: conn}
+	if peerAddr != "" {
+		addr, err := net.ResolveUDPAddr("udp", peerAddr)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("link: resolve %q: %w", peerAddr, err)
+		}
+		u.peer = addr
+	}
+	return u, nil
+}
+
+// LocalAddr returns the bound local address, useful when listening on ":0".
+func (u *UDP) LocalAddr() net.Addr { return u.conn.LocalAddr() }
+
+// Send implements Transport.
+func (u *UDP) Send(frame []byte) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(frame), maxFrameSize)
+	}
+	u.mu.Lock()
+	peer := u.peer
+	u.mu.Unlock()
+	if peer == nil {
+		return fmt.Errorf("link: peer address not yet known")
+	}
+	_, err := u.conn.WriteTo(frame, peer)
+	return err
+}
+
+// Receive implements Transport. The peer address is learned from incoming
+// frames when it was not configured explicitly.
+func (u *UDP) Receive(buf []byte, timeout time.Duration) (int, error) {
+	if timeout <= 0 {
+		timeout = time.Millisecond
+	}
+	if err := u.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return 0, err
+	}
+	n, from, err := u.conn.ReadFrom(buf)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return 0, ErrTimeout
+		}
+		return 0, err
+	}
+	u.mu.Lock()
+	if u.peer == nil {
+		u.peer = from
+	}
+	u.mu.Unlock()
+	return n, nil
+}
+
+// Close implements Transport.
+func (u *UDP) Close() error { return u.conn.Close() }

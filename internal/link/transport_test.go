@@ -1,0 +1,155 @@
+package link
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b, err := NewPipePair(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := b.Receive(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello" {
+		t.Fatalf("received %q", buf[:n])
+	}
+	// And the reverse direction.
+	if err := b.Send([]byte("yo")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = a.Receive(buf, time.Second)
+	if err != nil || string(buf[:n]) != "yo" {
+		t.Fatalf("reverse direction failed: %v %q", err, buf[:n])
+	}
+}
+
+func TestPipeTimeout(t *testing.T) {
+	a, b, _ := NewPipePair(0, 2)
+	defer a.Close()
+	buf := make([]byte, 16)
+	if _, err := b.Receive(buf, 0); err != ErrTimeout {
+		t.Fatalf("zero-timeout receive on empty pipe: %v", err)
+	}
+	start := time.Now()
+	if _, err := b.Receive(buf, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("timed receive on empty pipe: %v", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("timed receive returned too early")
+	}
+}
+
+func TestPipeLoss(t *testing.T) {
+	a, b, err := NewPipePair(0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	const sent = 400
+	for i := 0; i < sent; i++ {
+		if err := a.Send([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	buf := make([]byte, 4)
+	for {
+		if _, err := b.Receive(buf, 0); err != nil {
+			break
+		}
+		received++
+	}
+	if received == 0 || received == sent {
+		t.Fatalf("lossy pipe delivered %d of %d frames", received, sent)
+	}
+	if received < sent/4 || received > 3*sent/4 {
+		t.Fatalf("lossy pipe delivered %d of %d; loss far from 50%%", received, sent)
+	}
+}
+
+func TestPipeInvalidLoss(t *testing.T) {
+	if _, _, err := NewPipePair(-0.1, 1); err == nil {
+		t.Error("negative loss accepted")
+	}
+	if _, _, err := NewPipePair(1.0, 1); err == nil {
+		t.Error("loss of 1 accepted")
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b, _ := NewPipePair(0, 4)
+	a.Close()
+	if err := a.Send([]byte("x")); err != ErrClosed {
+		t.Fatalf("send on closed pipe: %v", err)
+	}
+	buf := make([]byte, 4)
+	if _, err := b.Receive(buf, 10*time.Millisecond); err != ErrClosed {
+		t.Fatalf("receive on closed pipe: %v", err)
+	}
+}
+
+func TestPipeRejectsOversizeFrame(t *testing.T) {
+	a, _, _ := NewPipePair(0, 5)
+	defer a.Close()
+	if err := a.Send(make([]byte, maxFrameSize+1)); err == nil {
+		t.Error("oversize frame accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	server, err := NewUDP("127.0.0.1:0", "")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer server.Close()
+	client, err := NewUDP("127.0.0.1:0", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	if err := client.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := server.Receive(buf, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ping" {
+		t.Fatalf("server received %q", buf[:n])
+	}
+	// Server learned the client's address from the first frame; reply.
+	if err := server.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = client.Receive(buf, time.Second)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("client reply failed: %v %q", err, buf[:n])
+	}
+}
+
+func TestUDPTimeoutAndEarlySend(t *testing.T) {
+	server, err := NewUDP("127.0.0.1:0", "")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer server.Close()
+	buf := make([]byte, 16)
+	if _, err := server.Receive(buf, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("expected timeout, got %v", err)
+	}
+	// Sending before the peer is known must fail cleanly.
+	if err := server.Send([]byte("x")); err == nil {
+		t.Error("send without a known peer accepted")
+	}
+}

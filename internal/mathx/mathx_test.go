@@ -1,0 +1,144 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestQValues(t *testing.T) {
+	cases := []struct {
+		x, want float64
+	}{
+		{0, 0.5},
+		{1, 0.158655},
+		{2, 0.022750},
+		{3, 0.001350},
+		{-1, 0.841345},
+	}
+	for _, c := range cases {
+		if got := Q(c.x); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Q(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	for _, x := range []float64{0, 0.5, 1, 2, 3.7} {
+		if got := NormalCDF(x) + NormalCDF(-x); math.Abs(got-1) > 1e-12 {
+			t.Errorf("CDF(%v)+CDF(-%v) = %v, want 1", x, x, got)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, p := range []float64{1e-8, 1e-4, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.9999} {
+		z := NormalQuantile(p)
+		back := NormalCDF(z)
+		if math.Abs(back-p) > 1e-9*math.Max(1, 1/p) && math.Abs(back-p) > 1e-12 {
+			t.Errorf("NormalCDF(NormalQuantile(%v)) = %v", p, back)
+		}
+	}
+}
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.8413447460685429, 1},
+		{0.9772498680518208, 2},
+		{0.0227501319481792, -2},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 1e-8 {
+			t.Errorf("NormalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileEdges(t *testing.T) {
+	if !math.IsInf(NormalQuantile(0), -1) {
+		t.Error("NormalQuantile(0) should be -Inf")
+	}
+	if !math.IsInf(NormalQuantile(1), 1) {
+		t.Error("NormalQuantile(1) should be +Inf")
+	}
+	if !math.IsNaN(NormalQuantile(-0.1)) || !math.IsNaN(NormalQuantile(1.1)) {
+		t.Error("NormalQuantile outside [0,1] should be NaN")
+	}
+}
+
+func TestQInvRoundTrip(t *testing.T) {
+	prop := func(raw uint16) bool {
+		p := (float64(raw%9998) + 1) / 10000 // p in (0, 1)
+		x := QInv(p)
+		return math.Abs(Q(x)-p) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); math.Abs(got-1) > 1e-12 {
+		t.Errorf("H2(0.5) = %v", got)
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("H2 at endpoints should be 0")
+	}
+	if got := BinaryEntropy(0.11); math.Abs(got-0.499916) > 1e-4 {
+		t.Errorf("H2(0.11) = %v, want about 0.5", got)
+	}
+	// Symmetry.
+	for _, p := range []float64{0.1, 0.25, 0.4} {
+		if math.Abs(BinaryEntropy(p)-BinaryEntropy(1-p)) > 1e-12 {
+			t.Errorf("H2 not symmetric at %v", p)
+		}
+	}
+}
+
+func TestDBConversions(t *testing.T) {
+	cases := []struct{ db, lin float64 }{
+		{0, 1}, {10, 10}, {20, 100}, {-10, 0.1}, {3, 1.9952623},
+	}
+	for _, c := range cases {
+		if got := DBToLinear(c.db); math.Abs(got-c.lin) > 1e-6*c.lin {
+			t.Errorf("DBToLinear(%v) = %v, want %v", c.db, got, c.lin)
+		}
+		if got := LinearToDB(c.lin); math.Abs(got-c.db) > 1e-6 {
+			t.Errorf("LinearToDB(%v) = %v, want %v", c.lin, got, c.db)
+		}
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	prop := func(raw int16) bool {
+		db := float64(raw) / 100
+		return math.Abs(LinearToDB(DBToLinear(db))-db) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+func TestLog2Int(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 1023: 9, 1024: 10}
+	for n, want := range cases {
+		if got := Log2Int(n); got != want {
+			t.Errorf("Log2Int(%d) = %d, want %d", n, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2Int(0) should panic")
+		}
+	}()
+	Log2Int(0)
+}

@@ -1,0 +1,232 @@
+// Package modem implements the conventional fixed modulations used by the
+// Figure 2 baselines — BPSK, QPSK (QAM-4), QAM-16 and QAM-64 with Gray
+// mapping — together with soft demapping to per-bit log-likelihood ratios for
+// the LDPC belief-propagation decoder.
+//
+// All constellations are normalized to unit average symbol energy so that the
+// same AWGN channel abstraction (SNR = 1/sigma^2 per complex symbol) is shared
+// with the spinal code.
+package modem
+
+import (
+	"fmt"
+	"math"
+)
+
+// Modulation maps coded bits to unit-energy symbols and computes bit LLRs
+// from noisy symbols. Bits are represented as bytes with value 0 or 1.
+type Modulation interface {
+	// BitsPerSymbol returns the number of coded bits carried per symbol.
+	BitsPerSymbol() int
+	// Modulate maps a bit slice (whose length must be a multiple of
+	// BitsPerSymbol) to symbols.
+	Modulate(bits []byte) ([]complex128, error)
+	// Demodulate computes one LLR per coded bit given the received symbols
+	// and the total complex noise variance sigma2. Positive LLR favours 0.
+	Demodulate(symbols []complex128, sigma2 float64) []float64
+	// Name identifies the modulation in experiment output.
+	Name() string
+}
+
+// grayQAM is a square Gray-mapped QAM constellation with bitsPerDim bits on
+// each of I and Q (so 2*bitsPerDim bits per symbol).
+type grayQAM struct {
+	bitsPerDim int
+	name       string
+	levels     []float64 // amplitude per Gray-decoded index, unit-energy normalized
+}
+
+// bpsk is binary phase shift keying: one bit per symbol on the I axis.
+type bpsk struct{}
+
+// NewBPSK returns a BPSK modulation (1 bit/symbol).
+func NewBPSK() Modulation { return bpsk{} }
+
+// NewQAM returns a Gray-mapped square QAM constellation with the given number
+// of points (4, 16, 64 or 256).
+func NewQAM(points int) (Modulation, error) {
+	switch points {
+	case 4, 16, 64, 256:
+	default:
+		return nil, fmt.Errorf("modem: unsupported QAM size %d", points)
+	}
+	bitsPerDim := 0
+	for p := points; p > 1; p >>= 2 {
+		bitsPerDim++
+	}
+	l := 1 << uint(bitsPerDim)
+	// PAM levels -(L-1), ..., -1, +1, ..., +(L-1); per-dimension average
+	// energy (L^2-1)/3, so total symbol energy 2(L^2-1)/3 before scaling.
+	scale := math.Sqrt(3 / (2 * float64(l*l-1)))
+	levels := make([]float64, l)
+	for i := 0; i < l; i++ {
+		levels[i] = float64(2*i-(l-1)) * scale
+	}
+	return &grayQAM{
+		bitsPerDim: bitsPerDim,
+		name:       fmt.Sprintf("QAM-%d", points),
+		levels:     levels,
+	}, nil
+}
+
+// ByName returns a modulation given its experiment-file name: "BPSK",
+// "QAM-4", "QAM-16", "QAM-64" or "QAM-256".
+func ByName(name string) (Modulation, error) {
+	switch name {
+	case "BPSK", "bpsk":
+		return NewBPSK(), nil
+	case "QPSK", "QAM-4", "qam4":
+		return NewQAM(4)
+	case "QAM-16", "qam16":
+		return NewQAM(16)
+	case "QAM-64", "qam64":
+		return NewQAM(64)
+	case "QAM-256", "qam256":
+		return NewQAM(256)
+	default:
+		return nil, fmt.Errorf("modem: unknown modulation %q", name)
+	}
+}
+
+func (bpsk) BitsPerSymbol() int { return 1 }
+func (bpsk) Name() string       { return "BPSK" }
+
+func (bpsk) Modulate(bits []byte) ([]complex128, error) {
+	out := make([]complex128, len(bits))
+	for i, b := range bits {
+		switch b {
+		case 0:
+			out[i] = 1
+		case 1:
+			out[i] = -1
+		default:
+			return nil, fmt.Errorf("modem: bit value %d at index %d", b, i)
+		}
+	}
+	return out, nil
+}
+
+func (bpsk) Demodulate(symbols []complex128, sigma2 float64) []float64 {
+	// For BPSK only the I dimension carries information; its noise variance
+	// is sigma2/2, so LLR = 4*Re(y)/sigma2 under the 0 -> +1 mapping.
+	llr := make([]float64, len(symbols))
+	for i, y := range symbols {
+		llr[i] = 4 * real(y) / sigma2
+	}
+	return llr
+}
+
+func (m *grayQAM) BitsPerSymbol() int { return 2 * m.bitsPerDim }
+func (m *grayQAM) Name() string       { return m.name }
+
+// grayDecode converts a Gray-coded value to its binary index.
+func grayDecode(g int) int {
+	b := 0
+	for ; g != 0; g >>= 1 {
+		b ^= g
+	}
+	return b
+}
+
+// dimAmplitude maps bitsPerDim Gray-coded bits (MSB first in the slice) to a
+// PAM amplitude.
+func (m *grayQAM) dimAmplitude(bits []byte) float64 {
+	g := 0
+	for _, b := range bits {
+		g = g<<1 | int(b)
+	}
+	return m.levels[grayDecode(g)]
+}
+
+func (m *grayQAM) Modulate(bits []byte) ([]complex128, error) {
+	bps := m.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modem: %d bits is not a multiple of %d", len(bits), bps)
+	}
+	for i, b := range bits {
+		if b != 0 && b != 1 {
+			return nil, fmt.Errorf("modem: bit value %d at index %d", b, i)
+		}
+	}
+	out := make([]complex128, len(bits)/bps)
+	for s := range out {
+		chunk := bits[s*bps : (s+1)*bps]
+		i := m.dimAmplitude(chunk[:m.bitsPerDim])
+		q := m.dimAmplitude(chunk[m.bitsPerDim:])
+		out[s] = complex(i, q)
+	}
+	return out, nil
+}
+
+func (m *grayQAM) Demodulate(symbols []complex128, sigma2 float64) []float64 {
+	bps := m.BitsPerSymbol()
+	llr := make([]float64, len(symbols)*bps)
+	// Per-dimension noise variance.
+	nv := sigma2 / 2
+	for s, y := range symbols {
+		m.dimLLR(real(y), nv, llr[s*bps:s*bps+m.bitsPerDim])
+		m.dimLLR(imag(y), nv, llr[s*bps+m.bitsPerDim:(s+1)*bps])
+	}
+	return llr
+}
+
+// dimLLR fills out[j] with the exact LLR of the j-th Gray bit of one PAM
+// dimension given observation y and per-dimension noise variance nv, using a
+// log-sum-exp over the PAM points.
+func (m *grayQAM) dimLLR(y, nv float64, out []float64) {
+	l := len(m.levels)
+	// Log-likelihood of each Gray index.
+	logp := make([]float64, l)
+	for g := 0; g < l; g++ {
+		d := y - m.levels[grayDecode(g)]
+		logp[g] = -d * d / (2 * nv)
+	}
+	for j := 0; j < m.bitsPerDim; j++ {
+		bitMask := 1 << uint(m.bitsPerDim-1-j)
+		num := math.Inf(-1) // log-sum over points with bit j = 0
+		den := math.Inf(-1) // log-sum over points with bit j = 1
+		for g := 0; g < l; g++ {
+			if g&bitMask == 0 {
+				num = logAdd(num, logp[g])
+			} else {
+				den = logAdd(den, logp[g])
+			}
+		}
+		out[j] = num - den
+	}
+}
+
+// logAdd returns log(exp(a)+exp(b)) stably.
+func logAdd(a, b float64) float64 {
+	if math.IsInf(a, -1) {
+		return b
+	}
+	if math.IsInf(b, -1) {
+		return a
+	}
+	if a < b {
+		a, b = b, a
+	}
+	return a + math.Log1p(math.Exp(b-a))
+}
+
+// AverageEnergy returns the mean symbol energy of the modulation under
+// uniform input bits; correctly normalized modulations return 1. It is used
+// by tests and experiment sanity checks.
+func AverageEnergy(m Modulation) (float64, error) {
+	bps := m.BitsPerSymbol()
+	n := 1 << uint(bps)
+	var e float64
+	bits := make([]byte, bps)
+	for v := 0; v < n; v++ {
+		for j := 0; j < bps; j++ {
+			bits[j] = byte(v >> uint(bps-1-j) & 1)
+		}
+		syms, err := m.Modulate(bits)
+		if err != nil {
+			return 0, err
+		}
+		e += real(syms[0])*real(syms[0]) + imag(syms[0])*imag(syms[0])
+	}
+	return e / float64(n), nil
+}

@@ -1,0 +1,166 @@
+// Package rng provides the deterministic random number generation used by the
+// spinal-code simulations: a fast 64-bit PRNG (xoshiro256**), uniform helpers,
+// and a Gaussian source for AWGN noise.
+//
+// All simulation randomness in this repository flows through this package so
+// experiments are reproducible from a single seed.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator based on the
+// xoshiro256** algorithm, seeded through a SplitMix64 expansion.
+// It is not safe for concurrent use; create one Rand per goroutine.
+type Rand struct {
+	s [4]uint64
+
+	// Cached second Gaussian variate from the polar method.
+	haveGauss bool
+	gauss     float64
+}
+
+// New returns a generator seeded from the given 64-bit seed. Two generators
+// created with the same seed produce identical streams.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator state from a single 64-bit seed using SplitMix64
+// so that even adjacent seeds produce decorrelated streams.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	for i := range r.s {
+		r.s[i] = next()
+	}
+	// Avoid the all-zero state, which xoshiro cannot escape.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	r.haveGauss = false
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64-bit pseudo-random value.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling would be overkill here;
+	// simple rejection keeps the distribution exactly uniform.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := r.Uint64()
+		if v < limit {
+			return int(v % max)
+		}
+	}
+}
+
+// Bool returns a fair coin flip.
+func (r *Rand) Bool() bool { return r.Uint64()&1 == 1 }
+
+// Bernoulli returns true with probability p.
+func (r *Rand) Bernoulli(p float64) bool {
+	switch {
+	case p <= 0:
+		return false
+	case p >= 1:
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, variance 1) using the
+// Marsaglia polar method. Consecutive calls consume the generator in pairs.
+func (r *Rand) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.gauss = v * f
+		r.haveGauss = true
+		return u * f
+	}
+}
+
+// ComplexNormal returns a circularly-symmetric complex Gaussian sample with
+// total variance sigma2 (that is, variance sigma2/2 per real dimension). This
+// is the AWGN noise model used throughout the paper.
+func (r *Rand) ComplexNormal(sigma2 float64) complex128 {
+	sd := math.Sqrt(sigma2 / 2)
+	return complex(sd*r.NormFloat64(), sd*r.NormFloat64())
+}
+
+// Bytes fills p with pseudo-random bytes.
+func (r *Rand) Bytes(p []byte) {
+	var w uint64
+	for i := range p {
+		if i%8 == 0 {
+			w = r.Uint64()
+		}
+		p[i] = byte(w)
+		w >>= 8
+	}
+}
+
+// Bits returns n pseudo-random bits packed LSB-first into a byte slice of
+// length ceil(n/8); unused high bits of the final byte are zero.
+func (r *Rand) Bits(n int) []byte {
+	p := make([]byte, (n+7)/8)
+	r.Bytes(p)
+	if rem := n % 8; rem != 0 {
+		p[len(p)-1] &= byte(1<<uint(rem)) - 1
+	}
+	return p
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

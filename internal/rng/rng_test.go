@@ -1,0 +1,209 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical values out of 100", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(99)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %.4f, want about 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 8500 || c > 11500 {
+			t.Fatalf("Intn(7) value %d occurred %d times, want about 10000", v, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	r := New(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestBernoulliRate(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) rate = %.4f", frac)
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("Gaussian mean = %.4f, want about 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("Gaussian variance = %.4f, want about 1", variance)
+	}
+}
+
+func TestComplexNormalVariance(t *testing.T) {
+	r := New(13)
+	const n = 100000
+	const sigma2 = 2.5
+	var power float64
+	for i := 0; i < n; i++ {
+		z := r.ComplexNormal(sigma2)
+		power += real(z)*real(z) + imag(z)*imag(z)
+	}
+	avg := power / n
+	if math.Abs(avg-sigma2) > 0.08 {
+		t.Fatalf("complex noise power = %.4f, want %.4f", avg, sigma2)
+	}
+}
+
+func TestBitsLength(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 7, 8, 9, 24, 63, 64, 65} {
+		b := r.Bits(n)
+		if len(b) != (n+7)/8 {
+			t.Fatalf("Bits(%d) length = %d", n, len(b))
+		}
+		if rem := n % 8; rem != 0 {
+			if b[len(b)-1]>>uint(rem) != 0 {
+				t.Fatalf("Bits(%d) has stray high bits", n)
+			}
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(21)
+	prop := func(nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		p := r.Perm(n)
+		if len(p) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedResetsStream(t *testing.T) {
+	r := New(42)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Seed(42)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("stream after re-seed diverged at %d", i)
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= r.Uint64()
+	}
+	_ = acc
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.NormFloat64()
+	}
+	_ = acc
+}

@@ -1,0 +1,217 @@
+// Package stats provides the estimators used by the experiment harness: running
+// mean/variance (Welford), confidence intervals, rate meters that convert
+// (message bits, symbols sent) into bits/symbol, bit- and frame-error
+// counters, and simple histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of float64 samples and reports mean, variance
+// and confidence intervals without storing the samples (Welford's method).
+type Running struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// N returns the number of samples seen.
+func (r *Running) N() int { return r.n }
+
+// Mean returns the sample mean (0 if no samples).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 for fewer than 2 samples).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// Conf95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (r *Running) Conf95() float64 { return 1.96 * r.StdErr() }
+
+// RateMeter accumulates (message bits, channel uses) pairs and reports the
+// aggregate rate in bits per symbol, which is how Figure 2's y-axis is
+// defined: total bits delivered divided by total symbols transmitted.
+type RateMeter struct {
+	bits    float64
+	symbols float64
+	perMsg  Running
+}
+
+// Record adds one decoded message of the given size that required the given
+// number of channel uses (symbols for AWGN, coded bits for BSC).
+func (m *RateMeter) Record(messageBits, channelUses int) {
+	m.bits += float64(messageBits)
+	m.symbols += float64(channelUses)
+	if channelUses > 0 {
+		m.perMsg.Add(float64(messageBits) / float64(channelUses))
+	}
+}
+
+// Rate returns the aggregate rate in bits per channel use.
+func (m *RateMeter) Rate() float64 {
+	if m.symbols == 0 {
+		return 0
+	}
+	return m.bits / m.symbols
+}
+
+// Messages returns the number of recorded messages.
+func (m *RateMeter) Messages() int { return m.perMsg.N() }
+
+// PerMessage returns the running statistics of per-message rates, which is
+// useful for confidence intervals on the sweep points.
+func (m *RateMeter) PerMessage() *Running { return &m.perMsg }
+
+// ErrorCounter tracks bit and frame errors for fixed-rate baselines.
+type ErrorCounter struct {
+	bitErrors   int
+	bitsTotal   int
+	frameErrors int
+	frames      int
+}
+
+// RecordFrame compares a decoded bit slice against the reference and updates
+// the counters. The slices must be the same length.
+func (e *ErrorCounter) RecordFrame(decoded, reference []byte) error {
+	if len(decoded) != len(reference) {
+		return fmt.Errorf("stats: length mismatch %d vs %d", len(decoded), len(reference))
+	}
+	errs := 0
+	for i := range decoded {
+		if decoded[i] != reference[i] {
+			errs++
+		}
+	}
+	e.bitErrors += errs
+	e.bitsTotal += len(decoded)
+	e.frames++
+	if errs > 0 {
+		e.frameErrors++
+	}
+	return nil
+}
+
+// RecordFrameResult updates the frame counters from a boolean outcome without
+// bit-level accounting.
+func (e *ErrorCounter) RecordFrameResult(ok bool, frameBits int) {
+	e.frames++
+	e.bitsTotal += frameBits
+	if !ok {
+		e.frameErrors++
+		e.bitErrors += frameBits / 2 // conventional "half the bits wrong" proxy
+	}
+}
+
+// BER returns the bit error rate.
+func (e *ErrorCounter) BER() float64 {
+	if e.bitsTotal == 0 {
+		return 0
+	}
+	return float64(e.bitErrors) / float64(e.bitsTotal)
+}
+
+// FER returns the frame error rate.
+func (e *ErrorCounter) FER() float64 {
+	if e.frames == 0 {
+		return 0
+	}
+	return float64(e.frameErrors) / float64(e.frames)
+}
+
+// Frames returns the number of frames recorded.
+func (e *ErrorCounter) Frames() int { return e.frames }
+
+// Histogram is a fixed-bin histogram over a closed interval.
+type Histogram struct {
+	lo, hi  float64
+	bins    []int
+	outside int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given number of equal-width bins
+// spanning [lo, hi].
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", bins)
+	}
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v] is empty", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]int, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if x < h.lo || x > h.hi {
+		h.outside++
+		return
+	}
+	idx := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+	if idx == len(h.bins) {
+		idx--
+	}
+	h.bins[idx]++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.bins))
+	copy(out, h.bins)
+	return out
+}
+
+// Outside returns how many observations fell outside [lo, hi].
+func (h *Histogram) Outside() int { return h.outside }
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of a sample slice using
+// linear interpolation. The input is not modified.
+func Quantile(samples []float64, q float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, fmt.Errorf("stats: quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile fraction %v out of [0,1]", q)
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunningMeanVariance(t *testing.T) {
+	var r Running
+	samples := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, s := range samples {
+		r.Add(s)
+	}
+	if r.N() != len(samples) {
+		t.Fatalf("N = %d", r.N())
+	}
+	if math.Abs(r.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", r.Mean())
+	}
+	// Unbiased variance of this classic sample is 32/7.
+	if math.Abs(r.Variance()-32.0/7) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", r.Variance(), 32.0/7)
+	}
+}
+
+func TestRunningEmptyAndSingle(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Variance() != 0 || r.StdErr() != 0 {
+		t.Fatal("empty Running should report zeros")
+	}
+	r.Add(3.5)
+	if r.Mean() != 3.5 || r.Variance() != 0 {
+		t.Fatal("single-sample Running misbehaves")
+	}
+}
+
+func TestRunningMatchesDirectComputation(t *testing.T) {
+	prop := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		// Clamp pathological values that a direct two-pass computation also
+		// cannot handle exactly.
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				v = math.Mod(v, 1000)
+				if math.IsNaN(v) {
+					v = 0
+				}
+			}
+			xs = append(xs, v)
+		}
+		var r Running
+		var sum float64
+		for _, x := range xs {
+			r.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(len(xs)-1)
+		return math.Abs(r.Mean()-mean) < 1e-6 && math.Abs(r.Variance()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConf95Shrinks(t *testing.T) {
+	var small, large Running
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 3))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 3))
+	}
+	if large.Conf95() >= small.Conf95() {
+		t.Fatalf("confidence interval did not shrink: %v vs %v", large.Conf95(), small.Conf95())
+	}
+}
+
+func TestRateMeter(t *testing.T) {
+	var m RateMeter
+	if m.Rate() != 0 {
+		t.Fatal("empty RateMeter should report rate 0")
+	}
+	m.Record(24, 3) // 8 bits/symbol
+	m.Record(24, 6) // 4 bits/symbol
+	if m.Messages() != 2 {
+		t.Fatalf("Messages = %d", m.Messages())
+	}
+	// Aggregate rate is total bits / total symbols = 48/9.
+	if math.Abs(m.Rate()-48.0/9) > 1e-12 {
+		t.Fatalf("Rate = %v, want %v", m.Rate(), 48.0/9)
+	}
+	// Per-message mean is (8+4)/2 = 6.
+	if math.Abs(m.PerMessage().Mean()-6) > 1e-12 {
+		t.Fatalf("per-message mean = %v", m.PerMessage().Mean())
+	}
+}
+
+func TestErrorCounter(t *testing.T) {
+	var e ErrorCounter
+	ref := []byte{0, 1, 1, 0, 1, 0, 0, 1}
+	if err := e.RecordFrame(ref, ref); err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), ref...)
+	bad[2] ^= 1
+	bad[5] ^= 1
+	if err := e.RecordFrame(bad, ref); err != nil {
+		t.Fatal(err)
+	}
+	if e.Frames() != 2 {
+		t.Fatalf("Frames = %d", e.Frames())
+	}
+	if math.Abs(e.BER()-2.0/16) > 1e-12 {
+		t.Fatalf("BER = %v, want 0.125", e.BER())
+	}
+	if math.Abs(e.FER()-0.5) > 1e-12 {
+		t.Fatalf("FER = %v, want 0.5", e.FER())
+	}
+	if err := e.RecordFrame([]byte{1}, ref); err == nil {
+		t.Fatal("length mismatch not reported")
+	}
+}
+
+func TestErrorCounterFrameResult(t *testing.T) {
+	var e ErrorCounter
+	e.RecordFrameResult(true, 100)
+	e.RecordFrameResult(false, 100)
+	if e.FER() != 0.5 {
+		t.Fatalf("FER = %v", e.FER())
+	}
+	if e.Frames() != 2 {
+		t.Fatalf("Frames = %v", e.Frames())
+	}
+}
+
+func TestEmptyErrorCounter(t *testing.T) {
+	var e ErrorCounter
+	if e.BER() != 0 || e.FER() != 0 {
+		t.Fatal("empty counter should report zero rates")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1, 2.5, 5, 9.99, 10, -1, 11} {
+		h.Add(v)
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Outside() != 2 {
+		t.Fatalf("Outside = %d", h.Outside())
+	}
+	counts := h.Counts()
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("in-range count = %d, want 6", total)
+	}
+	// The value exactly at the upper edge lands in the last bin.
+	if counts[4] < 2 {
+		t.Fatalf("upper-edge values not in last bin: %v", counts)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("0-bin histogram accepted")
+	}
+	if _, err := NewHistogram(5, 5, 3); err == nil {
+		t.Error("empty-range histogram accepted")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{5, 1, 3, 2, 4}
+	med, err := Quantile(s, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med != 3 {
+		t.Fatalf("median = %v", med)
+	}
+	lo, _ := Quantile(s, 0)
+	hi, _ := Quantile(s, 1)
+	if lo != 1 || hi != 5 {
+		t.Fatalf("extremes = %v %v", lo, hi)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := Quantile(s, 1.5); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	// Input must not be reordered.
+	if s[0] != 5 || s[4] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+}

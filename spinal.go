@@ -1,0 +1,307 @@
+// Package spinal implements rateless spinal codes (Perry, Balakrishnan,
+// Shah — "Rateless Spinal Codes", HotNets 2011): a hash-based rateless
+// channel code whose encoder maps message bits directly to dense I/Q
+// constellation points and whose practical decoder replays the encoder over a
+// pruned tree of message prefixes.
+//
+// The package is a thin, stable facade over the internal implementation. A
+// typical round trip looks like:
+//
+//	code, _ := spinal.NewCode(spinal.Config{MessageBits: 256})
+//	stream, _ := code.EncodeStream(message)
+//	dec, _ := code.NewDecoder()
+//	ch := spinal.AWGNChannel(12 /* dB */, 1 /* seed */)
+//	for !decoded {
+//		sym := stream.Next()
+//		dec.Observe(sym.Pos, ch(sym.Value))
+//		decoded = bytesEqual(dec.Decode(), message) // or use a CRC
+//	}
+//
+// For simulations, Code.Transmit runs the whole rateless loop (encode, send
+// through a channel function, decode, stop on a verifier) and reports the
+// achieved rate. The cmd/spinalsim tool and the benchmarks in this module
+// regenerate the paper's Figure 2 and related experiments on top of this API.
+package spinal
+
+import (
+	"fmt"
+
+	"spinal/internal/constellation"
+	"spinal/internal/core"
+)
+
+// Config selects a spinal code. The zero value of every field picks the
+// defaults used throughout the paper's evaluation (k=8, c=10, B=16, linear
+// constellation mapping, punctured transmission schedule).
+type Config struct {
+	// MessageBits is the number of message bits per coded packet. Required.
+	MessageBits int
+	// K is the number of message bits hashed per spine segment (the paper's
+	// k). Decoder complexity grows as 2^K; the unpunctured peak rate is K
+	// bits/symbol. Default 8.
+	K int
+	// C is the number of coded bits mapped to each I and Q coordinate (the
+	// paper's c). Default 10.
+	C int
+	// BeamWidth is the decoder's B: the number of candidate prefixes kept per
+	// tree level. Default 16.
+	BeamWidth int
+	// Seed keys the hash family shared by encoder and decoder. Any value is
+	// fine as long as both sides agree. Default is a fixed published constant.
+	Seed uint64
+	// Mapper selects the constellation mapping: "linear" (Eq. 3 of the
+	// paper, default), "uniform", or "gaussian" (truncated Gaussian).
+	Mapper string
+	// Punctured selects the striped transmission schedule that interleaves
+	// spine values within each pass, allowing rates above K bits/symbol at
+	// high SNR. Default true; set Sequential to force the plain schedule.
+	Sequential bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.C == 0 {
+		c.C = 10
+	}
+	if c.BeamWidth == 0 {
+		c.BeamWidth = 16
+	}
+	if c.Seed == 0 {
+		c.Seed = core.DefaultSeed
+	}
+	if c.Mapper == "" {
+		c.Mapper = "linear"
+	}
+	return c
+}
+
+// Code is an instantiated spinal code: fixed parameters plus the shared hash
+// seed. It is immutable and safe for concurrent use; encoders and decoders
+// created from it are not.
+type Code struct {
+	cfg    Config
+	params core.Params
+}
+
+// NewCode validates the configuration and returns a Code.
+func NewCode(cfg Config) (*Code, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MessageBits <= 0 {
+		return nil, fmt.Errorf("spinal: Config.MessageBits must be positive")
+	}
+	mapper, err := constellation.ByName(cfg.Mapper, cfg.C)
+	if err != nil {
+		return nil, err
+	}
+	params := core.Params{
+		K:           cfg.K,
+		C:           cfg.C,
+		MessageBits: cfg.MessageBits,
+		Seed:        cfg.Seed,
+		Mapper:      mapper,
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.BeamWidth < 1 {
+		return nil, fmt.Errorf("spinal: beam width must be at least 1")
+	}
+	return &Code{cfg: cfg, params: params}, nil
+}
+
+// Config returns the configuration the code was built with (with defaults
+// filled in).
+func (c *Code) Config() Config { return c.cfg }
+
+// MessageBytes returns the length in bytes of the packed messages this code
+// encodes (MessageBits bits, LSB-first within each byte).
+func (c *Code) MessageBytes() int { return core.MessageBytes(c.cfg.MessageBits) }
+
+// NumSegments returns the number of spine values n/k.
+func (c *Code) NumSegments() int { return c.params.NumSegments() }
+
+// schedule builds the configured transmission schedule.
+func (c *Code) schedule() (core.Schedule, error) {
+	if c.cfg.Sequential {
+		return core.NewSequentialSchedule(c.params.NumSegments())
+	}
+	return core.NewStripedSchedule(c.params.NumSegments(), 8)
+}
+
+// SymbolPos identifies a symbol within the rateless stream: which spine value
+// it came from and in which pass.
+type SymbolPos = core.SymbolPos
+
+// Symbol is one transmitted constellation point together with its position.
+type Symbol struct {
+	Pos   SymbolPos
+	Value complex128
+}
+
+// SymbolStream is the rateless encoder output for one message: an unbounded
+// sequence of symbols in transmission order.
+type SymbolStream struct {
+	enc   *core.Encoder
+	sched core.Schedule
+	next  int
+}
+
+// EncodeStream computes the spine of the message and returns its rateless
+// symbol stream. The message must contain exactly MessageBits bits packed
+// LSB-first (use MessageBytes for the slice length); unused padding bits in
+// the final byte must be zero.
+func (c *Code) EncodeStream(message []byte) (*SymbolStream, error) {
+	enc, err := core.NewEncoder(c.params, message)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := c.schedule()
+	if err != nil {
+		return nil, err
+	}
+	return &SymbolStream{enc: enc, sched: sched}, nil
+}
+
+// Next returns the next symbol of the stream. The stream never ends: spinal
+// codes are rateless, so the caller decides when to stop transmitting.
+func (s *SymbolStream) Next() Symbol {
+	pos := s.sched.Pos(s.next)
+	s.next++
+	return Symbol{Pos: pos, Value: s.enc.SymbolAt(pos)}
+}
+
+// At returns the symbol at an arbitrary stream index without advancing the
+// stream, which is useful for retransmissions.
+func (s *SymbolStream) At(index int) (Symbol, error) {
+	if index < 0 {
+		return Symbol{}, fmt.Errorf("spinal: negative stream index %d", index)
+	}
+	pos := s.sched.Pos(index)
+	return Symbol{Pos: pos, Value: s.enc.SymbolAt(pos)}, nil
+}
+
+// Emitted returns how many symbols have been produced by Next so far.
+func (s *SymbolStream) Emitted() int { return s.next }
+
+// Decoder accumulates received symbols for one message and produces the most
+// likely message on demand using the B-bounded beam decoder of §3.2.
+type Decoder struct {
+	dec *core.BeamDecoder
+	obs *core.Observations
+	n   int
+}
+
+// NewDecoder returns an empty decoder for this code.
+func (c *Code) NewDecoder() (*Decoder, error) {
+	dec, err := core.NewBeamDecoder(c.params, c.cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := core.NewObservations(c.params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{dec: dec, obs: obs, n: c.cfg.MessageBits}, nil
+}
+
+// Observe records the received value of the symbol at pos.
+func (d *Decoder) Observe(pos SymbolPos, received complex128) error {
+	return d.obs.Add(pos, received)
+}
+
+// Observations returns the number of symbols observed so far.
+func (d *Decoder) Observations() int { return d.obs.Count() }
+
+// Decode returns the most likely message under everything observed so far.
+// Whether that message is correct is for the caller to verify (by CRC in a
+// real system, by comparison in simulations); spinal decoding itself is
+// rateless and can always be retried after more symbols arrive.
+func (d *Decoder) Decode() ([]byte, error) {
+	out, err := d.dec.Decode(d.obs)
+	if err != nil {
+		return nil, err
+	}
+	return out.Message, nil
+}
+
+// Equal reports whether two packed messages of this code's length are
+// identical; it is a convenience for genie-style simulations.
+func (c *Code) Equal(a, b []byte) bool {
+	return core.EqualMessages(a, b, c.cfg.MessageBits)
+}
+
+// TransmitResult summarizes a rateless transmission simulated by Transmit.
+type TransmitResult struct {
+	// Decoded is the receiver's final message estimate.
+	Decoded []byte
+	// Delivered reports whether the verifier accepted the decode.
+	Delivered bool
+	// Symbols is the number of channel uses consumed.
+	Symbols int
+	// Rate is MessageBits/Symbols when delivered, zero otherwise.
+	Rate float64
+}
+
+// Transmit runs the full rateless loop for one message over the given channel
+// function (see AWGNChannel and friends): symbols are generated in schedule
+// order, corrupted, decoded, and the loop stops as soon as verify accepts the
+// decoded message or maxSymbols have been spent. A nil verify uses the genie
+// rule (compare against the transmitted message), which is the paper's
+// simulation methodology.
+func (c *Code) Transmit(message []byte, ch func(complex128) complex128, verify func([]byte) bool, maxSymbols int) (*TransmitResult, error) {
+	if verify == nil {
+		verify = core.GenieVerifier(message, c.cfg.MessageBits)
+	}
+	sched, err := c.schedule()
+	if err != nil {
+		return nil, err
+	}
+	sessionCfg := core.SessionConfig{
+		Params:     c.params,
+		BeamWidth:  c.cfg.BeamWidth,
+		Schedule:   sched,
+		MaxSymbols: maxSymbols,
+	}
+	res, err := core.RunSymbolSession(sessionCfg, message, ch, verify)
+	if err != nil {
+		return nil, err
+	}
+	return &TransmitResult{
+		Decoded:   res.Decoded,
+		Delivered: res.Success,
+		Symbols:   res.ChannelUses,
+		Rate:      res.Rate(c.cfg.MessageBits),
+	}, nil
+}
+
+// TransmitBits is the binary-channel counterpart of Transmit: the encoder
+// emits one coded bit per channel use (the paper's BSC variant) and the
+// decoder uses the Hamming metric. The channel function receives and returns
+// bits with values 0 or 1 (see BSCChannel).
+func (c *Code) TransmitBits(message []byte, ch func(byte) byte, verify func([]byte) bool, maxUses int) (*TransmitResult, error) {
+	if verify == nil {
+		verify = core.GenieVerifier(message, c.cfg.MessageBits)
+	}
+	sched, err := c.schedule()
+	if err != nil {
+		return nil, err
+	}
+	sessionCfg := core.SessionConfig{
+		Params:     c.params,
+		BeamWidth:  c.cfg.BeamWidth,
+		Schedule:   sched,
+		MaxSymbols: maxUses,
+	}
+	res, err := core.RunBitSession(sessionCfg, message, ch, verify)
+	if err != nil {
+		return nil, err
+	}
+	return &TransmitResult{
+		Decoded:   res.Decoded,
+		Delivered: res.Success,
+		Symbols:   res.ChannelUses,
+		Rate:      res.Rate(c.cfg.MessageBits),
+	}, nil
+}

@@ -1,0 +1,188 @@
+package spinal_test
+
+import (
+	"testing"
+
+	"spinal"
+)
+
+func TestNewCodeDefaults(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := code.Config()
+	if cfg.K != 8 || cfg.C != 10 || cfg.BeamWidth != 16 || cfg.Mapper != "linear" {
+		t.Fatalf("defaults wrong: %+v", cfg)
+	}
+	if code.MessageBytes() != 3 || code.NumSegments() != 3 {
+		t.Fatalf("derived sizes wrong: %d bytes, %d segments", code.MessageBytes(), code.NumSegments())
+	}
+}
+
+func TestNewCodeValidation(t *testing.T) {
+	if _, err := spinal.NewCode(spinal.Config{}); err == nil {
+		t.Error("missing MessageBits accepted")
+	}
+	if _, err := spinal.NewCode(spinal.Config{MessageBits: 24, K: 99}); err == nil {
+		t.Error("absurd K accepted")
+	}
+	if _, err := spinal.NewCode(spinal.Config{MessageBits: 24, Mapper: "bogus"}); err == nil {
+		t.Error("unknown mapper accepted")
+	}
+	if _, err := spinal.NewCode(spinal.Config{MessageBits: 24, BeamWidth: -1}); err == nil {
+		t.Error("negative beam accepted")
+	}
+}
+
+func TestEncodeDecodeNoiselessRoundTrip(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(64, 1)
+	stream, err := code.EncodeStream(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two full passes of noiseless symbols.
+	for i := 0; i < 2*code.NumSegments(); i++ {
+		sym := stream.Next()
+		if err := dec.Observe(sym.Pos, sym.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stream.Emitted() != 2*code.NumSegments() {
+		t.Fatalf("Emitted = %d", stream.Emitted())
+	}
+	if dec.Observations() != 2*code.NumSegments() {
+		t.Fatalf("Observations = %d", dec.Observations())
+	}
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !code.Equal(got, msg) {
+		t.Fatal("noiseless round trip failed")
+	}
+}
+
+func TestEncodeStreamRejectsBadMessage(t *testing.T) {
+	code, _ := spinal.NewCode(spinal.Config{MessageBits: 24})
+	if _, err := code.EncodeStream([]byte{1}); err == nil {
+		t.Error("short message accepted")
+	}
+}
+
+func TestStreamAt(t *testing.T) {
+	code, _ := spinal.NewCode(spinal.Config{MessageBits: 24})
+	msg := spinal.RandomMessage(24, 2)
+	stream, _ := code.EncodeStream(msg)
+	first := stream.Next()
+	again, err := stream.At(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != again {
+		t.Fatal("At(0) disagrees with the first Next()")
+	}
+	if _, err := stream.At(-1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestTransmitOverAWGN(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := spinal.AWGNChannel(15, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(96, 4)
+	res, err := code.Transmit(msg, ch, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("transmission at 15 dB failed")
+	}
+	if !code.Equal(res.Decoded, msg) {
+		t.Fatal("decoded message mismatch")
+	}
+	if res.Rate <= 1 || res.Rate > spinal.ShannonCapacity(15) {
+		t.Fatalf("rate %v implausible for 15 dB", res.Rate)
+	}
+}
+
+func TestTransmitWithCRCVerifier(t *testing.T) {
+	payload := []byte("hello, rateless world")
+	framed := spinal.AppendCRC32(payload)
+	code, err := spinal.NewCode(spinal.Config{MessageBits: len(framed) * 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _ := spinal.AWGNChannel(18, 9)
+	verify := func(decoded []byte) bool {
+		_, ok := spinal.VerifyCRC32(decoded)
+		return ok
+	}
+	res, err := code.Transmit(framed, ch, verify, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered {
+		t.Fatal("CRC-verified transmission failed at 18 dB")
+	}
+	got, ok := spinal.VerifyCRC32(res.Decoded)
+	if !ok || string(got) != string(payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestQuantizedChannelAndCapacities(t *testing.T) {
+	ch, err := spinal.QuantizedAWGNChannel(20, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch == nil {
+		t.Fatal("nil channel")
+	}
+	if _, err := spinal.QuantizedAWGNChannel(20, 0, 1); err == nil {
+		t.Error("invalid ADC bits accepted")
+	}
+	if c := spinal.ShannonCapacity(30); c < 9.9 || c > 10.0 {
+		t.Errorf("capacity at 30 dB = %v", c)
+	}
+	if c := spinal.BSCCapacity(0.5); c != 0 {
+		t.Errorf("BSC capacity at p=0.5 = %v", c)
+	}
+	bsc, err := spinal.BSCChannel(0.1, 1)
+	if err != nil || bsc == nil {
+		t.Fatal("BSC channel construction failed")
+	}
+	if _, err := spinal.BSCChannel(0.9, 1); err == nil {
+		t.Error("invalid crossover accepted")
+	}
+	if _, err := spinal.AWGNChannel(-1000, 1); err != nil {
+		// -1000 dB is tiny but still a positive linear SNR; must not error.
+		t.Errorf("AWGNChannel(-1000 dB) unexpectedly failed: %v", err)
+	}
+}
+
+func TestRandomMessageDeterminism(t *testing.T) {
+	a := spinal.RandomMessage(128, 7)
+	b := spinal.RandomMessage(128, 7)
+	c := spinal.RandomMessage(128, 8)
+	if string(a) != string(b) {
+		t.Fatal("same seed produced different messages")
+	}
+	if string(a) == string(c) {
+		t.Fatal("different seeds produced identical messages")
+	}
+}
