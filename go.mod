@@ -1,0 +1,3 @@
+module spinal
+
+go 1.24

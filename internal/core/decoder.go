@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"spinal/internal/constellation"
 	"spinal/internal/hash"
@@ -19,22 +20,65 @@ import (
 // expanded without pruning, up to MaxCandidates nodes, so that later
 // observations can still disambiguate them; this is what allows decoding from
 // fewer than n/k symbols and therefore rates above k bits/symbol.
+//
+// The decoder is incremental across attempts: it keeps a workspace with the
+// per-level frontiers, the pre-pruning child expansions and their
+// per-level observation costs from the previous Decode call. When the same
+// observation container is decoded again after new symbols arrived, the beam
+// search resumes from the first dirty level, and levels whose parent frontier
+// is structurally unchanged refresh cached children with only the cost of the
+// new observations — no hash replay and no recomputation of symbols for
+// passes already folded in. A transmission that needs P passes therefore
+// costs O(P) total expansion work instead of the O(P²) of from-scratch
+// attempts, while producing bit-identical results (the refresh performs the
+// exact same floating-point additions, in the same order, that a full rerun
+// would). Use SetIncremental(false) to force every attempt from the root.
 type BeamDecoder struct {
-	p       Params
-	b       int
-	maxCand int
-	family  hash.Family
-	mapper  constellation.Mapper
+	p           Params
+	b           int
+	maxCand     int
+	family      hash.Family
+	mapper      constellation.Mapper
+	incremental bool
 
-	nodesExpanded int
+	nodesExpanded  int
+	nodesRefreshed int
+
+	ws decodeWorkspace
 }
 
 // unlimited is the beam width used by the ML decoder.
 const unlimited = math.MaxInt32
 
+// maxCandCap clamps the derived MaxCandidates value B·2^k for practical
+// decoders: an unobserved (punctured) level is expanded without pruning, and
+// without the clamp a wide beam with a large k would retain millions of
+// nodes. SetMaxCandidates overrides the clamp when a caller really wants
+// more; NewMLDecoder bypasses it entirely.
+const maxCandCap = 1 << 16
+
 // NewBeamDecoder returns a decoder with the given beam width B (the maximum
-// number of tree nodes retained per level).
+// number of tree nodes retained per level). The cap on retained nodes at
+// unobserved levels defaults to B·2^k, clamped to maxCandCap.
 func NewBeamDecoder(p Params, beamWidth int) (*BeamDecoder, error) {
+	maxCand := beamWidth << uint(p.K)
+	if maxCand > maxCandCap || maxCand <= 0 {
+		maxCand = maxCandCap
+	}
+	return newBeamDecoder(p, beamWidth, maxCand)
+}
+
+// NewMLDecoder returns the exact maximum-likelihood decoder: a beam decoder
+// that never prunes, at any level. Its complexity is exponential in the
+// message length, so it is practical only for short messages; it exists as
+// the reference the practical decoder scales down from.
+func NewMLDecoder(p Params) (*BeamDecoder, error) {
+	return newBeamDecoder(p, unlimited, unlimited)
+}
+
+// newBeamDecoder is the shared constructor; maxCand is taken as given so that
+// the unlimited (ML) case needs no clamp workarounds.
+func newBeamDecoder(p Params, beamWidth, maxCand int) (*BeamDecoder, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -45,32 +89,14 @@ func NewBeamDecoder(p Params, beamWidth int) (*BeamDecoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxCand := beamWidth << uint(p.K)
-	const maxCandCap = 1 << 16
-	if maxCand > maxCandCap || maxCand <= 0 {
-		maxCand = maxCandCap
-	}
 	return &BeamDecoder{
-		p:       p,
-		b:       beamWidth,
-		maxCand: maxCand,
-		family:  p.family(),
-		mapper:  mapper,
+		p:           p,
+		b:           beamWidth,
+		maxCand:     maxCand,
+		family:      p.family(),
+		mapper:      mapper,
+		incremental: true,
 	}, nil
-}
-
-// NewMLDecoder returns the exact maximum-likelihood decoder: a beam decoder
-// that never prunes. Its complexity is exponential in the message length, so
-// it is practical only for short messages; it exists as the reference the
-// practical decoder scales down from.
-func NewMLDecoder(p Params) (*BeamDecoder, error) {
-	d, err := NewBeamDecoder(p, unlimited)
-	if err != nil {
-		return nil, err
-	}
-	d.b = unlimited
-	d.maxCand = unlimited
-	return d, nil
 }
 
 // BeamWidth returns the configured beam width B.
@@ -87,13 +113,36 @@ func (d *BeamDecoder) SetMaxCandidates(n int) error {
 		return fmt.Errorf("core: max candidates %d must be at least the beam width %d", n, d.b)
 	}
 	d.maxCand = n
+	d.ws.invalidate()
 	return nil
 }
 
-// NodesExpanded reports the number of tree nodes expanded by the most recent
-// Decode call; it is the decoder's computational cost in units of one hash
-// evaluation plus one cost update.
+// SetIncremental enables or disables reuse of the previous attempt's
+// workspace. It is on by default; turning it off makes every Decode run from
+// the root, which is the from-scratch baseline used by benchmarks and the
+// equivalence tests.
+func (d *BeamDecoder) SetIncremental(on bool) {
+	d.incremental = on
+	if !on {
+		d.ws.invalidate()
+	}
+}
+
+// Incremental reports whether workspace reuse is enabled.
+func (d *BeamDecoder) Incremental() bool { return d.incremental }
+
+// NodesExpanded reports the number of tree nodes freshly expanded (one hash
+// evaluation plus a full cost computation each) by the most recent Decode
+// call; it is the decoder's computational cost in the paper's unit of work.
+// Cached nodes whose costs were merely refreshed are counted separately by
+// NodesRefreshed.
 func (d *BeamDecoder) NodesExpanded() int { return d.nodesExpanded }
+
+// NodesRefreshed reports the number of cached tree nodes whose costs were
+// updated in place by the most recent Decode call — no hash replay, only the
+// cost terms of observations that arrived since the node's level was last
+// folded.
+func (d *BeamDecoder) NodesRefreshed() int { return d.nodesRefreshed }
 
 // DecodeResult is the outcome of one decode attempt.
 type DecodeResult struct {
@@ -102,12 +151,18 @@ type DecodeResult struct {
 	// Cost is the accumulated distance of the returned message's symbols to
 	// the observations (squared Euclidean for AWGN, Hamming for BSC).
 	Cost float64
-	// NodesExpanded is the number of decoding-tree nodes evaluated.
+	// NodesExpanded is the number of decoding-tree nodes freshly evaluated
+	// (hash replay plus full cost) in this attempt.
 	NodesExpanded int
+	// NodesRefreshed is the number of cached nodes reused from the previous
+	// attempt with an in-place cost update.
+	NodesRefreshed int
 }
 
 // Decode runs the beam search against AWGN-channel observations and returns
-// the most likely message under the received symbols so far.
+// the most likely message under the received symbols so far. Repeated calls
+// with the same container resume incrementally from the first level whose
+// observations changed.
 func (d *BeamDecoder) Decode(obs *Observations) (*DecodeResult, error) {
 	if obs == nil {
 		return nil, fmt.Errorf("core: nil observations")
@@ -117,11 +172,14 @@ func (d *BeamDecoder) Decode(obs *Observations) (*DecodeResult, error) {
 			obs.NumSegments(), d.p.NumSegments())
 	}
 	coster := &awgnCoster{d: d, obs: obs}
-	return d.run(coster)
+	out := d.run(coster, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+	obs.MarkClean()
+	return out, nil
 }
 
 // DecodeBits runs the beam search against binary-channel observations using
-// the Hamming metric, which is the ML rule for the BSC (§3.2).
+// the Hamming metric, which is the ML rule for the BSC (§3.2). It is
+// incremental in the same way as Decode.
 func (d *BeamDecoder) DecodeBits(obs *BitObservations) (*DecodeResult, error) {
 	if obs == nil {
 		return nil, fmt.Errorf("core: nil observations")
@@ -131,14 +189,21 @@ func (d *BeamDecoder) DecodeBits(obs *BitObservations) (*DecodeResult, error) {
 			obs.NumSegments(), d.p.NumSegments())
 	}
 	coster := &bscCoster{d: d, obs: obs}
-	return d.run(coster)
+	out := d.run(coster, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+	obs.MarkClean()
+	return out, nil
 }
 
-// levelCoster computes the incremental cost of hypothesizing a spine value at
-// a tree level, and reports whether any symbols were received for that level.
+// levelCoster computes observation costs for hypothesized spine values at a
+// tree level. costAll left-folds every observation at the level in recording
+// order; costOne returns the single term of observation idx. The incremental
+// refresh extends cached sums with costOne term by term, which performs the
+// exact same floating-point additions, in the same order, as costAll would —
+// that is what makes incremental and from-scratch decodes bit-identical.
 type levelCoster interface {
-	observed(level int) bool
-	cost(spine uint64, level int) float64
+	numObs(level int) int
+	costAll(spine uint64, level int) float64
+	costOne(spine uint64, level, idx int) float64
 }
 
 type awgnCoster struct {
@@ -146,17 +211,25 @@ type awgnCoster struct {
 	obs *Observations
 }
 
-func (c *awgnCoster) observed(level int) bool { return len(c.obs.spines[level]) > 0 }
+func (c *awgnCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
-func (c *awgnCoster) cost(spine uint64, level int) float64 {
+func (c *awgnCoster) term(spine uint64, ob symbolObs) float64 {
+	x := symbolFor(c.d.family, c.d.mapper, c.d.p.C, spine, ob.pass)
+	dI := real(ob.y) - real(x)
+	dQ := imag(ob.y) - imag(x)
+	return dI*dI + dQ*dQ
+}
+
+func (c *awgnCoster) costAll(spine uint64, level int) float64 {
 	var sum float64
 	for _, ob := range c.obs.spines[level] {
-		x := symbolFor(c.d.family, c.d.mapper, c.d.p.C, spine, ob.pass)
-		dI := real(ob.y) - real(x)
-		dQ := imag(ob.y) - imag(x)
-		sum += dI*dI + dQ*dQ
+		sum += c.term(spine, ob)
 	}
 	return sum
+}
+
+func (c *awgnCoster) costOne(spine uint64, level, idx int) float64 {
+	return c.term(spine, c.obs.spines[level][idx])
 }
 
 type bscCoster struct {
@@ -164,9 +237,9 @@ type bscCoster struct {
 	obs *BitObservations
 }
 
-func (c *bscCoster) observed(level int) bool { return len(c.obs.spines[level]) > 0 }
+func (c *bscCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
-func (c *bscCoster) cost(spine uint64, level int) float64 {
+func (c *bscCoster) costAll(spine uint64, level int) float64 {
 	var sum float64
 	for _, ob := range c.obs.spines[level] {
 		if codedBitFor(c.d.family, spine, ob.pass) != ob.bit {
@@ -174,6 +247,14 @@ func (c *bscCoster) cost(spine uint64, level int) float64 {
 		}
 	}
 	return sum
+}
+
+func (c *bscCoster) costOne(spine uint64, level, idx int) float64 {
+	ob := c.obs.spines[level][idx]
+	if codedBitFor(c.d.family, spine, ob.pass) != ob.bit {
+		return 1
+	}
+	return 0
 }
 
 // treeNode is one node of the (pruned) decoding tree.
@@ -184,68 +265,356 @@ type treeNode struct {
 	seg    uint16
 }
 
-// run executes the level-by-level beam search.
-func (d *BeamDecoder) run(coster levelCoster) (*DecodeResult, error) {
-	nseg := d.p.NumSegments()
-	levels := make([][]treeNode, nseg)
-	frontier := []treeNode{{spine: 0, cost: 0, parent: -1}}
-	d.nodesExpanded = 0
+// childNode is one pre-pruning expansion of a frontier node: the child spine
+// value, the accumulated cost of this level's observations against it (the
+// memoized symbolFor/codedBitFor work), and the (parent, seg) pair that
+// produced it. Cumulative path costs are reconstituted as
+// parent.cost + local at selection time, so cached children stay valid when
+// upstream costs shift without structural change.
+type childNode struct {
+	spine  uint64
+	local  float64
+	parent int32
+	seg    uint16
+}
 
-	for t := 0; t < nseg; t++ {
+// cachedLevel is the per-level workspace state retained between attempts.
+type cachedLevel struct {
+	// children is the full expansion of the parent frontier in deterministic
+	// (parent-major, segment-minor) order; childObs observations at this
+	// level are folded into each child's local cost. valid reports whether
+	// children corresponds to the frontier the level was last expanded from.
+	children []childNode
+	childObs int
+	valid    bool
+	// frontier is the selection output of the latest attempt at this level;
+	// prev is the one before it (the frontier `children` of the next level
+	// were expanded from). The two slices are swapped, not copied, when the
+	// level is re-selected.
+	frontier []treeNode
+	prev     []treeNode
+}
+
+// maxCachedChildren bounds the memory the workspace spends per level: an
+// unobserved level expanded from a maxCand-wide parent frontier can produce
+// maxCand·2^k children, far more than is worth materializing. Levels whose
+// expansion exceeds the bound are re-expanded from scratch on every attempt
+// (exactly the pre-incremental behavior) instead of cached.
+const maxCachedChildren = 1 << 17
+
+// decodeWorkspace is the persistent state that makes repeated decode attempts
+// incremental. It is owned by one BeamDecoder and keyed to one observation
+// container at a time.
+type decodeWorkspace struct {
+	// obs identifies the observation container the cached state was built
+	// from; a different container (or channel kind) resets the workspace.
+	obs any
+	// gen is the container generation at the end of the last attempt.
+	gen uint64
+	// epoch is the container epoch of the last attempt; a Reset starts a new
+	// epoch, after which cached cost sums no longer describe the contents.
+	epoch uint64
+	// levels caches frontiers and expansions per tree level.
+	levels []cachedLevel
+	// complete reports that the last attempt ran to completion, making the
+	// cached state trustworthy.
+	complete bool
+	// sel is the reusable top-B selector.
+	sel selector
+	// segs is the reusable backtrack buffer.
+	segs []uint64
+	// scratch is a reusable assembly buffer for rebuilt child expansions.
+	scratch []childNode
+	// pidx is a reusable spine→index map over a parent frontier (at most
+	// MaxCandidates entries), used to match persisting parents between
+	// attempts so their children blocks can be reused wholesale.
+	pidx map[uint64]int32
+}
+
+// invalidate discards all cached state (the buffers are kept for reuse).
+func (ws *decodeWorkspace) invalidate() {
+	ws.obs = nil
+	ws.complete = false
+	for i := range ws.levels {
+		ws.levels[i].valid = false
+		ws.levels[i].frontier = ws.levels[i].frontier[:0]
+		ws.levels[i].prev = ws.levels[i].prev[:0]
+	}
+}
+
+// prepare sizes the workspace for nseg levels and decides which level the
+// beam search must resume from for this attempt.
+func (ws *decodeWorkspace) prepare(obs any, epoch, cleanGen uint64, dirty, nseg int, incremental bool) int {
+	if len(ws.levels) != nseg {
+		ws.levels = make([]cachedLevel, nseg)
+		ws.complete = false
+		ws.obs = nil
+	}
+	if !incremental || ws.obs != obs || !ws.complete || epoch != ws.epoch {
+		ws.invalidate()
+		ws.obs = obs
+		return 0
+	}
+	if cleanGen != ws.gen {
+		// The last MarkClean was not ours: another consumer decoded (and
+		// cleared the dirty watermark) after observations we have not seen,
+		// so the dirty level no longer covers everything that changed since
+		// our own last attempt. Forfeit reuse rather than trust it.
+		ws.invalidate()
+		ws.obs = obs
+		return 0
+	}
+	if dirty > nseg {
+		dirty = nseg
+	}
+	return dirty
+}
+
+// run executes the level-by-level beam search, resuming from the first dirty
+// level when the workspace holds a completed previous attempt for the same
+// observation container.
+func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint64, dirty int) *DecodeResult {
+	nseg := d.p.NumSegments()
+	ws := &d.ws
+	start := ws.prepare(obs, epoch, cleanGen, dirty, nseg, d.incremental)
+	d.nodesExpanded = 0
+	d.nodesRefreshed = 0
+
+	// parentOK tracks whether the previous level's frontier is structurally
+	// identical (same spine/parent/seg in the same order) to the one the
+	// cached children of the current level were expanded from. At the resume
+	// level it holds by construction: everything above the first dirty level
+	// is untouched. oldParent is the frontier those children were expanded
+	// from, kept for block-level reuse when the structure did change.
+	parentOK := true
+	var oldParent []treeNode
+	if start > 0 {
+		oldParent = ws.levels[start-1].frontier // unchanged above the dirty level
+	} else {
+		oldParent = rootFrontier
+	}
+	for t := start; t < nseg; t++ {
+		var parent []treeNode
+		if t > 0 {
+			parent = ws.levels[t-1].frontier
+		} else {
+			parent = rootFrontier
+		}
+		lv := &ws.levels[t]
+		nObs := coster.numObs(t)
+
 		keep := d.b
-		if !coster.observed(t) {
+		if nObs == 0 {
 			keep = d.maxCand
 		}
-		sel := newSelector(keep)
-		for pi := range frontier {
-			parent := &frontier[pi]
-			nSeg := 1 << uint(d.p.SegmentBits(t))
-			for seg := 0; seg < nSeg; seg++ {
-				s := d.family.Next(parent.spine, uint64(seg))
-				c := parent.cost + coster.cost(s, t)
-				sel.offer(treeNode{spine: s, cost: c, parent: int32(pi), seg: uint16(seg)})
-				d.nodesExpanded++
+		ws.sel.reset(keep)
+
+		nSeg := 1 << uint(d.p.SegmentBits(t))
+		switch {
+		case parentOK && lv.valid:
+			// Cached expansion: fold in only the observations that arrived
+			// since the last attempt, one term at a time so the running sum
+			// stays bit-identical to a from-scratch fold. Symbols for passes
+			// already folded in are never recomputed, and no hash is replayed.
+			if lv.childObs < nObs {
+				for i := range lv.children {
+					c := &lv.children[i]
+					for j := lv.childObs; j < nObs; j++ {
+						c.local += coster.costOne(c.spine, t, j)
+					}
+				}
+				lv.childObs = nObs
 			}
+			d.nodesRefreshed += len(lv.children)
+			for i := range lv.children {
+				c := &lv.children[i]
+				base := 0.0
+				if t > 0 {
+					base = parent[c.parent].cost
+				}
+				ws.sel.offer(treeNode{spine: c.spine, cost: base + c.local, parent: c.parent, seg: c.seg})
+			}
+
+		case d.incremental && len(parent)*nSeg <= maxCachedChildren:
+			// The parent frontier changed structurally, so the cached
+			// expansion no longer lines up index-for-index. But a parent
+			// that persisted (same spine value) still produces the exact
+			// same children block — child spines and this level's
+			// observation costs depend only on the parent spine — so index
+			// the old parents by spine and reuse whole blocks, extending
+			// their cost sums term by term to the current observations.
+			// Only children of genuinely new parents are expanded by hash
+			// replay with a full cost computation.
+			reuse := lv.valid && len(oldParent) > 0 && len(lv.children) == len(oldParent)*nSeg
+			if reuse {
+				if ws.pidx == nil {
+					ws.pidx = make(map[uint64]int32, len(oldParent))
+				} else {
+					clear(ws.pidx)
+				}
+				for i := range oldParent {
+					if _, dup := ws.pidx[oldParent[i].spine]; !dup {
+						ws.pidx[oldParent[i].spine] = int32(i)
+					}
+				}
+			}
+			newChildren := ws.scratch[:0]
+			for pi := range parent {
+				ps := parent[pi].spine
+				base := 0.0
+				if t > 0 {
+					base = parent[pi].cost
+				}
+				block := -1
+				if reuse {
+					if j, ok := ws.pidx[ps]; ok {
+						block = int(j) * nSeg
+					}
+				}
+				for seg := 0; seg < nSeg; seg++ {
+					var s uint64
+					var local float64
+					if block >= 0 {
+						old := &lv.children[block+seg]
+						s = old.spine
+						local = old.local
+						for j := lv.childObs; j < nObs; j++ {
+							local += coster.costOne(s, t, j)
+						}
+						d.nodesRefreshed++
+					} else {
+						s = d.family.Next(ps, uint64(seg))
+						local = coster.costAll(s, t)
+						d.nodesExpanded++
+					}
+					newChildren = append(newChildren, childNode{
+						spine:  s,
+						local:  local,
+						parent: int32(pi),
+						seg:    uint16(seg),
+					})
+					ws.sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
+				}
+			}
+			ws.scratch, lv.children = lv.children[:0], newChildren
+			lv.childObs = nObs
+			lv.valid = true
+
+		default:
+			// Over-budget (or non-incremental) expansion: stream children
+			// straight through the selector without materializing them —
+			// the pre-incremental behavior and memory footprint.
+			lv.children = lv.children[:0]
+			lv.valid = false
+			for pi := range parent {
+				ps := parent[pi].spine
+				base := 0.0
+				if t > 0 {
+					base = parent[pi].cost
+				}
+				for seg := 0; seg < nSeg; seg++ {
+					s := d.family.Next(ps, uint64(seg))
+					local := coster.costAll(s, t)
+					d.nodesExpanded++
+					ws.sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
+				}
+			}
+			lv.childObs = nObs
 		}
-		frontier = sel.items()
-		levels[t] = frontier
+
+		// Canonicalize the selection to (parent, seg) order. The heap's
+		// internal order depends on cost values, so without this step any
+		// cost perturbation would reshuffle the frontier and defeat the
+		// structural-reuse check above even when the same B nodes survive.
+		// The order is deterministic, so from-scratch and incremental runs
+		// still agree exactly.
+		newFrontier := ws.sel.canonical()
+
+		// Stash this level's previous frontier for the next level's block
+		// matching, compare structures, and install the new frontier. If the
+		// structure held, the next level's cached children (keyed by parent
+		// index and segment) remain valid even though the costs moved.
+		parentOK = sameStructure(newFrontier, lv.frontier)
+		lv.prev, lv.frontier = lv.frontier, append(lv.prev[:0], newFrontier...)
+		oldParent = lv.prev
 	}
 
 	// Locate the lowest-cost leaf and walk back up the tree to recover the
 	// message segments.
+	leaves := ws.levels[nseg-1].frontier
 	best := 0
-	for i := 1; i < len(frontier); i++ {
-		if frontier[i].cost < frontier[best].cost {
+	for i := 1; i < len(leaves); i++ {
+		if leaves[i].cost < leaves[best].cost {
 			best = i
 		}
 	}
-	segs := make([]uint64, nseg)
+	if cap(ws.segs) < nseg {
+		ws.segs = make([]uint64, nseg)
+	}
+	segs := ws.segs[:nseg]
 	idx := int32(best)
 	for t := nseg - 1; t >= 0; t-- {
-		n := levels[t][idx]
+		n := ws.levels[t].frontier[idx]
 		segs[t] = uint64(n.seg)
 		idx = n.parent
 	}
+	ws.gen = gen
+	ws.epoch = epoch
+	ws.complete = true
 	return &DecodeResult{
-		Message:       packSegments(d.p, segs),
-		Cost:          frontier[best].cost,
-		NodesExpanded: d.nodesExpanded,
-	}, nil
+		Message:        packSegments(d.p, segs),
+		Cost:           leaves[best].cost,
+		NodesExpanded:  d.nodesExpanded,
+		NodesRefreshed: d.nodesRefreshed,
+	}
+}
+
+// rootFrontier is the virtual level -1 frontier: the single root node with
+// the agreed initial spine value s0 = 0 and zero cost.
+var rootFrontier = []treeNode{{spine: 0, cost: 0, parent: -1}}
+
+// sameStructure reports whether two frontiers contain the same nodes — same
+// spine, parent and segment — in the same order. Costs are deliberately not
+// compared: downstream caches reconstruct cumulative costs from the parent
+// frontier at selection time, so only structural change invalidates them.
+func sameStructure(a, b []treeNode) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].spine != b[i].spine || a[i].parent != b[i].parent || a[i].seg != b[i].seg {
+			return false
+		}
+	}
+	return true
 }
 
 // selector retains the `keep` lowest-cost nodes offered to it, using a
-// bounded max-heap keyed on cost.
+// bounded max-heap keyed on cost. The node buffer is reused across decode
+// attempts via reset.
 type selector struct {
 	keep  int
 	nodes []treeNode
 }
 
 func newSelector(keep int) *selector {
+	s := &selector{}
+	s.reset(keep)
+	return s
+}
+
+// reset empties the selector and sets its retention bound, keeping the
+// underlying buffer.
+func (s *selector) reset(keep int) {
 	capHint := keep
 	if capHint > 4096 {
 		capHint = 4096
 	}
-	return &selector{keep: keep, nodes: make([]treeNode, 0, capHint)}
+	if cap(s.nodes) < capHint {
+		s.nodes = make([]treeNode, 0, capHint)
+	}
+	s.nodes = s.nodes[:0]
+	s.keep = keep
 }
 
 func (s *selector) offer(n treeNode) {
@@ -291,5 +660,19 @@ func (s *selector) siftDown(i int) {
 	}
 }
 
-// items returns the retained nodes in arbitrary order.
+// items returns the retained nodes in arbitrary (but deterministic) order.
 func (s *selector) items() []treeNode { return s.nodes }
+
+// canonical returns the retained nodes sorted by (parent, seg) — the order
+// the children were generated in. Unlike the raw heap order it does not
+// depend on the cost values, so a frontier whose membership is unchanged
+// between attempts compares structurally equal even though every cost moved.
+func (s *selector) canonical() []treeNode {
+	sort.Slice(s.nodes, func(i, j int) bool {
+		if s.nodes[i].parent != s.nodes[j].parent {
+			return s.nodes[i].parent < s.nodes[j].parent
+		}
+		return s.nodes[i].seg < s.nodes[j].seg
+	})
+	return s.nodes
+}

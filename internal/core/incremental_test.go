@@ -1,0 +1,393 @@
+package core
+
+import (
+	"testing"
+
+	"spinal/internal/channel"
+	"spinal/internal/rng"
+)
+
+// Tests for the incremental decode pipeline: interleaved Observe/Decode
+// sequences must produce byte-identical messages and identical costs to a
+// fresh from-scratch decode at every attempt point, across channel kinds and
+// schedules, while expanding strictly fewer nodes in total.
+
+// incrementalCase is one interleaving scenario.
+type incrementalCase struct {
+	name    string
+	params  Params
+	striped bool
+	// attemptEvery is the number of symbols between decode attempts (1 =
+	// every symbol); varying it exercises multi-observation refreshes.
+	attemptEvery int
+	passes       int
+}
+
+func incrementalCases() []incrementalCase {
+	return []incrementalCase{
+		{name: "sequential/every-symbol", params: Params{K: 4, C: 8, MessageBits: 24, Seed: 101}, attemptEvery: 1, passes: 6},
+		{name: "sequential/every-3", params: Params{K: 4, C: 8, MessageBits: 24, Seed: 102}, attemptEvery: 3, passes: 6},
+		{name: "striped/every-symbol", params: Params{K: 4, C: 8, MessageBits: 26, Seed: 103}, striped: true, attemptEvery: 1, passes: 6},
+		{name: "striped/every-5", params: Params{K: 6, C: 8, MessageBits: 30, Seed: 104}, striped: true, attemptEvery: 5, passes: 8},
+	}
+}
+
+func caseSchedule(t *testing.T, tc incrementalCase) Schedule {
+	t.Helper()
+	nseg := tc.params.NumSegments()
+	var sched Schedule
+	var err error
+	if tc.striped {
+		sched, err = NewStripedSchedule(nseg, 4)
+	} else {
+		sched, err = NewSequentialSchedule(nseg)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched
+}
+
+// TestIncrementalMatchesFromScratchAWGN interleaves Observe and Decode over
+// an AWGN channel and checks every attempt against a from-scratch decode.
+func TestIncrementalMatchesFromScratchAWGN(t *testing.T) {
+	for _, tc := range incrementalCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.params
+			sched := caseSchedule(t, tc)
+			msg := RandomMessage(rng.New(p.Seed^0xf00d), p.MessageBits)
+			enc, err := NewEncoder(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := channel.NewAWGNdB(6, rng.New(p.Seed^0xbeef))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inc, err := NewBeamDecoder(p, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := NewObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var incNodes, scratchNodes int
+			attempts := 0
+			total := tc.passes * p.NumSegments()
+			for i := 0; i < total; i++ {
+				pos := sched.Pos(i)
+				if err := obs.Add(pos, ch.Corrupt(enc.SymbolAt(pos))); err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%tc.attemptEvery != 0 {
+					continue
+				}
+				got, err := inc.Decode(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// A fresh decoder with an empty workspace is the from-scratch
+				// baseline for the exact same observations.
+				fresh, err := NewBeamDecoder(p, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Decode(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !EqualMessages(got.Message, want.Message, p.MessageBits) {
+					t.Fatalf("attempt at %d symbols: incremental message %x differs from from-scratch %x",
+						i+1, got.Message, want.Message)
+				}
+				if got.Cost != want.Cost {
+					t.Fatalf("attempt at %d symbols: incremental cost %v differs from from-scratch %v",
+						i+1, got.Cost, want.Cost)
+				}
+				incNodes += got.NodesExpanded
+				scratchNodes += want.NodesExpanded
+				attempts++
+			}
+			if attempts < 2 {
+				t.Fatal("scenario exercised fewer than two attempts")
+			}
+			if incNodes >= scratchNodes {
+				t.Fatalf("incremental expanded %d nodes, from-scratch %d: no savings", incNodes, scratchNodes)
+			}
+		})
+	}
+}
+
+// TestIncrementalMatchesFromScratchBSC is the binary-channel counterpart.
+func TestIncrementalMatchesFromScratchBSC(t *testing.T) {
+	for _, tc := range incrementalCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.params
+			sched := caseSchedule(t, tc)
+			msg := RandomMessage(rng.New(p.Seed^0xabcd), p.MessageBits)
+			enc, err := NewEncoder(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bsc, err := channel.NewBSC(0.08, rng.New(p.Seed^0x1234))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			inc, err := NewBeamDecoder(p, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obs, err := NewBitObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var incNodes, scratchNodes int
+			total := (tc.passes + 6) * p.NumSegments() // bits carry less, give more passes
+			for i := 0; i < total; i++ {
+				pos := sched.Pos(i)
+				if err := obs.Add(pos, bsc.CorruptBit(enc.CodedBit(pos.Spine, pos.Pass))); err != nil {
+					t.Fatal(err)
+				}
+				if (i+1)%tc.attemptEvery != 0 {
+					continue
+				}
+				got, err := inc.DecodeBits(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				fresh, err := NewBeamDecoder(p, 8)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.DecodeBits(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !EqualMessages(got.Message, want.Message, p.MessageBits) {
+					t.Fatalf("attempt at %d bits: incremental message %x differs from from-scratch %x",
+						i+1, got.Message, want.Message)
+				}
+				if got.Cost != want.Cost {
+					t.Fatalf("attempt at %d bits: incremental cost %v differs from from-scratch %v",
+						i+1, got.Cost, want.Cost)
+				}
+				incNodes += got.NodesExpanded
+				scratchNodes += want.NodesExpanded
+			}
+			if incNodes >= scratchNodes {
+				t.Fatalf("incremental expanded %d nodes, from-scratch %d: no savings", incNodes, scratchNodes)
+			}
+		})
+	}
+}
+
+// TestIncrementalUnchangedObservationsIsCacheHit checks that re-decoding an
+// unchanged container does no tree work and returns the identical result.
+func TestIncrementalUnchangedObservationsIsCacheHit(t *testing.T) {
+	p := DefaultParams()
+	msg := testMessage(91, p.MessageBits)
+	e, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := observeNoiseless(t, e, 2)
+	dec, err := NewBeamDecoder(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := dec.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.NodesExpanded == 0 {
+		t.Fatal("first decode reported no work")
+	}
+	second, err := dec.Decode(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.NodesExpanded != 0 || second.NodesRefreshed != 0 {
+		t.Fatalf("unchanged re-decode did work: %d expanded, %d refreshed",
+			second.NodesExpanded, second.NodesRefreshed)
+	}
+	if !EqualMessages(first.Message, second.Message, p.MessageBits) || first.Cost != second.Cost {
+		t.Fatal("cache-hit decode returned a different result")
+	}
+}
+
+// TestIncrementalSurvivesReset checks that Reset marks everything dirty so a
+// reused decoder re-runs from the root for a new message.
+func TestIncrementalSurvivesReset(t *testing.T) {
+	p := DefaultParams()
+	dec, err := NewBeamDecoder(p, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := NewObservations(p.NumSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		msg := testMessage(uint64(200+round), p.MessageBits)
+		e, err := NewEncoder(p, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs.Reset()
+		for pass := 0; pass < 2; pass++ {
+			for s := 0; s < e.NumSegments(); s++ {
+				if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, e.Symbol(s, pass)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		out, err := dec.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(out.Message, msg, p.MessageBits) {
+			t.Fatalf("round %d: reused decoder failed after Reset", round)
+		}
+	}
+}
+
+// TestIncrementalSwitchingContainersFallsBack checks that decoding a
+// different observation container resets the workspace rather than reusing
+// stale state.
+func TestIncrementalSwitchingContainersFallsBack(t *testing.T) {
+	p := Params{K: 4, C: 8, MessageBits: 16, Seed: 55}
+	msgA := testMessage(1, p.MessageBits)
+	msgB := testMessage(2, p.MessageBits)
+	encA, _ := NewEncoder(p, msgA)
+	encB, _ := NewEncoder(p, msgB)
+	obsA := observeNoiseless(t, encA, 2)
+	obsB := observeNoiseless(t, encB, 2)
+	dec, err := NewBeamDecoder(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		outA, err := dec.Decode(obsA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(outA.Message, msgA, p.MessageBits) {
+			t.Fatal("decode of container A wrong after switching")
+		}
+		outB, err := dec.Decode(obsB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(outB.Message, msgB, p.MessageBits) {
+			t.Fatal("decode of container B wrong after switching")
+		}
+	}
+}
+
+// TestIncrementalTwoDecodersOneContainer checks that two decoders
+// interleaving attempts on one observation container — a misuse of the
+// single-consumer dirty tracking — still decode correctly: each decoder's
+// workspace detects the other's MarkClean through the watermark and falls
+// back to a full decode instead of trusting a dirty level that no longer
+// covers its own unseen changes.
+func TestIncrementalTwoDecodersOneContainer(t *testing.T) {
+	p := Params{K: 4, C: 8, MessageBits: 24, Seed: 77}
+	msg := RandomMessage(rng.New(7), p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := channel.NewAWGNdB(8, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := NewBeamDecoder(p, 8)
+	b, _ := NewBeamDecoder(p, 8)
+	obs, err := NewObservations(p.NumSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewSequentialSchedule(p.NumSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6*p.NumSegments(); i++ {
+		pos := sched.Pos(i)
+		if err := obs.Add(pos, ch.Corrupt(enc.SymbolAt(pos))); err != nil {
+			t.Fatal(err)
+		}
+		// Alternate consumers; verify each against a fresh from-scratch
+		// decode of the same container.
+		dec := a
+		if i%2 == 1 {
+			dec = b
+		}
+		got, err := dec.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh, _ := NewBeamDecoder(p, 8)
+		want, err := fresh.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(got.Message, want.Message, p.MessageBits) || got.Cost != want.Cost {
+			t.Fatalf("symbol %d: interleaved consumers diverged from from-scratch decode", i+1)
+		}
+	}
+}
+
+// TestIncrementalDirtyTracking checks the observation container's dirty
+// bookkeeping directly.
+func TestIncrementalDirtyTracking(t *testing.T) {
+	obs, err := NewObservations(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.DirtyLevel() != 0 {
+		t.Fatalf("fresh container dirty level = %d, want 0", obs.DirtyLevel())
+	}
+	obs.MarkClean()
+	if obs.DirtyLevel() != 4 {
+		t.Fatalf("clean container dirty level = %d, want 4", obs.DirtyLevel())
+	}
+	gen := obs.Generation()
+	if err := obs.Add(SymbolPos{Spine: 2, Pass: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if obs.DirtyLevel() != 2 || obs.Generation() == gen {
+		t.Fatalf("after add at spine 2: dirty=%d gen moved=%v", obs.DirtyLevel(), obs.Generation() != gen)
+	}
+	if err := obs.Add(SymbolPos{Spine: 1, Pass: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Add(SymbolPos{Spine: 3, Pass: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if obs.DirtyLevel() != 1 {
+		t.Fatalf("dirty level = %d, want the minimum touched level 1", obs.DirtyLevel())
+	}
+	obs.Reset()
+	if obs.DirtyLevel() != 0 {
+		t.Fatal("Reset must mark everything dirty")
+	}
+
+	bits, err := NewBitObservations(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits.MarkClean()
+	if err := bits.Add(SymbolPos{Spine: 1, Pass: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bits.DirtyLevel() != 1 {
+		t.Fatalf("bit dirty level = %d, want 1", bits.DirtyLevel())
+	}
+}

@@ -6,9 +6,27 @@ import "fmt"
 // grouped by the spine value they were generated from. The decoder sums
 // per-pass costs over all observations of a spine value (§3.2), so the same
 // container naturally supports any number of passes and any puncturing.
+//
+// The container also tracks which spine values (tree levels) have changed
+// since the last decode: DirtyLevel reports the lowest level touched since
+// MarkClean, and Generation increments on every mutation. The decoder's
+// workspace uses the pair to resume the beam search from the first dirty
+// level instead of the root on repeated decode attempts. Dirty tracking is
+// designed for one decoding consumer per container (which the sessions, the
+// facade and the link receiver all satisfy); a second consumer is detected
+// through the MarkClean watermark and costs both decoders their incremental
+// reuse, never their correctness.
 type Observations struct {
 	spines [][]symbolObs
 	count  int
+	gen    uint64
+	epoch  uint64
+	dirty  int
+	// cleanGen is the generation at which MarkClean last ran. A decoder
+	// whose workspace generation disagrees with it knows another consumer
+	// consumed (and cleared) dirty state in between, so the dirty level no
+	// longer covers everything that changed since its own last attempt.
+	cleanGen uint64
 }
 
 type symbolObs struct {
@@ -35,11 +53,38 @@ func (o *Observations) Add(pos SymbolPos, y complex128) error {
 	}
 	o.spines[pos.Spine] = append(o.spines[pos.Spine], symbolObs{pass: pos.Pass, y: y})
 	o.count++
+	o.gen++
+	if pos.Spine < o.dirty {
+		o.dirty = pos.Spine
+	}
 	return nil
 }
 
 // Count returns the total number of received symbols.
 func (o *Observations) Count() int { return o.count }
+
+// Generation returns a counter that increments on every mutation (Add or
+// Reset). The decoder compares generations to detect whether anything changed
+// between two attempts.
+func (o *Observations) Generation() uint64 { return o.gen }
+
+// Epoch returns a counter that increments only on Reset. Within one epoch
+// the per-spine observation lists are append-only, which is what lets the
+// decoder extend cached per-level cost sums instead of recomputing them; a
+// new epoch forces a full rebuild.
+func (o *Observations) Epoch() uint64 { return o.epoch }
+
+// DirtyLevel returns the lowest spine index mutated since the last MarkClean,
+// or NumSegments() if nothing changed. A fresh container reports level 0 so
+// that the first decode runs from the root.
+func (o *Observations) DirtyLevel() int { return o.dirty }
+
+// MarkClean resets the dirty watermark; the decoder calls it after folding
+// the current observations into its workspace.
+func (o *Observations) MarkClean() {
+	o.dirty = len(o.spines)
+	o.cleanGen = o.gen
+}
 
 // NumSegments returns the number of spine values the container was sized for.
 func (o *Observations) NumSegments() int { return len(o.spines) }
@@ -52,20 +97,28 @@ func (o *Observations) PerSpine(t int) int {
 	return len(o.spines[t])
 }
 
-// Reset discards all recorded observations, retaining the allocation.
+// Reset discards all recorded observations, retaining the allocation. The
+// whole container becomes dirty, so the next decode runs from the root.
 func (o *Observations) Reset() {
 	for i := range o.spines {
 		o.spines[i] = o.spines[i][:0]
 	}
 	o.count = 0
+	o.gen++
+	o.epoch++
+	o.dirty = 0
 }
 
 // BitObservations is the binary-channel counterpart of Observations: it
 // stores received coded bits (possibly flipped by a BSC) grouped by spine
-// value.
+// value, with the same dirty-level tracking for incremental decoding.
 type BitObservations struct {
-	spines [][]bitObs
-	count  int
+	spines   [][]bitObs
+	count    int
+	gen      uint64
+	epoch    uint64
+	dirty    int
+	cleanGen uint64
 }
 
 type bitObs struct {
@@ -94,11 +147,32 @@ func (o *BitObservations) Add(pos SymbolPos, bit byte) error {
 	}
 	o.spines[pos.Spine] = append(o.spines[pos.Spine], bitObs{pass: pos.Pass, bit: bit})
 	o.count++
+	o.gen++
+	if pos.Spine < o.dirty {
+		o.dirty = pos.Spine
+	}
 	return nil
 }
 
 // Count returns the total number of received coded bits.
 func (o *BitObservations) Count() int { return o.count }
+
+// Generation returns a counter that increments on every mutation.
+func (o *BitObservations) Generation() uint64 { return o.gen }
+
+// Epoch returns a counter that increments only on Reset; see
+// Observations.Epoch.
+func (o *BitObservations) Epoch() uint64 { return o.epoch }
+
+// DirtyLevel returns the lowest spine index mutated since the last MarkClean,
+// or NumSegments() if nothing changed.
+func (o *BitObservations) DirtyLevel() int { return o.dirty }
+
+// MarkClean resets the dirty watermark.
+func (o *BitObservations) MarkClean() {
+	o.dirty = len(o.spines)
+	o.cleanGen = o.gen
+}
 
 // NumSegments returns the number of spine values the container was sized for.
 func (o *BitObservations) NumSegments() int { return len(o.spines) }
@@ -111,10 +185,14 @@ func (o *BitObservations) PerSpine(t int) int {
 	return len(o.spines[t])
 }
 
-// Reset discards all recorded observations, retaining the allocation.
+// Reset discards all recorded observations, retaining the allocation. The
+// whole container becomes dirty, so the next decode runs from the root.
 func (o *BitObservations) Reset() {
 	for i := range o.spines {
 		o.spines[i] = o.spines[i][:0]
 	}
 	o.count = 0
+	o.gen++
+	o.epoch++
+	o.dirty = 0
 }

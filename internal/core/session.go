@@ -45,17 +45,28 @@ func (AttemptEveryPass) Name() string { return "every-pass" }
 // each extra symbol can change the achieved rate substantially) and once per
 // pass afterwards (where rates are low and per-symbol attempts are wasted
 // work). This is the default policy of the experiment harness.
+//
+// With the incremental decoder an attempt after one new symbol only touches
+// the tree from that symbol's level down and replays no hashes for unchanged
+// levels, so per-symbol attempts cost a small fraction of a full decode. The
+// default fine-grained window is therefore 8 passes (it was 2 when every
+// attempt re-ran the whole tree), which buys finer rate granularity through
+// the SNR range where most messages complete.
 type AttemptAdaptive struct {
 	// FinePasses is the number of initial passes decoded at per-symbol
-	// granularity. Zero means 2.
+	// granularity. Zero means 8.
 	FinePasses int
 }
+
+// DefaultFinePasses is the fine-grained window used when
+// AttemptAdaptive.FinePasses is zero.
+const DefaultFinePasses = 8
 
 // ShouldAttempt implements AttemptPolicy.
 func (a AttemptAdaptive) ShouldAttempt(received, nseg int) bool {
 	fine := a.FinePasses
 	if fine <= 0 {
-		fine = 2
+		fine = DefaultFinePasses
 	}
 	if received <= fine*nseg {
 		return true
@@ -140,6 +151,10 @@ type SessionConfig struct {
 	// MaxSymbols bounds the number of channel uses before the sender gives up
 	// on the message. Zero selects 400 passes worth of symbols.
 	MaxSymbols int
+	// DisableIncremental forces every decode attempt to run from the root of
+	// the tree instead of resuming from the previous attempt's workspace. It
+	// exists for benchmarks and equivalence tests; leave it false in real use.
+	DisableIncremental bool
 }
 
 func (c SessionConfig) withDefaults() (SessionConfig, error) {
@@ -179,8 +194,13 @@ type Result struct {
 	ChannelUses int
 	// Attempts is the number of decoder invocations.
 	Attempts int
-	// NodesExpanded is the total decoding-tree work across all attempts.
+	// NodesExpanded is the total number of freshly expanded decoding-tree
+	// nodes (hash replay plus full cost computation) across all attempts.
 	NodesExpanded int64
+	// NodesRefreshed is the total number of cached nodes reused across
+	// attempts with an in-place cost update — the work the incremental
+	// decoder did instead of re-expanding.
+	NodesRefreshed int64
 }
 
 // Rate returns the achieved rate in message bits per channel use, or zero if
@@ -217,6 +237,7 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 			return nil, err
 		}
 	}
+	dec.SetIncremental(!cfg.DisableIncremental)
 	obs, err := NewObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -244,6 +265,7 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 		}
 		res.Attempts++
 		res.NodesExpanded += int64(out.NodesExpanded)
+		res.NodesRefreshed += int64(out.NodesRefreshed)
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true
@@ -279,6 +301,7 @@ func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte
 			return nil, err
 		}
 	}
+	dec.SetIncremental(!cfg.DisableIncremental)
 	obs, err := NewBitObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -306,6 +329,7 @@ func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte
 		}
 		res.Attempts++
 		res.NodesExpanded += int64(out.NodesExpanded)
+		res.NodesRefreshed += int64(out.NodesRefreshed)
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true

@@ -205,12 +205,18 @@ func TestAttemptPolicies(t *testing.T) {
 	if ep.ShouldAttempt(2, 3) || !ep.ShouldAttempt(3, 3) || !ep.ShouldAttempt(6, 3) {
 		t.Error("every-pass policy misfires")
 	}
-	ad := AttemptAdaptive{}
+	ad := AttemptAdaptive{FinePasses: 2}
 	if !ad.ShouldAttempt(1, 3) || !ad.ShouldAttempt(5, 3) {
 		t.Error("adaptive policy should be fine-grained early")
 	}
 	if ad.ShouldAttempt(7, 3) || !ad.ShouldAttempt(9, 3) {
 		t.Error("adaptive policy should be per-pass after the fine phase")
+	}
+	def := AttemptAdaptive{}
+	if !def.ShouldAttempt(3*DefaultFinePasses, 3) ||
+		def.ShouldAttempt(3*DefaultFinePasses+1, 3) ||
+		!def.ShouldAttempt(3*(DefaultFinePasses+1), 3) {
+		t.Error("default adaptive policy fine window misplaced")
 	}
 	bo := AttemptBackoff{DensePasses: 4}
 	if !bo.ShouldAttempt(3*4, 3) || bo.ShouldAttempt(3*5, 3) || !bo.ShouldAttempt(3*6, 3) {

@@ -31,7 +31,11 @@ type Delivered struct {
 	Symbols int
 }
 
-// msgState tracks the decoding progress of one packet.
+// msgState tracks the decoding progress of one packet. The decoder and
+// observation container live for the whole packet, so every tryDecode after
+// the first resumes the beam search incrementally from the first spine value
+// that received new symbols — the attempts for one packet cost about one
+// full decode in total instead of one per arriving frame.
 type msgState struct {
 	params  core.Params
 	sched   core.Schedule
@@ -40,6 +44,7 @@ type msgState struct {
 	done    bool
 	payload []byte
 	symbols int
+	nodes   int64
 }
 
 // NewReceiver returns a receiver that reads frames from tr and corrupts each
@@ -184,6 +189,7 @@ func (r *Receiver) tryDecode(msgID uint32) (*Delivered, error) {
 	if err != nil {
 		return nil, err
 	}
+	st.nodes += int64(out.NodesExpanded)
 	payload, okCRC := crc.Verify32(out.Message)
 	if !okCRC {
 		return nil, nil // keep listening for more symbols
@@ -254,6 +260,17 @@ func (r *Receiver) sendAck(msgID uint32) error {
 func (r *Receiver) SymbolsReceived(msgID uint32) int {
 	if st, ok := r.states[msgID]; ok {
 		return st.symbols
+	}
+	return 0
+}
+
+// NodesExpanded reports the total decoding-tree nodes freshly expanded across
+// all decode attempts for a message — the receiver's computational cost for
+// the packet. With the incremental decoder this stays near the cost of a
+// single full decode regardless of how many frames triggered attempts.
+func (r *Receiver) NodesExpanded(msgID uint32) int64 {
+	if st, ok := r.states[msgID]; ok {
+		return st.nodes
 	}
 	return 0
 }

@@ -187,6 +187,14 @@ func (s *SymbolStream) Emitted() int { return s.next }
 
 // Decoder accumulates received symbols for one message and produces the most
 // likely message on demand using the B-bounded beam decoder of §3.2.
+//
+// Decoding is incremental: the decoder keeps the pruned tree of the previous
+// Decode call and, on the next call, resumes from the first level whose
+// observations changed instead of rebuilding from the root. Interleaving
+// Observe and Decode — the natural rateless receive loop — is therefore
+// cheap: the attempts of a whole transmission cost about one full decode in
+// total rather than one per attempt, with bit-identical results. Reset
+// reuses the decoder (and its allocations) for a new message.
 type Decoder struct {
 	dec *core.BeamDecoder
 	obs *core.Observations
@@ -225,6 +233,18 @@ func (d *Decoder) Decode() ([]byte, error) {
 	}
 	return out.Message, nil
 }
+
+// Reset discards all observations and the cached decode state so the decoder
+// (and its buffers) can be reused for a new message of the same code.
+func (d *Decoder) Reset() {
+	d.obs.Reset()
+}
+
+// NodesExpanded reports the number of decoding-tree nodes freshly expanded by
+// the most recent Decode call — the cost of the attempt in the paper's unit
+// of one hash evaluation plus one cost computation. Thanks to incremental
+// reuse this is typically far below the size of the full tree.
+func (d *Decoder) NodesExpanded() int { return d.dec.NodesExpanded() }
 
 // Equal reports whether two packed messages of this code's length are
 // identical; it is a convenience for genie-style simulations.

@@ -95,6 +95,80 @@ func TestStreamAt(t *testing.T) {
 	}
 }
 
+func TestDecoderResetReuse(t *testing.T) {
+	// One Decoder instance, reused via Reset across several messages, must
+	// behave exactly like a fresh decoder for each — this is the
+	// allocation-free reuse path a high-throughput receiver runs.
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		msg := spinal.RandomMessage(64, uint64(round)+1)
+		stream, err := code.EncodeStream(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2*code.NumSegments(); i++ {
+			sym := stream.Next()
+			if err := dec.Observe(sym.Pos, sym.Value); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !code.Equal(got, msg) {
+			t.Fatalf("round %d: reused decoder failed", round)
+		}
+		if dec.NodesExpanded() <= 0 {
+			t.Fatalf("round %d: NodesExpanded not reported", round)
+		}
+		dec.Reset()
+		if dec.Observations() != 0 {
+			t.Fatal("Reset did not clear observations")
+		}
+	}
+}
+
+func TestDecoderIncrementalObserveDecodeLoop(t *testing.T) {
+	// The natural rateless loop: observe one symbol, try a decode. Later
+	// attempts must cost less tree work than the first full ones, and the
+	// final answer must be the message.
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64, Sequential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(64, 7)
+	stream, err := code.EncodeStream(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	for i := 0; i < 3*code.NumSegments(); i++ {
+		sym := stream.Next()
+		if err := dec.Observe(sym.Pos, sym.Value); err != nil {
+			t.Fatal(err)
+		}
+		got, err = dec.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !code.Equal(got, msg) {
+		t.Fatal("interleaved observe/decode loop failed on a noiseless channel")
+	}
+}
+
 func TestTransmitOverAWGN(t *testing.T) {
 	code, err := spinal.NewCode(spinal.Config{MessageBits: 96})
 	if err != nil {
