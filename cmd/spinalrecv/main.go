@@ -26,17 +26,21 @@ func main() {
 	snr := flag.Float64("snr", 15, "simulated radio SNR in dB")
 	adc := flag.Int("adc", 14, "simulated receiver ADC bits per dimension")
 	beam := flag.Int("beam", 16, "decoder beam width B")
+	workers := flag.Int("workers", 0,
+		"decode worker pool size: how many distinct in-flight packets decode concurrently (0 = GOMAXPROCS)")
+	decWorkers := flag.Int("decoder-workers", 0,
+		"per-packet decoder parallelism (0 = serial per packet; results are bit-identical at any setting)")
 	count := flag.Int("count", 0, "exit after this many packets (0 = run forever)")
 	seed := flag.Uint64("noise-seed", 1, "seed for the simulated radio noise")
 	flag.Parse()
 
-	if err := serve(*listen, *snr, *adc, *beam, *count, *seed); err != nil {
+	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(listen string, snr float64, adc, beam, count int, seed uint64) error {
+func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64) error {
 	tr, err := link.NewUDP(listen, "")
 	if err != nil {
 		return err
@@ -47,10 +51,15 @@ func serve(listen string, snr float64, adc, beam, count int, seed uint64) error 
 	if err != nil {
 		return err
 	}
-	recv, err := link.NewReceiver(tr, link.Config{BeamWidth: beam}, radio)
+	recv, err := link.NewReceiver(tr, link.Config{
+		BeamWidth:          beam,
+		DecodeWorkers:      workers,
+		DecoderParallelism: decWorkers,
+	}, radio)
 	if err != nil {
 		return err
 	}
+	defer recv.Close()
 	fmt.Printf("spinalrecv: listening on %s, simulating a %.1f dB channel\n", tr.LocalAddr(), snr)
 
 	delivered := 0

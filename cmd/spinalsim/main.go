@@ -50,6 +50,7 @@ type options struct {
 	seed     uint64
 	mapper   string
 	schedule string
+	workers  int
 	csv      bool
 }
 
@@ -57,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spinalsim", flag.ContinueOnError)
 	opt := options{}
 	fs.StringVar(&opt.exp, "exp", "figure2",
-		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate")
+		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel")
 	fs.Float64Var(&opt.snrMin, "snr-min", -10, "sweep start (dB)")
 	fs.Float64Var(&opt.snrMax, "snr-max", 40, "sweep end (dB)")
 	fs.Float64Var(&opt.snrStep, "snr-step", 5, "sweep step (dB)")
@@ -72,6 +73,8 @@ func run(args []string, out io.Writer) error {
 	fs.Uint64Var(&opt.seed, "seed", 0, "override experiment seed (0 = default)")
 	fs.StringVar(&opt.mapper, "mapper", "linear", "constellation mapper: linear|uniform|gaussian")
 	fs.StringVar(&opt.schedule, "schedule", "striped", "transmission schedule: striped|sequential")
+	fs.IntVar(&opt.workers, "workers", 0,
+		"decoder worker goroutines per level expansion (0 = automatic: serial per trial in CPU-parallel sweeps, GOMAXPROCS otherwise; results are bit-identical at any setting)")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned tables")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,6 +97,7 @@ func (o options) spinalConfig() experiments.SpinalConfig {
 	cfg.ADCBits = o.adcBits
 	cfg.Mapper = o.mapper
 	cfg.Schedule = o.schedule
+	cfg.Workers = o.workers
 	if o.seed != 0 {
 		cfg.Seed = o.seed
 	}
@@ -259,6 +263,21 @@ func dispatch(o options, out io.Writer) error {
 		}
 		fmt.Fprintln(out, "# reactive rate adaptation vs rateless spinal over time-varying channels")
 		emit(o, out, experiments.FormatAdaptation(pts))
+		return nil
+	case "parallel":
+		cfg := o.spinalConfig()
+		cfg.Schedule = "sequential" // the natural low-SNR operating point
+		if o.trials > 20 {
+			cfg.Trials = 20 // each trial runs once per worker count
+		}
+		pts, err := experiments.ParallelDecodeComparison(cfg, 0, []int{1, 2, 4, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# parallel decode scaling at 0 dB (bit-identical decodes, wall-clock only)\n")
+		fmt.Fprintf(out, "# effective config: %d trials, %s schedule, B=%d (this experiment fixes the schedule and bounds trials)\n",
+			cfg.Trials, cfg.Schedule, cfg.BeamWidth)
+		emit(o, out, experiments.FormatParallel(pts))
 		return nil
 	case "fixedrate":
 		snrs, err := o.sweep()

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"runtime"
 
 	"spinal/internal/constellation"
 	"spinal/internal/hash"
@@ -33,6 +33,14 @@ import (
 // attempts, while producing bit-identical results (the refresh performs the
 // exact same floating-point additions, in the same order, that a full rerun
 // would). Use SetIncremental(false) to force every attempt from the root.
+// Decoding is also parallel within each level: the parent frontier is
+// sharded across worker goroutines, each expanding into a private top-keep
+// selector, and a deterministic merge reduces the per-worker selections into
+// the global frontier. Because the selector orders nodes by a strict total
+// order — (cost, parent, seg) — the surviving set is the unique keep-smallest
+// set of the level regardless of how the work was sharded, so parallel and
+// serial decodes are bit-identical at any worker count. SetParallelism(1)
+// restores the exact single-threaded path.
 type BeamDecoder struct {
 	p           Params
 	b           int
@@ -40,11 +48,16 @@ type BeamDecoder struct {
 	family      hash.Family
 	mapper      constellation.Mapper
 	incremental bool
+	workers     int
 
 	nodesExpanded  int
 	nodesRefreshed int
 
-	ws decodeWorkspace
+	ws        decodeWorkspace
+	pool      *decodePool
+	par       []parShard
+	region    parRegion
+	shardBody func(worker int)
 }
 
 // unlimited is the beam width used by the ML decoder.
@@ -96,6 +109,7 @@ func newBeamDecoder(p Params, beamWidth, maxCand int) (*BeamDecoder, error) {
 		family:      p.family(),
 		mapper:      mapper,
 		incremental: true,
+		workers:     runtime.GOMAXPROCS(0),
 	}, nil
 }
 
@@ -416,24 +430,13 @@ func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint
 			// since the last attempt, one term at a time so the running sum
 			// stays bit-identical to a from-scratch fold. Symbols for passes
 			// already folded in are never recomputed, and no hash is replayed.
-			if lv.childObs < nObs {
-				for i := range lv.children {
-					c := &lv.children[i]
-					for j := lv.childObs; j < nObs; j++ {
-						c.local += coster.costOne(c.spine, t, j)
-					}
-				}
-				lv.childObs = nObs
+			if w := d.workersFor(len(lv.children)); w > 1 {
+				d.runRegion(w, parRegion{kind: regionRefresh, coster: coster, lv: lv,
+					parent: parent, t: t, nObs: nObs, units: len(lv.children), keep: keep})
+			} else {
+				d.nodesRefreshed += d.refreshRange(coster, lv, parent, t, nObs, 0, len(lv.children), &ws.sel)
 			}
-			d.nodesRefreshed += len(lv.children)
-			for i := range lv.children {
-				c := &lv.children[i]
-				base := 0.0
-				if t > 0 {
-					base = parent[c.parent].cost
-				}
-				ws.sel.offer(treeNode{spine: c.spine, cost: base + c.local, parent: c.parent, seg: c.seg})
-			}
+			lv.childObs = nObs
 
 		case d.incremental && len(parent)*nSeg <= maxCachedChildren:
 			// The parent frontier changed structurally, so the cached
@@ -458,43 +461,19 @@ func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint
 					}
 				}
 			}
-			newChildren := ws.scratch[:0]
-			for pi := range parent {
-				ps := parent[pi].spine
-				base := 0.0
-				if t > 0 {
-					base = parent[pi].cost
-				}
-				block := -1
-				if reuse {
-					if j, ok := ws.pidx[ps]; ok {
-						block = int(j) * nSeg
-					}
-				}
-				for seg := 0; seg < nSeg; seg++ {
-					var s uint64
-					var local float64
-					if block >= 0 {
-						old := &lv.children[block+seg]
-						s = old.spine
-						local = old.local
-						for j := lv.childObs; j < nObs; j++ {
-							local += coster.costOne(s, t, j)
-						}
-						d.nodesRefreshed++
-					} else {
-						s = d.family.Next(ps, uint64(seg))
-						local = coster.costAll(s, t)
-						d.nodesExpanded++
-					}
-					newChildren = append(newChildren, childNode{
-						spine:  s,
-						local:  local,
-						parent: int32(pi),
-						seg:    uint16(seg),
-					})
-					ws.sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
-				}
+			need := len(parent) * nSeg
+			if cap(ws.scratch) < need {
+				ws.scratch = make([]childNode, need)
+			}
+			newChildren := ws.scratch[:need]
+			if w := d.workersFor(need); w > 1 {
+				d.runRegion(w, parRegion{kind: regionRebuild, coster: coster, lv: lv,
+					parent: parent, t: t, nObs: nObs, nSeg: nSeg, reuse: reuse,
+					out: newChildren, units: len(parent), keep: keep})
+			} else {
+				e, r := d.rebuildRange(coster, lv, parent, t, nObs, nSeg, reuse, 0, len(parent), newChildren, &ws.sel)
+				d.nodesExpanded += e
+				d.nodesRefreshed += r
 			}
 			ws.scratch, lv.children = lv.children[:0], newChildren
 			lv.childObs = nObs
@@ -506,18 +485,11 @@ func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint
 			// the pre-incremental behavior and memory footprint.
 			lv.children = lv.children[:0]
 			lv.valid = false
-			for pi := range parent {
-				ps := parent[pi].spine
-				base := 0.0
-				if t > 0 {
-					base = parent[pi].cost
-				}
-				for seg := 0; seg < nSeg; seg++ {
-					s := d.family.Next(ps, uint64(seg))
-					local := coster.costAll(s, t)
-					d.nodesExpanded++
-					ws.sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
-				}
+			if w := d.workersFor(len(parent) * nSeg); w > 1 {
+				d.runRegion(w, parRegion{kind: regionStream, coster: coster,
+					parent: parent, t: t, nSeg: nSeg, units: len(parent), keep: keep})
+			} else {
+				d.nodesExpanded += d.streamRange(coster, parent, t, nSeg, 0, len(parent), &ws.sel)
 			}
 			lv.childObs = nObs
 		}
@@ -569,6 +541,90 @@ func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint
 	}
 }
 
+// refreshRange is the cached-expansion path for children[lo:hi): extend each
+// cached child's local cost sum with the observation terms that arrived since
+// the level was last folded, then offer the reconstituted path cost to sel.
+// Each child's sum is extended term by term in recording order — the exact
+// same floating-point additions a from-scratch fold would perform — so the
+// result does not depend on how the range was sharded. Returns the number of
+// cached nodes reused.
+func (d *BeamDecoder) refreshRange(coster levelCoster, lv *cachedLevel, parent []treeNode, t, nObs, lo, hi int, sel *selector) int {
+	for i := lo; i < hi; i++ {
+		c := &lv.children[i]
+		for j := lv.childObs; j < nObs; j++ {
+			c.local += coster.costOne(c.spine, t, j)
+		}
+		base := 0.0
+		if t > 0 {
+			base = parent[c.parent].cost
+		}
+		sel.offer(treeNode{spine: c.spine, cost: base + c.local, parent: c.parent, seg: c.seg})
+	}
+	return hi - lo
+}
+
+// rebuildRange expands parents[lo:hi) into their children, writing each
+// parent's block at its global offset pi*nSeg in out and offering every child
+// to sel. Parents that persisted from the previous frontier (found through
+// ws.pidx when reuse is set) have their cached children blocks reused with a
+// term-by-term cost extension; new parents are expanded by hash replay with a
+// full cost fold. Returns (freshly expanded, refreshed) node counts.
+func (d *BeamDecoder) rebuildRange(coster levelCoster, lv *cachedLevel, parent []treeNode, t, nObs, nSeg int, reuse bool, lo, hi int, out []childNode, sel *selector) (expanded, refreshed int) {
+	ws := &d.ws
+	for pi := lo; pi < hi; pi++ {
+		ps := parent[pi].spine
+		base := 0.0
+		if t > 0 {
+			base = parent[pi].cost
+		}
+		block := -1
+		if reuse {
+			if j, ok := ws.pidx[ps]; ok {
+				block = int(j) * nSeg
+			}
+		}
+		for seg := 0; seg < nSeg; seg++ {
+			var s uint64
+			var local float64
+			if block >= 0 {
+				old := &lv.children[block+seg]
+				s = old.spine
+				local = old.local
+				for j := lv.childObs; j < nObs; j++ {
+					local += coster.costOne(s, t, j)
+				}
+				refreshed++
+			} else {
+				s = d.family.Next(ps, uint64(seg))
+				local = coster.costAll(s, t)
+				expanded++
+			}
+			out[pi*nSeg+seg] = childNode{spine: s, local: local, parent: int32(pi), seg: uint16(seg)}
+			sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
+		}
+	}
+	return expanded, refreshed
+}
+
+// streamRange expands parents[lo:hi) straight through the selector without
+// materializing the children — the over-budget and non-incremental path.
+// Returns the number of nodes expanded.
+func (d *BeamDecoder) streamRange(coster levelCoster, parent []treeNode, t, nSeg, lo, hi int, sel *selector) int {
+	for pi := lo; pi < hi; pi++ {
+		ps := parent[pi].spine
+		base := 0.0
+		if t > 0 {
+			base = parent[pi].cost
+		}
+		for seg := 0; seg < nSeg; seg++ {
+			s := d.family.Next(ps, uint64(seg))
+			local := coster.costAll(s, t)
+			sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
+		}
+	}
+	return (hi - lo) * nSeg
+}
+
 // rootFrontier is the virtual level -1 frontier: the single root node with
 // the agreed initial spine value s0 = 0 and zero cost.
 var rootFrontier = []treeNode{{spine: 0, cost: 0, parent: -1}}
@@ -589,9 +645,27 @@ func sameStructure(a, b []treeNode) bool {
 	return true
 }
 
-// selector retains the `keep` lowest-cost nodes offered to it, using a
-// bounded max-heap keyed on cost. The node buffer is reused across decode
-// attempts via reset.
+// nodeLess is the strict total order the beam selection is defined over:
+// cost first, then (parent, seg) as the tie-break. Because every (parent,
+// seg) pair is unique within a level the order has no ties, so the `keep`
+// smallest nodes of a level are a unique set — independent of the order in
+// which candidates are offered. That independence is what makes sharded
+// (parallel) expansion bit-identical to serial expansion: each shard retains
+// its own keep-smallest subset, and the merged keep-smallest of those
+// subsets equals the keep-smallest of the whole level.
+func nodeLess(a, b *treeNode) bool {
+	if a.cost != b.cost {
+		return a.cost < b.cost
+	}
+	if a.parent != b.parent {
+		return a.parent < b.parent
+	}
+	return a.seg < b.seg
+}
+
+// selector retains the `keep` smallest nodes (under nodeLess) offered to it,
+// using a bounded max-heap. The node buffer is reused across decode attempts
+// via reset.
 type selector struct {
 	keep  int
 	nodes []treeNode
@@ -623,7 +697,7 @@ func (s *selector) offer(n treeNode) {
 		s.siftUp(len(s.nodes) - 1)
 		return
 	}
-	if n.cost >= s.nodes[0].cost {
+	if !nodeLess(&n, &s.nodes[0]) {
 		return
 	}
 	s.nodes[0] = n
@@ -633,7 +707,7 @@ func (s *selector) offer(n treeNode) {
 func (s *selector) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if s.nodes[parent].cost >= s.nodes[i].cost {
+		if !nodeLess(&s.nodes[parent], &s.nodes[i]) {
 			break
 		}
 		s.nodes[parent], s.nodes[i] = s.nodes[i], s.nodes[parent]
@@ -649,10 +723,10 @@ func (s *selector) siftDown(i int) {
 			return
 		}
 		largest := left
-		if right := left + 1; right < n && s.nodes[right].cost > s.nodes[left].cost {
+		if right := left + 1; right < n && nodeLess(&s.nodes[left], &s.nodes[right]) {
 			largest = right
 		}
-		if s.nodes[i].cost >= s.nodes[largest].cost {
+		if !nodeLess(&s.nodes[i], &s.nodes[largest]) {
 			return
 		}
 		s.nodes[i], s.nodes[largest] = s.nodes[largest], s.nodes[i]
@@ -668,11 +742,49 @@ func (s *selector) items() []treeNode { return s.nodes }
 // depend on the cost values, so a frontier whose membership is unchanged
 // between attempts compares structurally equal even though every cost moved.
 func (s *selector) canonical() []treeNode {
-	sort.Slice(s.nodes, func(i, j int) bool {
-		if s.nodes[i].parent != s.nodes[j].parent {
-			return s.nodes[i].parent < s.nodes[j].parent
-		}
-		return s.nodes[i].seg < s.nodes[j].seg
-	})
+	sortByParentSeg(s.nodes)
 	return s.nodes
+}
+
+// parentSegLess orders nodes by (parent, seg) — the deterministic generation
+// order of a level's children. Keys are unique within a level, so stability
+// is not a concern.
+func parentSegLess(a, b *treeNode) bool {
+	if a.parent != b.parent {
+		return a.parent < b.parent
+	}
+	return a.seg < b.seg
+}
+
+// sortByParentSeg sorts nodes by (parent, seg) with an in-place heapsort.
+// It replaces a sort.Slice call on the per-level hot path: sort.Slice
+// allocates a closure (and an interface header) on every call, while the
+// heap drain allocates nothing.
+func sortByParentSeg(nodes []treeNode) {
+	n := len(nodes)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownParentSeg(nodes, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		nodes[0], nodes[end] = nodes[end], nodes[0]
+		siftDownParentSeg(nodes, 0, end)
+	}
+}
+
+func siftDownParentSeg(nodes []treeNode, i, n int) {
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		largest := left
+		if right := left + 1; right < n && parentSegLess(&nodes[left], &nodes[right]) {
+			largest = right
+		}
+		if !parentSegLess(&nodes[i], &nodes[largest]) {
+			return
+		}
+		nodes[i], nodes[largest] = nodes[largest], nodes[i]
+		i = largest
+	}
 }

@@ -85,6 +85,7 @@ func (f *FixedRateCode) Decode(received []complex128) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer dec.Close()
 	out, err := dec.Decode(obs)
 	if err != nil {
 		return nil, err

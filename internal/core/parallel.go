@@ -1,0 +1,235 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel decode engine: a reusable worker pool owned by
+// one BeamDecoder, per-worker shard workspaces reused across attempts so the
+// hot loop stays allocation-free, and the deterministic merge that reduces
+// per-shard top-keep selections into the level's global frontier.
+//
+// Correctness rests on the selector's strict total order (see nodeLess): the
+// keep-smallest set of a level is unique, every shard retains the
+// keep-smallest subset of its own chunk, and the keep-smallest of the union
+// of those subsets equals the keep-smallest of the whole level. Each child's
+// cost is computed by exactly the same floating-point operations regardless
+// of which shard computes it, so parallel decodes are bit-identical to
+// serial ones — same messages, same costs, same node accounting — at any
+// worker count.
+//
+// The dispatch path allocates nothing at steady state: the region descriptor
+// is a decoder field rather than a closure, the helpers are signalled over
+// empty-struct channels, and the WaitGroup is pooled. That keeps per-symbol
+// decode attempts — the link receiver's hot loop — free of GC pressure.
+
+// minParallelChildren is the smallest level expansion worth sharding; below
+// it the dispatch overhead exceeds the expansion work. It is a variable only
+// so the determinism tests can force the sharded path on small trees.
+var minParallelChildren = 1024
+
+// minShardChildren is the smallest chunk a single shard should receive; the
+// effective worker count is capped so no shard gets less. Variable for the
+// same testing reason.
+var minShardChildren = 256
+
+// Region kinds mirror the three expansion paths of BeamDecoder.run.
+const (
+	regionRefresh = iota
+	regionRebuild
+	regionStream
+)
+
+// parRegion describes the parallel region in flight: which expansion path to
+// run, its per-level inputs, and the shard geometry. It lives on the decoder
+// so dispatching a region allocates nothing.
+type parRegion struct {
+	kind   int
+	coster levelCoster
+	lv     *cachedLevel
+	parent []treeNode
+	t      int
+	nObs   int
+	nSeg   int
+	reuse  bool
+	out    []childNode
+	units  int
+	chunk  int
+	keep   int
+}
+
+// parShard is one worker's private per-level workspace, reused across levels
+// and attempts.
+type parShard struct {
+	sel       selector
+	expanded  int
+	refreshed int
+}
+
+// SetParallelism sets the number of worker goroutines used to expand each
+// level of the decoding tree. Values <= 0 select runtime.GOMAXPROCS(0), the
+// default; 1 restores the exact single-threaded path. Results are
+// bit-identical at any setting — parallelism changes wall-clock time, never
+// the decode.
+func (d *BeamDecoder) SetParallelism(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n == d.workers {
+		return
+	}
+	d.workers = n
+	d.releasePool()
+	d.par = nil
+}
+
+// Parallelism reports the configured worker count.
+func (d *BeamDecoder) Parallelism() int { return d.workers }
+
+// Close stops the decoder's worker goroutines. The decoder remains usable —
+// a later parallel Decode lazily recreates the pool — so Close is purely a
+// way to release the helper goroutines promptly instead of waiting for the
+// garbage collector's cleanup to do it.
+func (d *BeamDecoder) Close() {
+	d.releasePool()
+}
+
+func (d *BeamDecoder) releasePool() {
+	if d.pool != nil {
+		d.pool.close()
+		d.pool = nil
+	}
+}
+
+// workersFor decides how many shards to split `children` work units across:
+// the configured parallelism, capped so every shard receives a meaningful
+// chunk, and 1 when the level is too small to be worth dispatching.
+func (d *BeamDecoder) workersFor(children int) int {
+	w := d.workers
+	if w <= 1 || children < minParallelChildren {
+		return 1
+	}
+	if maxW := children / minShardChildren; w > maxW {
+		w = maxW
+	}
+	if w <= 1 {
+		return 1
+	}
+	return w
+}
+
+// runRegion executes one sharded level expansion on w workers — the calling
+// goroutine is worker 0, the pool helpers take the rest — then merges the
+// per-shard top-keep selections into the global selector (ws.sel, already
+// reset by the level loop) and folds the shard work counters into the
+// decoder totals. Merge order does not matter: under the total order the
+// surviving membership is unique, and the level loop's canonical() sort
+// fixes the frontier layout.
+func (d *BeamDecoder) runRegion(w int, region parRegion) {
+	if d.par == nil {
+		d.par = make([]parShard, d.workers)
+	}
+	if d.pool == nil {
+		d.pool = newDecodePool(d.workers - 1)
+		// Backstop for decoders dropped without Close: once the decoder is
+		// unreachable (between regions the pool holds no reference to it),
+		// stop its helpers so they do not leak for the process lifetime.
+		// Sessions create a decoder per message, so this matters.
+		runtime.AddCleanup(d, func(p *decodePool) { p.close() }, d.pool)
+	}
+	if d.shardBody == nil {
+		d.shardBody = d.runShard // one closure for the decoder's lifetime
+	}
+	region.chunk = (region.units + w - 1) / w
+	d.region = region
+	d.pool.dispatch(w, d.shardBody)
+	d.region = parRegion{} // do not pin the observation container between attempts
+	for i := 0; i < w; i++ {
+		sh := &d.par[i]
+		for _, n := range sh.sel.items() {
+			d.ws.sel.offer(n)
+		}
+		d.nodesExpanded += sh.expanded
+		d.nodesRefreshed += sh.refreshed
+	}
+}
+
+// runShard is the body every worker executes: carve this shard's chunk out
+// of the region and run the matching range expansion into the shard-private
+// selector and counters.
+func (d *BeamDecoder) runShard(shard int) {
+	rg := &d.region
+	sh := &d.par[shard]
+	sh.sel.reset(rg.keep)
+	sh.expanded, sh.refreshed = 0, 0
+	lo := shard * rg.chunk
+	hi := lo + rg.chunk
+	if lo > rg.units {
+		lo = rg.units
+	}
+	if hi > rg.units {
+		hi = rg.units
+	}
+	switch rg.kind {
+	case regionRefresh:
+		sh.refreshed = d.refreshRange(rg.coster, rg.lv, rg.parent, rg.t, rg.nObs, lo, hi, &sh.sel)
+	case regionRebuild:
+		sh.expanded, sh.refreshed = d.rebuildRange(rg.coster, rg.lv, rg.parent, rg.t, rg.nObs, rg.nSeg, rg.reuse, lo, hi, rg.out, &sh.sel)
+	case regionStream:
+		sh.expanded = d.streamRange(rg.coster, rg.parent, rg.t, rg.nSeg, lo, hi, &sh.sel)
+	}
+}
+
+// decodePool owns the helper goroutines of one decoder. Helper i (1-based;
+// the decoder's own goroutine is worker 0) blocks on a private empty-struct
+// channel, so worker identities — and therefore shard workspaces — are
+// stable across regions and dispatching allocates nothing. Between regions
+// the pool holds no reference to the decoder (body is cleared), which lets a
+// runtime cleanup on the decoder reclaim abandoned pools.
+type decodePool struct {
+	helpers []chan struct{}
+	body    func(worker int)
+	wg      sync.WaitGroup
+	once    sync.Once
+}
+
+func newDecodePool(helpers int) *decodePool {
+	p := &decodePool{helpers: make([]chan struct{}, helpers)}
+	for i := range p.helpers {
+		ch := make(chan struct{})
+		p.helpers[i] = ch
+		id := i + 1
+		go func() {
+			for range ch {
+				p.body(id)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// dispatch runs body on workers 0..w-1 — the caller is worker 0 — and
+// returns when all have finished. The channel sends publish p.body to the
+// helpers; wg.Wait orders their completion before body is cleared.
+func (p *decodePool) dispatch(w int, body func(worker int)) {
+	p.body = body
+	p.wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		p.helpers[i-1] <- struct{}{}
+	}
+	body(0)
+	p.wg.Wait()
+	p.body = nil
+}
+
+// close stops the helper goroutines. Safe to call more than once; must not
+// race with dispatch (a decoder is single-consumer by contract).
+func (p *decodePool) close() {
+	p.once.Do(func() {
+		for _, ch := range p.helpers {
+			close(ch)
+		}
+	})
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"spinal/internal/channel"
+	"spinal/internal/rng"
+)
+
+// Tests for the parallel decode engine. The contract under test is strict:
+// a decode sharded across any number of worker goroutines must produce a
+// DecodeResult that is byte-identical to the serial decode — same message,
+// same cost, same NodesExpanded/NodesRefreshed accounting — with incremental
+// reuse on or off, over both channel kinds.
+
+// forceParallel lowers the sharding thresholds so that even the small trees
+// used by tests exercise the multi-worker paths, restoring them afterwards.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldMin, oldShard := minParallelChildren, minShardChildren
+	minParallelChildren, minShardChildren = 1, 1
+	t.Cleanup(func() { minParallelChildren, minShardChildren = oldMin, oldShard })
+}
+
+// parallelisms returns the worker counts the equivalence tests sweep,
+// including GOMAXPROCS as required by the acceptance criteria.
+func parallelisms() []int {
+	ps := []int{1, 3}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 3 {
+		ps = append(ps, g)
+	}
+	return ps
+}
+
+// decodeVariant is one (parallelism, incremental) decoder configuration fed
+// the same symbol stream as the serial reference.
+type decodeVariant struct {
+	workers     int
+	incremental bool
+	dec         *BeamDecoder
+	last        *DecodeResult
+}
+
+func newVariants(t *testing.T, p Params, beam int) []*decodeVariant {
+	t.Helper()
+	var vs []*decodeVariant
+	for _, inc := range []bool{true, false} {
+		for _, w := range parallelisms() {
+			dec, err := NewBeamDecoder(p, beam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec.SetIncremental(inc)
+			dec.SetParallelism(w)
+			t.Cleanup(dec.Close)
+			vs = append(vs, &decodeVariant{workers: w, incremental: inc, dec: dec})
+		}
+	}
+	return vs
+}
+
+// checkVariants asserts that every variant with the same incremental setting
+// produced a byte-identical DecodeResult, and that incremental and
+// from-scratch variants agree on message and cost.
+func checkVariants(t *testing.T, p Params, vs []*decodeVariant, attempt int) {
+	t.Helper()
+	ref := vs[0].last
+	for _, v := range vs[1:] {
+		got := v.last
+		if !EqualMessages(got.Message, ref.Message, p.MessageBits) || got.Cost != ref.Cost {
+			t.Fatalf("attempt %d: workers=%d incremental=%v decoded (%x, %v), reference (%x, %v)",
+				attempt, v.workers, v.incremental, got.Message, got.Cost, ref.Message, ref.Cost)
+		}
+		if v.incremental == vs[0].incremental &&
+			(got.NodesExpanded != ref.NodesExpanded || got.NodesRefreshed != ref.NodesRefreshed) {
+			t.Fatalf("attempt %d: workers=%d accounting (%d expanded, %d refreshed) differs from serial (%d, %d)",
+				attempt, v.workers, got.NodesExpanded, got.NodesRefreshed, ref.NodesExpanded, ref.NodesRefreshed)
+		}
+	}
+}
+
+// TestParallelMatchesSerialAWGN interleaves Observe and Decode over an AWGN
+// channel for every (parallelism, incremental) combination and checks each
+// attempt against the serial incremental reference.
+func TestParallelMatchesSerialAWGN(t *testing.T) {
+	forceParallel(t)
+	for _, tc := range incrementalCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.params
+			sched := caseSchedule(t, tc)
+			msg := RandomMessage(rng.New(p.Seed^0x5eed), p.MessageBits)
+			enc, err := NewEncoder(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := newVariants(t, p, 8)
+			type stream struct {
+				ch  *channel.AWGN
+				obs *Observations
+			}
+			streams := make([]*stream, len(vs))
+			for i := range vs {
+				// Each variant replays an identical noisy symbol stream from
+				// its own channel instance and observation container.
+				ch, err := channel.NewAWGNdB(6, rng.New(p.Seed^0xbeef))
+				if err != nil {
+					t.Fatal(err)
+				}
+				obs, err := NewObservations(p.NumSegments())
+				if err != nil {
+					t.Fatal(err)
+				}
+				streams[i] = &stream{ch: ch, obs: obs}
+			}
+			total := tc.passes * p.NumSegments()
+			for i := 0; i < total; i++ {
+				pos := sched.Pos(i)
+				clean := enc.SymbolAt(pos)
+				for s := range streams {
+					if err := streams[s].obs.Add(pos, streams[s].ch.Corrupt(clean)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if (i+1)%tc.attemptEvery != 0 {
+					continue
+				}
+				for v := range vs {
+					out, err := vs[v].dec.Decode(streams[v].obs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vs[v].last = out
+				}
+				checkVariants(t, p, vs, i+1)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialBSC is the binary-channel counterpart.
+func TestParallelMatchesSerialBSC(t *testing.T) {
+	forceParallel(t)
+	for _, tc := range incrementalCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.params
+			sched := caseSchedule(t, tc)
+			msg := RandomMessage(rng.New(p.Seed^0xcafe), p.MessageBits)
+			enc, err := NewEncoder(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			vs := newVariants(t, p, 8)
+			type stream struct {
+				bsc *channel.BSC
+				obs *BitObservations
+			}
+			streams := make([]*stream, len(vs))
+			for i := range vs {
+				bsc, err := channel.NewBSC(0.08, rng.New(p.Seed^0x7777))
+				if err != nil {
+					t.Fatal(err)
+				}
+				obs, err := NewBitObservations(p.NumSegments())
+				if err != nil {
+					t.Fatal(err)
+				}
+				streams[i] = &stream{bsc: bsc, obs: obs}
+			}
+			// The BSC's Hamming metric produces constant integer costs, so
+			// cost ties are everywhere — exactly the regime where the total
+			// order has to keep shards in agreement.
+			total := (tc.passes + 6) * p.NumSegments()
+			for i := 0; i < total; i++ {
+				pos := sched.Pos(i)
+				clean := enc.CodedBit(pos.Spine, pos.Pass)
+				for s := range streams {
+					if err := streams[s].obs.Add(pos, streams[s].bsc.CorruptBit(clean)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if (i+1)%tc.attemptEvery != 0 {
+					continue
+				}
+				for v := range vs {
+					out, err := vs[v].dec.DecodeBits(streams[v].obs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					vs[v].last = out
+				}
+				checkVariants(t, p, vs, i+1)
+			}
+		})
+	}
+}
+
+// TestParallelDecodeProperty is the quick-check form of the equivalence
+// claim: for arbitrary parameters, messages and observation counts, a
+// 3-worker decode equals the serial decode bit for bit.
+func TestParallelDecodeProperty(t *testing.T) {
+	forceParallel(t)
+	prop := func(seed uint64, kRaw, bitsRaw, obsCount uint8) bool {
+		k := int(kRaw%6) + 2
+		bits := int(bitsRaw%48) + 8
+		p := Params{K: k, C: 8, MessageBits: bits, Seed: seed | 1}
+		msg := RandomMessage(rng.New(seed^0xabc), bits)
+		enc, err := NewEncoder(p, msg)
+		if err != nil {
+			return false
+		}
+		serial, err := NewBeamDecoder(p, 8)
+		if err != nil {
+			return false
+		}
+		serial.SetParallelism(1)
+		sharded, err := NewBeamDecoder(p, 8)
+		if err != nil {
+			return false
+		}
+		sharded.SetParallelism(3)
+		defer sharded.Close()
+		mkObs := func() *Observations {
+			obs, _ := NewObservations(p.NumSegments())
+			ch, _ := channel.NewAWGNdB(4, rng.New(seed^0x99))
+			sched, _ := NewSequentialSchedule(p.NumSegments())
+			n := int(obsCount%64) + p.NumSegments()
+			for i := 0; i < n; i++ {
+				pos := sched.Pos(i)
+				if obs.Add(pos, ch.Corrupt(enc.SymbolAt(pos))) != nil {
+					return nil
+				}
+			}
+			return obs
+		}
+		a, b := mkObs(), mkObs()
+		if a == nil || b == nil {
+			return false
+		}
+		outA, err := serial.Decode(a)
+		if err != nil {
+			return false
+		}
+		outB, err := sharded.Decode(b)
+		if err != nil {
+			return false
+		}
+		return EqualMessages(outA.Message, outB.Message, bits) &&
+			outA.Cost == outB.Cost &&
+			outA.NodesExpanded == outB.NodesExpanded &&
+			outA.NodesRefreshed == outB.NodesRefreshed
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSetParallelismMidStream switches worker counts between attempts on one
+// observation container; the decode must stay bit-identical to an untouched
+// serial decoder throughout, including the incremental workspace reuse.
+func TestSetParallelismMidStream(t *testing.T) {
+	forceParallel(t)
+	p := Params{K: 4, C: 8, MessageBits: 24, Seed: 909}
+	msg := RandomMessage(rng.New(11), p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewSequentialSchedule(p.NumSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() (*BeamDecoder, *Observations, *channel.AWGN) {
+		dec, err := NewBeamDecoder(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obs, err := NewObservations(p.NumSegments())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ch, err := channel.NewAWGNdB(6, rng.New(313))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dec, obs, ch
+	}
+	refDec, refObs, refCh := mk()
+	refDec.SetParallelism(1)
+	dec, obs, ch := mk()
+	defer dec.Close()
+	workers := []int{1, 2, 4, 3, 1, 5}
+	for i := 0; i < 5*p.NumSegments(); i++ {
+		pos := sched.Pos(i)
+		clean := enc.SymbolAt(pos)
+		if err := refObs.Add(pos, refCh.Corrupt(clean)); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.Add(pos, ch.Corrupt(clean)); err != nil {
+			t.Fatal(err)
+		}
+		dec.SetParallelism(workers[i%len(workers)])
+		want, err := refDec.Decode(refObs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := dec.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(got.Message, want.Message, p.MessageBits) || got.Cost != want.Cost ||
+			got.NodesExpanded != want.NodesExpanded || got.NodesRefreshed != want.NodesRefreshed {
+			t.Fatalf("symbol %d: decode diverged after switching to %d workers", i+1, workers[i%len(workers)])
+		}
+	}
+}
+
+// TestDecoderCloseIsReusable checks that Close only releases the helper
+// goroutines: a closed decoder must keep decoding correctly (lazily
+// recreating its pool) and Close must be idempotent.
+func TestDecoderCloseIsReusable(t *testing.T) {
+	forceParallel(t)
+	p := Params{K: 4, C: 8, MessageBits: 16, Seed: 77}
+	msg := testMessage(3, p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := observeNoiseless(t, enc, 2)
+	dec, err := NewBeamDecoder(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.SetParallelism(4)
+	for round := 0; round < 3; round++ {
+		out, err := dec.Decode(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !EqualMessages(out.Message, msg, p.MessageBits) {
+			t.Fatalf("round %d: wrong decode after Close", round)
+		}
+		dec.Close()
+		dec.Close() // idempotent
+		obs.Reset()
+		for pass := 0; pass < 2; pass++ {
+			for s := 0; s < enc.NumSegments(); s++ {
+				if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, enc.Symbol(s, pass)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelismAccessorsAndDefaults pins the configuration surface: the
+// default is GOMAXPROCS, zero resets to the default, and explicit values are
+// reported back.
+func TestParallelismAccessorsAndDefaults(t *testing.T) {
+	p := DefaultParams()
+	dec, err := NewBeamDecoder(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	dec.SetParallelism(7)
+	if got := dec.Parallelism(); got != 7 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(7)", got)
+	}
+	dec.SetParallelism(0)
+	if got := dec.Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("SetParallelism(0) should restore the GOMAXPROCS default, got %d", got)
+	}
+}

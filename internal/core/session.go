@@ -155,6 +155,11 @@ type SessionConfig struct {
 	// the tree instead of resuming from the previous attempt's workspace. It
 	// exists for benchmarks and equivalence tests; leave it false in real use.
 	DisableIncremental bool
+	// Parallelism is the number of worker goroutines the decoder shards each
+	// level expansion across. Zero keeps the decoder default
+	// (runtime.GOMAXPROCS); 1 forces the serial path. Results are
+	// bit-identical at any setting.
+	Parallelism int
 }
 
 func (c SessionConfig) withDefaults() (SessionConfig, error) {
@@ -232,12 +237,16 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 	if err != nil {
 		return nil, err
 	}
+	defer dec.Close()
 	if cfg.MaxCandidates > 0 {
 		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
 			return nil, err
 		}
 	}
 	dec.SetIncremental(!cfg.DisableIncremental)
+	if cfg.Parallelism > 0 {
+		dec.SetParallelism(cfg.Parallelism)
+	}
 	obs, err := NewObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -296,12 +305,16 @@ func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte
 	if err != nil {
 		return nil, err
 	}
+	defer dec.Close()
 	if cfg.MaxCandidates > 0 {
 		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
 			return nil, err
 		}
 	}
 	dec.SetIncremental(!cfg.DisableIncremental)
+	if cfg.Parallelism > 0 {
+		dec.SetParallelism(cfg.Parallelism)
+	}
 	obs, err := NewBitObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err

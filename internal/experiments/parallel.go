@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/rng"
+)
+
+// ParallelDecodePoint summarizes the decoding work of full rateless
+// transmissions at one decoder worker count. The decoded messages and the
+// per-attempt node accounting are verified identical across worker counts —
+// parallel decoding is bit-identical to serial by construction — so the
+// sweep isolates pure wall-clock scaling.
+type ParallelDecodePoint struct {
+	SNRdB   float64
+	Workers int
+	// BeamWidth is the decoder's B for this row.
+	BeamWidth int
+	// Elapsed is the total wall-clock decode-side time across all trials.
+	Elapsed time.Duration
+	// NodesExpanded is the total number of freshly expanded tree nodes
+	// across all decode attempts of all trials (identical at every worker
+	// count).
+	NodesExpanded int64
+	// NodesPerSec is NodesExpanded (plus refreshed nodes) per second of
+	// wall-clock time — the decoder's throughput in its own unit of work.
+	NodesPerSec float64
+	// Speedup is the baseline row's Elapsed (the first requested worker
+	// count, 1 in the default sweep) divided by this row's Elapsed.
+	Speedup float64
+	// Delivered counts messages decoded within the pass budget.
+	Delivered int
+	Trials    int
+}
+
+// ParallelDecodeComparison runs the same low-SNR rateless transmissions once
+// per requested worker count and reports wall-clock scaling. Message and
+// channel randomness derive from the configured seed, so every worker count
+// sees byte-identical symbol streams; the function errors if any two worker
+// counts disagree on a decoded message, on the number of channel uses, or on
+// the expanded-node accounting, which doubles as an end-to-end determinism
+// check of the parallel decode engine.
+func ParallelDecodeComparison(cfg SpinalConfig, snrDB float64, workers []int) ([]ParallelDecodePoint, error) {
+	cfg = cfg.withDefaults()
+	if len(workers) == 0 {
+		workers = []int{1, 2, 4, 8}
+	}
+	params, err := cfg.params()
+	if err != nil {
+		return nil, err
+	}
+	sched, err := scheduleFor(cfg, params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+
+	type trialRef struct {
+		decoded   []byte
+		uses      int
+		nodes     int64
+		refreshed int64
+		success   bool
+	}
+	refs := make([]trialRef, cfg.Trials)
+
+	out := make([]ParallelDecodePoint, 0, len(workers))
+	for wi, w := range workers {
+		if w < 1 {
+			return nil, fmt.Errorf("experiments: worker count %d invalid", w)
+		}
+		pt := ParallelDecodePoint{SNRdB: snrDB, Workers: w, BeamWidth: cfg.BeamWidth, Trials: cfg.Trials}
+		var refreshed int64
+		start := time.Now()
+		for trial := 0; trial < cfg.Trials; trial++ {
+			msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
+			radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
+			if err != nil {
+				return nil, err
+			}
+			res, err := core.RunSymbolSession(core.SessionConfig{
+				Params:      params,
+				BeamWidth:   cfg.BeamWidth,
+				Schedule:    sched,
+				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
+				Parallelism: w,
+			}, msg, radio.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
+			if err != nil {
+				return nil, err
+			}
+			if wi == 0 {
+				refs[trial] = trialRef{
+					decoded:   append([]byte(nil), res.Decoded...),
+					uses:      res.ChannelUses,
+					nodes:     res.NodesExpanded,
+					refreshed: res.NodesRefreshed,
+					success:   res.Success,
+				}
+			} else {
+				ref := &refs[trial]
+				if res.Success != ref.success || res.ChannelUses != ref.uses ||
+					res.NodesExpanded != ref.nodes || res.NodesRefreshed != ref.refreshed ||
+					!core.EqualMessages(res.Decoded, ref.decoded, cfg.MessageBits) {
+					return nil, fmt.Errorf(
+						"experiments: %d-worker decode diverged from %d-worker decode on trial %d",
+						w, workers[0], trial)
+				}
+			}
+			pt.NodesExpanded += res.NodesExpanded
+			refreshed += res.NodesRefreshed
+			if res.Success {
+				pt.Delivered++
+			}
+		}
+		pt.Elapsed = time.Since(start)
+		if secs := pt.Elapsed.Seconds(); secs > 0 {
+			pt.NodesPerSec = float64(pt.NodesExpanded+refreshed) / secs
+		}
+		if len(out) > 0 && out[0].Elapsed > 0 && pt.Elapsed > 0 {
+			pt.Speedup = out[0].Elapsed.Seconds() / pt.Elapsed.Seconds()
+		} else {
+			pt.Speedup = 1
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatParallel renders a parallel-decode scaling sweep.
+func FormatParallel(points []ParallelDecodePoint) *Table {
+	t := NewTable("workers", "B", "elapsed_ms", "speedup", "nodes", "nodes_per_sec", "delivered")
+	for _, p := range points {
+		t.AddRow(
+			fmt.Sprintf("%d", p.Workers),
+			fmt.Sprintf("%d", p.BeamWidth),
+			fmt.Sprintf("%.1f", float64(p.Elapsed.Microseconds())/1000),
+			fmt.Sprintf("%.2f", p.Speedup),
+			fmt.Sprintf("%d", p.NodesExpanded),
+			fmt.Sprintf("%.3g", p.NodesPerSec),
+			fmt.Sprintf("%d/%d", p.Delivered, p.Trials),
+		)
+	}
+	return t
+}

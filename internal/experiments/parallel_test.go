@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelDecodeComparisonEquivalence checks the scaling experiment end
+// to end: full rateless transmissions at low SNR decoded with 1, 2 and
+// GOMAXPROCS workers must deliver exactly the same messages with exactly the
+// same channel uses and node accounting (ParallelDecodeComparison errors out
+// internally if they do not), while reporting plausible throughput numbers.
+func TestParallelDecodeComparisonEquivalence(t *testing.T) {
+	cfg := Figure2Config()
+	cfg.Trials = 4
+	cfg.MaxPasses = 400
+	cfg.Schedule = "sequential" // the natural low-SNR operating point
+	workers := []int{1, 2}
+	if g := runtime.GOMAXPROCS(0); g > 2 {
+		workers = append(workers, g)
+	}
+	pts, err := ParallelDecodeComparison(cfg, 0 /* dB */, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(workers) {
+		t.Fatalf("got %d points for %d worker counts", len(pts), len(workers))
+	}
+	if pts[0].Delivered == 0 {
+		t.Fatal("no messages delivered at 0 dB within the pass budget")
+	}
+	for i, pt := range pts {
+		if pt.Workers != workers[i] {
+			t.Fatalf("point %d reports %d workers, want %d", i, pt.Workers, workers[i])
+		}
+		if pt.NodesExpanded != pts[0].NodesExpanded {
+			t.Fatalf("workers=%d expanded %d nodes, serial expanded %d: parallel decode is not bit-identical",
+				pt.Workers, pt.NodesExpanded, pts[0].NodesExpanded)
+		}
+		if pt.Delivered != pts[0].Delivered {
+			t.Fatalf("workers=%d delivered %d, serial delivered %d", pt.Workers, pt.Delivered, pts[0].Delivered)
+		}
+		if pt.NodesPerSec <= 0 || pt.Elapsed <= 0 {
+			t.Fatalf("workers=%d reports implausible throughput: %+v", pt.Workers, pt)
+		}
+	}
+	t.Logf("scaling at 0 dB: %v", pts)
+}
+
+// TestParallelDecodeComparisonRejectsBadWorkers pins the input validation.
+func TestParallelDecodeComparisonRejectsBadWorkers(t *testing.T) {
+	cfg := Figure2Config()
+	cfg.Trials = 1
+	if _, err := ParallelDecodeComparison(cfg, 0, []int{0}); err == nil {
+		t.Fatal("worker count 0 accepted")
+	}
+}

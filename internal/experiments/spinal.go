@@ -35,6 +35,13 @@ type SpinalConfig struct {
 	Mapper      string // "linear", "uniform" or "gaussian"
 	Schedule    string // "striped" or "sequential"
 	MaxPasses   int
+	// Workers is the decoder's per-level parallelism (see
+	// core.BeamDecoder.SetParallelism). Zero means automatic: experiments
+	// that already parallelize across trials (the genie-trial sweeps) use
+	// serial per-trial decoders, while single-session experiments keep the
+	// decoder's GOMAXPROCS default. Results are bit-identical at any
+	// setting.
+	Workers int
 }
 
 // Figure2Config returns the exact configuration of Figure 2 in the paper.
@@ -172,6 +179,16 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 			dec, derr := core.NewBeamDecoder(params, cfg.BeamWidth)
 			if derr != nil {
 				return
+			}
+			defer dec.Close()
+			// The trial loop above already fans out across all CPUs, so the
+			// per-trial decoder defaults to serial — nesting a GOMAXPROCS
+			// shard pool inside NumCPU trial workers would oversubscribe.
+			// An explicit cfg.Workers still applies for scaling studies.
+			if cfg.Workers > 0 {
+				dec.SetParallelism(cfg.Workers)
+			} else {
+				dec.SetParallelism(1)
 			}
 			for trial := range trialCh {
 				symbols, ok := runGenieTrial(cfg, params, sched, dec, snrDB, uint64(trial))
@@ -380,6 +397,7 @@ func IncrementalDecodeComparison(cfg SpinalConfig, snrDB float64) (DecodeCostPoi
 				Schedule:           sched,
 				MaxSymbols:         cfg.MaxPasses * params.NumSegments(),
 				DisableIncremental: disableIncremental,
+				Parallelism:        cfg.Workers,
 			}, msg, radio.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
 		}
 		inc, err := run(false)
@@ -557,10 +575,11 @@ func SpinalBSCCurve(cfg SpinalConfig, crossovers []float64) ([]BSCPoint, error) 
 				return nil, err
 			}
 			sessionCfg := core.SessionConfig{
-				Params:     params,
-				BeamWidth:  cfg.BeamWidth,
-				Attempts:   core.AttemptEveryPass{},
-				MaxSymbols: cfg.MaxPasses * params.NumSegments(),
+				Params:      params,
+				BeamWidth:   cfg.BeamWidth,
+				Attempts:    core.AttemptEveryPass{},
+				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
+				Parallelism: cfg.Workers,
 			}
 			res, err := core.RunBitSession(sessionCfg, msg, bsc.CorruptBit, core.GenieVerifier(msg, cfg.MessageBits))
 			if err != nil {

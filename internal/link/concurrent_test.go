@@ -1,0 +1,357 @@
+package link
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"spinal/internal/core"
+	"spinal/internal/crc"
+)
+
+// Tests for the receiver's concurrent decode pipeline and its state
+// eviction. These drive the receiver with hand-built frames over an
+// in-memory pipe, so they are deterministic and race-detector friendly —
+// unlike the wall-clock pacing tests, nothing here depends on decode
+// latency.
+
+// testStream encodes one payload the way the Sender does and yields its
+// frames in SymbolsPerFrame-sized chunks.
+type testStream struct {
+	msgID   uint32
+	message []byte
+	enc     *core.Encoder
+	sched   core.Schedule
+	params  core.Params
+	next    int
+}
+
+func newTestStream(t *testing.T, cfg Config, msgID uint32, payload []byte) *testStream {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	message := crc.Append32(append([]byte(nil), payload...))
+	params := core.Params{K: cfg.K, C: cfg.C, MessageBits: len(message) * 8, Seed: cfg.Seed}
+	enc, err := core.NewEncoder(params, message)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduleFor(cfg.Schedule, params.NumSegments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &testStream{msgID: msgID, message: message, enc: enc, sched: sched, params: params}
+}
+
+// frame marshals the next `count` symbols of the stream.
+func (s *testStream) frame(t *testing.T, cfg Config, count int) []byte {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	f := &DataFrame{
+		MsgID:       s.msgID,
+		MessageBits: uint32(s.params.MessageBits),
+		K:           uint8(cfg.K),
+		C:           uint8(cfg.C),
+		Schedule:    cfg.Schedule,
+		Seed:        cfg.Seed,
+		StartIndex:  uint32(s.next),
+		Symbols:     make([]complex128, count),
+	}
+	for i := 0; i < count; i++ {
+		f.Symbols[i] = s.enc.SymbolAt(s.sched.Pos(s.next + i))
+	}
+	s.next += count
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}
+
+// TestReceiverDecodesInterleavedMessagesConcurrently feeds frames of several
+// in-flight messages interleaved symbol-chunk by symbol-chunk through the
+// transport and checks that a multi-worker receiver delivers every payload
+// intact — the per-message decoder affinity must keep results correct even
+// though distinct messages decode concurrently with ingest.
+func TestReceiverDecodesInterleavedMessagesConcurrently(t *testing.T) {
+	far, near, err := NewPipePair(0, 71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer far.Close()
+	cfg := Config{K: 4, DecodeWorkers: 3}
+	recv, err := NewReceiver(near, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	payloads := map[uint32][]byte{
+		1: []byte("first interleaved packet"),
+		2: bytes.Repeat([]byte{0x5A}, 60),
+		3: []byte("third packet riding along on a different decode worker"),
+	}
+	streams := make([]*testStream, 0, len(payloads))
+	for id := uint32(1); id <= 3; id++ {
+		streams = append(streams, newTestStream(t, cfg, id, payloads[id]))
+	}
+	// Interleave: one 16-symbol chunk per message per round, two noiseless
+	// passes' worth — every message becomes decodable mid-way through.
+	maxNeed := 0
+	for _, s := range streams {
+		if n := 2 * s.params.NumSegments(); n > maxNeed {
+			maxNeed = n
+		}
+	}
+	for sent := 0; sent < maxNeed; sent += 16 {
+		for _, s := range streams {
+			if sent >= 2*s.params.NumSegments() {
+				continue
+			}
+			count := 16
+			if rest := 2*s.params.NumSegments() - sent; rest < count {
+				count = rest
+			}
+			if err := far.Send(s.frame(t, cfg, count)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	got := map[uint32][]byte{}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < len(payloads) && time.Now().Before(deadline) {
+		d, err := recv.Receive(100 * time.Millisecond)
+		if err == ErrTimeout {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[d.MsgID] = d.Payload
+		if d.Symbols <= 0 {
+			t.Fatalf("message %d delivered with implausible symbol count %d", d.MsgID, d.Symbols)
+		}
+	}
+	for id, want := range payloads {
+		if !bytes.Equal(got[id], want) {
+			t.Fatalf("message %d: delivered payload differs (got %d bytes, want %d)", id, len(got[id]), len(want))
+		}
+	}
+}
+
+// TestReceiverConcurrentMatchesSingleWorker runs the same interleaved frame
+// sequence through a 1-worker and a 4-worker receiver and checks the
+// delivered payloads agree — concurrency must not change per-message
+// results.
+func TestReceiverConcurrentMatchesSingleWorker(t *testing.T) {
+	run := func(workers int) map[uint32][]byte {
+		far, near, err := NewPipePair(0, 72)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer far.Close()
+		cfg := Config{K: 4, DecodeWorkers: workers}
+		recv, err := NewReceiver(near, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer recv.Close()
+		var streams []*testStream
+		for id := uint32(10); id < 14; id++ {
+			streams = append(streams, newTestStream(t, cfg,
+				id, []byte(fmt.Sprintf("payload for message %d", id))))
+		}
+		for round := 0; round < 8; round++ {
+			for _, s := range streams {
+				if err := far.Send(s.frame(t, cfg, 8)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got := map[uint32][]byte{}
+		deadline := time.Now().Add(5 * time.Second)
+		for len(got) < len(streams) && time.Now().Before(deadline) {
+			d, err := recv.Receive(100 * time.Millisecond)
+			if err == ErrTimeout {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[d.MsgID] = d.Payload
+		}
+		return got
+	}
+	serial := run(1)
+	concurrent := run(4)
+	if len(serial) != 4 {
+		t.Fatalf("single-worker receiver delivered %d/4 messages", len(serial))
+	}
+	for id, want := range serial {
+		if !bytes.Equal(concurrent[id], want) {
+			t.Fatalf("message %d: 4-worker payload differs from 1-worker payload", id)
+		}
+	}
+}
+
+// TestReceiverEvictsDeliveredStates checks the post-ACK grace eviction: a
+// delivered message's state survives just after delivery (so late duplicate
+// frames get the ack repeated) and is dropped once enough unrelated frames
+// have passed.
+func TestReceiverEvictsDeliveredStates(t *testing.T) {
+	far, near, err := NewPipePair(0, 73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer far.Close()
+	cfg := Config{K: 4}
+	recv, err := NewReceiver(near, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	// Deliver message 1 synchronously through the single-frame path.
+	s1 := newTestStream(t, cfg, 1, []byte("evict me after the grace period"))
+	var delivered *Delivered
+	for delivered == nil && s1.next < 3*s1.params.NumSegments() {
+		delivered, err = recv.handleFrame(s1.frame(t, cfg, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered == nil {
+		t.Fatal("noiseless message never delivered")
+	}
+	if recv.TrackedMessages() != 1 {
+		t.Fatalf("tracked %d states after delivery, want 1 (grace period)", recv.TrackedMessages())
+	}
+
+	// A duplicate frame for the delivered message must repeat the ack.
+	dup := newTestStream(t, cfg, 1, []byte("evict me after the grace period"))
+	if _, err := recv.handleFrame(dup.frame(t, cfg, 8)); err != nil {
+		t.Fatal(err)
+	}
+	ackBuf := make([]byte, maxFrameSize)
+	n, err := far.Receive(ackBuf, time.Second)
+	if err != nil {
+		t.Fatal("no ack for the original delivery")
+	}
+	sawRepeat := false
+	for {
+		parsed, perr := ParseFrame(ackBuf[:n])
+		if perr == nil {
+			if ack, ok := parsed.(*AckFrame); ok && ack.MsgID == 1 && ack.Decoded {
+				sawRepeat = true
+			}
+		}
+		n, err = far.Receive(ackBuf, 0)
+		if err != nil {
+			break
+		}
+	}
+	if !sawRepeat {
+		t.Fatal("duplicate frame did not trigger an ack repeat")
+	}
+
+	// Push unrelated traffic past the grace period; message 1 must be gone.
+	other := newTestStream(t, cfg, 2, bytes.Repeat([]byte{7}, 40))
+	for i := 0; i < doneGraceFrames+evictSweepEvery+2; i++ {
+		if _, err := recv.handleFrame(other.frame(t, cfg, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if recv.SymbolsReceived(1) != 0 {
+		t.Fatal("delivered state for message 1 still tracked past the grace period")
+	}
+	if recv.TrackedMessages() != 1 { // only message 2 remains
+		t.Fatalf("tracked %d states, want 1", recv.TrackedMessages())
+	}
+}
+
+// TestReceiverCapsTrackedStates checks the bound on simultaneously tracked
+// messages: the oldest state is evicted to admit a new one, and the evicted
+// message can still complete later from fresh frames.
+func TestReceiverCapsTrackedStates(t *testing.T) {
+	far, near, err := NewPipePair(0, 74)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer far.Close()
+	cfg := Config{K: 4, MaxTracked: 3}
+	recv, err := NewReceiver(near, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	for id := uint32(1); id <= 5; id++ {
+		s := newTestStream(t, cfg, id, []byte(fmt.Sprintf("capped message %d", id)))
+		// One symbol only: the message stays undecodable and in flight.
+		if _, err := recv.handleFrame(s.frame(t, cfg, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := recv.TrackedMessages(); got > 3 {
+		t.Fatalf("tracked %d states, cap is 3", got)
+	}
+	if recv.SymbolsReceived(1) != 0 || recv.SymbolsReceived(2) != 0 {
+		t.Fatal("oldest states were not the ones evicted")
+	}
+	if recv.SymbolsReceived(5) == 0 {
+		t.Fatal("newest state was evicted instead of the oldest")
+	}
+
+	// The evicted message is not lost: a fresh stream for it still decodes.
+	s1 := newTestStream(t, cfg, 1, []byte("capped message 1"))
+	var delivered *Delivered
+	for delivered == nil && s1.next < 3*s1.params.NumSegments() {
+		delivered, err = recv.handleFrame(s1.frame(t, cfg, 16))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if delivered == nil || !bytes.Equal(delivered.Payload, []byte("capped message 1")) {
+		t.Fatal("evicted message could not be re-received from scratch")
+	}
+}
+
+// TestReceiverCloseStopsWorkers checks Close is idempotent and leaves the
+// receiver quiescent.
+func TestReceiverCloseStopsWorkers(t *testing.T) {
+	_, near, err := NewPipePair(0, 75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := NewReceiver(near, Config{DecodeWorkers: 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := recv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReceiverConfigValidation covers the new configuration knobs.
+func TestReceiverConfigValidation(t *testing.T) {
+	_, near, _ := NewPipePair(0, 76)
+	defer near.Close()
+	if _, err := NewReceiver(near, Config{DecodeWorkers: -1}, nil); err == nil {
+		t.Error("negative DecodeWorkers accepted")
+	}
+	if _, err := NewReceiver(near, Config{DecoderParallelism: -2}, nil); err == nil {
+		t.Error("negative DecoderParallelism accepted")
+	}
+	if _, err := NewReceiver(near, Config{MaxTracked: -3}, nil); err == nil {
+		t.Error("negative MaxTracked accepted")
+	}
+	r, err := NewReceiver(near, Config{DecodeWorkers: 2, DecoderParallelism: 2, MaxTracked: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+}

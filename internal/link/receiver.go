@@ -2,6 +2,8 @@ package link
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"spinal/internal/channel"
@@ -13,13 +15,35 @@ import (
 // radio impairment to every arriving symbol, feeds the result to the spinal
 // decoder, and acknowledges a packet as soon as the decoded message passes
 // its CRC.
+//
+// Decoding runs on a bounded pool of worker goroutines so that attempts for
+// distinct in-flight messages proceed concurrently with frame ingest: the
+// caller's Receive loop only parses frames and appends symbols to the
+// per-message pending buffers, while each message is decoded by the one
+// worker it has affinity to (msgID mod pool size). The affinity keeps every
+// message's decoder single-threaded, which is what keeps its incremental
+// workspace valid across attempts.
+//
+// Delivered or stale per-message states are evicted: a decoded message is
+// dropped once its sender has stopped retransmitting for a grace period (so
+// late duplicates still get their ack repeated first), and the total number
+// of tracked messages is capped with oldest-first eviction. A frame for an
+// evicted message simply starts a fresh state, so eviction can cost work but
+// never correctness. The one observable consequence of bounded state is
+// that delivery is at-least-once rather than exactly-once: if a sender
+// whose ack was lost retransmits a message after its delivered state aged
+// out of the grace window, the recreated state decodes and delivers it
+// again. Applications that care deduplicate by MsgID.
 type Receiver struct {
 	tr         Transport
 	cfg        Config
 	impairment channel.SymbolChannel
 
-	states    map[uint32]*msgState
-	delivered []Delivered
+	states map[uint32]*msgState
+	seq    uint64 // data frames processed; drives eviction (ingest goroutine only)
+	// scratch is the per-frame symbol batch buffer (ingest goroutine only).
+	scratch []rxSymbol
+	eng     *decodeEngine
 }
 
 // Delivered is one successfully decoded packet.
@@ -31,21 +55,63 @@ type Delivered struct {
 	Symbols int
 }
 
+// rxSymbol is one received (already impaired) symbol waiting to be folded
+// into a message's observations by its decode worker.
+type rxSymbol struct {
+	pos core.SymbolPos
+	y   complex128
+}
+
 // msgState tracks the decoding progress of one packet. The decoder and
-// observation container live for the whole packet, so every tryDecode after
-// the first resumes the beam search incrementally from the first spine value
-// that received new symbols — the attempts for one packet cost about one
-// full decode in total instead of one per arriving frame.
+// observation container live for the whole packet and are touched only by
+// the message's decode worker (serialized by decodeMu), so every attempt
+// after the first resumes the beam search incrementally from the first spine
+// value that received new symbols. The ingest goroutine communicates with
+// the worker through the mu-guarded pending buffer.
 type msgState struct {
+	id      uint32
+	worker  int
 	params  core.Params
 	sched   core.Schedule
-	dec     *core.BeamDecoder
-	obs     *core.Observations
-	done    bool
+	minUses int
+
+	// decodeMu serializes decode attempts (the affinity worker and the
+	// synchronous handleFrame path); dec and obs are only touched under it.
+	decodeMu sync.Mutex
+	dec      *core.BeamDecoder
+	obs      *core.Observations
+
+	mu      sync.Mutex // guards the fields below (ingest <-> worker)
+	pending []rxSymbol
+	// draining is the worker-owned half of a double buffer: attempt swaps it
+	// with pending under mu, then folds it into obs without holding the
+	// lock, so ingest never blocks behind a long decode of the same message.
+	draining []rxSymbol
+	queued   bool
+	done     bool
+	// evicted marks a state dropped from the tracking map while an attempt
+	// token for it may still be queued; the orphaned attempt must not decode
+	// or deliver — a recreated state owns the message from then on.
+	evicted bool
 	payload []byte
 	symbols int
 	nodes   int64
+	lastSeq uint64
 }
+
+// doneGraceFrames is how many subsequent data frames a delivered message's
+// state is retained for after its last own frame, so that retransmissions
+// racing the ack still get the ack repeated instead of a redecode.
+const doneGraceFrames = 64
+
+// evictSweepEvery is how often (in processed data frames) the ingest path
+// sweeps delivered states past their grace period.
+const evictSweepEvery = 32
+
+// receivePoll is the slice Receive blocks on the transport per iteration, so
+// packets decoded by the workers are surfaced promptly even while frames
+// keep arriving.
+const receivePoll = 2 * time.Millisecond
 
 // NewReceiver returns a receiver that reads frames from tr and corrupts each
 // symbol with the given impairment before decoding (use a channel.AWGN to
@@ -58,148 +124,156 @@ func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*R
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Receiver{
+	workers := cfg.DecodeWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &Receiver{
 		tr:         tr,
 		cfg:        cfg,
 		impairment: impairment,
 		states:     map[uint32]*msgState{},
-	}, nil
+		eng:        newDecodeEngine(tr, workers),
+	}
+	// Backstop for receivers dropped without Close (benchmarks and tests
+	// build them freely): stop the workers once the receiver is unreachable.
+	// The engine never references the receiver, so this cleanup can run.
+	runtime.AddCleanup(r, func(e *decodeEngine) { e.stop() }, r.eng)
+	return r, nil
+}
+
+// Close stops the decode workers, waiting for in-flight attempts to finish.
+// It must not be called concurrently with Receive. The receiver must not be
+// used afterwards.
+func (r *Receiver) Close() error {
+	r.eng.stop()
+	return nil
 }
 
 // Receive blocks until one new packet is decoded (returning it) or the
 // timeout elapses (returning ErrTimeout).
 //
-// To keep the decoder from falling behind a fast sender, Receive first drains
-// every frame that is already queued on the transport (adding their symbols
-// to the per-message observations) and only then runs decode attempts — one
-// per message that received new symbols.
+// To keep the decoders from falling behind a fast sender, Receive drains
+// every frame queued on the transport into the per-message pending buffers
+// and hands decode attempts to the worker pool; it never decodes inline.
 func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
-	if len(r.delivered) > 0 {
-		d := r.delivered[0]
-		r.delivered = r.delivered[1:]
-		return &d, nil
-	}
 	deadline := time.Now().Add(timeout)
 	buf := make([]byte, maxFrameSize)
 	for {
+		// Read busy before take: if no attempt is outstanding afterwards,
+		// every finished attempt's result was already visible to take, so
+		// blocking for the full remaining time cannot strand a delivery.
+		busy := r.eng.busy()
+		if d, err := r.eng.take(); d != nil || err != nil {
+			return d, err
+		}
 		remaining := time.Until(deadline)
 		if remaining <= 0 {
 			return nil, ErrTimeout
 		}
-		// Block for the first frame, then drain whatever else is queued.
-		n, err := r.tr.Receive(buf, remaining)
+		// While decode attempts are in flight, block in short slices so
+		// packets completed by the workers are returned promptly; on an idle
+		// link with no outstanding work, block the whole timeout.
+		slice := remaining
+		if busy && slice > receivePoll {
+			slice = receivePoll
+		}
+		n, err := r.tr.Receive(buf, slice)
 		if err == ErrTimeout {
-			return nil, ErrTimeout
+			continue
 		}
 		if err != nil {
 			return nil, err
 		}
-		touched := map[uint32]bool{}
+		// Drain whatever else is queued without blocking.
 		for {
-			if id, fresh, err := r.addFrame(buf[:n]); err == nil && fresh {
-				touched[id] = true
+			if st, fresh, aerr := r.addFrame(buf[:n]); aerr == nil && fresh {
+				r.enqueue(st)
 			}
 			n, err = r.tr.Receive(buf, 0)
 			if err != nil {
 				break
 			}
 		}
-		for id := range touched {
-			d, err := r.tryDecode(id)
-			if err != nil {
-				return nil, err
-			}
-			if d != nil {
-				r.delivered = append(r.delivered, *d)
-			}
-		}
-		if len(r.delivered) > 0 {
-			d := r.delivered[0]
-			r.delivered = r.delivered[1:]
-			return &d, nil
-		}
 	}
 }
 
-// handleFrame processes one raw frame and, if it completes a packet, returns
-// the delivered payload. It is the single-frame path used by tests; Receive
-// batches addFrame and tryDecode for efficiency.
+// handleFrame processes one raw frame synchronously and, if it completes a
+// packet, returns the delivered payload. It is the single-frame path used by
+// tests; Receive batches addFrame and hands decoding to the worker pool.
 func (r *Receiver) handleFrame(raw []byte) (*Delivered, error) {
-	id, fresh, err := r.addFrame(raw)
+	st, fresh, err := r.addFrame(raw)
 	if err != nil || !fresh {
 		return nil, err
 	}
-	return r.tryDecode(id)
+	return r.eng.attempt(st)
 }
 
-// addFrame parses a raw frame and merges its symbols into the per-message
-// observations. It returns the message id the frame contributed to and
-// whether that message needs a decode attempt (acks and duplicates of
+// addFrame parses a raw frame and appends its symbols to the per-message
+// pending buffer. It returns the state the frame contributed to and whether
+// that message needs a decode attempt (acks and duplicates of
 // already-delivered messages do not).
-func (r *Receiver) addFrame(raw []byte) (uint32, bool, error) {
+func (r *Receiver) addFrame(raw []byte) (*msgState, bool, error) {
 	parsed, err := ParseFrame(raw)
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
 	data, ok := parsed.(*DataFrame)
 	if !ok {
-		return 0, false, nil // stray ack: ignore
+		return nil, false, nil // stray ack: ignore
 	}
 	st, err := r.stateFor(data)
 	if err != nil {
-		return 0, false, err
+		return nil, false, err
 	}
-	if st.done {
-		// The ack was probably lost; repeat it.
-		return data.MsgID, false, r.sendAck(data.MsgID)
+	r.seq++
+	if r.seq%evictSweepEvery == 0 {
+		r.evictDelivered()
 	}
 
+	st.mu.Lock()
+	st.lastSeq = r.seq
+	if st.done {
+		st.mu.Unlock()
+		// The ack was probably lost; repeat it.
+		return st, false, r.eng.sendAck(data.MsgID)
+	}
+	st.mu.Unlock()
+
+	// Validate and impair the whole frame into a scratch batch first, so the
+	// per-message mutex is taken once per frame rather than once per symbol.
 	nseg := st.params.NumSegments()
+	r.scratch = r.scratch[:0]
 	for i, sym := range data.Symbols {
 		idx := int(data.StartIndex) + i
 		pos := st.sched.Pos(idx)
 		if pos.Spine >= nseg {
-			return 0, false, fmt.Errorf("link: symbol index %d out of range", idx)
+			return nil, false, fmt.Errorf("link: symbol index %d out of range", idx)
 		}
 		y := sym
 		if r.impairment != nil {
 			y = r.impairment.Corrupt(y)
 		}
-		if err := st.obs.Add(pos, y); err != nil {
-			return 0, false, err
-		}
-		st.symbols++
+		r.scratch = append(r.scratch, rxSymbol{pos: pos, y: y})
 	}
-	return data.MsgID, true, nil
+	st.mu.Lock()
+	st.pending = append(st.pending, r.scratch...)
+	st.symbols += len(r.scratch)
+	st.mu.Unlock()
+	return st, true, nil
 }
 
-// tryDecode runs one decode attempt for the message and acknowledges it if
-// the CRC verifies.
-func (r *Receiver) tryDecode(msgID uint32) (*Delivered, error) {
-	st, ok := r.states[msgID]
-	if !ok || st.done {
-		return nil, nil
+// enqueue hands a message with fresh symbols to its affinity worker, unless
+// an attempt token for it is already queued.
+func (r *Receiver) enqueue(st *msgState) {
+	st.mu.Lock()
+	if st.queued || st.done {
+		st.mu.Unlock()
+		return
 	}
-	// Attempt a decode once enough symbols could possibly carry the message.
-	minUses := (st.params.MessageBits + 2*st.params.C - 1) / (2 * st.params.C)
-	if st.obs.Count() < minUses {
-		return nil, nil
-	}
-	out, err := st.dec.Decode(st.obs)
-	if err != nil {
-		return nil, err
-	}
-	st.nodes += int64(out.NodesExpanded)
-	payload, okCRC := crc.Verify32(out.Message)
-	if !okCRC {
-		return nil, nil // keep listening for more symbols
-	}
-	st.done = true
-	st.payload = append([]byte(nil), payload...)
-	if err := r.sendAck(msgID); err != nil {
-		return nil, err
-	}
-	return &Delivered{MsgID: msgID, Payload: st.payload, Symbols: st.symbols}, nil
+	st.queued = true
+	st.mu.Unlock()
+	r.eng.submit(st)
 }
 
 // stateFor finds or creates the decoding state for the message described by a
@@ -237,28 +311,98 @@ func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Per-message decodes default to the serial path: the receiver's
+	// parallelism comes from decoding distinct messages concurrently, and a
+	// goroutine pool per tracked message would mostly add churn. Raise
+	// Config.DecoderParallelism to shard single large decodes too.
+	par := r.cfg.DecoderParallelism
+	if par == 0 {
+		par = 1
+	}
+	dec.SetParallelism(par)
 	obs, err := core.NewObservations(params.NumSegments())
 	if err != nil {
 		return nil, err
 	}
-	st := &msgState{params: params, sched: sched, dec: dec, obs: obs}
+	r.evictForCap()
+	st := &msgState{
+		id:      data.MsgID,
+		worker:  int(data.MsgID % uint32(r.eng.workers())),
+		params:  params,
+		sched:   sched,
+		minUses: (params.MessageBits + 2*params.C - 1) / (2 * params.C),
+		dec:     dec,
+		obs:     obs,
+	}
 	r.states[data.MsgID] = st
 	return st, nil
 }
 
-// sendAck transmits a positive acknowledgement for msgID.
-func (r *Receiver) sendAck(msgID uint32) error {
-	ack := &AckFrame{MsgID: msgID, Decoded: true}
-	if err := r.tr.Send(ack.Marshal()); err != nil {
-		return fmt.Errorf("link: sending ack: %w", err)
+// evictDelivered drops delivered states whose sender has been silent for the
+// grace period — the ack evidently arrived, so the state is done repeating
+// it. Evicted decoders are reclaimed by the runtime (a decode may still be
+// in flight on a worker, so they are never closed here).
+func (r *Receiver) evictDelivered() {
+	for id, st := range r.states {
+		st.mu.Lock()
+		stale := st.done && r.seq-st.lastSeq > doneGraceFrames
+		if stale {
+			st.evicted = true
+		}
+		st.mu.Unlock()
+		if stale {
+			delete(r.states, id)
+		}
 	}
-	return nil
+}
+
+// evictForCap makes room for one more tracked message when the cap is
+// reached: delivered states go first (oldest last-activity first), then the
+// stalest in-flight state. Dropping an in-flight state costs its decode
+// progress, never correctness — later frames recreate it.
+func (r *Receiver) evictForCap() {
+	limit := r.cfg.MaxTracked
+	if limit <= 0 {
+		limit = DefaultMaxTracked
+	}
+	if len(r.states) < limit {
+		return
+	}
+	for len(r.states) >= limit {
+		var victim uint32
+		var victimSeq uint64
+		victimDone := false
+		found := false
+		for id, st := range r.states {
+			st.mu.Lock()
+			done, last := st.done, st.lastSeq
+			st.mu.Unlock()
+			better := !found ||
+				(done && !victimDone) ||
+				(done == victimDone && last < victimSeq)
+			if better {
+				victim, victimSeq, victimDone, found = id, last, done, true
+			}
+		}
+		if !found {
+			return
+		}
+		// Mark before deleting: a queued attempt token for the victim must
+		// not decode or deliver once ownership passes to a recreated state.
+		vst := r.states[victim]
+		vst.mu.Lock()
+		vst.evicted = true
+		vst.mu.Unlock()
+		delete(r.states, victim)
+	}
 }
 
 // SymbolsReceived reports how many symbols have been accumulated for a
 // message; it is exported for tests and diagnostics.
 func (r *Receiver) SymbolsReceived(msgID uint32) int {
 	if st, ok := r.states[msgID]; ok {
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		return st.symbols
 	}
 	return 0
@@ -270,7 +414,185 @@ func (r *Receiver) SymbolsReceived(msgID uint32) int {
 // single full decode regardless of how many frames triggered attempts.
 func (r *Receiver) NodesExpanded(msgID uint32) int64 {
 	if st, ok := r.states[msgID]; ok {
+		st.mu.Lock()
+		defer st.mu.Unlock()
 		return st.nodes
 	}
 	return 0
+}
+
+// TrackedMessages reports how many per-message decoding states the receiver
+// currently retains; it is exported for tests and diagnostics.
+func (r *Receiver) TrackedMessages() int { return len(r.states) }
+
+// decodeEngine owns the decode worker goroutines. Each worker drains its own
+// queue, so a message (always queued to the same worker) is never decoded by
+// two goroutines at once. The engine deliberately holds no reference to the
+// Receiver so an abandoned receiver can be reclaimed.
+type decodeEngine struct {
+	tr     Transport
+	queues []chan *msgState
+
+	mu sync.Mutex
+	// outstanding counts attempt tokens submitted but not yet fully
+	// processed (result recorded); while it is zero, Receive can block for
+	// its whole timeout instead of polling for worker results.
+	outstanding int
+	ready       []Delivered
+	err         error
+	closed      bool
+	once        sync.Once
+	wg          sync.WaitGroup
+}
+
+func newDecodeEngine(tr Transport, workers int) *decodeEngine {
+	if workers < 1 {
+		workers = 1
+	}
+	e := &decodeEngine{tr: tr, queues: make([]chan *msgState, workers)}
+	for i := range e.queues {
+		q := make(chan *msgState, 256)
+		e.queues[i] = q
+		e.wg.Add(1)
+		go func() {
+			defer e.wg.Done()
+			for st := range q {
+				d, err := e.attempt(st)
+				e.mu.Lock()
+				if d != nil {
+					e.ready = append(e.ready, *d)
+				}
+				if err != nil && e.err == nil {
+					e.err = err
+				}
+				// Decrement after recording the result: a zero outstanding
+				// count guarantees every finished attempt is visible in
+				// ready/err.
+				e.outstanding--
+				e.mu.Unlock()
+			}
+		}()
+	}
+	return e
+}
+
+func (e *decodeEngine) workers() int { return len(e.queues) }
+
+// submit queues one attempt token. The queue is bounded; if a worker falls
+// far behind, ingest briefly blocks here, which is the intended backpressure.
+func (e *decodeEngine) submit(st *msgState) {
+	e.mu.Lock()
+	closed := e.closed
+	if !closed {
+		e.outstanding++
+	}
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	e.queues[st.worker] <- st
+}
+
+// busy reports whether any submitted attempt has not finished yet. When it
+// returns false, every completed attempt's outcome is already visible to
+// take (the workers decrement outstanding only after recording results).
+func (e *decodeEngine) busy() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.outstanding > 0
+}
+
+// take pops one delivered packet, or — only once the delivery queue is
+// drained — the first asynchronous worker error. Packets decoded (and acked)
+// before the error must still reach the application.
+func (e *decodeEngine) take() (*Delivered, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.ready) == 0 {
+		if e.err != nil {
+			return nil, e.err
+		}
+		return nil, nil
+	}
+	d := e.ready[0]
+	e.ready = e.ready[1:]
+	return &d, nil
+}
+
+// attempt runs one decode attempt for a message: drain its pending symbols
+// into the observations, resume the (incremental) beam search, and on a CRC
+// match mark it delivered and send the ack.
+func (e *decodeEngine) attempt(st *msgState) (*Delivered, error) {
+	st.decodeMu.Lock()
+	defer st.decodeMu.Unlock()
+
+	st.mu.Lock()
+	st.queued = false
+	if st.done || st.evicted {
+		st.mu.Unlock()
+		return nil, nil
+	}
+	st.pending, st.draining = st.draining[:0], st.pending
+	pending := st.draining
+	st.mu.Unlock()
+	for _, s := range pending {
+		if err := st.obs.Add(s.pos, s.y); err != nil {
+			return nil, err
+		}
+	}
+	// Attempt a decode once enough symbols could possibly carry the message.
+	if st.obs.Count() < st.minUses {
+		return nil, nil
+	}
+	out, err := st.dec.Decode(st.obs)
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	st.nodes += int64(out.NodesExpanded)
+	st.mu.Unlock()
+	payload, okCRC := crc.Verify32(out.Message)
+	if !okCRC {
+		return nil, nil // keep listening for more symbols
+	}
+	st.mu.Lock()
+	if st.evicted {
+		// Ownership moved to a recreated state while we were decoding; it
+		// will deliver (and ack) instead, so stay silent to keep delivery
+		// single-copy.
+		st.mu.Unlock()
+		return nil, nil
+	}
+	st.done = true
+	st.payload = append([]byte(nil), payload...)
+	symbols := st.symbols
+	st.mu.Unlock()
+	if err := e.sendAck(st.id); err != nil {
+		return nil, err
+	}
+	return &Delivered{MsgID: st.id, Payload: st.payload, Symbols: symbols}, nil
+}
+
+// sendAck transmits a positive acknowledgement for msgID. It may be called
+// from any worker and from the ingest path; transports are safe for
+// concurrent Send.
+func (e *decodeEngine) sendAck(msgID uint32) error {
+	ack := &AckFrame{MsgID: msgID, Decoded: true}
+	if err := e.tr.Send(ack.Marshal()); err != nil {
+		return fmt.Errorf("link: sending ack: %w", err)
+	}
+	return nil
+}
+
+// stop shuts the workers down and waits for in-flight attempts.
+func (e *decodeEngine) stop() {
+	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
+		for _, q := range e.queues {
+			close(q)
+		}
+		e.wg.Wait()
+	})
 }

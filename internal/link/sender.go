@@ -37,7 +37,26 @@ type Config struct {
 	// acknowledgement after it has emitted its last frame, covering the time
 	// the receiver needs to catch up on decoding; zero selects one second.
 	FinalWait time.Duration
+	// DecodeWorkers is the size of the receiver's decode worker pool:
+	// attempts for that many distinct in-flight messages can run
+	// concurrently with frame ingest. Each message has affinity to one
+	// worker, which keeps its incremental decode workspace valid. Zero
+	// selects runtime.GOMAXPROCS.
+	DecodeWorkers int
+	// DecoderParallelism is the per-message decoder's internal worker count
+	// (BeamDecoder.SetParallelism). Zero selects 1 — on a receiver the
+	// useful parallelism usually comes from decoding distinct messages
+	// concurrently, not from sharding one message's tree.
+	DecoderParallelism int
+	// MaxTracked caps how many per-message decoding states the receiver
+	// retains at once; the oldest (delivered first) are evicted when the cap
+	// is hit. Zero selects DefaultMaxTracked.
+	MaxTracked int
 }
+
+// DefaultMaxTracked is the default cap on simultaneously tracked messages at
+// the receiver.
+const DefaultMaxTracked = 256
 
 func (c Config) withDefaults() Config {
 	if c.K == 0 {
@@ -83,6 +102,15 @@ func (c Config) validate() error {
 	}
 	if c.MaxPasses < 1 {
 		return fmt.Errorf("link: MaxPasses must be positive, got %d", c.MaxPasses)
+	}
+	if c.DecodeWorkers < 0 {
+		return fmt.Errorf("link: DecodeWorkers must be >= 0, got %d", c.DecodeWorkers)
+	}
+	if c.DecoderParallelism < 0 {
+		return fmt.Errorf("link: DecoderParallelism must be >= 0, got %d", c.DecoderParallelism)
+	}
+	if c.MaxTracked < 0 {
+		return fmt.Errorf("link: MaxTracked must be >= 0, got %d", c.MaxTracked)
 	}
 	return nil
 }

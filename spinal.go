@@ -56,6 +56,11 @@ type Config struct {
 	// spine values within each pass, allowing rates above K bits/symbol at
 	// high SNR. Default true; set Sequential to force the plain schedule.
 	Sequential bool
+	// Workers is the number of goroutines the decoder shards each tree
+	// level across. Zero selects runtime.GOMAXPROCS; 1 forces the serial
+	// path. Decoding results are bit-identical at any setting — the knob
+	// trades goroutines for wall-clock time only.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -207,12 +212,24 @@ func (c *Code) NewDecoder() (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.cfg.Workers > 0 {
+		dec.SetParallelism(c.cfg.Workers)
+	}
 	obs, err := core.NewObservations(c.params.NumSegments())
 	if err != nil {
 		return nil, err
 	}
 	return &Decoder{dec: dec, obs: obs, n: c.cfg.MessageBits}, nil
 }
+
+// SetParallelism overrides the number of worker goroutines used per decode
+// (see Config.Workers). Values <= 0 restore the GOMAXPROCS default.
+func (d *Decoder) SetParallelism(n int) { d.dec.SetParallelism(n) }
+
+// Close releases the decoder's worker goroutines. The decoder remains
+// usable; the pool is recreated on demand. Calling Close when a decoder is
+// retired simply frees its helpers earlier than the garbage collector would.
+func (d *Decoder) Close() { d.dec.Close() }
 
 // Observe records the received value of the symbol at pos.
 func (d *Decoder) Observe(pos SymbolPos, received complex128) error {
@@ -279,10 +296,11 @@ func (c *Code) Transmit(message []byte, ch func(complex128) complex128, verify f
 		return nil, err
 	}
 	sessionCfg := core.SessionConfig{
-		Params:     c.params,
-		BeamWidth:  c.cfg.BeamWidth,
-		Schedule:   sched,
-		MaxSymbols: maxSymbols,
+		Params:      c.params,
+		BeamWidth:   c.cfg.BeamWidth,
+		Schedule:    sched,
+		MaxSymbols:  maxSymbols,
+		Parallelism: c.cfg.Workers,
 	}
 	res, err := core.RunSymbolSession(sessionCfg, message, ch, verify)
 	if err != nil {
@@ -309,10 +327,11 @@ func (c *Code) TransmitBits(message []byte, ch func(byte) byte, verify func([]by
 		return nil, err
 	}
 	sessionCfg := core.SessionConfig{
-		Params:     c.params,
-		BeamWidth:  c.cfg.BeamWidth,
-		Schedule:   sched,
-		MaxSymbols: maxUses,
+		Params:      c.params,
+		BeamWidth:   c.cfg.BeamWidth,
+		Schedule:    sched,
+		MaxSymbols:  maxUses,
+		Parallelism: c.cfg.Workers,
 	}
 	res, err := core.RunBitSession(sessionCfg, message, ch, verify)
 	if err != nil {
