@@ -4,10 +4,17 @@
 // 14-bit ADC), decodes arriving packets with the spinal beam decoder, and
 // acknowledges each packet as soon as its CRC verifies.
 //
+// One spinalrecv serves many concurrent spinalsend processes over its
+// single UDP socket: frames are demultiplexed by the flow id each sender
+// carries, acks are routed back to each sender's own source address, flows
+// share one decoder pool and one decode-worker pool, and admission control
+// (-max-flows, -max-tracked) bounds the state a burst of senders can pin.
+//
 // Run it together with cmd/spinalsend, for example:
 //
 //	spinalrecv -listen 127.0.0.1:9700 -snr 12 &
-//	spinalsend -to 127.0.0.1:9700 -text "hello spinal"
+//	spinalsend -to 127.0.0.1:9700 -text "hello from sender A" &
+//	spinalsend -to 127.0.0.1:9700 -text "hello from sender B" &
 package main
 
 import (
@@ -32,15 +39,20 @@ func main() {
 		"per-packet decoder parallelism (0 = serial per packet; results are bit-identical at any setting)")
 	count := flag.Int("count", 0, "exit after this many packets (0 = run forever)")
 	seed := flag.Uint64("noise-seed", 1, "seed for the simulated radio noise")
+	maxFlows := flag.Int("max-flows", 0,
+		"cap on concurrently tracked flows; the oldest flow is shed (and NACKed) beyond it (0 = default)")
+	maxTracked := flag.Int("max-tracked", 0, "cap on tracked messages across all flows (0 = default)")
+	pool := flag.Int("pool", 0,
+		"decoder-pool capacity: idle decoders kept for reuse across flows (0 = default, negative = disable pooling)")
 	flag.Parse()
 
-	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed); err != nil {
+	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed, *maxFlows, *maxTracked, *pool); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64) error {
+func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64, maxFlows, maxTracked, pool int) error {
 	tr, err := link.NewUDP(listen, "")
 	if err != nil {
 		return err
@@ -55,12 +67,16 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 		BeamWidth:          beam,
 		DecodeWorkers:      workers,
 		DecoderParallelism: decWorkers,
+		MaxFlows:           maxFlows,
+		MaxTracked:         maxTracked,
+		PoolCapacity:       pool,
 	}, radio)
 	if err != nil {
 		return err
 	}
 	defer recv.Close()
-	fmt.Printf("spinalrecv: listening on %s, simulating a %.1f dB channel\n", tr.LocalAddr(), snr)
+	fmt.Printf("spinalrecv: listening on %s, simulating a %.1f dB channel, serving multiplexed flows\n",
+		tr.LocalAddr(), snr)
 
 	delivered := 0
 	for count == 0 || delivered < count {
@@ -73,9 +89,12 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 		}
 		delivered++
 		rate := float64(len(d.Payload)*8) / float64(d.Symbols)
-		fmt.Printf("packet %d: %d bytes in %d symbols (%.2f bits/symbol): %q\n",
-			d.MsgID, len(d.Payload), d.Symbols, rate, truncate(string(d.Payload), 60))
+		fmt.Printf("flow %d packet %d: %d bytes in %d symbols (%.2f bits/symbol): %q\n",
+			d.FlowID, d.MsgID, len(d.Payload), d.Symbols, rate, truncate(string(d.Payload), 60))
 	}
+	stats := recv.PoolStats()
+	fmt.Printf("spinalrecv: served %d packets across %d tracked flows (decoder pool: %d hits, %d misses, %d shed flows)\n",
+		delivered, recv.TrackedFlows(), stats.Hits, stats.Misses, recv.ShedFlows())
 	return nil
 }
 

@@ -24,15 +24,24 @@ func main() {
 	repeat := flag.Int("repeat", 1, "number of times to send the text payload")
 	chunk := flag.Int("chunk", 512, "chunk size in bytes when sending a file")
 	passes := flag.Int("max-passes", 60, "give-up bound in encoding passes")
+	flow := flag.Uint64("flow", 0,
+		"flow identity carried in every frame so one receiver can serve many senders (0 = derive from the process id)")
+	legacy := flag.Bool("v0", false, "emit legacy v0 frames (no flow id) for pre-flow receivers")
 	flag.Parse()
 
-	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes); err != nil {
+	flowID := uint32(*flow)
+	if flowID == 0 && !*legacy {
+		// Distinct concurrent spinalsend processes get distinct flows without
+		// any coordination.
+		flowID = uint32(os.Getpid())
+	}
+	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes, flowID, *legacy); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalsend:", err)
 		os.Exit(1)
 	}
 }
 
-func send(to, local, text, file string, repeat, chunk, passes int) error {
+func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32, legacy bool) error {
 	if text == "" && file == "" {
 		return fmt.Errorf("nothing to send: pass -text or -file")
 	}
@@ -64,19 +73,30 @@ func send(to, local, text, file string, repeat, chunk, passes int) error {
 		return err
 	}
 	defer tr.Close()
+	if legacy {
+		flowID = 0
+	}
 	sender, err := link.NewSender(tr, link.Config{
 		MaxPasses: passes,
 		AckPoll:   2 * time.Millisecond,
+		FlowID:    flowID,
+		LegacyV0:  legacy,
 	})
 	if err != nil {
 		return err
 	}
+	fmt.Printf("spinalsend: transmitting as flow %d\n", flowID)
 
 	totalBits, totalSymbols := 0, 0
 	for i, p := range payloads {
 		report, err := sender.Send(uint32(i+1), p)
 		if err != nil {
 			return err
+		}
+		if report.Shed {
+			fmt.Printf("packet %d: flow shed by the receiver's admission control after %d symbols\n",
+				i+1, report.SymbolsSent)
+			continue
 		}
 		if !report.Acked {
 			fmt.Printf("packet %d: NOT acknowledged after %d symbols\n", i+1, report.SymbolsSent)

@@ -58,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spinalsim", flag.ContinueOnError)
 	opt := options{}
 	fs.StringVar(&opt.exp, "exp", "figure2",
-		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel")
+		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel|multiflow")
 	fs.Float64Var(&opt.snrMin, "snr-min", -10, "sweep start (dB)")
 	fs.Float64Var(&opt.snrMax, "snr-max", 40, "sweep end (dB)")
 	fs.Float64Var(&opt.snrStep, "snr-step", 5, "sweep step (dB)")
@@ -278,6 +278,32 @@ func dispatch(o options, out io.Writer) error {
 		fmt.Fprintf(out, "# effective config: %d trials, %s schedule, B=%d (this experiment fixes the schedule and bounds trials)\n",
 			cfg.Trials, cfg.Schedule, cfg.BeamWidth)
 		emit(o, out, experiments.FormatParallel(pts))
+		return nil
+	case "multiflow":
+		cfg := o.spinalConfig()
+		if o.k == 8 {
+			// The -k default; many concurrent decodes make k=8 slow, so this
+			// experiment runs k=4 unless -k selects something other than 8
+			// (disclosed in the effective-config line below).
+			cfg.K = 4
+		}
+		snr := o.snr
+		msgs := 4
+		if o.trials < 100 {
+			msgs = o.trials // let -trials scale messages per flow
+			if msgs < 1 {
+				msgs = 1
+			}
+		}
+		pts, err := experiments.MultiFlowComparison(cfg, snr, []int{1, 4, 16, 64}, msgs)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "# flow-multiplexed link engine at %.1f dB: aggregate goodput, per-flow fairness, decoder-pool reuse\n", snr)
+		fmt.Fprintf(out, "# every delivered payload is verified bit-identical to a dedicated single-flow receiver\n")
+		fmt.Fprintf(out, "# effective config: k=%d, %d messages per flow (this experiment defaults k to 4; pass -k to override)\n",
+			cfg.K, msgs)
+		emit(o, out, experiments.FormatMultiFlow(pts))
 		return nil
 	case "fixedrate":
 		snrs, err := o.sweep()

@@ -59,6 +59,18 @@ func TestRunUnknownExperiment(t *testing.T) {
 	}
 }
 
+func TestRunMultiFlow(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "multiflow", "-snr", "18", "-trials", "1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"flows", "goodput_bps", "fairness"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("multiflow output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-snr-step", "abc"}, &out); err == nil {

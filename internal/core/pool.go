@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DecoderPool caches fully constructed (BeamDecoder, Observations) pairs
+// keyed by code parameters and beam width, so that a serving path handling
+// many concurrent messages — the flow-multiplexed link receiver in
+// particular — reuses decoders (and their incremental workspaces and worker
+// pools) across messages and flows instead of rebuilding them per message.
+//
+// The pool hands decoders out as leases: Lease returns an idle decoder for
+// the requested parameters (or builds a fresh one on a miss) and
+// LeasedDecoder.Release puts it back. A released pair is reset before it is
+// cached — Observations.Reset bumps the container's epoch, which forces the
+// decoder's next Decode to rebuild from the root — so a pooled decoder is
+// bit-identical in behaviour to a freshly constructed one; only allocations
+// and goroutine pools are recycled. The total number of idle decoders is
+// bounded by the pool capacity: releases beyond it close the decoder and
+// drop it instead of caching it.
+//
+// All methods are safe for concurrent use. A capacity of zero or less
+// disables caching entirely (every Lease builds, every Release closes),
+// which keeps the "pool off" configuration on the exact same code path.
+type DecoderPool struct {
+	mu       sync.Mutex
+	capacity int
+	idle     map[poolKey][]*LeasedDecoder
+	idleN    int
+	stats    PoolStats
+}
+
+// DefaultDecoderPoolCapacity is the idle-decoder bound used when a pool is
+// constructed with a zero capacity request by higher layers that want "a
+// reasonable default" (the link receiver). NewDecoderPool itself takes the
+// capacity literally.
+const DefaultDecoderPoolCapacity = 64
+
+// poolKey identifies decoders that are interchangeable: same code
+// parameters, same hash seed, same constellation mapping, same beam width.
+type poolKey struct {
+	k, c, messageBits int
+	seed              uint64
+	mapper            string
+	beamWidth         int
+}
+
+// PoolStats counts pool traffic; it is reported by Stats for diagnostics,
+// experiments and tests.
+type PoolStats struct {
+	// Hits is the number of leases served from the idle cache.
+	Hits uint64
+	// Misses is the number of leases that had to build a fresh decoder.
+	Misses uint64
+	// Discards is the number of releases dropped because the pool was at
+	// capacity (the decoder is closed, not cached).
+	Discards uint64
+	// Idle is the number of decoders currently cached.
+	Idle int
+}
+
+// LeasedDecoder is one decoder/observation pair checked out of a
+// DecoderPool. The caller owns Dec and Obs exclusively until Release.
+type LeasedDecoder struct {
+	Dec *BeamDecoder
+	Obs *Observations
+
+	key    poolKey
+	pool   *DecoderPool
+	leased bool
+}
+
+// NewDecoderPool returns a pool that caches up to capacity idle decoders
+// across all parameter keys. A capacity <= 0 disables caching.
+func NewDecoderPool(capacity int) *DecoderPool {
+	return &DecoderPool{
+		capacity: capacity,
+		idle:     map[poolKey][]*LeasedDecoder{},
+	}
+}
+
+// Capacity returns the configured idle-decoder bound.
+func (p *DecoderPool) Capacity() int { return p.capacity }
+
+// keyFor derives the pool key for a parameter set. Params with a nil Mapper
+// use the default linear mapping, which is what the key records.
+func keyFor(params Params, beamWidth int) poolKey {
+	mapper := "linear"
+	if params.Mapper != nil {
+		mapper = params.Mapper.Name()
+	}
+	return poolKey{
+		k:           params.K,
+		c:           params.C,
+		messageBits: params.MessageBits,
+		seed:        params.Seed,
+		mapper:      mapper,
+		beamWidth:   beamWidth,
+	}
+}
+
+// Lease checks a decoder for the given parameters out of the pool, building
+// one if no idle decoder matches. The returned lease's Obs container is
+// empty and its decoder workspace will rebuild from the root on the first
+// Decode, exactly like a fresh decoder.
+func (p *DecoderPool) Lease(params Params, beamWidth int) (*LeasedDecoder, error) {
+	key := keyFor(params, beamWidth)
+	p.mu.Lock()
+	if list := p.idle[key]; len(list) > 0 {
+		ld := list[len(list)-1]
+		p.idle[key] = list[:len(list)-1]
+		p.idleN--
+		p.stats.Hits++
+		ld.leased = true
+		p.mu.Unlock()
+		return ld, nil
+	}
+	p.stats.Misses++
+	p.mu.Unlock()
+
+	dec, err := NewBeamDecoder(params, beamWidth)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := NewObservations(params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	return &LeasedDecoder{Dec: dec, Obs: obs, key: key, pool: p, leased: true}, nil
+}
+
+// Release returns the lease to its pool. The observation container is reset
+// (bumping its epoch, which invalidates the decoder's incremental workspace
+// for the next user); if the pool is at capacity the decoder is closed and
+// dropped instead. Release is idempotent: returning the same lease twice is
+// a no-op, so eviction races in callers cannot double-cache a decoder.
+func (l *LeasedDecoder) Release() {
+	if l == nil || l.pool == nil {
+		return
+	}
+	p := l.pool
+	p.mu.Lock()
+	if !l.leased {
+		p.mu.Unlock()
+		return
+	}
+	l.leased = false
+	if p.idleN >= p.capacity {
+		p.stats.Discards++
+		p.mu.Unlock()
+		l.Obs.Reset()
+		l.Dec.Close()
+		return
+	}
+	p.mu.Unlock()
+	// Reset outside the pool lock: clearing a large observation container is
+	// not free, and the lease is not reachable from the pool yet.
+	l.Obs.Reset()
+	p.mu.Lock()
+	if p.idleN >= p.capacity {
+		p.stats.Discards++
+		p.mu.Unlock()
+		l.Dec.Close()
+		return
+	}
+	p.idle[l.key] = append(p.idle[l.key], l)
+	p.idleN++
+	p.mu.Unlock()
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *DecoderPool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	s.Idle = p.idleN
+	return s
+}
+
+// Drain closes and drops every idle decoder. Leased decoders are unaffected;
+// they are closed (not cached) when released only if the pool is full, so a
+// drained pool simply refills as leases come back.
+func (p *DecoderPool) Drain() {
+	p.mu.Lock()
+	var all []*LeasedDecoder
+	for key, list := range p.idle {
+		all = append(all, list...)
+		delete(p.idle, key)
+	}
+	p.idleN = 0
+	p.mu.Unlock()
+	for _, ld := range all {
+		ld.Dec.Close()
+	}
+}
+
+// String renders the pool state for logs.
+func (p *DecoderPool) String() string {
+	s := p.Stats()
+	return fmt.Sprintf("DecoderPool{idle=%d cap=%d hits=%d misses=%d discards=%d}",
+		s.Idle, p.capacity, s.Hits, s.Misses, s.Discards)
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMultiFlowComparison runs a small flow sweep end to end. The function
+// itself enforces the shared-vs-dedicated equivalence (it errors on any
+// payload divergence), so the test focuses on delivery, fairness sanity and
+// decoder-pool reuse.
+func TestMultiFlowComparison(t *testing.T) {
+	cfg := SpinalConfig{MessageBits: 96, K: 4, C: 8, BeamWidth: 8, Trials: 1, Seed: 1}
+	flowCounts := []int{1, 4}
+	msgs := 2
+	if testing.Short() {
+		flowCounts = []int{2}
+	}
+	pts, err := MultiFlowComparison(cfg, 18, flowCounts, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(flowCounts) {
+		t.Fatalf("got %d points, want %d", len(pts), len(flowCounts))
+	}
+	for _, p := range pts {
+		total := p.Flows * p.MessagesPerFlow
+		if p.Delivered != total {
+			t.Fatalf("%d flows: delivered %d/%d at 18 dB", p.Flows, p.Delivered, total)
+		}
+		if p.GoodputBitsPerSec <= 0 {
+			t.Fatalf("%d flows: non-positive goodput", p.Flows)
+		}
+		if p.Fairness < 0.5 || p.Fairness > 1.0001 {
+			t.Fatalf("%d flows: implausible fairness index %v", p.Flows, p.Fairness)
+		}
+		if p.AggregateRate <= 0 {
+			t.Fatalf("%d flows: non-positive aggregate rate", p.Flows)
+		}
+		// Each flow sends messages sequentially, so the second message of a
+		// flow must reuse the decoder its first message returned.
+		if p.MessagesPerFlow > 1 && p.PoolHits == 0 {
+			t.Fatalf("%d flows: sequential messages never hit the decoder pool", p.Flows)
+		}
+	}
+
+	table := FormatMultiFlow(pts)
+	rendered := table.String()
+	for _, col := range []string{"flows", "goodput_bps", "fairness", "pool_hit"} {
+		if !strings.Contains(rendered, col) {
+			t.Fatalf("rendered table missing column %q:\n%s", col, rendered)
+		}
+	}
+
+	if _, err := MultiFlowComparison(cfg, 18, []int{0}, 1); err == nil {
+		t.Fatal("flow count 0 accepted")
+	}
+}

@@ -216,7 +216,7 @@ func TestReceiverEvictsDeliveredStates(t *testing.T) {
 	s1 := newTestStream(t, cfg, 1, []byte("evict me after the grace period"))
 	var delivered *Delivered
 	for delivered == nil && s1.next < 3*s1.params.NumSegments() {
-		delivered, err = recv.handleFrame(s1.frame(t, cfg, 16))
+		delivered, err = recv.HandleFrame(s1.frame(t, cfg, 16))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,7 +230,7 @@ func TestReceiverEvictsDeliveredStates(t *testing.T) {
 
 	// A duplicate frame for the delivered message must repeat the ack.
 	dup := newTestStream(t, cfg, 1, []byte("evict me after the grace period"))
-	if _, err := recv.handleFrame(dup.frame(t, cfg, 8)); err != nil {
+	if _, err := recv.HandleFrame(dup.frame(t, cfg, 8)); err != nil {
 		t.Fatal(err)
 	}
 	ackBuf := make([]byte, maxFrameSize)
@@ -258,7 +258,7 @@ func TestReceiverEvictsDeliveredStates(t *testing.T) {
 	// Push unrelated traffic past the grace period; message 1 must be gone.
 	other := newTestStream(t, cfg, 2, bytes.Repeat([]byte{7}, 40))
 	for i := 0; i < doneGraceFrames+evictSweepEvery+2; i++ {
-		if _, err := recv.handleFrame(other.frame(t, cfg, 1)); err != nil {
+		if _, err := recv.HandleFrame(other.frame(t, cfg, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -289,7 +289,7 @@ func TestReceiverCapsTrackedStates(t *testing.T) {
 	for id := uint32(1); id <= 5; id++ {
 		s := newTestStream(t, cfg, id, []byte(fmt.Sprintf("capped message %d", id)))
 		// One symbol only: the message stays undecodable and in flight.
-		if _, err := recv.handleFrame(s.frame(t, cfg, 1)); err != nil {
+		if _, err := recv.HandleFrame(s.frame(t, cfg, 1)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -307,7 +307,7 @@ func TestReceiverCapsTrackedStates(t *testing.T) {
 	s1 := newTestStream(t, cfg, 1, []byte("capped message 1"))
 	var delivered *Delivered
 	for delivered == nil && s1.next < 3*s1.params.NumSegments() {
-		delivered, err = recv.handleFrame(s1.frame(t, cfg, 16))
+		delivered, err = recv.HandleFrame(s1.frame(t, cfg, 16))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,16 +9,26 @@ import (
 // Wire format. All integers are big-endian.
 //
 //	byte 0: magic (0xA5)
-//	byte 1: frame type (1 = data, 2 = ack)
+//	byte 1: frame type
+//
+// Two generations of the format coexist on the wire. The original (v0)
+// frames identify a message by MsgID alone — one implicit point-to-point
+// flow. The v1 frames prepend a 32-bit FlowID (the sender's identity) to
+// both data and ack payloads so that many logical flows can share one
+// receiver and one transport socket. The generation is carried in the frame
+// type byte, so a v1 engine parses v0 frames unchanged and treats them as
+// flow 0; v0 receivers simply drop the unknown v1 types.
 //
 // Data frames carry everything the receiver needs to decode statelessly:
 // code parameters, the schedule, the index of the first symbol in the frame
-// and the symbol samples as float32 I/Q pairs. Acks carry the message id and
-// a status byte.
+// and the symbol samples as float32 I/Q pairs. Acks carry the flow and
+// message ids and a status byte (1 = decoded, 0 = negative/shed).
 const (
 	frameMagic byte = 0xA5
-	typeData   byte = 1
-	typeAck    byte = 2
+	typeData   byte = 1 // v0 data: no flow id
+	typeAck    byte = 2 // v0 ack: no flow id
+	typeDataV1 byte = 3 // v1 data: 32-bit flow id before the message id
+	typeAckV1  byte = 4 // v1 ack: 32-bit flow id before the message id
 
 	// ScheduleSequential and ScheduleStriped8 identify the transmission
 	// schedules supported on the wire.
@@ -26,15 +36,36 @@ const (
 	ScheduleStriped8   uint8 = 1
 )
 
-// dataHeaderLen is the number of bytes before the symbol samples.
-const dataHeaderLen = 2 + 4 + 4 + 1 + 1 + 1 + 8 + 4 + 2
+// Frame versions, carried implicitly in the frame type byte.
+const (
+	// FrameV0 is the original point-to-point format without flow ids.
+	FrameV0 uint8 = 0
+	// FrameV1 is the flow-multiplexed format.
+	FrameV1 uint8 = 1
+)
 
-// MaxSymbolsPerFrame is the largest number of symbols a single data frame can
-// carry within the transport frame-size limit.
-const MaxSymbolsPerFrame = (maxFrameSize - dataHeaderLen) / 8
+// dataHeaderLen is the number of bytes before the symbol samples in a v0
+// data frame; v1 inserts a 4-byte flow id after the type byte.
+const (
+	dataHeaderLen   = 2 + 4 + 4 + 1 + 1 + 1 + 8 + 4 + 2
+	dataHeaderLenV1 = dataHeaderLen + 4
+	ackLen          = 7
+	ackLenV1        = ackLen + 4
+)
+
+// MaxSymbolsPerFrame is the largest number of symbols a single data frame
+// can carry within the transport frame-size limit. It is derived from the
+// larger (v1) header so the bound holds for either generation.
+const MaxSymbolsPerFrame = (maxFrameSize - dataHeaderLenV1) / 8
 
 // DataFrame is one burst of coded symbols for a message.
 type DataFrame struct {
+	// Version selects the wire encoding: FrameV0 (legacy, requires FlowID
+	// zero) or FrameV1. ParseFrame records the generation it saw.
+	Version uint8
+	// FlowID identifies the sender; (FlowID, MsgID) is the demux key at a
+	// multi-flow receiver. Flow 0 is the implicit flow of v0 senders.
+	FlowID      uint32
 	MsgID       uint32
 	MessageBits uint32
 	K           uint8
@@ -45,13 +76,17 @@ type DataFrame struct {
 	Symbols     []complex128
 }
 
-// AckFrame is the receiver's feedback for a message.
+// AckFrame is the receiver's feedback for a message. Decoded=false is a
+// negative acknowledgement: a v1 receiver sends it when it sheds a flow
+// under admission control, telling the sender to stop transmitting.
 type AckFrame struct {
+	Version uint8
+	FlowID  uint32
 	MsgID   uint32
 	Decoded bool
 }
 
-// Marshal serializes the data frame.
+// Marshal serializes the data frame in the generation selected by Version.
 func (f *DataFrame) Marshal() ([]byte, error) {
 	if len(f.Symbols) == 0 {
 		return nil, fmt.Errorf("link: data frame with no symbols")
@@ -59,18 +94,36 @@ func (f *DataFrame) Marshal() ([]byte, error) {
 	if len(f.Symbols) > MaxSymbolsPerFrame {
 		return nil, fmt.Errorf("link: %d symbols exceed the per-frame limit %d", len(f.Symbols), MaxSymbolsPerFrame)
 	}
-	buf := make([]byte, dataHeaderLen+8*len(f.Symbols))
+	headerLen := dataHeaderLenV1
+	switch f.Version {
+	case FrameV1:
+	case FrameV0:
+		if f.FlowID != 0 {
+			return nil, fmt.Errorf("link: v0 frames cannot carry flow %d", f.FlowID)
+		}
+		headerLen = dataHeaderLen
+	default:
+		return nil, fmt.Errorf("link: unknown frame version %d", f.Version)
+	}
+	buf := make([]byte, headerLen+8*len(f.Symbols))
 	buf[0] = frameMagic
-	buf[1] = typeData
-	binary.BigEndian.PutUint32(buf[2:], f.MsgID)
-	binary.BigEndian.PutUint32(buf[6:], f.MessageBits)
-	buf[10] = f.K
-	buf[11] = f.C
-	buf[12] = f.Schedule
-	binary.BigEndian.PutUint64(buf[13:], f.Seed)
-	binary.BigEndian.PutUint32(buf[21:], f.StartIndex)
-	binary.BigEndian.PutUint16(buf[25:], uint16(len(f.Symbols)))
-	off := dataHeaderLen
+	off := 2
+	if f.Version == FrameV1 {
+		buf[1] = typeDataV1
+		binary.BigEndian.PutUint32(buf[off:], f.FlowID)
+		off += 4
+	} else {
+		buf[1] = typeData
+	}
+	binary.BigEndian.PutUint32(buf[off:], f.MsgID)
+	binary.BigEndian.PutUint32(buf[off+4:], f.MessageBits)
+	buf[off+8] = f.K
+	buf[off+9] = f.C
+	buf[off+10] = f.Schedule
+	binary.BigEndian.PutUint64(buf[off+11:], f.Seed)
+	binary.BigEndian.PutUint32(buf[off+19:], f.StartIndex)
+	binary.BigEndian.PutUint16(buf[off+23:], uint16(len(f.Symbols)))
+	off = headerLen
 	for _, s := range f.Symbols {
 		binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(real(s))))
 		binary.BigEndian.PutUint32(buf[off+4:], math.Float32bits(float32(imag(s))))
@@ -79,58 +132,89 @@ func (f *DataFrame) Marshal() ([]byte, error) {
 	return buf, nil
 }
 
-// Marshal serializes the ack frame.
+// Marshal serializes the ack frame in the generation selected by Version.
+// An unknown version falls back to v1; a v0 ack with a non-zero flow id is
+// truncated to the flow-less encoding (the legacy sender it addresses
+// matches on MsgID alone).
 func (f *AckFrame) Marshal() []byte {
-	buf := make([]byte, 7)
+	if f.Version == FrameV0 {
+		buf := make([]byte, ackLen)
+		buf[0] = frameMagic
+		buf[1] = typeAck
+		binary.BigEndian.PutUint32(buf[2:], f.MsgID)
+		if f.Decoded {
+			buf[6] = 1
+		}
+		return buf
+	}
+	buf := make([]byte, ackLenV1)
 	buf[0] = frameMagic
-	buf[1] = typeAck
-	binary.BigEndian.PutUint32(buf[2:], f.MsgID)
+	buf[1] = typeAckV1
+	binary.BigEndian.PutUint32(buf[2:], f.FlowID)
+	binary.BigEndian.PutUint32(buf[6:], f.MsgID)
 	if f.Decoded {
-		buf[6] = 1
+		buf[10] = 1
 	}
 	return buf
 }
 
 // ParseFrame decodes a received frame into either *DataFrame or *AckFrame.
+// Both v0 and v1 frames are accepted; v0 frames come back with FlowID 0 and
+// Version FrameV0.
 func ParseFrame(buf []byte) (interface{}, error) {
 	if len(buf) < 2 {
 		return nil, fmt.Errorf("link: frame too short (%d bytes)", len(buf))
+	}
+	if len(buf) > maxFrameSize {
+		return nil, fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(buf), maxFrameSize)
 	}
 	if buf[0] != frameMagic {
 		return nil, fmt.Errorf("link: bad frame magic %#x", buf[0])
 	}
 	switch buf[1] {
 	case typeData:
-		return parseDataFrame(buf)
+		return parseDataFrame(buf, FrameV0)
+	case typeDataV1:
+		return parseDataFrame(buf, FrameV1)
 	case typeAck:
-		return parseAckFrame(buf)
+		return parseAckFrame(buf, FrameV0)
+	case typeAckV1:
+		return parseAckFrame(buf, FrameV1)
 	default:
 		return nil, fmt.Errorf("link: unknown frame type %d", buf[1])
 	}
 }
 
-func parseDataFrame(buf []byte) (*DataFrame, error) {
-	if len(buf) < dataHeaderLen {
+func parseDataFrame(buf []byte, version uint8) (*DataFrame, error) {
+	headerLen := dataHeaderLen
+	if version == FrameV1 {
+		headerLen = dataHeaderLenV1
+	}
+	if len(buf) < headerLen {
 		return nil, fmt.Errorf("link: data frame header truncated (%d bytes)", len(buf))
 	}
-	f := &DataFrame{
-		MsgID:       binary.BigEndian.Uint32(buf[2:]),
-		MessageBits: binary.BigEndian.Uint32(buf[6:]),
-		K:           buf[10],
-		C:           buf[11],
-		Schedule:    buf[12],
-		Seed:        binary.BigEndian.Uint64(buf[13:]),
-		StartIndex:  binary.BigEndian.Uint32(buf[21:]),
+	f := &DataFrame{Version: version}
+	off := 2
+	if version == FrameV1 {
+		f.FlowID = binary.BigEndian.Uint32(buf[off:])
+		off += 4
 	}
-	count := int(binary.BigEndian.Uint16(buf[25:]))
+	f.MsgID = binary.BigEndian.Uint32(buf[off:])
+	f.MessageBits = binary.BigEndian.Uint32(buf[off+4:])
+	f.K = buf[off+8]
+	f.C = buf[off+9]
+	f.Schedule = buf[off+10]
+	f.Seed = binary.BigEndian.Uint64(buf[off+11:])
+	f.StartIndex = binary.BigEndian.Uint32(buf[off+19:])
+	count := int(binary.BigEndian.Uint16(buf[off+23:]))
 	if count == 0 {
 		return nil, fmt.Errorf("link: data frame with zero symbols")
 	}
-	if len(buf) != dataHeaderLen+8*count {
+	if len(buf) != headerLen+8*count {
 		return nil, fmt.Errorf("link: data frame length %d does not match %d symbols", len(buf), count)
 	}
 	f.Symbols = make([]complex128, count)
-	off := dataHeaderLen
+	off = headerLen
 	for i := range f.Symbols {
 		re := math.Float32frombits(binary.BigEndian.Uint32(buf[off:]))
 		im := math.Float32frombits(binary.BigEndian.Uint32(buf[off+4:]))
@@ -140,11 +224,29 @@ func parseDataFrame(buf []byte) (*DataFrame, error) {
 	return f, nil
 }
 
-func parseAckFrame(buf []byte) (*AckFrame, error) {
-	if len(buf) != 7 {
-		return nil, fmt.Errorf("link: ack frame has %d bytes, want 7", len(buf))
+func parseAckFrame(buf []byte, version uint8) (*AckFrame, error) {
+	if version == FrameV1 {
+		if len(buf) != ackLenV1 {
+			return nil, fmt.Errorf("link: v1 ack frame has %d bytes, want %d", len(buf), ackLenV1)
+		}
+		if buf[10] > 1 {
+			return nil, fmt.Errorf("link: ack status byte %d invalid", buf[10])
+		}
+		return &AckFrame{
+			Version: FrameV1,
+			FlowID:  binary.BigEndian.Uint32(buf[2:]),
+			MsgID:   binary.BigEndian.Uint32(buf[6:]),
+			Decoded: buf[10] == 1,
+		}, nil
+	}
+	if len(buf) != ackLen {
+		return nil, fmt.Errorf("link: ack frame has %d bytes, want %d", len(buf), ackLen)
+	}
+	if buf[6] > 1 {
+		return nil, fmt.Errorf("link: ack status byte %d invalid", buf[6])
 	}
 	return &AckFrame{
+		Version: FrameV0,
 		MsgID:   binary.BigEndian.Uint32(buf[2:]),
 		Decoded: buf[6] == 1,
 	}, nil

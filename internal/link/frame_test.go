@@ -76,6 +76,112 @@ func TestDataFrameRoundTripProperty(t *testing.T) {
 	}
 }
 
+func TestDataFrameV1RoundTrip(t *testing.T) {
+	f := &DataFrame{
+		Version:     FrameV1,
+		FlowID:      0xDEAD0001,
+		MsgID:       42,
+		MessageBits: 288,
+		K:           8,
+		C:           10,
+		Schedule:    ScheduleStriped8,
+		Seed:        0xfeedface,
+		StartIndex:  96,
+		Symbols:     []complex128{1 + 2i, -0.25 - 0.75i},
+	}
+	buf, err := f.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := parsed.(*DataFrame)
+	if !ok {
+		t.Fatalf("parsed wrong type %T", parsed)
+	}
+	if got.Version != FrameV1 || got.FlowID != f.FlowID || got.MsgID != f.MsgID ||
+		got.MessageBits != f.MessageBits || got.K != f.K || got.C != f.C ||
+		got.Schedule != f.Schedule || got.Seed != f.Seed || got.StartIndex != f.StartIndex {
+		t.Fatalf("v1 header mismatch: %+v", got)
+	}
+	if len(got.Symbols) != 2 {
+		t.Fatalf("symbol count mismatch")
+	}
+}
+
+func TestDataFrameV0RejectsFlow(t *testing.T) {
+	f := &DataFrame{Version: FrameV0, FlowID: 3, MsgID: 1, MessageBits: 32, K: 8, C: 10, Seed: 1, Symbols: []complex128{1}}
+	if _, err := f.Marshal(); err == nil {
+		t.Error("v0 frame with a non-zero flow id accepted")
+	}
+	f.Version = 9
+	f.FlowID = 0
+	if _, err := f.Marshal(); err == nil {
+		t.Error("unknown frame version accepted")
+	}
+}
+
+func TestAckFrameV1RoundTrip(t *testing.T) {
+	for _, decoded := range []bool{true, false} {
+		a := &AckFrame{Version: FrameV1, FlowID: 77, MsgID: 7, Decoded: decoded}
+		parsed, err := ParseFrame(a.Marshal())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := parsed.(*AckFrame)
+		if !ok {
+			t.Fatalf("wrong type %T", parsed)
+		}
+		if got.Version != FrameV1 || got.FlowID != 77 || got.MsgID != 7 || got.Decoded != decoded {
+			t.Fatalf("v1 ack mismatch: %+v", got)
+		}
+	}
+}
+
+func TestParseFrameV0ReportsFlowZero(t *testing.T) {
+	data := &DataFrame{MsgID: 5, MessageBits: 32, K: 8, C: 10, Seed: 1, Symbols: []complex128{1}}
+	buf, err := data.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := parsed.(*DataFrame)
+	if got.Version != FrameV0 || got.FlowID != 0 {
+		t.Fatalf("v0 data frame parsed as version %d flow %d", got.Version, got.FlowID)
+	}
+	ack := parsed42(t, (&AckFrame{MsgID: 42, Decoded: true}).Marshal())
+	if ack.Version != FrameV0 || ack.FlowID != 0 {
+		t.Fatalf("v0 ack parsed as version %d flow %d", ack.Version, ack.FlowID)
+	}
+}
+
+func parsed42(t *testing.T, buf []byte) *AckFrame {
+	t.Helper()
+	parsed, err := ParseFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, ok := parsed.(*AckFrame)
+	if !ok {
+		t.Fatalf("wrong type %T", parsed)
+	}
+	return ack
+}
+
+func TestParseFrameRejectsOversize(t *testing.T) {
+	huge := make([]byte, maxFrameSize+1)
+	huge[0] = frameMagic
+	huge[1] = typeData
+	if _, err := ParseFrame(huge); err == nil {
+		t.Error("frame above the transport limit accepted")
+	}
+}
+
 func TestAckFrameRoundTrip(t *testing.T) {
 	for _, decoded := range []bool{true, false} {
 		a := &AckFrame{MsgID: 7, Decoded: decoded}

@@ -1,0 +1,75 @@
+package link
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// hasNaNSymbol reports whether any symbol coordinate of the frame is NaN.
+func hasNaNSymbol(f *DataFrame) bool {
+	for _, s := range f.Symbols {
+		if math.IsNaN(real(s)) || math.IsNaN(imag(s)) {
+			return true
+		}
+	}
+	return false
+}
+
+// FuzzUnmarshalFrame throws arbitrary bytes at the frame parser. The parser
+// must never panic — it guards every length and bound — and any frame it
+// does accept must survive a marshal/parse round trip unchanged (the two
+// directions of the wire format agree with each other).
+func FuzzUnmarshalFrame(f *testing.F) {
+	// Seed corpus: a valid frame of every type and generation, plus the
+	// classic hostile shapes (truncations, bad magic, absurd counts).
+	v0data := &DataFrame{
+		MsgID: 7, MessageBits: 64, K: 8, C: 10,
+		Schedule: ScheduleStriped8, Seed: 42, StartIndex: 16,
+		Symbols: []complex128{1 + 1i, -2 - 0.5i},
+	}
+	if buf, err := v0data.Marshal(); err == nil {
+		f.Add(buf)
+	}
+	v1data := &DataFrame{
+		Version: FrameV1, FlowID: 9, MsgID: 7, MessageBits: 64, K: 8, C: 10,
+		Schedule: ScheduleSequential, Seed: 42, StartIndex: 0,
+		Symbols: []complex128{0.25i},
+	}
+	if buf, err := v1data.Marshal(); err == nil {
+		f.Add(buf)
+	}
+	f.Add((&AckFrame{Version: FrameV0, MsgID: 3, Decoded: true}).Marshal())
+	f.Add((&AckFrame{Version: FrameV1, FlowID: 12, MsgID: 3}).Marshal())
+	f.Add([]byte{})
+	f.Add([]byte{frameMagic})
+	f.Add([]byte{frameMagic, typeData, 0xFF, 0xFF})
+	f.Add([]byte{frameMagic, typeDataV1, 0, 0, 0, 1, 0xFF, 0xFF})
+	f.Add([]byte{frameMagic, typeAckV1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(bytes.Repeat([]byte{frameMagic}, dataHeaderLenV1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parsed, err := ParseFrame(data)
+		if err != nil {
+			return
+		}
+		switch fr := parsed.(type) {
+		case *DataFrame:
+			out, err := fr.Marshal()
+			if err != nil {
+				t.Fatalf("accepted data frame does not re-marshal: %v", err)
+			}
+			// NaN symbol payloads may be quieted by the float32↔float64
+			// conversions, so byte equality is only demanded for real values.
+			if !hasNaNSymbol(fr) && !bytes.Equal(out, data) {
+				t.Fatalf("data frame round trip changed bytes:\n in: %x\nout: %x", data, out)
+			}
+		case *AckFrame:
+			if out := fr.Marshal(); !bytes.Equal(out, data) {
+				t.Fatalf("ack frame round trip changed bytes:\n in: %x\nout: %x", data, out)
+			}
+		default:
+			t.Fatalf("parser returned unexpected type %T", parsed)
+		}
+	})
+}

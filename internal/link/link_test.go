@@ -296,17 +296,17 @@ func TestReceiverValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Malformed and mismatched frames must be dropped, not crash the loop.
-	if _, err := r.handleFrame([]byte{frameMagic, typeData, 0}); err == nil {
+	if _, err := r.HandleFrame([]byte{frameMagic, typeData, 0}); err == nil {
 		t.Error("truncated frame accepted")
 	}
 	evil := &DataFrame{MsgID: 1, MessageBits: 1 << 30, K: 8, C: 10, Seed: 0, Symbols: []complex128{1}}
 	buf, _ := evil.Marshal()
-	if _, err := r.handleFrame(buf); err == nil {
+	if _, err := r.HandleFrame(buf); err == nil {
 		t.Error("absurd message size accepted")
 	}
 	wrongSeed := &DataFrame{MsgID: 1, MessageBits: 64, K: 8, C: 10, Seed: 12345, Symbols: []complex128{1}}
 	buf, _ = wrongSeed.Marshal()
-	if _, err := r.handleFrame(buf); err == nil {
+	if _, err := r.HandleFrame(buf); err == nil {
 		t.Error("frame with foreign seed accepted")
 	}
 	if got := r.SymbolsReceived(123); got != 0 {

@@ -2,6 +2,7 @@ package link
 
 import (
 	"fmt"
+	"net"
 	"runtime"
 	"sync"
 	"time"
@@ -11,43 +12,66 @@ import (
 	"spinal/internal/crc"
 )
 
-// Receiver is the receiving half of the rateless link. It applies a simulated
-// radio impairment to every arriving symbol, feeds the result to the spinal
-// decoder, and acknowledges a packet as soon as the decoded message passes
-// its CRC.
+// Receiver is the receiving end of the rateless link, rebuilt as a
+// flow-multiplexed link engine: many logical flows (sender identities) share
+// one receiver, one transport socket, one decoder pool and one bounded pool
+// of decode workers. It applies a simulated radio impairment to every
+// arriving symbol, feeds the result to the spinal decoder, and acknowledges
+// a packet as soon as the decoded message passes its CRC.
+//
+// Incoming frames are demultiplexed by (FlowID, MsgID) into per-message
+// state machines grouped per flow. Legacy v0 frames carry no flow id and
+// land on flow 0, so a v1 receiver serves v0 senders unchanged. When the
+// transport can address individual peers (PacketTransport, e.g. UDP), each
+// flow's acks are sent to the source address of that flow's frames, which is
+// what lets one UDP socket serve many independent sender processes.
 //
 // Decoding runs on a bounded pool of worker goroutines so that attempts for
 // distinct in-flight messages proceed concurrently with frame ingest: the
 // caller's Receive loop only parses frames and appends symbols to the
-// per-message pending buffers, while each message is decoded by the one
-// worker it has affinity to (msgID mod pool size). The affinity keeps every
-// message's decoder single-threaded, which is what keeps its incremental
-// workspace valid across attempts.
+// per-message pending buffers. Pending attempts are scheduled round-robin
+// over the flows that have work — not FIFO over frames — so one chatty flow
+// cannot starve the others; within a flow, attempts run oldest-first. A
+// message's decoder is serialized by a per-message mutex, which keeps its
+// incremental workspace valid no matter which worker runs the attempt.
 //
-// Delivered or stale per-message states are evicted: a decoded message is
-// dropped once its sender has stopped retransmitting for a grace period (so
-// late duplicates still get their ack repeated first), and the total number
-// of tracked messages is capped with oldest-first eviction. A frame for an
-// evicted message simply starts a fresh state, so eviction can cost work but
-// never correctness. The one observable consequence of bounded state is
-// that delivery is at-least-once rather than exactly-once: if a sender
-// whose ack was lost retransmits a message after its delivered state aged
-// out of the grace window, the recreated state decodes and delivers it
-// again. Applications that care deduplicate by MsgID.
+// Decoders are not built per message: they are leased from a shared
+// core.DecoderPool keyed by code parameters, so the (expensive) incremental
+// workspaces and goroutine pools are recycled across messages and across
+// flows. The pool's capacity is Config.PoolCapacity.
+//
+// Bounded state, three ways: MaxTrackedPerFlow caps the in-flight messages
+// of each flow (oldest evicted first, delivered before in-flight), MaxTracked
+// caps the total across flows the same way, and MaxFlows caps the number of
+// concurrently tracked flows — admitting a new flow beyond it sheds the flow
+// with the oldest activity, sending a negative ack for each of its
+// undelivered messages so a v1 sender stops retransmitting promptly. A frame
+// for an evicted message or shed flow simply starts fresh state, so shedding
+// costs work but never correctness. The one observable consequence is that
+// delivery is at-least-once rather than exactly-once: if a sender whose ack
+// was lost retransmits a message after its delivered state aged out of the
+// grace window, the recreated state decodes and delivers it again.
+// Applications that care deduplicate by (FlowID, MsgID).
 type Receiver struct {
 	tr         Transport
+	ptr        PacketTransport // tr when it can address peers, else nil
 	cfg        Config
 	impairment channel.SymbolChannel
 
-	states map[uint32]*msgState
-	seq    uint64 // data frames processed; drives eviction (ingest goroutine only)
+	flows map[uint32]*flowState
+	nmsgs int    // total tracked messages across flows (ingest goroutine only)
+	seq   uint64 // data frames processed; drives eviction (ingest goroutine only)
+	shed  uint64 // flows shed by admission control (ingest goroutine only)
 	// scratch is the per-frame symbol batch buffer (ingest goroutine only).
 	scratch []rxSymbol
-	eng     *decodeEngine
+	pool    *core.DecoderPool
+	eng     *flowEngine
 }
 
 // Delivered is one successfully decoded packet.
 type Delivered struct {
+	// FlowID identifies the sender the packet came from (0 for v0 senders).
+	FlowID  uint32
 	MsgID   uint32
 	Payload []byte
 	// Symbols is how many coded symbols had been received when the packet
@@ -62,33 +86,46 @@ type rxSymbol struct {
 	y   complex128
 }
 
-// msgState tracks the decoding progress of one packet. The decoder and
-// observation container live for the whole packet and are touched only by
-// the message's decode worker (serialized by decodeMu), so every attempt
-// after the first resumes the beam search incrementally from the first spine
-// value that received new symbols. The ingest goroutine communicates with
-// the worker through the mu-guarded pending buffer.
-type msgState struct {
+// flowState groups the tracked messages of one flow. It is touched only by
+// the ingest goroutine.
+type flowState struct {
 	id      uint32
-	worker  int
+	states  map[uint32]*msgState
+	lastSeq uint64 // last data frame seen for this flow
+}
+
+// msgState tracks the decoding progress of one packet of one flow. The
+// decoder lease lives for the whole packet; attempts are serialized by
+// decodeMu, so every attempt after the first resumes the beam search
+// incrementally from the first spine value that received new symbols. The
+// ingest goroutine communicates with the workers through the mu-guarded
+// pending buffer.
+type msgState struct {
+	flow    uint32
+	id      uint32
+	wireV1  bool // ack with the frame generation the sender speaks
 	params  core.Params
 	sched   core.Schedule
 	minUses int
 
-	// decodeMu serializes decode attempts (the affinity worker and the
-	// synchronous handleFrame path); dec and obs are only touched under it.
+	// decodeMu serializes decode attempts (any pool worker and the
+	// synchronous HandleFrame path); the lease's Dec and Obs are only
+	// touched under it.
 	decodeMu sync.Mutex
-	dec      *core.BeamDecoder
-	obs      *core.Observations
 
 	mu      sync.Mutex // guards the fields below (ingest <-> worker)
+	lease   *core.LeasedDecoder
+	addr    net.Addr // reply address for this flow's acks (nil on plain transports)
 	pending []rxSymbol
 	// draining is the worker-owned half of a double buffer: attempt swaps it
 	// with pending under mu, then folds it into obs without holding the
 	// lock, so ingest never blocks behind a long decode of the same message.
 	draining []rxSymbol
 	queued   bool
-	done     bool
+	// attempting marks a decode in flight; while set, the lease must not be
+	// reclaimed by eviction (the attempt returns it when it sees evicted).
+	attempting bool
+	done       bool
 	// evicted marks a state dropped from the tracking map while an attempt
 	// token for it may still be queued; the orphaned attempt must not decode
 	// or deliver — a recreated state owns the message from then on.
@@ -128,21 +165,32 @@ func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*R
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	poolCap := cfg.PoolCapacity
+	switch {
+	case poolCap == 0:
+		poolCap = core.DefaultDecoderPoolCapacity
+	case poolCap < 0:
+		poolCap = 0 // pooling disabled: every lease builds, every release closes
+	}
 	r := &Receiver{
 		tr:         tr,
 		cfg:        cfg,
 		impairment: impairment,
-		states:     map[uint32]*msgState{},
-		eng:        newDecodeEngine(tr, workers),
+		flows:      map[uint32]*flowState{},
+		pool:       core.NewDecoderPool(poolCap),
+		eng:        newFlowEngine(tr, workers),
+	}
+	if pt, ok := tr.(PacketTransport); ok {
+		r.ptr = pt
 	}
 	// Backstop for receivers dropped without Close (benchmarks and tests
 	// build them freely): stop the workers once the receiver is unreachable.
 	// The engine never references the receiver, so this cleanup can run.
-	runtime.AddCleanup(r, func(e *decodeEngine) { e.stop() }, r.eng)
+	runtime.AddCleanup(r, func(e *flowEngine) { e.stop() }, r.eng)
 	return r, nil
 }
 
-// Close stops the decode workers, waiting for in-flight attempts to finish.
+// Close stops the decode workers, waiting for queued attempts to finish.
 // It must not be called concurrently with Receive. The receiver must not be
 // used afterwards.
 func (r *Receiver) Close() error {
@@ -153,7 +201,7 @@ func (r *Receiver) Close() error {
 // Receive blocks until one new packet is decoded (returning it) or the
 // timeout elapses (returning ErrTimeout).
 //
-// To keep the decoders from falling behind a fast sender, Receive drains
+// To keep the decoders from falling behind fast senders, Receive drains
 // every frame queued on the transport into the per-message pending buffers
 // and hands decode attempts to the worker pool; it never decodes inline.
 func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
@@ -178,7 +226,7 @@ func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 		if busy && slice > receivePoll {
 			slice = receivePoll
 		}
-		n, err := r.tr.Receive(buf, slice)
+		n, from, err := r.receiveFrom(buf, slice)
 		if err == ErrTimeout {
 			continue
 		}
@@ -187,10 +235,10 @@ func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 		}
 		// Drain whatever else is queued without blocking.
 		for {
-			if st, fresh, aerr := r.addFrame(buf[:n]); aerr == nil && fresh {
+			if st, fresh, aerr := r.addFrame(buf[:n], from); aerr == nil && fresh {
 				r.enqueue(st)
 			}
-			n, err = r.tr.Receive(buf, 0)
+			n, from, err = r.receiveFrom(buf, 0)
 			if err != nil {
 				break
 			}
@@ -198,11 +246,23 @@ func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 	}
 }
 
-// handleFrame processes one raw frame synchronously and, if it completes a
-// packet, returns the delivered payload. It is the single-frame path used by
-// tests; Receive batches addFrame and hands decoding to the worker pool.
-func (r *Receiver) handleFrame(raw []byte) (*Delivered, error) {
-	st, fresh, err := r.addFrame(raw)
+// receiveFrom reads one frame, with the source address when the transport
+// can report one.
+func (r *Receiver) receiveFrom(buf []byte, timeout time.Duration) (int, net.Addr, error) {
+	if r.ptr != nil {
+		return r.ptr.ReceiveFrom(buf, timeout)
+	}
+	n, err := r.tr.Receive(buf, timeout)
+	return n, nil, err
+}
+
+// HandleFrame processes one raw frame synchronously and, if it completes a
+// packet, returns the delivered payload. It is the deterministic
+// single-frame path used by tests and replay-style experiments; live
+// receivers use Receive, which batches ingest and hands decoding to the
+// worker pool. HandleFrame must not be called concurrently with Receive.
+func (r *Receiver) HandleFrame(raw []byte) (*Delivered, error) {
+	st, fresh, err := r.addFrame(raw, nil)
 	if err != nil || !fresh {
 		return nil, err
 	}
@@ -213,7 +273,7 @@ func (r *Receiver) handleFrame(raw []byte) (*Delivered, error) {
 // pending buffer. It returns the state the frame contributed to and whether
 // that message needs a decode attempt (acks and duplicates of
 // already-delivered messages do not).
-func (r *Receiver) addFrame(raw []byte) (*msgState, bool, error) {
+func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) {
 	parsed, err := ParseFrame(raw)
 	if err != nil {
 		return nil, false, err
@@ -227,16 +287,20 @@ func (r *Receiver) addFrame(raw []byte) (*msgState, bool, error) {
 		return nil, false, err
 	}
 	r.seq++
+	r.flows[data.FlowID].lastSeq = r.seq
 	if r.seq%evictSweepEvery == 0 {
 		r.evictDelivered()
 	}
 
 	st.mu.Lock()
 	st.lastSeq = r.seq
+	if from != nil {
+		st.addr = from
+	}
 	if st.done {
 		st.mu.Unlock()
 		// The ack was probably lost; repeat it.
-		return st, false, r.eng.sendAck(data.MsgID)
+		return st, false, r.eng.sendAckFor(st, true)
 	}
 	st.mu.Unlock()
 
@@ -263,8 +327,8 @@ func (r *Receiver) addFrame(raw []byte) (*msgState, bool, error) {
 	return st, true, nil
 }
 
-// enqueue hands a message with fresh symbols to its affinity worker, unless
-// an attempt token for it is already queued.
+// enqueue hands a message with fresh symbols to the worker pool's fair
+// scheduler, unless an attempt token for it is already queued.
 func (r *Receiver) enqueue(st *msgState) {
 	st.mu.Lock()
 	if st.queued || st.done {
@@ -276,14 +340,20 @@ func (r *Receiver) enqueue(st *msgState) {
 	r.eng.submit(st)
 }
 
-// stateFor finds or creates the decoding state for the message described by a
-// data frame, validating the advertised parameters.
+// stateFor finds or creates the decoding state for the message described by
+// a data frame, validating the advertised parameters and applying admission
+// control at every level (flow count, per-flow messages, total messages).
+// Validation runs before any admission decision, so a garbage frame can
+// never shed a live flow or evict tracked state.
 func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
-	if st, ok := r.states[data.MsgID]; ok {
-		if st.params.MessageBits != int(data.MessageBits) || st.params.K != int(data.K) || st.params.C != int(data.C) {
-			return nil, fmt.Errorf("link: message %d changed parameters mid-flight", data.MsgID)
+	fs := r.flows[data.FlowID]
+	if fs != nil {
+		if st, ok := fs.states[data.MsgID]; ok {
+			if st.params.MessageBits != int(data.MessageBits) || st.params.K != int(data.K) || st.params.C != int(data.C) {
+				return nil, fmt.Errorf("link: flow %d message %d changed parameters mid-flight", data.FlowID, data.MsgID)
+			}
+			return st, nil
 		}
-		return st, nil
 	}
 	if data.MessageBits == 0 || data.MessageBits > (MaxPayload+4)*8 {
 		return nil, fmt.Errorf("link: message of %d bits rejected", data.MessageBits)
@@ -307,7 +377,20 @@ func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
 	if err != nil {
 		return nil, err
 	}
-	dec, err := core.NewBeamDecoder(params, r.cfg.BeamWidth)
+	if fs == nil {
+		if len(r.flows) >= r.cfg.MaxFlows {
+			r.shedOldestFlow()
+		}
+		fs = &flowState{id: data.FlowID, states: map[uint32]*msgState{}}
+		r.flows[data.FlowID] = fs
+	}
+	if len(fs.states) >= r.cfg.MaxTrackedPerFlow {
+		r.evictForCap(fs, fs)
+	}
+	if r.nmsgs >= r.cfg.MaxTracked {
+		r.evictForCap(nil, fs)
+	}
+	lease, err := r.pool.Lease(params, r.cfg.BeamWidth)
 	if err != nil {
 		return nil, err
 	}
@@ -319,88 +402,135 @@ func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
 	if par == 0 {
 		par = 1
 	}
-	dec.SetParallelism(par)
-	obs, err := core.NewObservations(params.NumSegments())
-	if err != nil {
-		return nil, err
-	}
-	r.evictForCap()
+	lease.Dec.SetParallelism(par)
 	st := &msgState{
+		flow:    data.FlowID,
 		id:      data.MsgID,
-		worker:  int(data.MsgID % uint32(r.eng.workers())),
+		wireV1:  data.Version == FrameV1,
 		params:  params,
 		sched:   sched,
 		minUses: (params.MessageBits + 2*params.C - 1) / (2 * params.C),
-		dec:     dec,
-		obs:     obs,
+		lease:   lease,
 	}
-	r.states[data.MsgID] = st
+	fs.states[data.MsgID] = st
+	r.nmsgs++
 	return st, nil
+}
+
+// dropState removes one message state from the tracking maps and reclaims
+// its decoder lease when no attempt is queued or in flight; otherwise the
+// attempt returns the lease when it observes the eviction.
+func (r *Receiver) dropState(fs *flowState, st *msgState) {
+	st.mu.Lock()
+	st.evicted = true
+	var reclaim *core.LeasedDecoder
+	if !st.queued && !st.attempting {
+		reclaim = st.lease
+		st.lease = nil
+	}
+	st.mu.Unlock()
+	reclaim.Release()
+	delete(fs.states, st.id)
+	r.nmsgs--
 }
 
 // evictDelivered drops delivered states whose sender has been silent for the
 // grace period — the ack evidently arrived, so the state is done repeating
-// it. Evicted decoders are reclaimed by the runtime (a decode may still be
-// in flight on a worker, so they are never closed here).
+// it — and forgets flows that no longer track any message.
 func (r *Receiver) evictDelivered() {
-	for id, st := range r.states {
-		st.mu.Lock()
-		stale := st.done && r.seq-st.lastSeq > doneGraceFrames
-		if stale {
-			st.evicted = true
+	for id, fs := range r.flows {
+		for _, st := range fs.states {
+			st.mu.Lock()
+			stale := st.done && r.seq-st.lastSeq > doneGraceFrames
+			st.mu.Unlock()
+			if stale {
+				r.dropState(fs, st)
+			}
 		}
-		st.mu.Unlock()
-		if stale {
-			delete(r.states, id)
+		if len(fs.states) == 0 {
+			delete(r.flows, id)
 		}
 	}
 }
 
-// evictForCap makes room for one more tracked message when the cap is
-// reached: delivered states go first (oldest last-activity first), then the
-// stalest in-flight state. Dropping an in-flight state costs its decode
-// progress, never correctness — later frames recreate it.
-func (r *Receiver) evictForCap() {
-	limit := r.cfg.MaxTracked
-	if limit <= 0 {
-		limit = DefaultMaxTracked
-	}
-	if len(r.states) < limit {
-		return
-	}
-	for len(r.states) >= limit {
-		var victim uint32
-		var victimSeq uint64
-		victimDone := false
-		found := false
-		for id, st := range r.states {
+// evictForCap makes room for one more tracked message: delivered states go
+// first (oldest last-activity first), then the stalest in-flight state.
+// With a non-nil scope the search is confined to that flow (the per-flow
+// cap); with nil it spans every flow (the global cap). The keep flow — the
+// one the caller is about to add a message to — is never removed from the
+// flow table even if the eviction empties it. Dropping an in-flight state
+// costs its decode progress, never correctness — later frames recreate it.
+func (r *Receiver) evictForCap(scope, keep *flowState) {
+	var victimFlow *flowState
+	var victim *msgState
+	var victimSeq uint64
+	victimDone := false
+	scan := func(f *flowState) {
+		for _, st := range f.states {
 			st.mu.Lock()
 			done, last := st.done, st.lastSeq
 			st.mu.Unlock()
-			better := !found ||
+			better := victim == nil ||
 				(done && !victimDone) ||
 				(done == victimDone && last < victimSeq)
 			if better {
-				victim, victimSeq, victimDone, found = id, last, done, true
+				victimFlow, victim, victimSeq, victimDone = f, st, last, done
 			}
 		}
-		if !found {
-			return
+	}
+	if scope != nil {
+		scan(scope)
+	} else {
+		for _, f := range r.flows {
+			scan(f)
 		}
-		// Mark before deleting: a queued attempt token for the victim must
-		// not decode or deliver once ownership passes to a recreated state.
-		vst := r.states[victim]
-		vst.mu.Lock()
-		vst.evicted = true
-		vst.mu.Unlock()
-		delete(r.states, victim)
+	}
+	if victim == nil {
+		return
+	}
+	r.dropState(victimFlow, victim)
+	if len(victimFlow.states) == 0 && victimFlow != keep {
+		delete(r.flows, victimFlow.id)
 	}
 }
 
-// SymbolsReceived reports how many symbols have been accumulated for a
-// message; it is exported for tests and diagnostics.
-func (r *Receiver) SymbolsReceived(msgID uint32) int {
-	if st, ok := r.states[msgID]; ok {
+// shedOldestFlow applies flow-level admission control: the flow with the
+// oldest activity is dropped wholesale to admit a new one, and each of its
+// undelivered messages gets a negative ack so a v1 sender stops
+// retransmitting into the void. Shedding never loses data for good — a
+// sender that keeps transmitting simply re-admits the flow with fresh state.
+func (r *Receiver) shedOldestFlow() {
+	var victim *flowState
+	for _, fs := range r.flows {
+		if victim == nil || fs.lastSeq < victim.lastSeq {
+			victim = fs
+		}
+	}
+	if victim == nil {
+		return
+	}
+	for _, st := range victim.states {
+		st.mu.Lock()
+		done := st.done
+		st.mu.Unlock()
+		if !done {
+			// Best-effort NACK; an unreachable sender just times out.
+			_ = r.eng.sendAckFor(st, false)
+		}
+		r.dropState(victim, st)
+	}
+	delete(r.flows, victim.id)
+	r.shed++
+}
+
+// FlowSymbolsReceived reports how many symbols have been accumulated for a
+// message of a flow; it is exported for tests and diagnostics.
+func (r *Receiver) FlowSymbolsReceived(flowID, msgID uint32) int {
+	fs, ok := r.flows[flowID]
+	if !ok {
+		return 0
+	}
+	if st, ok := fs.states[msgID]; ok {
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		return st.symbols
@@ -408,12 +538,21 @@ func (r *Receiver) SymbolsReceived(msgID uint32) int {
 	return 0
 }
 
-// NodesExpanded reports the total decoding-tree nodes freshly expanded across
-// all decode attempts for a message — the receiver's computational cost for
-// the packet. With the incremental decoder this stays near the cost of a
-// single full decode regardless of how many frames triggered attempts.
-func (r *Receiver) NodesExpanded(msgID uint32) int64 {
-	if st, ok := r.states[msgID]; ok {
+// SymbolsReceived is FlowSymbolsReceived for flow 0, the implicit flow of
+// v0 point-to-point links.
+func (r *Receiver) SymbolsReceived(msgID uint32) int { return r.FlowSymbolsReceived(0, msgID) }
+
+// FlowNodesExpanded reports the total decoding-tree nodes freshly expanded
+// across all decode attempts for a message of a flow — the receiver's
+// computational cost for the packet. With the incremental decoder this stays
+// near the cost of a single full decode regardless of how many frames
+// triggered attempts.
+func (r *Receiver) FlowNodesExpanded(flowID, msgID uint32) int64 {
+	fs, ok := r.flows[flowID]
+	if !ok {
+		return 0
+	}
+	if st, ok := fs.states[msgID]; ok {
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		return st.nodes
@@ -421,19 +560,39 @@ func (r *Receiver) NodesExpanded(msgID uint32) int64 {
 	return 0
 }
 
+// NodesExpanded is FlowNodesExpanded for flow 0.
+func (r *Receiver) NodesExpanded(msgID uint32) int64 { return r.FlowNodesExpanded(0, msgID) }
+
 // TrackedMessages reports how many per-message decoding states the receiver
-// currently retains; it is exported for tests and diagnostics.
-func (r *Receiver) TrackedMessages() int { return len(r.states) }
+// currently retains across all flows.
+func (r *Receiver) TrackedMessages() int { return r.nmsgs }
 
-// decodeEngine owns the decode worker goroutines. Each worker drains its own
-// queue, so a message (always queued to the same worker) is never decoded by
-// two goroutines at once. The engine deliberately holds no reference to the
-// Receiver so an abandoned receiver can be reclaimed.
-type decodeEngine struct {
-	tr     Transport
-	queues []chan *msgState
+// TrackedFlows reports how many flows currently have tracked state.
+func (r *Receiver) TrackedFlows() int { return len(r.flows) }
 
-	mu sync.Mutex
+// ShedFlows reports how many flows admission control has shed.
+func (r *Receiver) ShedFlows() uint64 { return r.shed }
+
+// PoolStats returns the shared decoder pool's counters — how often message
+// states reused a pooled decoder instead of building one.
+func (r *Receiver) PoolStats() core.PoolStats { return r.pool.Stats() }
+
+// flowEngine owns the decode worker goroutines and the fair scheduler.
+// Attempt tokens are queued per flow, and workers pick the next token by
+// round-robin over the flows that have pending work, so every active flow
+// gets decode attempts at the same rate regardless of how many frames each
+// pushes. The engine deliberately holds no reference to the Receiver so an
+// abandoned receiver can be reclaimed.
+type flowEngine struct {
+	tr Transport
+	pt PacketTransport // tr when addressable, else nil
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	// flowQ holds the per-flow token queues; ring is the round-robin order
+	// of flows that currently have tokens.
+	flowQ map[uint32]*flowQueue
+	ring  []*flowQueue
 	// outstanding counts attempt tokens submitted but not yet fully
 	// processed (result recorded); while it is zero, Receive can block for
 	// its whole timeout instead of polling for worker results.
@@ -445,58 +604,98 @@ type decodeEngine struct {
 	wg          sync.WaitGroup
 }
 
-func newDecodeEngine(tr Transport, workers int) *decodeEngine {
+// flowQueue is the FIFO of attempt tokens of one flow.
+type flowQueue struct {
+	id     uint32
+	msgs   []*msgState
+	inRing bool
+}
+
+func newFlowEngine(tr Transport, workers int) *flowEngine {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &decodeEngine{tr: tr, queues: make([]chan *msgState, workers)}
-	for i := range e.queues {
-		q := make(chan *msgState, 256)
-		e.queues[i] = q
-		e.wg.Add(1)
-		go func() {
-			defer e.wg.Done()
-			for st := range q {
-				d, err := e.attempt(st)
-				e.mu.Lock()
-				if d != nil {
-					e.ready = append(e.ready, *d)
-				}
-				if err != nil && e.err == nil {
-					e.err = err
-				}
-				// Decrement after recording the result: a zero outstanding
-				// count guarantees every finished attempt is visible in
-				// ready/err.
-				e.outstanding--
-				e.mu.Unlock()
-			}
-		}()
+	e := &flowEngine{tr: tr, flowQ: map[uint32]*flowQueue{}}
+	if pt, ok := tr.(PacketTransport); ok {
+		e.pt = pt
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
 	}
 	return e
 }
 
-func (e *decodeEngine) workers() int { return len(e.queues) }
+// worker pulls tokens off the fair scheduler until the engine closes and
+// the queues drain.
+func (e *flowEngine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.ring) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.ring) == 0 {
+			// closed and drained
+			e.mu.Unlock()
+			return
+		}
+		// Round-robin: take the head flow, pop one of its tokens, and move
+		// it to the back of the ring if it still has work.
+		fq := e.ring[0]
+		e.ring = e.ring[1:]
+		st := fq.msgs[0]
+		fq.msgs = fq.msgs[1:]
+		if len(fq.msgs) > 0 {
+			e.ring = append(e.ring, fq)
+		} else {
+			fq.inRing = false
+			delete(e.flowQ, fq.id)
+		}
+		e.mu.Unlock()
 
-// submit queues one attempt token. The queue is bounded; if a worker falls
-// far behind, ingest briefly blocks here, which is the intended backpressure.
-func (e *decodeEngine) submit(st *msgState) {
-	e.mu.Lock()
-	closed := e.closed
-	if !closed {
-		e.outstanding++
+		d, err := e.attempt(st)
+		e.mu.Lock()
+		if d != nil {
+			e.ready = append(e.ready, *d)
+		}
+		if err != nil && e.err == nil {
+			e.err = err
+		}
+		// Decrement after recording the result: a zero outstanding count
+		// guarantees every finished attempt is visible in ready/err.
+		e.outstanding--
+		e.mu.Unlock()
 	}
-	e.mu.Unlock()
-	if closed {
+}
+
+// submit queues one attempt token on its flow's queue.
+func (e *flowEngine) submit(st *msgState) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
 		return
 	}
-	e.queues[st.worker] <- st
+	fq := e.flowQ[st.flow]
+	if fq == nil {
+		fq = &flowQueue{id: st.flow}
+		e.flowQ[st.flow] = fq
+	}
+	fq.msgs = append(fq.msgs, st)
+	if !fq.inRing {
+		fq.inRing = true
+		e.ring = append(e.ring, fq)
+	}
+	e.outstanding++
+	e.cond.Signal()
+	e.mu.Unlock()
 }
 
 // busy reports whether any submitted attempt has not finished yet. When it
 // returns false, every completed attempt's outcome is already visible to
 // take (the workers decrement outstanding only after recording results).
-func (e *decodeEngine) busy() bool {
+func (e *flowEngine) busy() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.outstanding > 0
@@ -505,7 +704,7 @@ func (e *decodeEngine) busy() bool {
 // take pops one delivered packet, or — only once the delivery queue is
 // drained — the first asynchronous worker error. Packets decoded (and acked)
 // before the error must still reach the application.
-func (e *decodeEngine) take() (*Delivered, error) {
+func (e *flowEngine) take() (*Delivered, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if len(e.ready) == 0 {
@@ -521,78 +720,132 @@ func (e *decodeEngine) take() (*Delivered, error) {
 
 // attempt runs one decode attempt for a message: drain its pending symbols
 // into the observations, resume the (incremental) beam search, and on a CRC
-// match mark it delivered and send the ack.
-func (e *decodeEngine) attempt(st *msgState) (*Delivered, error) {
+// match mark it delivered, release its decoder lease back to the pool, and
+// send the ack.
+func (e *flowEngine) attempt(st *msgState) (*Delivered, error) {
 	st.decodeMu.Lock()
 	defer st.decodeMu.Unlock()
 
 	st.mu.Lock()
 	st.queued = false
 	if st.done || st.evicted {
+		// Orphaned token: the state was delivered or dropped after this
+		// token was queued. Reclaim the lease if eviction left it behind.
+		reclaim := st.lease
+		st.lease = nil
 		st.mu.Unlock()
+		reclaim.Release()
 		return nil, nil
 	}
+	st.attempting = true
 	st.pending, st.draining = st.draining[:0], st.pending
 	pending := st.draining
+	lease := st.lease
 	st.mu.Unlock()
-	for _, s := range pending {
-		if err := st.obs.Add(s.pos, s.y); err != nil {
-			return nil, err
+
+	var out *core.DecodeResult
+	err := func() error {
+		for _, s := range pending {
+			if err := lease.Obs.Add(s.pos, s.y); err != nil {
+				return err
+			}
 		}
+		// Attempt a decode once enough symbols could possibly carry the
+		// message.
+		if lease.Obs.Count() < st.minUses {
+			return nil
+		}
+		var derr error
+		out, derr = lease.Dec.Decode(lease.Obs)
+		return derr
+	}()
+
+	st.mu.Lock()
+	st.attempting = false
+	if out != nil {
+		st.nodes += int64(out.NodesExpanded)
 	}
-	// Attempt a decode once enough symbols could possibly carry the message.
-	if st.obs.Count() < st.minUses {
-		return nil, nil
+	evicted := st.evicted
+	var reclaim *core.LeasedDecoder
+	if evicted {
+		// Ownership moved to a recreated state while we were decoding; it
+		// will deliver (and ack) instead, so stay silent to keep delivery
+		// single-copy — but the lease is ours to return.
+		reclaim = st.lease
+		st.lease = nil
 	}
-	out, err := st.dec.Decode(st.obs)
-	if err != nil {
+	st.mu.Unlock()
+	reclaim.Release()
+	if err != nil || evicted || out == nil {
 		return nil, err
 	}
-	st.mu.Lock()
-	st.nodes += int64(out.NodesExpanded)
-	st.mu.Unlock()
+
 	payload, okCRC := crc.Verify32(out.Message)
 	if !okCRC {
 		return nil, nil // keep listening for more symbols
 	}
 	st.mu.Lock()
 	if st.evicted {
-		// Ownership moved to a recreated state while we were decoding; it
-		// will deliver (and ack) instead, so stay silent to keep delivery
-		// single-copy.
+		// Eviction raced the CRC check (attempting was already false, so
+		// dropState may have reclaimed the lease itself): ownership moved to
+		// a recreated state, which will deliver and ack instead — stay
+		// silent to keep delivery single-copy.
+		reclaim = st.lease
+		st.lease = nil
 		st.mu.Unlock()
+		reclaim.Release()
 		return nil, nil
 	}
 	st.done = true
 	st.payload = append([]byte(nil), payload...)
 	symbols := st.symbols
+	reclaim = st.lease
+	st.lease = nil
 	st.mu.Unlock()
-	if err := e.sendAck(st.id); err != nil {
+	// Delivered: the decoder's job is done, return it to the pool for the
+	// next message (the ack-repeat path never decodes).
+	reclaim.Release()
+	if err := e.sendAckFor(st, true); err != nil {
 		return nil, err
 	}
-	return &Delivered{MsgID: st.id, Payload: st.payload, Symbols: symbols}, nil
+	return &Delivered{FlowID: st.flow, MsgID: st.id, Payload: st.payload, Symbols: symbols}, nil
 }
 
-// sendAck transmits a positive acknowledgement for msgID. It may be called
+// sendAckFor transmits an acknowledgement for a message — positive on
+// decode, negative when admission control sheds the flow. The ack mirrors
+// the frame generation the sender used, and is directed at the flow's
+// source address when the transport can address peers. It may be called
 // from any worker and from the ingest path; transports are safe for
 // concurrent Send.
-func (e *decodeEngine) sendAck(msgID uint32) error {
-	ack := &AckFrame{MsgID: msgID, Decoded: true}
-	if err := e.tr.Send(ack.Marshal()); err != nil {
+func (e *flowEngine) sendAckFor(st *msgState, decoded bool) error {
+	st.mu.Lock()
+	addr := st.addr
+	v1 := st.wireV1
+	st.mu.Unlock()
+	version := FrameV0
+	if v1 {
+		version = FrameV1
+	}
+	ack := &AckFrame{Version: version, FlowID: st.flow, MsgID: st.id, Decoded: decoded}
+	var err error
+	if e.pt != nil && addr != nil {
+		err = e.pt.SendTo(ack.Marshal(), addr)
+	} else {
+		err = e.tr.Send(ack.Marshal())
+	}
+	if err != nil {
 		return fmt.Errorf("link: sending ack: %w", err)
 	}
 	return nil
 }
 
-// stop shuts the workers down and waits for in-flight attempts.
-func (e *decodeEngine) stop() {
+// stop shuts the workers down, letting them drain queued attempts first.
+func (e *flowEngine) stop() {
 	e.once.Do(func() {
 		e.mu.Lock()
 		e.closed = true
+		e.cond.Broadcast()
 		e.mu.Unlock()
-		for _, q := range e.queues {
-			close(q)
-		}
 		e.wg.Wait()
 	})
 }

@@ -49,14 +49,41 @@ type Config struct {
 	// concurrently, not from sharding one message's tree.
 	DecoderParallelism int
 	// MaxTracked caps how many per-message decoding states the receiver
-	// retains at once; the oldest (delivered first) are evicted when the cap
-	// is hit. Zero selects DefaultMaxTracked.
+	// retains at once across all flows; the oldest (delivered first) are
+	// evicted when the cap is hit. Zero selects DefaultMaxTracked.
 	MaxTracked int
+	// MaxTrackedPerFlow caps the in-flight messages of a single flow the
+	// same way. Zero selects DefaultMaxTrackedPerFlow.
+	MaxTrackedPerFlow int
+	// MaxFlows caps how many flows the receiver tracks concurrently.
+	// Admitting a flow beyond the cap sheds the flow with the oldest
+	// activity and NACKs its undelivered messages. Zero selects
+	// DefaultMaxFlows.
+	MaxFlows int
+	// PoolCapacity bounds the receiver's shared decoder pool: how many idle
+	// decoders are kept for reuse across messages and flows. Zero selects
+	// core.DefaultDecoderPoolCapacity; a negative value disables pooling
+	// (every message builds a fresh decoder, as the pre-flow receiver did).
+	PoolCapacity int
+	// FlowID is the sender's flow identity, carried in every v1 data frame
+	// so one receiver can serve many senders. Zero is a valid flow (and the
+	// flow v0 senders implicitly use).
+	FlowID uint32
+	// LegacyV0 makes the sender emit v0 (pre-flow) frames, for
+	// interoperating with pre-v1 receivers. Requires FlowID 0.
+	LegacyV0 bool
 }
 
 // DefaultMaxTracked is the default cap on simultaneously tracked messages at
-// the receiver.
+// the receiver, across all flows.
 const DefaultMaxTracked = 256
+
+// DefaultMaxTrackedPerFlow is the default cap on simultaneously tracked
+// messages of one flow.
+const DefaultMaxTrackedPerFlow = 64
+
+// DefaultMaxFlows is the default cap on concurrently tracked flows.
+const DefaultMaxFlows = 64
 
 func (c Config) withDefaults() Config {
 	if c.K == 0 {
@@ -82,6 +109,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FinalWait == 0 {
 		c.FinalWait = time.Second
+	}
+	if c.MaxTracked == 0 {
+		c.MaxTracked = DefaultMaxTracked
+	}
+	if c.MaxTrackedPerFlow == 0 {
+		c.MaxTrackedPerFlow = DefaultMaxTrackedPerFlow
+	}
+	if c.MaxFlows == 0 {
+		c.MaxFlows = DefaultMaxFlows
 	}
 	return c
 }
@@ -112,6 +148,15 @@ func (c Config) validate() error {
 	if c.MaxTracked < 0 {
 		return fmt.Errorf("link: MaxTracked must be >= 0, got %d", c.MaxTracked)
 	}
+	if c.MaxTrackedPerFlow < 0 {
+		return fmt.Errorf("link: MaxTrackedPerFlow must be >= 0, got %d", c.MaxTrackedPerFlow)
+	}
+	if c.MaxFlows < 0 {
+		return fmt.Errorf("link: MaxFlows must be >= 0, got %d", c.MaxFlows)
+	}
+	if c.LegacyV0 && c.FlowID != 0 {
+		return fmt.Errorf("link: legacy v0 framing cannot carry flow %d", c.FlowID)
+	}
 	return nil
 }
 
@@ -141,6 +186,10 @@ func NewSender(tr Transport, cfg Config) (*Sender, error) {
 type SendReport struct {
 	// Acked reports whether the receiver acknowledged successful decoding.
 	Acked bool
+	// Shed reports that the receiver negatively acknowledged the message —
+	// its admission control dropped this sender's flow — so the sender
+	// stopped retransmitting early. Mutually exclusive with Acked.
+	Shed bool
 	// SymbolsSent is the number of coded symbols transmitted.
 	SymbolsSent int
 	// FramesSent is the number of data frames transmitted.
@@ -174,6 +223,10 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 		return nil, err
 	}
 
+	version := FrameV1
+	if s.cfg.LegacyV0 {
+		version = FrameV0
+	}
 	report := &SendReport{}
 	maxSymbols := s.cfg.MaxPasses * params.NumSegments()
 	next := 0
@@ -183,6 +236,8 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 			count = maxSymbols - next
 		}
 		frame := &DataFrame{
+			Version:     version,
+			FlowID:      s.cfg.FlowID,
 			MsgID:       msgID,
 			MessageBits: uint32(messageBits),
 			K:           uint8(s.cfg.K),
@@ -206,7 +261,7 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 		report.FramesSent++
 		report.SymbolsSent = next
 
-		acked, err := s.waitForAck(msgID, s.cfg.AckPoll)
+		acked, shed, err := s.waitForAck(msgID, s.cfg.AckPoll)
 		if err != nil {
 			return nil, err
 		}
@@ -215,11 +270,15 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 			report.Rate = float64(len(payload)*8) / float64(report.SymbolsSent)
 			return report, nil
 		}
+		if shed {
+			report.Shed = true
+			return report, nil
+		}
 	}
 
 	// Final, more patient wait: the last frames may still be in flight and the
 	// receiver may still be working through its decode backlog.
-	acked, err := s.waitForAck(msgID, s.cfg.FinalWait)
+	acked, shed, err := s.waitForAck(msgID, s.cfg.FinalWait)
 	if err != nil {
 		return nil, err
 	}
@@ -227,11 +286,15 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 		report.Acked = true
 		report.Rate = float64(len(payload)*8) / float64(report.SymbolsSent)
 	}
+	report.Shed = shed
 	return report, nil
 }
 
-// waitForAck polls the transport for an acknowledgement of msgID.
-func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (bool, error) {
+// waitForAck polls the transport for an acknowledgement of msgID on this
+// sender's flow. A positive ack reports acked; a negative ack — the
+// receiver shed this flow under admission control — reports shed, telling
+// Send to stop retransmitting.
+func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (acked, shed bool, err error) {
 	buf := make([]byte, maxFrameSize)
 	deadline := time.Now().Add(wait)
 	for {
@@ -243,21 +306,92 @@ func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (bool, error) {
 		switch err {
 		case nil:
 		case ErrTimeout:
-			return false, nil
+			return false, false, nil
 		default:
-			return false, fmt.Errorf("link: waiting for ack: %w", err)
+			return false, false, fmt.Errorf("link: waiting for ack: %w", err)
 		}
 		parsed, err := ParseFrame(buf[:n])
 		if err != nil {
 			continue // ignore garbage
 		}
-		if ack, ok := parsed.(*AckFrame); ok && ack.MsgID == msgID && ack.Decoded {
-			return true, nil
+		// v0 acks carry flow 0, which is exactly this sender's flow when it
+		// speaks v0; acks for other flows on a shared transport are ignored.
+		if ack, ok := parsed.(*AckFrame); ok && ack.MsgID == msgID && ack.FlowID == s.cfg.FlowID {
+			if ack.Decoded {
+				return true, false, nil
+			}
+			return false, true, nil
 		}
 		if remaining == 0 {
-			return false, nil
+			return false, false, nil
 		}
 	}
+}
+
+// EncodeFrames builds the complete v1 frame sequence a sender with this
+// configuration would emit for one payload over `passes` encoding passes,
+// without transmitting anything. A non-nil corrupt function is applied to
+// every symbol before it is marshalled, so experiments can bake a
+// deterministic channel into the frame bytes. It exists for benchmarks and
+// replay-style experiments that want to drive a receiver with deterministic
+// frames.
+func EncodeFrames(cfg Config, flow, msg uint32, payload []byte, symbolsPerFrame, passes int, corrupt func(complex128) complex128) ([][]byte, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(payload) == 0 || len(payload) > MaxPayload {
+		return nil, fmt.Errorf("link: payload of %d bytes out of range", len(payload))
+	}
+	if symbolsPerFrame < 1 || symbolsPerFrame > MaxSymbolsPerFrame {
+		return nil, fmt.Errorf("link: symbolsPerFrame %d out of range", symbolsPerFrame)
+	}
+	if passes < 1 {
+		return nil, fmt.Errorf("link: passes must be positive, got %d", passes)
+	}
+	message := crc.Append32(append([]byte(nil), payload...))
+	params := core.Params{K: cfg.K, C: cfg.C, MessageBits: len(message) * 8, Seed: cfg.Seed}
+	enc, err := core.NewEncoder(params, message)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := scheduleFor(cfg.Schedule, params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	var frames [][]byte
+	maxSymbols := passes * params.NumSegments()
+	for next := 0; next < maxSymbols; next += symbolsPerFrame {
+		count := symbolsPerFrame
+		if next+count > maxSymbols {
+			count = maxSymbols - next
+		}
+		frame := &DataFrame{
+			Version:     FrameV1,
+			FlowID:      flow,
+			MsgID:       msg,
+			MessageBits: uint32(params.MessageBits),
+			K:           uint8(cfg.K),
+			C:           uint8(cfg.C),
+			Schedule:    cfg.Schedule,
+			Seed:        cfg.Seed,
+			StartIndex:  uint32(next),
+			Symbols:     make([]complex128, count),
+		}
+		for i := 0; i < count; i++ {
+			y := enc.SymbolAt(sched.Pos(next + i))
+			if corrupt != nil {
+				y = corrupt(y)
+			}
+			frame.Symbols[i] = y
+		}
+		buf, err := frame.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, buf)
+	}
+	return frames, nil
 }
 
 // scheduleFor maps a wire schedule id to a core.Schedule.

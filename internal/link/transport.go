@@ -32,7 +32,11 @@ var ErrClosed = errors.New("link: transport closed")
 // dropped (lossy links) but are never corrupted or reordered by the
 // transport itself; symbol-level noise is modelled separately.
 type Transport interface {
-	// Send transmits one frame.
+	// Send transmits one frame. Send is safe for concurrent use and is
+	// atomic per frame: when multiple goroutines send over one transport,
+	// every frame arrives whole (or is dropped whole) — frames are never
+	// torn or interleaved with each other. Frames from one goroutine keep
+	// their relative order; no order is defined between concurrent senders.
 	Send(frame []byte) error
 	// Receive waits up to timeout for one frame and copies it into buf,
 	// returning the frame length. A zero timeout polls without blocking.
@@ -40,6 +44,21 @@ type Transport interface {
 	Receive(buf []byte, timeout time.Duration) (int, error)
 	// Close releases the transport's resources.
 	Close() error
+}
+
+// PacketTransport is implemented by transports that can tell apart — and
+// reply to — many remote peers on one local endpoint. The multi-flow
+// receiver uses it to serve many concurrent senders over a single UDP
+// socket: frames are read with their source address and acks are directed
+// back to the specific sender they belong to. SendTo carries the same
+// atomicity guarantee as Transport.Send.
+type PacketTransport interface {
+	Transport
+	// ReceiveFrom behaves like Receive and additionally reports the source
+	// address of the frame.
+	ReceiveFrom(buf []byte, timeout time.Duration) (int, net.Addr, error)
+	// SendTo transmits one frame to the given peer.
+	SendTo(frame []byte, to net.Addr) error
 }
 
 // maxFrameSize bounds the size of a single frame on any transport.
@@ -73,7 +92,9 @@ func NewPipePair(loss float64, seed uint64) (*Pipe, *Pipe, error) {
 }
 
 // Send implements Transport. Lossy pipes drop the frame silently with the
-// configured probability, exactly like a lossy radio link would.
+// configured probability, exactly like a lossy radio link would. Each frame
+// is copied before it is handed to the peer's queue in a single channel
+// operation, so concurrent Sends never tear or interleave frames.
 func (p *Pipe) Send(frame []byte) error {
 	if len(frame) > maxFrameSize {
 		return fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(frame), maxFrameSize)
@@ -184,26 +205,48 @@ func (u *UDP) Send(frame []byte) error {
 // Receive implements Transport. The peer address is learned from incoming
 // frames when it was not configured explicitly.
 func (u *UDP) Receive(buf []byte, timeout time.Duration) (int, error) {
+	n, _, err := u.ReceiveFrom(buf, timeout)
+	return n, err
+}
+
+// ReceiveFrom implements PacketTransport: one frame plus its source address,
+// so a receiver serving many senders can direct each ack at the sender it
+// belongs to. The first source also becomes the default Send peer when none
+// was configured.
+func (u *UDP) ReceiveFrom(buf []byte, timeout time.Duration) (int, net.Addr, error) {
 	if timeout <= 0 {
 		timeout = time.Millisecond
 	}
 	if err := u.conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	n, from, err := u.conn.ReadFrom(buf)
 	if err != nil {
 		var ne net.Error
 		if errors.As(err, &ne) && ne.Timeout() {
-			return 0, ErrTimeout
+			return 0, nil, ErrTimeout
 		}
-		return 0, err
+		return 0, nil, err
 	}
 	u.mu.Lock()
 	if u.peer == nil {
 		u.peer = from
 	}
 	u.mu.Unlock()
-	return n, nil
+	return n, from, nil
+}
+
+// SendTo implements PacketTransport. A single WriteTo is one datagram, so
+// concurrent SendTo calls are frame-atomic like Send.
+func (u *UDP) SendTo(frame []byte, to net.Addr) error {
+	if len(frame) > maxFrameSize {
+		return fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(frame), maxFrameSize)
+	}
+	if to == nil {
+		return fmt.Errorf("link: SendTo with nil peer address")
+	}
+	_, err := u.conn.WriteTo(frame, to)
+	return err
 }
 
 // Close implements Transport.

@@ -1,9 +1,165 @@
 package link
 
 import (
+	"net"
+	"sync"
 	"testing"
 	"time"
 )
+
+// checkAtomicFrames sends patterned frames from many goroutines over send()
+// and verifies via recv() that every arriving frame is internally consistent
+// — one sender's tag throughout, correct length — i.e. concurrent Sends are
+// frame-atomic and never interleave partially. Run under -race this also
+// exercises the transports' internal synchronization.
+func checkAtomicFrames(t *testing.T, send func([]byte) error, recv func([]byte) (int, error)) {
+	t.Helper()
+	const senders = 8
+	const perSender = 50
+	frameLen := 120
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(tag byte) {
+			defer wg.Done()
+			frame := make([]byte, frameLen)
+			for i := range frame {
+				frame[i] = tag
+			}
+			for i := 0; i < perSender; i++ {
+				if err := send(frame); err != nil {
+					t.Errorf("sender %d: %v", tag, err)
+					return
+				}
+			}
+		}(byte(s + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	buf := make([]byte, maxFrameSize)
+	got := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for got < senders*perSender && time.Now().Before(deadline) {
+		n, err := recv(buf)
+		if err == ErrTimeout {
+			select {
+			case <-done:
+				// All senders finished; drain whatever is still queued.
+				if n2, err2 := recv(buf); err2 == nil {
+					n, err = n2, nil
+				} else {
+					return // UDP may drop under load; integrity was checked per frame
+				}
+			default:
+				continue
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != frameLen {
+			t.Fatalf("received torn frame of %d bytes, want %d", n, frameLen)
+		}
+		tag := buf[0]
+		if tag < 1 || tag > senders {
+			t.Fatalf("received frame with unknown tag %d", tag)
+		}
+		for i := 1; i < n; i++ {
+			if buf[i] != tag {
+				t.Fatalf("frame interleaved: byte %d is %d, frame tag %d", i, buf[i], tag)
+			}
+		}
+		got++
+	}
+	<-done
+}
+
+// TestPipeConcurrentSendAtomic runs many goroutines over one Pipe endpoint.
+func TestPipeConcurrentSendAtomic(t *testing.T) {
+	a, b, err := NewPipePair(0, 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	checkAtomicFrames(t,
+		a.Send,
+		func(buf []byte) (int, error) { return b.Receive(buf, 50*time.Millisecond) })
+}
+
+// TestUDPConcurrentSendAtomic runs many goroutines over one UDP transport —
+// the many-senders serving scenario of cmd/spinalrecv in miniature.
+func TestUDPConcurrentSendAtomic(t *testing.T) {
+	server, err := NewUDP("127.0.0.1:0", "")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer server.Close()
+	client, err := NewUDP("127.0.0.1:0", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	checkAtomicFrames(t,
+		client.Send,
+		func(buf []byte) (int, error) { return server.Receive(buf, 50*time.Millisecond) })
+}
+
+// TestUDPSendToDirectsReplies checks the PacketTransport path: two clients
+// talk to one server socket, and SendTo routes each reply to the right one.
+func TestUDPSendToDirectsReplies(t *testing.T) {
+	server, err := NewUDP("127.0.0.1:0", "")
+	if err != nil {
+		t.Skipf("UDP unavailable in this environment: %v", err)
+	}
+	defer server.Close()
+	c1, err := NewUDP("127.0.0.1:0", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := NewUDP("127.0.0.1:0", server.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	if err := c1.Send([]byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Send([]byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	addrs := map[string]net.Addr{}
+	for i := 0; i < 2; i++ {
+		n, from, err := server.ReceiveFrom(buf, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[string(buf[:n])] = from
+	}
+	if addrs["one"] == nil || addrs["two"] == nil {
+		t.Fatalf("server did not see both clients: %v", addrs)
+	}
+	if err := server.SendTo([]byte("reply-two"), addrs["two"]); err != nil {
+		t.Fatal(err)
+	}
+	if err := server.SendTo([]byte("reply-one"), addrs["one"]); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c1.Receive(buf, time.Second)
+	if err != nil || string(buf[:n]) != "reply-one" {
+		t.Fatalf("client 1 got %q, %v", buf[:n], err)
+	}
+	n, err = c2.Receive(buf, time.Second)
+	if err != nil || string(buf[:n]) != "reply-two" {
+		t.Fatalf("client 2 got %q, %v", buf[:n], err)
+	}
+	if err := server.SendTo([]byte("x"), nil); err == nil {
+		t.Error("SendTo with nil address accepted")
+	}
+}
 
 func TestPipeRoundTrip(t *testing.T) {
 	a, b, err := NewPipePair(0, 1)

@@ -190,6 +190,43 @@ func (s *SymbolStream) At(index int) (Symbol, error) {
 // Emitted returns how many symbols have been produced by Next so far.
 func (s *SymbolStream) Emitted() int { return s.next }
 
+// DecoderPool shares decoders across many concurrent messages — the serving
+// pattern of a receiver handling many flows. Leasing a decoder from the pool
+// returns a ready-to-use Decoder whose (expensive) incremental workspace and
+// goroutine pool are recycled from earlier messages with the same code;
+// Decoder.Release puts it back. Pooled decoders are bit-identical in
+// behaviour to freshly constructed ones. The pool is safe for concurrent
+// use; each leased Decoder still belongs to one goroutine at a time.
+type DecoderPool struct {
+	pool *core.DecoderPool
+}
+
+// PoolStats mirrors the pool counters for diagnostics.
+type PoolStats = core.PoolStats
+
+// NewDecoderPool returns a pool keeping up to capacity idle decoders across
+// all codes. A capacity <= 0 disables caching (every lease builds fresh).
+func NewDecoderPool(capacity int) *DecoderPool {
+	return &DecoderPool{pool: core.NewDecoderPool(capacity)}
+}
+
+// Lease checks a decoder for the given code out of the pool, building one
+// on a miss. Release the returned Decoder when its message is finished.
+func (p *DecoderPool) Lease(c *Code) (*Decoder, error) {
+	lease, err := p.pool.Lease(c.params, c.cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	// Always set parallelism: a cached decoder carries its previous
+	// lessee's setting, and Workers == 0 must mean the fresh-decoder
+	// default (GOMAXPROCS), not whatever came before.
+	lease.Dec.SetParallelism(c.cfg.Workers)
+	return &Decoder{dec: lease.Dec, obs: lease.Obs, n: c.cfg.MessageBits, lease: lease}, nil
+}
+
+// Stats returns a snapshot of the pool counters.
+func (p *DecoderPool) Stats() PoolStats { return p.pool.Stats() }
+
 // Decoder accumulates received symbols for one message and produces the most
 // likely message on demand using the B-bounded beam decoder of §3.2.
 //
@@ -201,9 +238,10 @@ func (s *SymbolStream) Emitted() int { return s.next }
 // total rather than one per attempt, with bit-identical results. Reset
 // reuses the decoder (and its allocations) for a new message.
 type Decoder struct {
-	dec *core.BeamDecoder
-	obs *core.Observations
-	n   int
+	dec   *core.BeamDecoder
+	obs   *core.Observations
+	n     int
+	lease *core.LeasedDecoder // non-nil when leased from a DecoderPool
 }
 
 // NewDecoder returns an empty decoder for this code.
@@ -255,6 +293,13 @@ func (d *Decoder) Decode() ([]byte, error) {
 // (and its buffers) can be reused for a new message of the same code.
 func (d *Decoder) Reset() {
 	d.obs.Reset()
+}
+
+// Release returns a pool-leased decoder to its DecoderPool; the decoder must
+// not be used afterwards. On a decoder built by Code.NewDecoder it is a
+// no-op.
+func (d *Decoder) Release() {
+	d.lease.Release()
 }
 
 // NodesExpanded reports the number of decoding-tree nodes freshly expanded by

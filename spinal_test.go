@@ -95,6 +95,65 @@ func TestStreamAt(t *testing.T) {
 	}
 }
 
+// roundTrip decodes two noiseless passes of msg through dec and returns the
+// decoded message.
+func roundTrip(t *testing.T, code *spinal.Code, dec *spinal.Decoder, msg []byte) []byte {
+	t.Helper()
+	stream, err := code.EncodeStream(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2*code.NumSegments(); i++ {
+		sym := stream.Next()
+		if err := dec.Observe(sym.Pos, sym.Value); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestDecoderPoolLeaseRoundTrip(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := spinal.NewDecoderPool(4)
+	// Several messages in sequence through the pool: every lease after the
+	// first reuses the released decoder, and every decode is correct.
+	for i := 0; i < 3; i++ {
+		msg := spinal.RandomMessage(64, uint64(i+1))
+		dec, err := pool.Lease(code)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := roundTrip(t, code, dec, msg); !code.Equal(got, msg) {
+			t.Fatalf("lease %d: pooled decoder failed the round trip", i)
+		}
+		dec.Release()
+	}
+	s := pool.Stats()
+	if s.Misses != 1 || s.Hits != 2 {
+		t.Fatalf("pool did not reuse the decoder: %+v", s)
+	}
+	if s.Idle != 1 {
+		t.Fatalf("released decoder not idle in the pool: %+v", s)
+	}
+	// Release on a non-pooled decoder is a harmless no-op.
+	plain, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain.Release()
+	msg := spinal.RandomMessage(64, 9)
+	if got := roundTrip(t, code, plain, msg); !code.Equal(got, msg) {
+		t.Fatal("plain decoder broken after no-op Release")
+	}
+}
+
 func TestDecoderResetReuse(t *testing.T) {
 	// One Decoder instance, reused via Reset across several messages, must
 	// behave exactly like a fresh decoder for each — this is the
