@@ -279,6 +279,156 @@ func BenchmarkParallelDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchObserve isolates the receive hot path the batch-first API
+// vectorizes: producing one pass of symbols, corrupting it, and folding it
+// into the decoder's observations — scalar (one schedule call, one encoder
+// call, one channel closure call and one Observe per symbol) versus batch
+// (one NextBatch, one CorruptBlock, one ObserveBatch per pass, with a single
+// generation bump). The symbols folded in are bit-identical between the two
+// modes (TestObserveBatchMatchesObserve enforces it); this benchmark isolates
+// the call-overhead win.
+func BenchmarkBatchObserve(b *testing.B) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := spinal.RandomMessage(1024, 5)
+	nseg := code.NumSegments()
+	const passes = 4
+
+	b.Run("scalar", func(b *testing.B) {
+		ch, err := spinal.AWGNChannel(15, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := code.NewDecoder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dec.Reset()
+			stream, err := code.EncodeStream(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < passes*nseg; j++ {
+				sym := stream.Next()
+				if err := dec.Observe(sym.Pos, ch(sym.Value)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(passes*nseg)*float64(b.N)/b.Elapsed().Seconds(), "symbols/s")
+	})
+	b.Run("batch", func(b *testing.B) {
+		ch, err := spinal.NewAWGN(15, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dec, err := code.NewDecoder()
+		if err != nil {
+			b.Fatal(err)
+		}
+		batch := make([]spinal.Symbol, nseg)
+		poss := make([]spinal.SymbolPos, nseg)
+		tx := make([]complex128, nseg)
+		rx := make([]complex128, nseg)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dec.Reset()
+			stream, err := code.EncodeStream(msg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for p := 0; p < passes; p++ {
+				stream.NextBatch(batch)
+				for k, s := range batch {
+					poss[k], tx[k] = s.Pos, s.Value
+				}
+				ch.CorruptBlock(rx, tx)
+				if err := dec.ObserveBatch(poss, rx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(passes*nseg)*float64(b.N)/b.Elapsed().Seconds(), "symbols/s")
+	})
+}
+
+// BenchmarkTransmitChannel measures the full rateless loop through the
+// channel-interface entry point (Code.TransmitOver) against the legacy
+// closure adapter (Code.Transmit), on static AWGN and on the time-varying
+// channels only the interface can express. Decodes are bit-identical between
+// the two entry points (TestTransmitOverMatchesTransmit enforces it).
+func BenchmarkTransmitChannel(b *testing.B) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	msg := spinal.RandomMessage(256, 7)
+	run := func(b *testing.B, mk func(i int) (*spinal.TransmitResult, error)) {
+		var symbols, bits int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := mk(i)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Delivered {
+				bits += 256
+			}
+			symbols += res.Symbols
+		}
+		if symbols > 0 {
+			b.ReportMetric(float64(bits)/float64(symbols), "bits/sym")
+		}
+	}
+	b.Run("awgn-channel", func(b *testing.B) {
+		run(b, func(i int) (*spinal.TransmitResult, error) {
+			ch, err := spinal.NewAWGN(15, uint64(i)+1)
+			if err != nil {
+				return nil, err
+			}
+			return code.TransmitOver(msg, ch, nil, 0)
+		})
+	})
+	b.Run("awgn-closure", func(b *testing.B) {
+		run(b, func(i int) (*spinal.TransmitResult, error) {
+			ch, err := spinal.AWGNChannel(15, uint64(i)+1)
+			if err != nil {
+				return nil, err
+			}
+			return code.Transmit(msg, ch, nil, 0)
+		})
+	})
+	b.Run("rayleigh", func(b *testing.B) {
+		run(b, func(i int) (*spinal.TransmitResult, error) {
+			ch, err := spinal.NewRayleigh(18, 32, uint64(i)+1)
+			if err != nil {
+				return nil, err
+			}
+			return code.TransmitOver(msg, ch, nil, 0)
+		})
+	})
+	b.Run("gilbert-elliott", func(b *testing.B) {
+		run(b, func(i int) (*spinal.TransmitResult, error) {
+			trace, err := spinal.GilbertElliottTrace(25, 8, 400, 200, uint64(i)+1)
+			if err != nil {
+				return nil, err
+			}
+			ch, err := spinal.NewTraceChannel(trace, uint64(i)+9)
+			if err != nil {
+				return nil, err
+			}
+			return code.TransmitOver(msg, ch, nil, 0)
+		})
+	})
+}
+
 // BenchmarkTheorem1Gap measures the empirical gap to capacity against the
 // Theorem 1 guarantee at a mid-range SNR.
 func BenchmarkTheorem1Gap(b *testing.B) {

@@ -2,46 +2,51 @@ package spinal
 
 import (
 	"spinal/internal/capacity"
-	"spinal/internal/channel"
 	"spinal/internal/core"
 	"spinal/internal/crc"
 	"spinal/internal/rng"
 )
 
-// This file exposes the channel models and small utilities a library user
-// needs to run spinal codes end to end without reaching into internal
-// packages: AWGN / quantized-AWGN / BSC channel functions, random message
-// generation, CRC framing and capacity references.
+// This file keeps the v0 closure-returning channel helpers and the small
+// utilities a library user needs to run spinal codes end to end: random
+// message generation, CRC framing and capacity references. The closure
+// helpers are thin adapters over the Channel constructors in channels.go —
+// new code should use the interfaces directly (see the migration table in
+// the README), but everything written against the closures keeps compiling
+// and produces bit-identical noise streams.
 
 // AWGNChannel returns a channel function that adds complex white Gaussian
 // noise at the given SNR (dB, relative to the unit-energy constellation),
-// using a deterministic noise stream derived from seed.
+// using a deterministic noise stream derived from seed. It is the scalar
+// adapter of NewAWGN.
 func AWGNChannel(snrDB float64, seed uint64) (func(complex128) complex128, error) {
-	ch, err := channel.NewAWGNdB(snrDB, rng.New(seed))
+	ch, err := NewAWGN(snrDB, seed)
 	if err != nil {
 		return nil, err
 	}
-	return ch.Corrupt, nil
+	return CorruptFunc(ch), nil
 }
 
 // QuantizedAWGNChannel returns the receive path used in the paper's
 // evaluation: AWGN followed by an ADC quantizing each dimension to adcBits.
+// It is the scalar adapter of NewQuantizedAWGN.
 func QuantizedAWGNChannel(snrDB float64, adcBits int, seed uint64) (func(complex128) complex128, error) {
-	ch, err := channel.NewQuantizedAWGN(snrDB, adcBits, rng.New(seed))
+	ch, err := NewQuantizedAWGN(snrDB, adcBits, seed)
 	if err != nil {
 		return nil, err
 	}
-	return ch.Corrupt, nil
+	return CorruptFunc(ch), nil
 }
 
 // BSCChannel returns a bit-flipping channel function with crossover
-// probability p, for the binary-channel variant of the code.
+// probability p, for the binary-channel variant of the code. It is the
+// scalar adapter of NewBSC.
 func BSCChannel(p float64, seed uint64) (func(byte) byte, error) {
-	ch, err := channel.NewBSC(p, rng.New(seed))
+	ch, err := NewBSC(p, seed)
 	if err != nil {
 		return nil, err
 	}
-	return ch.CorruptBit, nil
+	return CorruptBitFunc(ch), nil
 }
 
 // RandomMessage returns a uniformly random packed message of n bits, suitable

@@ -1,0 +1,364 @@
+package spinal_test
+
+import (
+	"math"
+	"testing"
+
+	"spinal"
+)
+
+func TestChannelConstructorsAndMetadata(t *testing.T) {
+	awgn, err := spinal.NewAWGN(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if awgn.Name() == "" {
+		t.Error("AWGN channel has no name")
+	}
+	if got, want := awgn.NoiseVariance(), spinal.NoiseVariance(12); math.Abs(got-want) > 1e-12 {
+		t.Errorf("AWGN NoiseVariance = %v, want %v", got, want)
+	}
+	q, err := spinal.NewQuantizedAWGN(12, 14, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.NoiseVariance()-awgn.NoiseVariance()) > 1e-12 {
+		t.Error("quantized AWGN reports a different noise variance than plain AWGN")
+	}
+	ray, err := spinal.NewRayleigh(10, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ray.NoiseVariance() <= 0 || ray.Name() == "" {
+		t.Error("Rayleigh channel metadata missing")
+	}
+	bsc, err := spinal.NewBSC(0.1, 3)
+	if err != nil || bsc.Name() == "" {
+		t.Fatalf("BSC constructor failed: %v", err)
+	}
+	bec, err := spinal.NewBEC(0.3, 4)
+	if err != nil || bec.Name() == "" {
+		t.Fatalf("BEC constructor failed: %v", err)
+	}
+
+	for name, build := range map[string]func() error{
+		"quantized adc=0":  func() error { _, err := spinal.NewQuantizedAWGN(12, 0, 1); return err },
+		"bsc p>0.5":        func() error { _, err := spinal.NewBSC(0.9, 1); return err },
+		"bec p>=1":         func() error { _, err := spinal.NewBEC(1, 1); return err },
+		"rayleigh block=0": func() error { _, err := spinal.NewRayleigh(10, 0, 1); return err },
+		"trace nil":        func() error { _, err := spinal.NewTraceChannel(nil, 1); return err },
+		"gilbert dwell=0":  func() error { _, err := spinal.GilbertElliottTrace(20, 5, 0, 10, 1); return err },
+		"walk empty range": func() error { _, err := spinal.WalkTrace(10, 10, 1, 1); return err },
+		"rayleigh tc=0":    func() error { _, err := spinal.RayleighTrace(10, 0, 1); return err },
+	} {
+		if build() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestTraceChannelFollowsTrace(t *testing.T) {
+	trace := spinal.ConstantTrace(17)
+	if trace.SNRdB(0) != 17 || trace.SNRdB(1000) != 17 {
+		t.Fatal("constant trace not constant")
+	}
+	ch, err := spinal.NewTraceChannel(trace, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ch.NoiseVariance(), spinal.NoiseVariance(17); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("trace channel NoiseVariance = %v, want %v", got, want)
+	}
+	ge, err := spinal.GilbertElliottTrace(22, 4, 100, 100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if s := ge.SNRdB(i); s != 22 && s != 4 {
+			t.Fatalf("Gilbert-Elliott trace emitted SNR %v outside its two states", s)
+		}
+	}
+}
+
+// TestCorruptFuncMatchesBlock pins the scalar adapter against the block path:
+// the closure must consume the channel's noise stream exactly as block calls
+// would, so legacy scalar callers and batch callers see identical channels.
+func TestCorruptFuncMatchesBlock(t *testing.T) {
+	xs := make([]complex128, 64)
+	for i := range xs {
+		xs[i] = complex(float64(i%7)*0.2-0.6, float64(i%5)*0.25-0.5)
+	}
+	blockCh, err := spinal.NewAWGN(9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]complex128, len(xs))
+	blockCh.CorruptBlock(want, xs)
+
+	scalarCh, err := spinal.NewAWGN(9, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := spinal.CorruptFunc(scalarCh)
+	for i, x := range xs {
+		if got := f(x); got != want[i] {
+			t.Fatalf("scalar adapter diverged from block path at symbol %d", i)
+		}
+	}
+
+	blockBits, err := spinal.NewBSC(0.3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]byte, 64)
+	for i := range tx {
+		tx[i] = byte(i & 1)
+	}
+	wantBits := make([]byte, len(tx))
+	blockBits.CorruptBits(wantBits, tx)
+	scalarBits, err := spinal.NewBSC(0.3, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := spinal.CorruptBitFunc(scalarBits)
+	for i, b := range tx {
+		if got := fb(b); got != wantBits[i] {
+			t.Fatalf("scalar bit adapter diverged at bit %d", i)
+		}
+	}
+}
+
+func TestBECMarksErasures(t *testing.T) {
+	bec, err := spinal.NewBEC(0.5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := make([]byte, 2000)
+	for i := range tx {
+		tx[i] = byte(i & 1)
+	}
+	rx := make([]byte, len(tx))
+	bec.CorruptBits(rx, tx)
+	erased := 0
+	for i, v := range rx {
+		switch v {
+		case spinal.Erased:
+			erased++
+		case tx[i]:
+		default:
+			t.Fatalf("BEC altered bit %d from %d to %d", i, tx[i], v)
+		}
+	}
+	if erased < 800 || erased > 1200 {
+		t.Fatalf("BEC at p=0.5 erased %d of %d bits", erased, len(tx))
+	}
+}
+
+// TestObserveBatchMatchesObserve is the facade half of the scalar/batch
+// equivalence acceptance: ObserveBatch followed by one Decode must yield a
+// bit-identical message and identical NodesExpanded to the per-symbol
+// Observe loop, on a noisy AWGN stream.
+func TestObserveBatchMatchesObserve(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(96, 31)
+	stream, err := code.EncodeStream(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := spinal.NewAWGN(10, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 3 * code.NumSegments()
+	batch := stream.NextBatch(make([]spinal.Symbol, n))
+	poss := make([]spinal.SymbolPos, n)
+	tx := make([]complex128, n)
+	for i, s := range batch {
+		poss[i], tx[i] = s.Pos, s.Value
+	}
+	rx := make([]complex128, n)
+	ch.CorruptBlock(rx, tx)
+
+	scalarDec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range poss {
+		if err := scalarDec.Observe(poss[i], rx[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batchDec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := batchDec.ObserveBatch(poss, rx); err != nil {
+		t.Fatal(err)
+	}
+	if scalarDec.Observations() != batchDec.Observations() {
+		t.Fatalf("observation counts diverged: %d vs %d", scalarDec.Observations(), batchDec.Observations())
+	}
+	a, err := scalarDec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := batchDec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !code.Equal(a, b) {
+		t.Fatal("scalar and batch observation paths decoded different messages")
+	}
+	if scalarDec.NodesExpanded() != batchDec.NodesExpanded() {
+		t.Fatalf("NodesExpanded diverged: %d vs %d", scalarDec.NodesExpanded(), batchDec.NodesExpanded())
+	}
+	// Validation is all-or-nothing.
+	if err := batchDec.ObserveBatch(poss[:2], rx[:1]); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	before := batchDec.Observations()
+	badPos := []spinal.SymbolPos{{Spine: -1, Pass: 0}}
+	if err := batchDec.ObserveBatch(badPos, rx[:1]); err == nil {
+		t.Error("invalid position accepted")
+	}
+	if batchDec.Observations() != before {
+		t.Error("failed batch mutated the decoder's observations")
+	}
+}
+
+// TestTransmitOverMatchesTransmit pins the closure adapters against the
+// batch-first path: the same seeds must produce bit-identical transmissions
+// through Code.Transmit (closure) and Code.TransmitOver (Channel).
+func TestTransmitOverMatchesTransmit(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(96, 41)
+	closure, err := spinal.AWGNChannel(12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaClosure, err := code.Transmit(msg, closure, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := spinal.NewAWGN(12, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaChannel, err := code.TransmitOver(msg, ch, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaClosure.Delivered != viaChannel.Delivered || viaClosure.Symbols != viaChannel.Symbols ||
+		viaClosure.Rate != viaChannel.Rate || !code.Equal(viaClosure.Decoded, viaChannel.Decoded) {
+		t.Fatalf("Transmit and TransmitOver diverged: %+v vs %+v", viaClosure, viaChannel)
+	}
+	if !viaChannel.Delivered {
+		t.Fatal("transmission at 12 dB failed")
+	}
+}
+
+// TestTransmitBitsOverMatchesTransmitBits is the BSC counterpart of the
+// adapter equivalence pin.
+func TestTransmitBitsOverMatchesTransmitBits(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 32, K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(32, 51)
+	closure, err := spinal.BSCChannel(0.05, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaClosure, err := code.TransmitBits(msg, closure, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := spinal.NewBSC(0.05, 52)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaChannel, err := code.TransmitBitsOver(msg, ch, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaClosure.Delivered != viaChannel.Delivered || viaClosure.Symbols != viaChannel.Symbols ||
+		!code.Equal(viaClosure.Decoded, viaChannel.Decoded) {
+		t.Fatalf("TransmitBits and TransmitBitsOver diverged: %+v vs %+v", viaClosure, viaChannel)
+	}
+	if !viaChannel.Delivered {
+		t.Fatal("BSC transmission at p=0.05 failed")
+	}
+}
+
+// TestTransmitOverTimeVaryingChannels exercises the fading channels end to
+// end: a bursty Gilbert-Elliott trace and a Rayleigh block-fading channel,
+// each driven both through the batch-first TransmitOver and — via the
+// CorruptFunc adapter — through the legacy Code.Transmit, with bit-identical
+// results between the two entry points.
+func TestTransmitOverTimeVaryingChannels(t *testing.T) {
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(64, 61)
+
+	build := map[string]func() (spinal.Channel, error){
+		"gilbert-elliott": func() (spinal.Channel, error) {
+			trace, err := spinal.GilbertElliottTrace(25, 8, 400, 200, 62)
+			if err != nil {
+				return nil, err
+			}
+			return spinal.NewTraceChannel(trace, 63)
+		},
+		"rayleigh-block": func() (spinal.Channel, error) {
+			return spinal.NewRayleigh(18, 32, 64)
+		},
+		"walk": func() (spinal.Channel, error) {
+			trace, err := spinal.WalkTrace(10, 25, 0.05, 65)
+			if err != nil {
+				return nil, err
+			}
+			return spinal.NewTraceChannel(trace, 66)
+		},
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			ch, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			over, err := code.TransmitOver(msg, ch, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !over.Delivered {
+				t.Fatalf("%s: rateless transmission failed", name)
+			}
+			if !code.Equal(over.Decoded, msg) {
+				t.Fatalf("%s: decoded message mismatch", name)
+			}
+			// The same time-varying channel through the legacy closure-based
+			// Code.Transmit: a fresh, identically seeded channel must produce
+			// the identical transmission.
+			ch2, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy, err := code.Transmit(msg, spinal.CorruptFunc(ch2), nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if legacy.Delivered != over.Delivered || legacy.Symbols != over.Symbols ||
+				!code.Equal(legacy.Decoded, over.Decoded) {
+				t.Fatalf("%s: legacy Transmit diverged from TransmitOver: %+v vs %+v",
+					name, legacy, over)
+			}
+		})
+	}
+}

@@ -58,7 +58,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spinalsim", flag.ContinueOnError)
 	opt := options{}
 	fs.StringVar(&opt.exp, "exp", "figure2",
-		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel|multiflow")
+		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel|multiflow|batch")
 	fs.Float64Var(&opt.snrMin, "snr-min", -10, "sweep start (dB)")
 	fs.Float64Var(&opt.snrMax, "snr-max", 40, "sweep end (dB)")
 	fs.Float64Var(&opt.snrStep, "snr-step", 5, "sweep step (dB)")
@@ -304,6 +304,29 @@ func dispatch(o options, out io.Writer) error {
 		fmt.Fprintf(out, "# effective config: k=%d, %d messages per flow (this experiment defaults k to 4; pass -k to override)\n",
 			cfg.K, msgs)
 		emit(o, out, experiments.FormatMultiFlow(pts))
+		return nil
+	case "batch":
+		cfg := o.spinalConfig()
+		if o.trials > 20 {
+			cfg.Trials = 20 // each trial runs once per mode
+		}
+		var pts []experiments.BatchPoint
+		seen := map[float64]bool{}
+		for _, snr := range []float64{0, o.snr, 25} {
+			if seen[snr] {
+				continue
+			}
+			seen[snr] = true
+			pt, err := experiments.BatchObserveComparison(cfg, snr)
+			if err != nil {
+				return err
+			}
+			pts = append(pts, pt)
+		}
+		fmt.Fprintln(out, "# batched vs per-symbol transmission path (bit-identical decodes, wall-clock only)")
+		fmt.Fprintf(out, "# effective config: %d trials (this experiment bounds trials; pass -trials <= 20 to override)\n",
+			cfg.Trials)
+		emit(o, out, experiments.FormatBatch(pts))
 		return nil
 	case "fixedrate":
 		snrs, err := o.sweep()

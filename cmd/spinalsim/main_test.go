@@ -71,6 +71,18 @@ func TestRunMultiFlow(t *testing.T) {
 	}
 }
 
+func TestRunBatch(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-exp", "batch", "-snr", "12", "-trials", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scalar_ms", "batch_ms", "batch_speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("batch output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunBadFlags(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-snr-step", "abc"}, &out); err == nil {

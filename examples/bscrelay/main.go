@@ -31,7 +31,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			ch, err := spinal.BSCChannel(p, uint64(i)*31+uint64(p*1000))
+			ch, err := spinal.NewBSC(p, uint64(i)*31+uint64(p*1000))
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -39,7 +39,7 @@ func main() {
 				_, ok := spinal.VerifyCRC32(decoded)
 				return ok
 			}
-			res, err := code.TransmitBits(framed, ch, verify, 0)
+			res, err := code.TransmitBitsOver(framed, ch, verify, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"spinal"
 	"spinal/internal/adapt"
 	"spinal/internal/fading"
 )
@@ -72,4 +73,27 @@ func main() {
 	fmt.Println("channel moves faster than its feedback, it either wastes capacity (too slow a")
 	fmt.Println("rate) or loses frames (too fast). The rateless spinal sender needs no estimate:")
 	fmt.Println("each packet simply costs however many symbols the channel demanded.")
+
+	// The same time-varying channels are first-class in the public API: a
+	// Trace drives a Channel, and TransmitOver runs the rateless loop over
+	// it — no internal packages needed.
+	trace, err := spinal.GilbertElliottTrace(22, 4, 700, 700, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ch, err := spinal.NewTraceChannel(trace, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 96})
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := spinal.RandomMessage(96, 5)
+	res, err := code.TransmitOver(msg, ch, nil, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npublic API, one packet over %s: delivered=%v in %d symbols (%.2f bits/symbol)\n",
+		ch.Name(), res.Delivered, res.Symbols, res.Rate)
 }

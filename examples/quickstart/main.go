@@ -1,7 +1,7 @@
 // Quickstart: encode a message with a spinal code, push its rateless symbol
 // stream through an AWGN channel, and decode it — first with the one-call
-// Transmit helper, then with the explicit stream/decoder API so the rateless
-// loop is visible.
+// TransmitOver helper, then with the explicit batch loop so the pass-at-a-time
+// structure of the rateless protocol is visible.
 package main
 
 import (
@@ -21,21 +21,24 @@ func main() {
 	}
 	message := spinal.RandomMessage(messageBits, 42)
 
-	// One-call simulation: run the rateless loop until the genie confirms the
-	// decode (a deployed system would verify a CRC instead).
-	ch, err := spinal.AWGNChannel(snrDB, 7)
+	// One-call simulation: run the rateless loop over a first-class channel
+	// until the genie confirms the decode (a deployed system would verify a
+	// CRC instead).
+	ch, err := spinal.NewAWGN(snrDB, 7)
 	if err != nil {
 		log.Fatal(err)
 	}
-	result, err := code.Transmit(message, ch, nil, 0)
+	result, err := code.TransmitOver(message, ch, nil, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("one-call transmit: delivered=%v in %d symbols -> %.2f bits/symbol (capacity %.2f)\n",
-		result.Delivered, result.Symbols, result.Rate, spinal.ShannonCapacity(snrDB))
+	fmt.Printf("one-call transmit: delivered=%v over %s in %d symbols -> %.2f bits/symbol (capacity %.2f)\n",
+		result.Delivered, ch.Name(), result.Symbols, result.Rate, spinal.ShannonCapacity(snrDB))
 
-	// The same loop spelled out: the sender emits symbols one at a time and
-	// the receiver decodes whenever it likes — that is all "rateless" means.
+	// The same loop spelled out, batch-first: the sender emits one striped
+	// pass at a time, the channel corrupts the whole block, and the receiver
+	// folds the batch in and decodes whenever it likes — that is all
+	// "rateless" means.
 	stream, err := code.EncodeStream(message)
 	if err != nil {
 		log.Fatal(err)
@@ -44,18 +47,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	ch2, _ := spinal.AWGNChannel(snrDB, 8)
+	ch2, err := spinal.NewAWGN(snrDB, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var (
+		batch []spinal.Symbol
+		poss  = make([]spinal.SymbolPos, code.NumSegments())
+		tx    = make([]complex128, code.NumSegments())
+		rx    = make([]complex128, code.NumSegments())
+	)
 	symbols := 0
 	for {
-		sym := stream.Next()
-		if err := decoder.Observe(sym.Pos, ch2(sym.Value)); err != nil {
+		batch = stream.EncodePass(batch)
+		for i, s := range batch {
+			poss[i], tx[i] = s.Pos, s.Value
+		}
+		ch2.CorruptBlock(rx, tx)
+		if err := decoder.ObserveBatch(poss, rx); err != nil {
 			log.Fatal(err)
 		}
-		symbols++
-		// Attempt a decode once per pass.
-		if symbols%code.NumSegments() != 0 {
-			continue
-		}
+		symbols += len(batch)
 		decoded, err := decoder.Decode()
 		if err != nil {
 			log.Fatal(err)

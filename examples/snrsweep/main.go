@@ -55,11 +55,11 @@ func main() {
 		totalBits, totalSymbols := 0, 0
 		for trial := 0; trial < perPoint; trial++ {
 			msg := spinal.RandomMessage(messageBits, uint64(1000+trial))
-			ch, err := spinal.AWGNChannel(snr, uint64(trial)*7919+3)
+			ch, err := spinal.NewAWGN(snr, uint64(trial)*7919+3)
 			if err != nil {
 				log.Fatal(err)
 			}
-			res, err := code.Transmit(msg, ch, nil, 0)
+			res, err := code.TransmitOver(msg, ch, nil, 0)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -23,6 +23,15 @@ type SymbolChannel interface {
 	Corrupt(x complex128) complex128
 }
 
+// BlockChannel corrupts whole blocks of symbols: dst[i] receives the channel
+// output for src[i], in slice order (stateful channels consume their noise
+// stream exactly as the equivalent sequence of Corrupt calls would). dst and
+// src have equal length and may alias. Every channel model in this package
+// implements it.
+type BlockChannel interface {
+	CorruptBlock(dst, src []complex128)
+}
+
 // BitChannel corrupts individual bits (values 0 or 1).
 type BitChannel interface {
 	// CorruptBit returns the received value of a single transmitted bit.
@@ -63,13 +72,11 @@ func (a *AWGN) Corrupt(x complex128) complex128 {
 	return x + a.src.ComplexNormal(a.sigma2)
 }
 
-// CorruptBlock corrupts a block of symbols, returning a new slice.
-func (a *AWGN) CorruptBlock(xs []complex128) []complex128 {
-	ys := make([]complex128, len(xs))
-	for i, x := range xs {
-		ys[i] = a.Corrupt(x)
+// CorruptBlock corrupts a block of symbols into dst; see BlockChannel.
+func (a *AWGN) CorruptBlock(dst, src []complex128) {
+	for i, x := range src {
+		dst[i] = x + a.src.ComplexNormal(a.sigma2)
 	}
-	return ys
 }
 
 // Quantizer models the receiver's analog-to-digital converter: each dimension
@@ -138,6 +145,14 @@ func (c *QuantizedAWGN) Corrupt(x complex128) complex128 {
 	return c.q.Quantize(c.awgn.Corrupt(x))
 }
 
+// CorruptBlock passes a block of symbols through noise and the ADC; see
+// BlockChannel.
+func (c *QuantizedAWGN) CorruptBlock(dst, src []complex128) {
+	for i, x := range src {
+		dst[i] = c.q.Quantize(c.awgn.Corrupt(x))
+	}
+}
+
 // Sigma2 returns the underlying noise variance.
 func (c *QuantizedAWGN) Sigma2() float64 { return c.awgn.Sigma2() }
 
@@ -169,13 +184,12 @@ func (b *BSC) CorruptBit(bit byte) byte {
 	return bit
 }
 
-// CorruptBits corrupts a slice of bits (values 0/1), returning a new slice.
-func (b *BSC) CorruptBits(bits []byte) []byte {
-	out := make([]byte, len(bits))
-	for i, v := range bits {
-		out[i] = b.CorruptBit(v)
+// CorruptBits corrupts a block of bits (values 0/1) into dst, flipping each
+// with probability p; dst and src have equal length and may alias.
+func (b *BSC) CorruptBits(dst, src []byte) {
+	for i, v := range src {
+		dst[i] = b.CorruptBit(v)
 	}
-	return out
 }
 
 // Erased marks an erased position in BEC output.
@@ -208,6 +222,15 @@ func (b *BEC) CorruptBit(bit byte) byte {
 		return Erased
 	}
 	return bit
+}
+
+// CorruptBits corrupts a block of bits into dst, erasing each with
+// probability p (erased slots carry the value Erased); dst and src have
+// equal length and may alias.
+func (b *BEC) CorruptBits(dst, src []byte) {
+	for i, v := range src {
+		dst[i] = b.CorruptBit(v)
+	}
 }
 
 // RayleighBlock is a block-fading channel: within each block of blockLen
@@ -255,6 +278,20 @@ func (r *RayleighBlock) Corrupt(x complex128) complex128 {
 	// Coherent equalization: y * conj(h) / |h|^2.
 	return y * complex(real(r.gain)/p, -imag(r.gain)/p)
 }
+
+// CorruptBlock applies the fading process to a block of symbols; see
+// BlockChannel. Block boundaries are independent of fading-block boundaries —
+// the gain process advances per symbol exactly as under scalar Corrupt calls.
+func (r *RayleighBlock) CorruptBlock(dst, src []complex128) {
+	for i, x := range src {
+		dst[i] = r.Corrupt(x)
+	}
+}
+
+// Sigma2 returns the additive noise variance at the configured average SNR
+// (the instantaneous post-equalization noise power varies with the block
+// gain).
+func (r *RayleighBlock) Sigma2() float64 { return r.sigma2 }
 
 // NoiseVariance returns the complex noise variance corresponding to an SNR in
 // dB for unit-energy signalling.

@@ -66,13 +66,33 @@ func TestAWGNSigmaAndSNR(t *testing.T) {
 	}
 }
 
-func TestCorruptBlockLength(t *testing.T) {
-	src := rng.New(5)
-	ch, _ := NewAWGN(10, src)
+func TestCorruptBlockMatchesScalar(t *testing.T) {
+	// A block corrupt must draw the exact same noise stream as the
+	// equivalent sequence of scalar Corrupt calls.
+	ch, _ := NewAWGN(10, rng.New(5))
+	ref, _ := NewAWGN(10, rng.New(5))
 	xs := make([]complex128, 37)
-	ys := ch.CorruptBlock(xs)
-	if len(ys) != len(xs) {
-		t.Fatalf("block length mismatch: %d", len(ys))
+	for i := range xs {
+		xs[i] = complex(float64(i)*0.1, -float64(i)*0.05)
+	}
+	ys := make([]complex128, len(xs))
+	ch.CorruptBlock(ys, xs)
+	for i, x := range xs {
+		if want := ref.Corrupt(x); ys[i] != want {
+			t.Fatalf("block symbol %d = %v, scalar path %v", i, ys[i], want)
+		}
+	}
+	// In-place corruption (dst aliasing src) is part of the contract.
+	inPlace := append([]complex128(nil), xs...)
+	ch2, _ := NewAWGN(10, rng.New(5))
+	ref2, _ := NewAWGN(10, rng.New(5))
+	ch2.CorruptBlock(inPlace, inPlace)
+	want := make([]complex128, len(xs))
+	ref2.CorruptBlock(want, xs)
+	for i := range want {
+		if inPlace[i] != want[i] {
+			t.Fatalf("in-place block corrupt diverged at %d", i)
+		}
 	}
 }
 
@@ -180,9 +200,12 @@ func TestBSCPreservesAlphabet(t *testing.T) {
 		}
 	}
 	bits := []byte{0, 1, 1, 0, 1}
-	out := ch.CorruptBits(bits)
-	if len(out) != len(bits) {
-		t.Fatalf("CorruptBits length mismatch")
+	out := make([]byte, len(bits))
+	ch.CorruptBits(out, bits)
+	for i, v := range out {
+		if v != 0 && v != 1 {
+			t.Fatalf("CorruptBits emitted non-bit value %d at %d", v, i)
+		}
 	}
 }
 

@@ -145,7 +145,8 @@ func TestViterbiCorrectsErrors(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+		ch.CorruptBlock(syms, syms)
+		llr := mod.Demodulate(syms, ch.Sigma2())
 		dec, err := c.Decode(llr, len(info))
 		if err != nil {
 			t.Fatal(err)
@@ -172,7 +173,8 @@ func TestViterbiDegradesGracefully(t *testing.T) {
 	info := randomBits(rng.New(6), 500)
 	coded, _ := c.Encode(info)
 	syms, _ := mod.Modulate(coded)
-	llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+	ch.CorruptBlock(syms, syms)
+	llr := mod.Demodulate(syms, ch.Sigma2())
 	dec, err := c.Decode(llr, len(info))
 	if err != nil {
 		t.Fatal(err)

@@ -89,6 +89,38 @@ func (e *Encoder) Pass(pass int) []complex128 {
 	return out
 }
 
+// EncodeBatch fills dst[i] with the constellation point at poss[i] for every
+// i. It is the vectorized counterpart of SymbolAt used by the batch symbol
+// paths: one call replaces len(poss) per-symbol calls, with the positions
+// validated up front.
+func (e *Encoder) EncodeBatch(dst []complex128, poss []SymbolPos) error {
+	if len(dst) != len(poss) {
+		return fmt.Errorf("core: EncodeBatch dst length %d != positions length %d", len(dst), len(poss))
+	}
+	if err := validatePositions(poss, len(e.spine)); err != nil {
+		return err
+	}
+	for i, pos := range poss {
+		dst[i] = symbolFor(e.family, e.mapper, e.p.C, e.spine[pos.Spine], pos.Pass)
+	}
+	return nil
+}
+
+// CodedBitBatch is the binary-channel counterpart of EncodeBatch: it fills
+// dst[i] with the coded bit at poss[i].
+func (e *Encoder) CodedBitBatch(dst []byte, poss []SymbolPos) error {
+	if len(dst) != len(poss) {
+		return fmt.Errorf("core: CodedBitBatch dst length %d != positions length %d", len(dst), len(poss))
+	}
+	if err := validatePositions(poss, len(e.spine)); err != nil {
+		return err
+	}
+	for i, pos := range poss {
+		dst[i] = codedBitFor(e.family, e.spine[pos.Spine], pos.Pass)
+	}
+	return nil
+}
+
 // CodedBit returns the single coded bit generated from spine value t in the
 // given pass, for use over a binary channel (the paper's BSC variant): bit
 // `pass` of the spine value's expansion.

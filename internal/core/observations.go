@@ -2,6 +2,22 @@ package core
 
 import "fmt"
 
+// validatePositions rejects any position outside a code with nseg spine
+// values. It is the shared up-front check of every batch entry point
+// (encoder fills and observation appends), so a failed batch can leave its
+// target untouched.
+func validatePositions(poss []SymbolPos, nseg int) error {
+	for _, pos := range poss {
+		if pos.Spine < 0 || pos.Spine >= nseg {
+			return fmt.Errorf("core: spine index %d out of range [0,%d)", pos.Spine, nseg)
+		}
+		if pos.Pass < 0 {
+			return fmt.Errorf("core: negative pass %d", pos.Pass)
+		}
+	}
+	return nil
+}
+
 // Observations accumulates the symbols received so far for one message,
 // grouped by the spine value they were generated from. The decoder sums
 // per-pass costs over all observations of a spine value (§3.2), so the same
@@ -57,6 +73,33 @@ func (o *Observations) Add(pos SymbolPos, y complex128) error {
 	if pos.Spine < o.dirty {
 		o.dirty = pos.Spine
 	}
+	return nil
+}
+
+// AddBatch records one received value per position — a whole frame or pass at
+// a time. The batch is validated before anything is recorded (an invalid
+// position leaves the container untouched), appends happen in slice order (so
+// a batch add is indistinguishable, observation for observation, from the
+// equivalent sequence of Adds), and the whole batch costs one generation bump
+// and one dirty-level update instead of one per symbol.
+func (o *Observations) AddBatch(poss []SymbolPos, ys []complex128) error {
+	if len(poss) != len(ys) {
+		return fmt.Errorf("core: AddBatch positions length %d != values length %d", len(poss), len(ys))
+	}
+	if len(poss) == 0 {
+		return nil
+	}
+	if err := validatePositions(poss, len(o.spines)); err != nil {
+		return err
+	}
+	for i, pos := range poss {
+		o.spines[pos.Spine] = append(o.spines[pos.Spine], symbolObs{pass: pos.Pass, y: ys[i]})
+		if pos.Spine < o.dirty {
+			o.dirty = pos.Spine
+		}
+	}
+	o.count += len(poss)
+	o.gen++
 	return nil
 }
 
@@ -151,6 +194,35 @@ func (o *BitObservations) Add(pos SymbolPos, bit byte) error {
 	if pos.Spine < o.dirty {
 		o.dirty = pos.Spine
 	}
+	return nil
+}
+
+// AddBatch records one received coded bit per position, with the same
+// all-or-nothing validation and single generation bump as
+// Observations.AddBatch.
+func (o *BitObservations) AddBatch(poss []SymbolPos, bits []byte) error {
+	if len(poss) != len(bits) {
+		return fmt.Errorf("core: AddBatch positions length %d != bits length %d", len(poss), len(bits))
+	}
+	if len(poss) == 0 {
+		return nil
+	}
+	if err := validatePositions(poss, len(o.spines)); err != nil {
+		return err
+	}
+	for _, bit := range bits {
+		if bit != 0 && bit != 1 {
+			return fmt.Errorf("core: coded bit must be 0 or 1, got %d", bit)
+		}
+	}
+	for i, pos := range poss {
+		o.spines[pos.Spine] = append(o.spines[pos.Spine], bitObs{pass: pos.Pass, bit: bits[i]})
+		if pos.Spine < o.dirty {
+			o.dirty = pos.Spine
+		}
+	}
+	o.count += len(poss)
+	o.gen++
 	return nil
 }
 

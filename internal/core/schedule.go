@@ -15,6 +15,28 @@ type Schedule interface {
 	Name() string
 }
 
+// posRanger is the optional batch counterpart of Schedule.Pos: fill dst with
+// the positions of stream indices start..start+len(dst)-1. Both built-in
+// schedules implement it; PositionsInto falls back to per-index Pos calls for
+// schedules that do not.
+type posRanger interface {
+	PosRange(start int, dst []SymbolPos)
+}
+
+// PositionsInto fills dst with the schedule positions of the stream indices
+// start, start+1, ..., start+len(dst)-1. It is the batch entry point of the
+// symbol paths: for the built-in schedules it avoids one interface call per
+// symbol.
+func PositionsInto(s Schedule, start int, dst []SymbolPos) {
+	if pr, ok := s.(posRanger); ok {
+		pr.PosRange(start, dst)
+		return
+	}
+	for i := range dst {
+		dst[i] = s.Pos(start + i)
+	}
+}
+
 // sequentialSchedule transmits every spine value in every pass, in spine
 // order: pass 0 symbols 0..n/k-1, then pass 1, and so on. This is the
 // unpunctured encoder of §3.1 whose maximum rate is k bits/symbol.
@@ -38,6 +60,24 @@ func (s *sequentialSchedule) Pos(i int) SymbolPos {
 		panic("core: negative stream index")
 	}
 	return SymbolPos{Spine: i % s.nseg, Pass: i / s.nseg}
+}
+
+// PosRange implements the batch position fill with running counters instead
+// of one div/mod pair per symbol.
+func (s *sequentialSchedule) PosRange(start int, dst []SymbolPos) {
+	if start < 0 {
+		panic("core: negative stream index")
+	}
+	spine := start % s.nseg
+	pass := start / s.nseg
+	for i := range dst {
+		dst[i] = SymbolPos{Spine: spine, Pass: pass}
+		spine++
+		if spine == s.nseg {
+			spine = 0
+			pass++
+		}
+	}
 }
 
 // stripedSchedule implements the puncturing described at the end of §3.1: the
@@ -102,6 +142,24 @@ func (s *stripedSchedule) Pos(i int) SymbolPos {
 	}
 	pass := i / s.nseg
 	return SymbolPos{Spine: s.order[i%s.nseg], Pass: pass}
+}
+
+// PosRange implements the batch position fill with running counters instead
+// of one div/mod pair per symbol.
+func (s *stripedSchedule) PosRange(start int, dst []SymbolPos) {
+	if start < 0 {
+		panic("core: negative stream index")
+	}
+	idx := start % s.nseg
+	pass := start / s.nseg
+	for i := range dst {
+		dst[i] = SymbolPos{Spine: s.order[idx], Pass: pass}
+		idx++
+		if idx == s.nseg {
+			idx = 0
+			pass++
+		}
+	}
 }
 
 // ScheduleByName builds a schedule from a short name used on experiment

@@ -217,29 +217,103 @@ func (r *Result) Rate(messageBits int) float64 {
 	return float64(messageBits) / float64(r.ChannelUses)
 }
 
-// RunSymbolSession transmits message over a symbol channel represented by the
-// corrupt function (typically channel.AWGN.Corrupt or QuantizedAWGN.Corrupt)
-// until verify accepts a decode. It returns the transcript of the
-// transmission.
-func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128) complex128, verify Verifier) (*Result, error) {
-	cfg, err := cfg.withDefaults()
-	if err != nil {
-		return nil, err
+// BlockChannel corrupts a block of complex symbols: dst[i] receives the
+// channel output for src[i], in order (stateful channels consume their noise
+// stream in slice order, so a block call is indistinguishable from the
+// equivalent sequence of scalar calls). dst and src have equal length and may
+// alias. It is the batch contract the sessions — and the public facade's
+// Channel interface — are built on.
+type BlockChannel interface {
+	CorruptBlock(dst, src []complex128)
+}
+
+// BlockBitChannel is the binary counterpart of BlockChannel for the BSC
+// variant: dst[i] receives the (possibly flipped) coded bit src[i].
+type BlockBitChannel interface {
+	CorruptBits(dst, src []byte)
+}
+
+// funcSymbolChannel adapts a scalar corrupt closure to BlockChannel; the
+// closure is applied in slice order, so the adapter draws the exact same
+// noise stream the scalar transmission loop did.
+type funcSymbolChannel func(complex128) complex128
+
+func (f funcSymbolChannel) CorruptBlock(dst, src []complex128) {
+	for i, x := range src {
+		dst[i] = f(x)
 	}
-	if corrupt == nil || verify == nil {
-		return nil, fmt.Errorf("core: nil channel or verifier")
+}
+
+// funcBitChannel adapts a scalar bit-corrupt closure to BlockBitChannel.
+type funcBitChannel func(byte) byte
+
+func (f funcBitChannel) CorruptBits(dst, src []byte) {
+	for i, b := range src {
+		dst[i] = f(b)
 	}
-	enc, err := NewEncoder(cfg.Params, message)
-	if err != nil {
-		return nil, err
+}
+
+// maxSessionBatch bounds the scratch buffers of a session: stretches of the
+// stream with no decode attempt (the backoff policy skips whole pass ranges)
+// are emitted in sub-batches of at most this many symbols.
+const maxSessionBatch = 4096
+
+// sessionBuffers holds the reusable batch scratch of one transmission.
+type sessionBuffers struct {
+	poss []SymbolPos
+	tx   []complex128
+	rx   []complex128
+	txb  []byte
+	rxb  []byte
+}
+
+// sized returns the buffers resliced to n elements, growing them as needed.
+func (b *sessionBuffers) sized(n int) ([]SymbolPos, []complex128, []complex128) {
+	if cap(b.poss) < n {
+		b.poss = make([]SymbolPos, n)
 	}
+	if cap(b.tx) < n {
+		b.tx = make([]complex128, n)
+		b.rx = make([]complex128, n)
+	}
+	return b.poss[:n], b.tx[:n], b.rx[:n]
+}
+
+// sizedBits is the bit-session counterpart of sized.
+func (b *sessionBuffers) sizedBits(n int) ([]SymbolPos, []byte, []byte) {
+	if cap(b.poss) < n {
+		b.poss = make([]SymbolPos, n)
+	}
+	if cap(b.txb) < n {
+		b.txb = make([]byte, n)
+		b.rxb = make([]byte, n)
+	}
+	return b.poss[:n], b.txb[:n], b.rxb[:n]
+}
+
+// nextAttempt scans forward from `sent` transmitted symbols to the next
+// symbol count at which the receiver runs the decoder, or to maxSymbols if no
+// attempt point remains in the budget. The boolean reports whether the
+// returned count is an attempt point.
+func nextAttempt(att AttemptPolicy, sent, minUses, nseg, maxSymbols int) (int, bool) {
+	for sent < maxSymbols {
+		sent++
+		if sent >= minUses && att.ShouldAttempt(sent, nseg) {
+			return sent, true
+		}
+	}
+	return maxSymbols, false
+}
+
+// newSessionDecoder builds and configures the decoder of a session.
+func newSessionDecoder(cfg SessionConfig) (*BeamDecoder, error) {
 	dec, err := NewBeamDecoder(cfg.Params, cfg.BeamWidth)
 	if err != nil {
 		return nil, err
 	}
-	defer dec.Close()
 	if cfg.MaxCandidates > 0 {
 		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
+			dec.Close()
 			return nil, err
 		}
 	}
@@ -247,6 +321,34 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 	if cfg.Parallelism > 0 {
 		dec.SetParallelism(cfg.Parallelism)
 	}
+	return dec, nil
+}
+
+// RunChannelSession transmits message over a BlockChannel until verify
+// accepts a decode, returning the transcript of the transmission. This is the
+// batch-first transmission loop: symbols are generated, corrupted and folded
+// into the observations a whole inter-attempt stretch at a time (one striped
+// pass under the default policies), so the hot path costs one schedule fill,
+// one encoder fill, one channel call and one observation append per batch
+// instead of four calls per symbol. Attempt points, channel noise stream and
+// decode results are identical to the per-symbol loop this replaces.
+func RunChannelSession(cfg SessionConfig, message []byte, ch BlockChannel, verify Verifier) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if ch == nil || verify == nil {
+		return nil, fmt.Errorf("core: nil channel or verifier")
+	}
+	enc, err := NewEncoder(cfg.Params, message)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := newSessionDecoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer dec.Close()
 	obs, err := NewObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -258,15 +360,28 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 	// principle carry the whole message (2c coded bits per symbol), so skip
 	// the earliest attempts outright.
 	minUses := (cfg.Params.MessageBits + 2*cfg.Params.C - 1) / (2 * cfg.Params.C)
-	for i := 0; i < cfg.MaxSymbols; i++ {
-		pos := cfg.Schedule.Pos(i)
-		y := corrupt(enc.SymbolAt(pos))
-		if err := obs.Add(pos, y); err != nil {
-			return nil, err
+	var bufs sessionBuffers
+	sent := 0
+	for sent < cfg.MaxSymbols {
+		stop, attempt := nextAttempt(cfg.Attempts, sent, minUses, nseg, cfg.MaxSymbols)
+		for sent < stop {
+			n := stop - sent
+			if n > maxSessionBatch {
+				n = maxSessionBatch
+			}
+			poss, tx, rx := bufs.sized(n)
+			PositionsInto(cfg.Schedule, sent, poss)
+			if err := enc.EncodeBatch(tx, poss); err != nil {
+				return nil, err
+			}
+			ch.CorruptBlock(rx, tx)
+			if err := obs.AddBatch(poss, rx); err != nil {
+				return nil, err
+			}
+			sent += n
 		}
-		received := i + 1
-		if received < minUses || !cfg.Attempts.ShouldAttempt(received, nseg) {
-			continue
+		if !attempt {
+			break
 		}
 		out, err := dec.Decode(obs)
 		if err != nil {
@@ -278,7 +393,7 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true
-			res.ChannelUses = received
+			res.ChannelUses = sent
 			return res, nil
 		}
 	}
@@ -286,35 +401,38 @@ func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128
 	return res, nil
 }
 
-// RunBitSession is the binary-channel counterpart of RunSymbolSession: the
-// encoder emits one coded bit per (spine value, pass) and the decoder uses
-// the Hamming metric, which is the ML rule for the BSC.
-func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte, verify Verifier) (*Result, error) {
+// RunSymbolSession transmits message over a symbol channel represented by a
+// scalar corrupt function until verify accepts a decode. It is a thin adapter
+// over RunChannelSession kept for closure-based callers; the adapter applies
+// the closure in stream order, so results are bit-identical to the historical
+// per-symbol loop.
+func RunSymbolSession(cfg SessionConfig, message []byte, corrupt func(complex128) complex128, verify Verifier) (*Result, error) {
+	if corrupt == nil {
+		return nil, fmt.Errorf("core: nil channel or verifier")
+	}
+	return RunChannelSession(cfg, message, funcSymbolChannel(corrupt), verify)
+}
+
+// RunBitChannelSession is the binary-channel counterpart of
+// RunChannelSession: the encoder emits one coded bit per (spine value, pass)
+// and the decoder uses the Hamming metric, which is the ML rule for the BSC.
+func RunBitChannelSession(cfg SessionConfig, message []byte, ch BlockBitChannel, verify Verifier) (*Result, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	if corruptBit == nil || verify == nil {
+	if ch == nil || verify == nil {
 		return nil, fmt.Errorf("core: nil channel or verifier")
 	}
 	enc, err := NewEncoder(cfg.Params, message)
 	if err != nil {
 		return nil, err
 	}
-	dec, err := NewBeamDecoder(cfg.Params, cfg.BeamWidth)
+	dec, err := newSessionDecoder(cfg)
 	if err != nil {
 		return nil, err
 	}
 	defer dec.Close()
-	if cfg.MaxCandidates > 0 {
-		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
-			return nil, err
-		}
-	}
-	dec.SetIncremental(!cfg.DisableIncremental)
-	if cfg.Parallelism > 0 {
-		dec.SetParallelism(cfg.Parallelism)
-	}
 	obs, err := NewBitObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -326,15 +444,28 @@ func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte
 	// (the BSC carries at most one bit per channel use), so skip those
 	// attempts.
 	minUses := cfg.Params.MessageBits
-	for i := 0; i < cfg.MaxSymbols; i++ {
-		pos := cfg.Schedule.Pos(i)
-		bit := corruptBit(enc.CodedBit(pos.Spine, pos.Pass))
-		if err := obs.Add(pos, bit); err != nil {
-			return nil, err
+	var bufs sessionBuffers
+	sent := 0
+	for sent < cfg.MaxSymbols {
+		stop, attempt := nextAttempt(cfg.Attempts, sent, minUses, nseg, cfg.MaxSymbols)
+		for sent < stop {
+			n := stop - sent
+			if n > maxSessionBatch {
+				n = maxSessionBatch
+			}
+			poss, tx, rx := bufs.sizedBits(n)
+			PositionsInto(cfg.Schedule, sent, poss)
+			if err := enc.CodedBitBatch(tx, poss); err != nil {
+				return nil, err
+			}
+			ch.CorruptBits(rx, tx)
+			if err := obs.AddBatch(poss, rx); err != nil {
+				return nil, err
+			}
+			sent += n
 		}
-		received := i + 1
-		if received < minUses || !cfg.Attempts.ShouldAttempt(received, nseg) {
-			continue
+		if !attempt {
+			break
 		}
 		out, err := dec.DecodeBits(obs)
 		if err != nil {
@@ -346,10 +477,19 @@ func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true
-			res.ChannelUses = received
+			res.ChannelUses = sent
 			return res, nil
 		}
 	}
 	res.ChannelUses = cfg.MaxSymbols
 	return res, nil
+}
+
+// RunBitSession adapts a scalar bit-corrupt closure to RunBitChannelSession;
+// see RunSymbolSession.
+func RunBitSession(cfg SessionConfig, message []byte, corruptBit func(byte) byte, verify Verifier) (*Result, error) {
+	if corruptBit == nil {
+		return nil, fmt.Errorf("core: nil channel or verifier")
+	}
+	return RunBitChannelSession(cfg, message, funcBitChannel(corruptBit), verify)
 }

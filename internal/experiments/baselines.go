@@ -169,7 +169,8 @@ func ldpcPoint(cfg LDPCConfig, code *ldpc.Code, dec *ldpc.Decoder, mod modem.Mod
 		if err != nil {
 			return ThroughputPoint{}, err
 		}
-		llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+		ch.CorruptBlock(syms, syms)
+		llr := mod.Demodulate(syms, ch.Sigma2())
 		res, err := dec.Decode(llr)
 		if err != nil {
 			return ThroughputPoint{}, err
@@ -265,7 +266,8 @@ func ConvThroughputCurve(cfg ConvConfig, snrsDB []float64) ([]ThroughputPoint, e
 			if err != nil {
 				return nil, err
 			}
-			llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+			ch.CorruptBlock(syms, syms)
+			llr := mod.Demodulate(syms, ch.Sigma2())
 			decoded, err := code.Decode(llr[:code.CodedLength(cfg.FrameBits)], cfg.FrameBits)
 			if err != nil {
 				return nil, err

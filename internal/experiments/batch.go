@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"spinal/internal/channel"
+	"spinal/internal/core"
+	"spinal/internal/rng"
+)
+
+// This file measures the batch-first transmission path against the
+// historical per-symbol loop: same messages, same noise streams, bit-identical
+// decodes — the only difference is whether symbols move through the stack one
+// at a time (schedule call, encoder call, channel closure, observation append
+// and generation bump per symbol) or a whole inter-attempt stretch at a time.
+
+// BatchPoint summarizes the scalar-versus-batch comparison at one SNR.
+type BatchPoint struct {
+	SNRdB float64
+	// ScalarNS and BatchNS are the total wall-clock nanoseconds spent in the
+	// per-symbol reference loop and in the batched session, respectively,
+	// across all trials.
+	ScalarNS int64
+	BatchNS  int64
+	// Speedup is ScalarNS / BatchNS.
+	Speedup float64
+	// Symbols is the total number of channel uses across all trials
+	// (identical in both modes by construction).
+	Symbols int64
+	// Delivered counts messages decoded within the pass budget (identical in
+	// both modes by construction).
+	Delivered int
+	Trials    int
+}
+
+// BatchObserveComparison runs the same rateless transmissions twice — once
+// through the batched RunChannelSession and once through a per-symbol
+// reference reimplementation of the pre-batch loop — and reports the
+// wall-clock cost of each. Message and channel randomness are derived from
+// the configured seed, so both modes see byte-identical symbol streams; the
+// function errors if the modes ever disagree on success, channel uses,
+// decoded message, attempt count or node accounting, which doubles as an
+// end-to-end equivalence check of the batch pipeline.
+func BatchObserveComparison(cfg SpinalConfig, snrDB float64) (BatchPoint, error) {
+	cfg = cfg.withDefaults()
+	params, err := cfg.params()
+	if err != nil {
+		return BatchPoint{}, err
+	}
+	sched, err := scheduleFor(cfg, params.NumSegments())
+	if err != nil {
+		return BatchPoint{}, err
+	}
+	pt := BatchPoint{SNRdB: snrDB, Trials: cfg.Trials}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
+		sessionCfg := core.SessionConfig{
+			Params:      params,
+			BeamWidth:   cfg.BeamWidth,
+			Schedule:    sched,
+			MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
+			Parallelism: cfg.Workers,
+		}
+		radio := func() (*channel.QuantizedAWGN, error) {
+			return channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
+		}
+
+		batchCh, err := radio()
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		start := time.Now()
+		batch, err := core.RunChannelSession(sessionCfg, msg, batchCh, core.GenieVerifier(msg, cfg.MessageBits))
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		pt.BatchNS += time.Since(start).Nanoseconds()
+
+		scalarCh, err := radio()
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		start = time.Now()
+		scalar, err := perSymbolReferenceSession(sessionCfg, msg, scalarCh.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
+		if err != nil {
+			return BatchPoint{}, err
+		}
+		pt.ScalarNS += time.Since(start).Nanoseconds()
+
+		if batch.Success != scalar.Success || batch.ChannelUses != scalar.ChannelUses ||
+			batch.Attempts != scalar.Attempts || batch.NodesExpanded != scalar.NodesExpanded ||
+			!core.EqualMessages(batch.Decoded, scalar.Decoded, cfg.MessageBits) {
+			return BatchPoint{}, fmt.Errorf(
+				"experiments: batch and per-symbol transmissions diverged on trial %d", trial)
+		}
+		pt.Symbols += int64(batch.ChannelUses)
+		if batch.Success {
+			pt.Delivered++
+		}
+	}
+	if pt.BatchNS > 0 {
+		pt.Speedup = float64(pt.ScalarNS) / float64(pt.BatchNS)
+	}
+	return pt, nil
+}
+
+// perSymbolReferenceSession reimplements the pre-batch transmission loop —
+// one schedule call, one encoder call, one channel call and one observation
+// append per symbol — as the timing and equivalence baseline for
+// BatchObserveComparison.
+func perSymbolReferenceSession(cfg core.SessionConfig, message []byte, corrupt func(complex128) complex128, verify core.Verifier) (*core.Result, error) {
+	enc, err := core.NewEncoder(cfg.Params, message)
+	if err != nil {
+		return nil, err
+	}
+	dec, err := core.NewBeamDecoder(cfg.Params, cfg.BeamWidth)
+	if err != nil {
+		return nil, err
+	}
+	defer dec.Close()
+	if cfg.Parallelism > 0 {
+		dec.SetParallelism(cfg.Parallelism)
+	}
+	obs, err := core.NewObservations(cfg.Params.NumSegments())
+	if err != nil {
+		return nil, err
+	}
+	attempts := cfg.Attempts
+	if attempts == nil {
+		attempts = core.AttemptAdaptive{}
+	}
+	res := &core.Result{}
+	nseg := cfg.Params.NumSegments()
+	minUses := (cfg.Params.MessageBits + 2*cfg.Params.C - 1) / (2 * cfg.Params.C)
+	for i := 0; i < cfg.MaxSymbols; i++ {
+		pos := cfg.Schedule.Pos(i)
+		if err := obs.Add(pos, corrupt(enc.SymbolAt(pos))); err != nil {
+			return nil, err
+		}
+		received := i + 1
+		if received < minUses || !attempts.ShouldAttempt(received, nseg) {
+			continue
+		}
+		out, err := dec.Decode(obs)
+		if err != nil {
+			return nil, err
+		}
+		res.Attempts++
+		res.NodesExpanded += int64(out.NodesExpanded)
+		res.NodesRefreshed += int64(out.NodesRefreshed)
+		res.Decoded = out.Message
+		if verify(out.Message) {
+			res.Success = true
+			res.ChannelUses = received
+			return res, nil
+		}
+	}
+	res.ChannelUses = cfg.MaxSymbols
+	return res, nil
+}
+
+// FormatBatch renders the scalar-versus-batch comparison.
+func FormatBatch(pts []BatchPoint) *Table {
+	t := NewTable("snr_db", "scalar_ms", "batch_ms", "batch_speedup", "symbols", "delivered", "trials")
+	for _, p := range pts {
+		t.AddRow(
+			fmt.Sprintf("%.1f", p.SNRdB),
+			fmt.Sprintf("%.2f", float64(p.ScalarNS)/1e6),
+			fmt.Sprintf("%.2f", float64(p.BatchNS)/1e6),
+			fmt.Sprintf("%.2fx", p.Speedup),
+			fmt.Sprintf("%d", p.Symbols),
+			fmt.Sprintf("%d", p.Delivered),
+			fmt.Sprintf("%d", p.Trials),
+		)
+	}
+	return t
+}

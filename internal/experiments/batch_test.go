@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchObserveComparisonEquivalence runs the scalar-versus-batch
+// comparison on a small configuration; the comparison itself errors if the
+// two modes ever produce different transmissions, so a nil error is the
+// equivalence assertion.
+func TestBatchObserveComparisonEquivalence(t *testing.T) {
+	cfg := SpinalConfig{Trials: 4, MaxPasses: 150}
+	for _, snr := range []float64{6, 15} {
+		pt, err := BatchObserveComparison(cfg, snr)
+		if err != nil {
+			t.Fatalf("snr %.0f: %v", snr, err)
+		}
+		if pt.Delivered == 0 {
+			t.Fatalf("snr %.0f: no messages delivered", snr)
+		}
+		if pt.Symbols == 0 || pt.BatchNS <= 0 || pt.ScalarNS <= 0 {
+			t.Fatalf("snr %.0f: implausible point %+v", snr, pt)
+		}
+	}
+}
+
+func TestFormatBatch(t *testing.T) {
+	tab := FormatBatch([]BatchPoint{{SNRdB: 10, ScalarNS: 2e6, BatchNS: 1e6, Speedup: 2, Symbols: 100, Delivered: 4, Trials: 4}})
+	s := tab.String()
+	for _, want := range []string{"batch_speedup", "2.00x", "scalar_ms"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -80,13 +80,13 @@ func ParallelDecodeComparison(cfg SpinalConfig, snrDB float64, workers []int) ([
 			if err != nil {
 				return nil, err
 			}
-			res, err := core.RunSymbolSession(core.SessionConfig{
+			res, err := core.RunChannelSession(core.SessionConfig{
 				Params:      params,
 				BeamWidth:   cfg.BeamWidth,
 				Schedule:    sched,
 				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
 				Parallelism: w,
-			}, msg, radio.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
+			}, msg, radio, core.GenieVerifier(msg, cfg.MessageBits))
 			if err != nil {
 				return nil, err
 			}

@@ -246,22 +246,24 @@ func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, de
 
 	nseg := params.NumSegments()
 	maxSymbols := cfg.MaxPasses * nseg
-	received := make([]complex128, maxSymbols)
+	// Precompute the whole received stream through the batch path: one
+	// schedule fill, one encoder fill and one block-channel call replace
+	// three per-symbol calls each, with an identical noise stream.
 	positions := make([]core.SymbolPos, maxSymbols)
-	for i := 0; i < maxSymbols; i++ {
-		positions[i] = sched.Pos(i)
-		received[i] = radio.Corrupt(enc.SymbolAt(positions[i]))
+	core.PositionsInto(sched, 0, positions)
+	received := make([]complex128, maxSymbols)
+	if enc.EncodeBatch(received, positions) != nil {
+		return 0, false
 	}
+	radio.CorruptBlock(received, received)
 
 	decodes := func(prefix int) bool {
 		obs, oerr := core.NewObservations(nseg)
 		if oerr != nil {
 			return false
 		}
-		for i := 0; i < prefix; i++ {
-			if obs.Add(positions[i], received[i]) != nil {
-				return false
-			}
+		if obs.AddBatch(positions[:prefix], received[:prefix]) != nil {
+			return false
 		}
 		out, derr := dec.Decode(obs)
 		if derr != nil {
@@ -391,14 +393,14 @@ func IncrementalDecodeComparison(cfg SpinalConfig, snrDB float64) (DecodeCostPoi
 			if err != nil {
 				return nil, err
 			}
-			return core.RunSymbolSession(core.SessionConfig{
+			return core.RunChannelSession(core.SessionConfig{
 				Params:             params,
 				BeamWidth:          cfg.BeamWidth,
 				Schedule:           sched,
 				MaxSymbols:         cfg.MaxPasses * params.NumSegments(),
 				DisableIncremental: disableIncremental,
 				Parallelism:        cfg.Workers,
-			}, msg, radio.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
+			}, msg, radio, core.GenieVerifier(msg, cfg.MessageBits))
 		}
 		inc, err := run(false)
 		if err != nil {
@@ -581,7 +583,7 @@ func SpinalBSCCurve(cfg SpinalConfig, crossovers []float64) ([]BSCPoint, error) 
 				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
 				Parallelism: cfg.Workers,
 			}
-			res, err := core.RunBitSession(sessionCfg, msg, bsc.CorruptBit, core.GenieVerifier(msg, cfg.MessageBits))
+			res, err := core.RunBitChannelSession(sessionCfg, msg, bsc, core.GenieVerifier(msg, cfg.MessageBits))
 			if err != nil {
 				return nil, err
 			}

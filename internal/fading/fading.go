@@ -227,8 +227,24 @@ func (c *Channel) Corrupt(x complex128) complex128 {
 	return x + c.src.ComplexNormal(sigma2)
 }
 
+// CorruptBlock corrupts a block of symbols into dst, advancing the trace per
+// symbol exactly as scalar Corrupt calls would; dst and src have equal length
+// and may alias. It implements the same block contract as the channels in
+// internal/channel.
+func (c *Channel) CorruptBlock(dst, src []complex128) {
+	for i, x := range src {
+		dst[i] = c.Corrupt(x)
+	}
+}
+
 // Position returns how many symbols have passed through the channel.
 func (c *Channel) Position() int { return c.pos }
+
+// Sigma2 returns the complex noise variance the channel will apply to the
+// next symbol — the instantaneous quality the trace currently dictates.
+func (c *Channel) Sigma2() float64 {
+	return math.Pow(10, -c.trace.SNRdB(c.pos)/10)
+}
 
 // Estimator models the SNR measurement a reactive rate-adaptation scheme
 // acts on: the true SNR some delay ago, plus Gaussian measurement error.

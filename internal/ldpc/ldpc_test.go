@@ -241,7 +241,8 @@ func TestDecoderCorrectsNoise(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		rx := ch.CorruptBlock(syms)
+		rx := make([]complex128, len(syms))
+		ch.CorruptBlock(rx, syms)
 		llr := mod.Demodulate(rx, ch.Sigma2())
 		res, err := dec.Decode(llr)
 		if err != nil {
@@ -276,7 +277,8 @@ func TestDecoderFailsFarBelowThreshold(t *testing.T) {
 		}
 		cw, _ := c.Encode(info)
 		syms, _ := mod.Modulate(cw)
-		llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+		ch.CorruptBlock(syms, syms)
+		llr := mod.Demodulate(syms, ch.Sigma2())
 		res, _ := dec.Decode(llr)
 		correct := res.Converged
 		if correct {
@@ -315,7 +317,8 @@ func TestDecoderHigherOrderModulation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+		ch.CorruptBlock(syms, syms)
+		llr := mod.Demodulate(syms, ch.Sigma2())
 		res, _ := dec.Decode(llr)
 		if !res.Converged {
 			t.Fatalf("trial %d: QAM-16 rate-3/4 frame failed at 18 dB", trial)
@@ -355,7 +358,8 @@ func BenchmarkDecodeRate12BPSK(b *testing.B) {
 	info := make([]byte, c.K())
 	cw, _ := c.Encode(info)
 	syms, _ := mod.Modulate(cw)
-	llr := mod.Demodulate(ch.CorruptBlock(syms), ch.Sigma2())
+	ch.CorruptBlock(syms, syms)
+	llr := mod.Demodulate(syms, ch.Sigma2())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dec.Decode(llr); err != nil {

@@ -309,6 +309,14 @@ func TestReceiverValidation(t *testing.T) {
 	if _, err := r.HandleFrame(buf); err == nil {
 		t.Error("frame with foreign seed accepted")
 	}
+	// A hostile StartIndex must be rejected, not wrap negative on 32-bit
+	// platforms and panic in the schedule's batch position fill.
+	hugeStart := &DataFrame{MsgID: 2, MessageBits: 64, K: 8, C: 10, Seed: 0,
+		StartIndex: 1 << 31, Symbols: []complex128{1}}
+	buf, _ = hugeStart.Marshal()
+	if _, err := r.HandleFrame(buf); err == nil {
+		t.Error("out-of-range start index accepted")
+	}
 	if got := r.SymbolsReceived(123); got != 0 {
 		t.Errorf("SymbolsReceived for unknown message = %d", got)
 	}

@@ -2,6 +2,7 @@ package link
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -62,10 +63,12 @@ type Receiver struct {
 	nmsgs int    // total tracked messages across flows (ingest goroutine only)
 	seq   uint64 // data frames processed; drives eviction (ingest goroutine only)
 	shed  uint64 // flows shed by admission control (ingest goroutine only)
-	// scratch is the per-frame symbol batch buffer (ingest goroutine only).
-	scratch []rxSymbol
-	pool    *core.DecoderPool
-	eng     *flowEngine
+	// scratchPos/scratchY are the per-frame symbol batch buffers (ingest
+	// goroutine only): positions and impaired values, index-aligned.
+	scratchPos []core.SymbolPos
+	scratchY   []complex128
+	pool       *core.DecoderPool
+	eng        *flowEngine
 }
 
 // Delivered is one successfully decoded packet.
@@ -79,12 +82,34 @@ type Delivered struct {
 	Symbols int
 }
 
-// rxSymbol is one received (already impaired) symbol waiting to be folded
-// into a message's observations by its decode worker.
-type rxSymbol struct {
-	pos core.SymbolPos
-	y   complex128
+// rxBatch is a batch of received (already impaired) symbols waiting to be
+// folded into a message's observations by its decode worker: positions and
+// values are index-aligned, so a whole batch lands in the observation
+// container through one AddBatch call.
+type rxBatch struct {
+	pos []core.SymbolPos
+	y   []complex128
 }
+
+// append adds one symbol to the batch.
+func (b *rxBatch) append(pos core.SymbolPos, y complex128) {
+	b.pos = append(b.pos, pos)
+	b.y = append(b.y, y)
+}
+
+// extend appends the positions and values of another batch.
+func (b *rxBatch) extend(pos []core.SymbolPos, y []complex128) {
+	b.pos = append(b.pos, pos...)
+	b.y = append(b.y, y...)
+}
+
+// reset empties the batch, keeping its allocations.
+func (b *rxBatch) reset() {
+	b.pos = b.pos[:0]
+	b.y = b.y[:0]
+}
+
+func (b *rxBatch) len() int { return len(b.pos) }
 
 // flowState groups the tracked messages of one flow. It is touched only by
 // the ingest goroutine.
@@ -116,11 +141,11 @@ type msgState struct {
 	mu      sync.Mutex // guards the fields below (ingest <-> worker)
 	lease   *core.LeasedDecoder
 	addr    net.Addr // reply address for this flow's acks (nil on plain transports)
-	pending []rxSymbol
+	pending rxBatch
 	// draining is the worker-owned half of a double buffer: attempt swaps it
 	// with pending under mu, then folds it into obs without holding the
 	// lock, so ingest never blocks behind a long decode of the same message.
-	draining []rxSymbol
+	draining rxBatch
 	queued   bool
 	// attempting marks a decode in flight; while set, the lease must not be
 	// reclaimed by eviction (the attempt returns it when it sees evicted).
@@ -304,25 +329,44 @@ func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) 
 	}
 	st.mu.Unlock()
 
-	// Validate and impair the whole frame into a scratch batch first, so the
-	// per-message mutex is taken once per frame rather than once per symbol.
+	// Validate and impair the whole frame into the scratch batch first, so
+	// the per-message mutex is taken once per frame rather than once per
+	// symbol. Positions come from the schedule's batch fill, the impairment
+	// runs over the whole frame in one block call when the model supports
+	// it, and the pending buffer receives the frame through one append.
 	nseg := st.params.NumSegments()
-	r.scratch = r.scratch[:0]
-	for i, sym := range data.Symbols {
-		idx := int(data.StartIndex) + i
-		pos := st.sched.Pos(idx)
+	n := len(data.Symbols)
+	// Bound the stream indices before the batch position fill: on 32-bit
+	// platforms a hostile StartIndex would otherwise wrap negative and panic
+	// in the schedule instead of dropping the frame.
+	if int64(data.StartIndex)+int64(n) > math.MaxInt32 {
+		return nil, false, fmt.Errorf("link: symbol start index %d out of range", data.StartIndex)
+	}
+	if cap(r.scratchPos) < n {
+		r.scratchPos = make([]core.SymbolPos, n)
+		r.scratchY = make([]complex128, n)
+	}
+	poss := r.scratchPos[:n]
+	ys := r.scratchY[:n]
+	core.PositionsInto(st.sched, int(data.StartIndex), poss)
+	for i, pos := range poss {
 		if pos.Spine >= nseg {
-			return nil, false, fmt.Errorf("link: symbol index %d out of range", idx)
+			return nil, false, fmt.Errorf("link: symbol index %d out of range", int(data.StartIndex)+i)
 		}
-		y := sym
-		if r.impairment != nil {
-			y = r.impairment.Corrupt(y)
+	}
+	copy(ys, data.Symbols)
+	if r.impairment != nil {
+		if blk, ok := r.impairment.(channel.BlockChannel); ok {
+			blk.CorruptBlock(ys, ys)
+		} else {
+			for i, y := range ys {
+				ys[i] = r.impairment.Corrupt(y)
+			}
 		}
-		r.scratch = append(r.scratch, rxSymbol{pos: pos, y: y})
 	}
 	st.mu.Lock()
-	st.pending = append(st.pending, r.scratch...)
-	st.symbols += len(r.scratch)
+	st.pending.extend(poss, ys)
+	st.symbols += n
 	st.mu.Unlock()
 	return st, true, nil
 }
@@ -738,17 +782,19 @@ func (e *flowEngine) attempt(st *msgState) (*Delivered, error) {
 		return nil, nil
 	}
 	st.attempting = true
-	st.pending, st.draining = st.draining[:0], st.pending
+	st.draining.reset()
+	st.pending, st.draining = st.draining, st.pending
 	pending := st.draining
 	lease := st.lease
 	st.mu.Unlock()
 
 	var out *core.DecodeResult
 	err := func() error {
-		for _, s := range pending {
-			if err := lease.Obs.Add(s.pos, s.y); err != nil {
-				return err
-			}
+		// The whole drained batch lands in the observations through one
+		// AddBatch: one generation bump and one dirty-level update per
+		// attempt instead of one per symbol.
+		if err := lease.Obs.AddBatch(pending.pos, pending.y); err != nil {
+			return err
 		}
 		// Attempt a decode once enough symbols could possibly carry the
 		// message.

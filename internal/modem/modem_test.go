@@ -140,7 +140,8 @@ func TestDemodulateUnderModerateNoise(t *testing.T) {
 			bits[i] = byte(bsrc.Intn(2))
 		}
 		syms, _ := m.Modulate(bits)
-		rx := ch.CorruptBlock(syms)
+		rx := make([]complex128, len(syms))
+		ch.CorruptBlock(rx, syms)
 		llr := m.Demodulate(rx, ch.Sigma2())
 		errs := 0
 		for i := range bits {

@@ -4,23 +4,37 @@
 // constellation points and whose practical decoder replays the encoder over a
 // pruned tree of message prefixes.
 //
-// The package is a thin, stable facade over the internal implementation. A
-// typical round trip looks like:
+// The package is a thin, stable facade over the internal implementation.
+// The API is batch-first: the rateless loop of the paper is pass-structured
+// (symbols arrive a striped pass at a time, not one at a time), channels are
+// interfaces that corrupt whole blocks and carry their metadata, and the
+// decoder folds in whole batches of observations per attempt. A typical
+// round trip looks like:
 //
 //	code, _ := spinal.NewCode(spinal.Config{MessageBits: 256})
 //	stream, _ := code.EncodeStream(message)
 //	dec, _ := code.NewDecoder()
-//	ch := spinal.AWGNChannel(12 /* dB */, 1 /* seed */)
+//	ch, _ := spinal.NewAWGN(12 /* dB */, 1 /* seed */)
+//	batch := make([]spinal.Symbol, code.NumSegments())
+//	poss := make([]spinal.SymbolPos, len(batch))
+//	tx := make([]complex128, len(batch))
+//	rx := make([]complex128, len(batch))
 //	for !decoded {
-//		sym := stream.Next()
-//		dec.Observe(sym.Pos, ch(sym.Value))
+//		stream.NextBatch(batch) // one striped pass
+//		for i, s := range batch {
+//			poss[i], tx[i] = s.Pos, s.Value
+//		}
+//		ch.CorruptBlock(rx, tx)
+//		dec.ObserveBatch(poss, rx)
 //		decoded = bytesEqual(dec.Decode(), message) // or use a CRC
 //	}
 //
-// For simulations, Code.Transmit runs the whole rateless loop (encode, send
-// through a channel function, decode, stop on a verifier) and reports the
-// achieved rate. The cmd/spinalsim tool and the benchmarks in this module
-// regenerate the paper's Figure 2 and related experiments on top of this API.
+// For simulations, Code.TransmitOver runs the whole rateless loop (encode,
+// send through a Channel, decode, stop on a verifier) and reports the
+// achieved rate; Code.Transmit is its closure-channel adapter kept for v0
+// callers, along with the scalar Next/Observe methods. The cmd/spinalsim
+// tool and the benchmarks in this module regenerate the paper's Figure 2 and
+// related experiments on top of this API.
 package spinal
 
 import (
@@ -52,9 +66,11 @@ type Config struct {
 	// Mapper selects the constellation mapping: "linear" (Eq. 3 of the
 	// paper, default), "uniform", or "gaussian" (truncated Gaussian).
 	Mapper string
-	// Punctured selects the striped transmission schedule that interleaves
-	// spine values within each pass, allowing rates above K bits/symbol at
-	// high SNR. Default true; set Sequential to force the plain schedule.
+	// Sequential disables the default striped (punctured) transmission
+	// schedule — which interleaves spine values within each pass and lets
+	// the code reach rates above K bits/symbol at high SNR — and forces the
+	// plain sequential order instead, where every spine value is sent in
+	// every pass. Default false (striped).
 	Sequential bool
 	// Workers is the number of goroutines the decoder shards each tree
 	// level across. Zero selects runtime.GOMAXPROCS; 1 forces the serial
@@ -146,11 +162,17 @@ type Symbol struct {
 }
 
 // SymbolStream is the rateless encoder output for one message: an unbounded
-// sequence of symbols in transmission order.
+// sequence of symbols in transmission order. NextBatch and EncodePass are
+// the batch entry points the rateless loop is built around; Next and At
+// remain for scalar callers.
 type SymbolStream struct {
 	enc   *core.Encoder
 	sched core.Schedule
 	next  int
+
+	// batch scratch, reused across NextBatch calls
+	posBuf []core.SymbolPos
+	valBuf []complex128
 }
 
 // EncodeStream computes the spine of the message and returns its rateless
@@ -187,7 +209,48 @@ func (s *SymbolStream) At(index int) (Symbol, error) {
 	return Symbol{Pos: pos, Value: s.enc.SymbolAt(pos)}, nil
 }
 
-// Emitted returns how many symbols have been produced by Next so far.
+// NextBatch fills dst with the next len(dst) symbols of the stream and
+// advances it, returning dst. It is the batch counterpart of Next, backed by
+// the encoder's vectorized range fill: one schedule fill and one encoder
+// fill replace four calls per symbol. The symbols produced are identical to
+// len(dst) successive Next calls.
+func (s *SymbolStream) NextBatch(dst []Symbol) []Symbol {
+	if len(dst) == 0 {
+		return dst
+	}
+	if cap(s.posBuf) < len(dst) {
+		s.posBuf = make([]core.SymbolPos, len(dst))
+		s.valBuf = make([]complex128, len(dst))
+	}
+	poss := s.posBuf[:len(dst)]
+	vals := s.valBuf[:len(dst)]
+	core.PositionsInto(s.sched, s.next, poss)
+	if err := s.enc.EncodeBatch(vals, poss); err != nil {
+		// Schedule positions are valid by construction; a failure here is a
+		// bug in the stream, not a caller error.
+		panic(err)
+	}
+	for i := range dst {
+		dst[i] = Symbol{Pos: poss[i], Value: vals[i]}
+	}
+	s.next += len(dst)
+	return dst
+}
+
+// EncodePass returns the next whole pass of the stream — NumSegments
+// symbols, one per spine value, in schedule order. It reuses dst when its
+// capacity allows and allocates otherwise, so a loop can pass the previous
+// result back in.
+func (s *SymbolStream) EncodePass(dst []Symbol) []Symbol {
+	n := s.enc.NumSegments()
+	if cap(dst) < n {
+		dst = make([]Symbol, n)
+	}
+	return s.NextBatch(dst[:n])
+}
+
+// Emitted returns how many symbols have been produced by Next and NextBatch
+// so far.
 func (s *SymbolStream) Emitted() int { return s.next }
 
 // DecoderPool shares decoders across many concurrent messages — the serving
@@ -274,6 +337,16 @@ func (d *Decoder) Observe(pos SymbolPos, received complex128) error {
 	return d.obs.Add(pos, received)
 }
 
+// ObserveBatch records one received value per position — a whole frame or
+// pass at a time. The batch is validated before anything is recorded, and
+// the incremental decoder sees a single dirty-level update for the whole
+// batch instead of one per symbol. ObserveBatch followed by one Decode is
+// bit-identical — same message, same cost, same NodesExpanded — to observing
+// the same symbols one Observe call at a time.
+func (d *Decoder) ObserveBatch(poss []SymbolPos, received []complex128) error {
+	return d.obs.AddBatch(poss, received)
+}
+
 // Observations returns the number of symbols observed so far.
 func (d *Decoder) Observations() int { return d.obs.Count() }
 
@@ -326,66 +399,98 @@ type TransmitResult struct {
 	Rate float64
 }
 
-// Transmit runs the full rateless loop for one message over the given channel
-// function (see AWGNChannel and friends): symbols are generated in schedule
-// order, corrupted, decoded, and the loop stops as soon as verify accepts the
-// decoded message or maxSymbols have been spent. A nil verify uses the genie
-// rule (compare against the transmitted message), which is the paper's
-// simulation methodology.
-func (c *Code) Transmit(message []byte, ch func(complex128) complex128, verify func([]byte) bool, maxSymbols int) (*TransmitResult, error) {
+// sessionConfig assembles the core session configuration shared by all
+// transmit entry points, with a genie verifier filled in when the caller
+// passes none.
+func (c *Code) sessionConfig(message []byte, verify func([]byte) bool, maxSymbols int) (core.SessionConfig, core.Verifier, error) {
 	if verify == nil {
 		verify = core.GenieVerifier(message, c.cfg.MessageBits)
 	}
 	sched, err := c.schedule()
 	if err != nil {
-		return nil, err
+		return core.SessionConfig{}, nil, err
 	}
-	sessionCfg := core.SessionConfig{
+	return core.SessionConfig{
 		Params:      c.params,
 		BeamWidth:   c.cfg.BeamWidth,
 		Schedule:    sched,
 		MaxSymbols:  maxSymbols,
 		Parallelism: c.cfg.Workers,
-	}
-	res, err := core.RunSymbolSession(sessionCfg, message, ch, verify)
-	if err != nil {
-		return nil, err
-	}
-	return &TransmitResult{
-		Decoded:   res.Decoded,
-		Delivered: res.Success,
-		Symbols:   res.ChannelUses,
-		Rate:      res.Rate(c.cfg.MessageBits),
-	}, nil
+	}, core.Verifier(verify), nil
 }
 
-// TransmitBits is the binary-channel counterpart of Transmit: the encoder
-// emits one coded bit per channel use (the paper's BSC variant) and the
-// decoder uses the Hamming metric. The channel function receives and returns
-// bits with values 0 or 1 (see BSCChannel).
-func (c *Code) TransmitBits(message []byte, ch func(byte) byte, verify func([]byte) bool, maxUses int) (*TransmitResult, error) {
-	if verify == nil {
-		verify = core.GenieVerifier(message, c.cfg.MessageBits)
-	}
-	sched, err := c.schedule()
-	if err != nil {
-		return nil, err
-	}
-	sessionCfg := core.SessionConfig{
-		Params:      c.params,
-		BeamWidth:   c.cfg.BeamWidth,
-		Schedule:    sched,
-		MaxSymbols:  maxUses,
-		Parallelism: c.cfg.Workers,
-	}
-	res, err := core.RunBitSession(sessionCfg, message, ch, verify)
-	if err != nil {
-		return nil, err
-	}
+// transmitResult converts a core session transcript to the facade form.
+func (c *Code) transmitResult(res *core.Result) *TransmitResult {
 	return &TransmitResult{
 		Decoded:   res.Decoded,
 		Delivered: res.Success,
 		Symbols:   res.ChannelUses,
 		Rate:      res.Rate(c.cfg.MessageBits),
-	}, nil
+	}
+}
+
+// TransmitOver runs the full rateless loop for one message over a Channel:
+// whole passes of symbols are generated in schedule order, corrupted block
+// by block, folded into the decoder in batches, and decoded at the attempt
+// cadence of the receiver policy; the loop stops as soon as verify accepts
+// the decoded message or maxSymbols have been spent. A nil verify uses the
+// genie rule (compare against the transmitted message), which is the paper's
+// simulation methodology; a maxSymbols of zero selects a 400-pass budget.
+func (c *Code) TransmitOver(message []byte, ch Channel, verify func([]byte) bool, maxSymbols int) (*TransmitResult, error) {
+	sessionCfg, v, err := c.sessionConfig(message, verify, maxSymbols)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunChannelSession(sessionCfg, message, ch, v)
+	if err != nil {
+		return nil, err
+	}
+	return c.transmitResult(res), nil
+}
+
+// Transmit is the closure-channel adapter of TransmitOver, kept for v0
+// callers (see AWGNChannel and friends, or CorruptFunc to adapt a Channel).
+// Results are bit-identical to TransmitOver with the channel the closure
+// wraps.
+func (c *Code) Transmit(message []byte, ch func(complex128) complex128, verify func([]byte) bool, maxSymbols int) (*TransmitResult, error) {
+	sessionCfg, v, err := c.sessionConfig(message, verify, maxSymbols)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunSymbolSession(sessionCfg, message, ch, v)
+	if err != nil {
+		return nil, err
+	}
+	return c.transmitResult(res), nil
+}
+
+// TransmitBitsOver is the binary-channel counterpart of TransmitOver: the
+// encoder emits one coded bit per channel use (the paper's BSC variant) and
+// the decoder uses the Hamming metric. The BitChannel must emit hard 0/1
+// decisions (see NewBSC).
+func (c *Code) TransmitBitsOver(message []byte, ch BitChannel, verify func([]byte) bool, maxUses int) (*TransmitResult, error) {
+	sessionCfg, v, err := c.sessionConfig(message, verify, maxUses)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunBitChannelSession(sessionCfg, message, ch, v)
+	if err != nil {
+		return nil, err
+	}
+	return c.transmitResult(res), nil
+}
+
+// TransmitBits is the closure-channel adapter of TransmitBitsOver, kept for
+// v0 callers. The channel function receives and returns bits with values 0
+// or 1 (see BSCChannel).
+func (c *Code) TransmitBits(message []byte, ch func(byte) byte, verify func([]byte) bool, maxUses int) (*TransmitResult, error) {
+	sessionCfg, v, err := c.sessionConfig(message, verify, maxUses)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunBitSession(sessionCfg, message, ch, v)
+	if err != nil {
+		return nil, err
+	}
+	return c.transmitResult(res), nil
 }

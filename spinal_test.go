@@ -81,17 +81,83 @@ func TestEncodeStreamRejectsBadMessage(t *testing.T) {
 func TestStreamAt(t *testing.T) {
 	code, _ := spinal.NewCode(spinal.Config{MessageBits: 24})
 	msg := spinal.RandomMessage(24, 2)
+
+	// At must agree with Next at every index over several passes, and must
+	// not advance the stream.
 	stream, _ := code.EncodeStream(msg)
-	first := stream.Next()
-	again, err := stream.At(0)
+	probe, _ := code.EncodeStream(msg)
+	n := 4 * code.NumSegments()
+	for i := 0; i < n; i++ {
+		got, err := probe.At(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := stream.Next(); got != want {
+			t.Fatalf("At(%d) = %+v disagrees with Next() = %+v", i, got, want)
+		}
+	}
+	if probe.Emitted() != 0 {
+		t.Fatalf("At advanced the stream: Emitted = %d", probe.Emitted())
+	}
+	// Revisiting an already-emitted index (a retransmission) still agrees
+	// with a fresh read of the same index.
+	a, err := stream.At(2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if first != again {
-		t.Fatal("At(0) disagrees with the first Next()")
+	b, err := probe.At(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("At(2) depends on stream progress")
 	}
 	if _, err := stream.At(-1); err == nil {
 		t.Error("negative index accepted")
+	}
+}
+
+func TestNextBatchMatchesNext(t *testing.T) {
+	// NextBatch must be bit-identical to repeated Next, across batch sizes
+	// that straddle pass boundaries, and EncodePass must emit exactly the
+	// next whole pass.
+	code, _ := spinal.NewCode(spinal.Config{MessageBits: 64})
+	msg := spinal.RandomMessage(64, 3)
+	scalar, _ := code.EncodeStream(msg)
+	batched, _ := code.EncodeStream(msg)
+
+	for _, size := range []int{1, 3, code.NumSegments(), 2*code.NumSegments() + 1} {
+		batch := batched.NextBatch(make([]spinal.Symbol, size))
+		if len(batch) != size {
+			t.Fatalf("NextBatch returned %d symbols, want %d", len(batch), size)
+		}
+		for i, got := range batch {
+			if want := scalar.Next(); got != want {
+				t.Fatalf("batch size %d: symbol %d = %+v, want %+v", size, i, got, want)
+			}
+		}
+		if batched.Emitted() != scalar.Emitted() {
+			t.Fatalf("Emitted diverged: %d vs %d", batched.Emitted(), scalar.Emitted())
+		}
+	}
+
+	pass := batched.EncodePass(nil)
+	if len(pass) != code.NumSegments() {
+		t.Fatalf("EncodePass returned %d symbols, want %d", len(pass), code.NumSegments())
+	}
+	for i, got := range pass {
+		if want := scalar.Next(); got != want {
+			t.Fatalf("EncodePass symbol %d = %+v, want %+v", i, got, want)
+		}
+	}
+	// EncodePass reuses a caller-provided buffer with enough capacity.
+	reused := batched.EncodePass(pass)
+	if &reused[0] != &pass[0] {
+		t.Error("EncodePass did not reuse the provided buffer")
+	}
+	// An empty batch is a no-op.
+	if out := batched.NextBatch(nil); len(out) != 0 {
+		t.Fatal("NextBatch(nil) emitted symbols")
 	}
 }
 
@@ -151,6 +217,40 @@ func TestDecoderPoolLeaseRoundTrip(t *testing.T) {
 	msg := spinal.RandomMessage(64, 9)
 	if got := roundTrip(t, code, plain, msg); !code.Equal(got, msg) {
 		t.Fatal("plain decoder broken after no-op Release")
+	}
+}
+
+func TestDecoderReleaseNoOpOnNonPooled(t *testing.T) {
+	// Release on a decoder built by Code.NewDecoder must be a safe no-op —
+	// before use, repeatedly, and interleaved with real work — pinning the
+	// facade contract rather than relying on the internal nil-receiver guard
+	// alone.
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := code.NewDecoder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Release()
+	dec.Release() // idempotent
+	msg := spinal.RandomMessage(64, 10)
+	if got := roundTrip(t, code, dec, msg); !code.Equal(got, msg) {
+		t.Fatal("decoder unusable after no-op Releases")
+	}
+	if dec.NodesExpanded() <= 0 {
+		t.Fatal("NodesExpanded lost after no-op Release")
+	}
+	// Release after use, then reuse via Reset: still fully functional.
+	dec.Release()
+	dec.Reset()
+	if dec.Observations() != 0 {
+		t.Fatal("Reset after Release did not clear observations")
+	}
+	msg2 := spinal.RandomMessage(64, 11)
+	if got := roundTrip(t, code, dec, msg2); !code.Equal(got, msg2) {
+		t.Fatal("decoder broken after Release/Reset cycle")
 	}
 }
 
