@@ -747,7 +747,9 @@ func BenchmarkAdaptationVsRateless(b *testing.B) {
 	var err error
 	scenario := experiments.DefaultAdaptationScenarios()[2:3] // fast fading
 	for i := 0; i < b.N; i++ {
-		pts, err = experiments.AdaptationComparison(scenario, 4000, uint64(i)+1)
+		pts, err = experiments.AdaptationComparison(experiments.AdaptationConfig{
+			Scenarios: scenario, SymbolBudget: 4000, Seed: uint64(i) + 1,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -811,7 +813,9 @@ func BenchmarkFountainOverhead(b *testing.B) {
 	var pts []experiments.OverheadPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = experiments.FountainOverhead(128, 32, 5, []float64{0.3}, uint64(i)+1)
+		pts, err = experiments.FountainOverhead(experiments.FountainConfig{
+			K: 128, BlockSize: 32, Trials: 5, Erasures: []float64{0.3}, Seed: uint64(i) + 1,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,21 +1,24 @@
 // Command spinalsim regenerates the evaluation artifacts of "Rateless Spinal
 // Codes" (HotNets 2011): the Figure 2 rate-versus-SNR curves (spinal code,
 // Shannon and finite-blocklength bounds, fixed-rate LDPC baselines) and the
-// ablation experiments described in DESIGN.md.
+// ablation and scaling experiments that grew around them.
+//
+// Dispatch is registry-driven: every experiment registers a sim.Scenario,
+// and the command only knows how to enumerate and run the registry.
 //
 // Examples:
 //
+//	spinalsim -exp list                  # enumerate every scenario
 //	spinalsim -exp figure2 -snr-step 5 -trials 100
-//	spinalsim -exp ldpc -frames 100
-//	spinalsim -exp bsc
+//	spinalsim -exp bsc -json | jq '.tables[0].rows'
 //	spinalsim -exp beam -snr 10
-//	spinalsim -exp puncture
-//	spinalsim -exp fountain
+//	spinalsim -exp multiflow -csv
 //
-// Pass -csv to emit comma-separated values instead of aligned tables.
+// Pass -csv for comma-separated values or -json for machine-readable output.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -23,8 +26,8 @@ import (
 	"strings"
 	"time"
 
-	"spinal/internal/experiments"
-	"spinal/internal/ldpc"
+	"spinal/internal/experiments" // importing registers every scenario
+	"spinal/internal/sim"
 )
 
 func main() {
@@ -35,36 +38,38 @@ func main() {
 }
 
 type options struct {
-	exp      string
-	snrMin   float64
-	snrMax   float64
-	snrStep  float64
-	snr      float64
-	trials   int
-	frames   int
-	beam     int
-	k        int
-	c        int
-	msgBits  int
-	adcBits  int
-	seed     uint64
-	mapper   string
-	schedule string
-	workers  int
-	csv      bool
+	exp          string
+	snrMin       float64
+	snrMax       float64
+	snrStep      float64
+	snr          float64
+	trials       int
+	frames       int
+	beam         int
+	k            int
+	c            int
+	msgBits      int
+	adcBits      int
+	seed         uint64
+	mapper       string
+	schedule     string
+	workers      int
+	trialWorkers int
+	csv          bool
+	json         bool
 }
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("spinalsim", flag.ContinueOnError)
 	opt := options{}
 	fs.StringVar(&opt.exp, "exp", "figure2",
-		"experiment: figure2|spinal|bounds|ldpc|conv|bsc|beam|puncture|adc|mapper|theorem1|fountain|harq|adapt|fixedrate|parallel|multiflow|batch")
+		"experiment to run, or \"list\" to enumerate the scenario registry")
 	fs.Float64Var(&opt.snrMin, "snr-min", -10, "sweep start (dB)")
 	fs.Float64Var(&opt.snrMax, "snr-max", 40, "sweep end (dB)")
 	fs.Float64Var(&opt.snrStep, "snr-step", 5, "sweep step (dB)")
-	fs.Float64Var(&opt.snr, "snr", 10, "single SNR (dB) for beam/adc experiments")
+	fs.Float64Var(&opt.snr, "snr", 10, "single SNR (dB) for beam/adc/multiflow/batch experiments")
 	fs.IntVar(&opt.trials, "trials", 100, "messages per spinal data point")
-	fs.IntVar(&opt.frames, "frames", 60, "frames per LDPC/convolutional data point")
+	fs.IntVar(&opt.frames, "frames", 60, "frames per LDPC/convolutional/HARQ data point")
 	fs.IntVar(&opt.beam, "beam", 16, "decoder beam width B")
 	fs.IntVar(&opt.k, "k", 8, "bits per spine segment")
 	fs.IntVar(&opt.c, "c", 10, "coded bits per I/Q dimension")
@@ -74,331 +79,137 @@ func run(args []string, out io.Writer) error {
 	fs.StringVar(&opt.mapper, "mapper", "linear", "constellation mapper: linear|uniform|gaussian")
 	fs.StringVar(&opt.schedule, "schedule", "striped", "transmission schedule: striped|sequential")
 	fs.IntVar(&opt.workers, "workers", 0,
-		"decoder worker goroutines per level expansion (0 = automatic: serial per trial in CPU-parallel sweeps, GOMAXPROCS otherwise; results are bit-identical at any setting)")
+		"decoder worker goroutines per level expansion (0 = automatic; results are bit-identical at any setting)")
+	fs.IntVar(&opt.trialWorkers, "trial-workers", 0,
+		"trial-runner worker goroutines (0 = GOMAXPROCS; results are bit-identical at any setting)")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.BoolVar(&opt.json, "json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if opt.csv && opt.json {
+		return fmt.Errorf("-csv and -json are mutually exclusive")
+	}
+
+	if opt.exp == "list" {
+		return emitList(opt, out)
+	}
+	sc, ok := sim.Lookup(opt.exp)
+	if !ok {
+		if suggestions := sim.Suggest(opt.exp); len(suggestions) > 0 {
+			return fmt.Errorf("unknown experiment %q (did you mean %q?); run -exp list",
+				opt.exp, suggestions[0])
+		}
+		return fmt.Errorf("unknown experiment %q; run -exp list", opt.exp)
+	}
+
+	req, err := opt.request()
+	if err != nil && scenarioConsumes(sc, "snr-min") {
+		// Only scenarios that declare the sweep flags reject a bad sweep;
+		// the rest ignore unrelated flag values, per the Scenario.Flags
+		// contract (req.SNRs stays empty, selecting the scenario default).
+		return err
+	}
 	start := time.Now()
-	if err := dispatch(opt, out); err != nil {
+	res, err := sc.Run(req)
+	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\n# completed %s in %v\n", opt.exp, time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start)
+	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	if err := opt.sink().Emit(out, res); err != nil {
+		return err
+	}
+	if !opt.json {
+		fmt.Fprintf(out, "\n# completed %s in %v\n", opt.exp, elapsed.Round(time.Millisecond))
+	}
 	return nil
 }
 
-func (o options) spinalConfig() experiments.SpinalConfig {
-	cfg := experiments.Figure2Config()
-	cfg.Trials = o.trials
-	cfg.BeamWidth = o.beam
-	cfg.K = o.k
-	cfg.C = o.c
-	cfg.MessageBits = o.msgBits
-	cfg.ADCBits = o.adcBits
-	cfg.Mapper = o.mapper
-	cfg.Schedule = o.schedule
-	cfg.Workers = o.workers
-	if o.seed != 0 {
-		cfg.Seed = o.seed
+// scenarioConsumes reports whether the scenario declares the named flag.
+func scenarioConsumes(sc *sim.Scenario, flag string) bool {
+	for _, f := range sc.Flags {
+		if f == flag {
+			return true
+		}
 	}
-	return cfg
+	return false
 }
 
-func (o options) sweep() ([]float64, error) {
-	return experiments.SNRSweep(o.snrMin, o.snrMax, o.snrStep)
+// request resolves the parsed flags into the scenario request. A malformed
+// sweep is returned as an error next to an otherwise-complete request (with
+// no SNRs), so the caller can decide whether the scenario cares.
+func (o options) request() (sim.Request, error) {
+	snrs, err := experiments.SNRSweep(o.snrMin, o.snrMax, o.snrStep)
+	return sim.Request{
+		SNRs:         snrs,
+		SNR:          o.snr,
+		Trials:       o.trials,
+		Frames:       o.frames,
+		Beam:         o.beam,
+		K:            o.k,
+		C:            o.c,
+		MessageBits:  o.msgBits,
+		ADCBits:      o.adcBits,
+		Seed:         o.seed,
+		Mapper:       o.mapper,
+		Schedule:     o.schedule,
+		Workers:      o.workers,
+		TrialWorkers: o.trialWorkers,
+	}, err
 }
 
-func emit(o options, out io.Writer, t *experiments.Table) {
-	if o.csv {
-		fmt.Fprint(out, t.CSV())
-		return
-	}
-	fmt.Fprint(out, t.String())
-}
-
-func dispatch(o options, out io.Writer) error {
-	switch o.exp {
-	case "figure2":
-		return runFigure2(o, out)
-	case "spinal":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		pts, err := experiments.SpinalRateCurve(o.spinalConfig(), snrs)
-		if err != nil {
-			return err
-		}
-		emit(o, out, experiments.FormatRateCurve("spinal", pts))
-		return nil
-	case "bounds":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		pts, err := experiments.Figure2Bounds(snrs)
-		if err != nil {
-			return err
-		}
-		emit(o, out, experiments.FormatBounds(pts))
-		return nil
-	case "ldpc":
-		return runLDPC(o, out)
-	case "conv":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		for _, rate := range []string{"1/2", "2/3", "3/4"} {
-			pts, err := experiments.ConvThroughputCurve(experiments.ConvConfig{
-				Rate: rate, Modulation: "BPSK", Frames: o.frames,
-			}, snrs)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "# convolutional K=7 rate %s over BPSK\n", rate)
-			emit(o, out, experiments.FormatThroughput("conv_"+strings.ReplaceAll(rate, "/", ""), pts))
-			fmt.Fprintln(out)
-		}
-		return nil
-	case "bsc":
-		cfg := o.spinalConfig()
-		if o.k == 8 {
-			cfg.K = 4 // a k=4 code keeps BSC decoding fast; override with -k
-		}
-		pts, err := experiments.SpinalBSCCurve(cfg, []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
-		if err != nil {
-			return err
-		}
-		emit(o, out, experiments.FormatBSC(pts))
-		return nil
-	case "beam":
-		pts, err := experiments.BeamWidthSweep(o.spinalConfig(), o.snr, []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "# graceful scale-down at %.1f dB\n", o.snr)
-		emit(o, out, experiments.FormatBeamSweep(pts))
-		return nil
-	case "puncture":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		punct, seq, err := experiments.PuncturingComparison(o.spinalConfig(), snrs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "# punctured (striped) schedule")
-		emit(o, out, experiments.FormatRateCurve("punctured", punct))
-		fmt.Fprintln(out, "\n# sequential schedule")
-		emit(o, out, experiments.FormatRateCurve("sequential", seq))
-		return nil
-	case "adc":
-		pts, err := experiments.QuantizationSweep(o.spinalConfig(), o.snr, []int{4, 6, 8, 10, 12, 14, 16})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "# ADC resolution sweep at %.1f dB\n", o.snr)
-		emit(o, out, experiments.FormatADCSweep(pts))
-		return nil
-	case "mapper":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		curves, err := experiments.MapperComparison(o.spinalConfig(), snrs, []string{"linear", "uniform", "gaussian"})
-		if err != nil {
-			return err
-		}
-		for _, name := range []string{"linear", "uniform", "gaussian"} {
-			fmt.Fprintf(out, "# mapper: %s\n", name)
-			emit(o, out, experiments.FormatRateCurve(name, curves[name]))
-			fmt.Fprintln(out)
-		}
-		return nil
-	case "theorem1":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		pts, err := experiments.Theorem1Gap(o.spinalConfig(), snrs)
-		if err != nil {
-			return err
-		}
-		emit(o, out, experiments.FormatTheorem1(pts))
-		return nil
-	case "fountain":
-		pts, err := experiments.FountainOverhead(256, 64, 20, []float64{0, 0.1, 0.2, 0.3, 0.5}, 1)
-		if err != nil {
-			return err
-		}
-		emit(o, out, experiments.FormatFountain(pts))
-		return nil
-	case "harq":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		for _, mod := range []string{"QAM-4", "QAM-16", "QAM-64"} {
-			pts, err := experiments.HARQThroughputCurve(experiments.HARQConfig{
-				Rate: ldpc.Rate12, Modulation: mod, Frames: o.frames,
-			}, snrs)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "# hybrid ARQ (Chase combining), LDPC rate 1/2, %s\n", mod)
-			emit(o, out, experiments.FormatThroughput("harq_"+mod, pts))
-			fmt.Fprintln(out)
-		}
-		return nil
-	case "adapt":
-		budget := 20000
-		if o.trials < 100 {
-			budget = o.trials * 200 // let -trials scale the run length
-		}
-		pts, err := experiments.AdaptationComparison(experiments.DefaultAdaptationScenarios(), budget, 1)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(out, "# reactive rate adaptation vs rateless spinal over time-varying channels")
-		emit(o, out, experiments.FormatAdaptation(pts))
-		return nil
-	case "parallel":
-		cfg := o.spinalConfig()
-		cfg.Schedule = "sequential" // the natural low-SNR operating point
-		if o.trials > 20 {
-			cfg.Trials = 20 // each trial runs once per worker count
-		}
-		pts, err := experiments.ParallelDecodeComparison(cfg, 0, []int{1, 2, 4, 8})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "# parallel decode scaling at 0 dB (bit-identical decodes, wall-clock only)\n")
-		fmt.Fprintf(out, "# effective config: %d trials, %s schedule, B=%d (this experiment fixes the schedule and bounds trials)\n",
-			cfg.Trials, cfg.Schedule, cfg.BeamWidth)
-		emit(o, out, experiments.FormatParallel(pts))
-		return nil
-	case "multiflow":
-		cfg := o.spinalConfig()
-		if o.k == 8 {
-			// The -k default; many concurrent decodes make k=8 slow, so this
-			// experiment runs k=4 unless -k selects something other than 8
-			// (disclosed in the effective-config line below).
-			cfg.K = 4
-		}
-		snr := o.snr
-		msgs := 4
-		if o.trials < 100 {
-			msgs = o.trials // let -trials scale messages per flow
-			if msgs < 1 {
-				msgs = 1
-			}
-		}
-		pts, err := experiments.MultiFlowComparison(cfg, snr, []int{1, 4, 16, 64}, msgs)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "# flow-multiplexed link engine at %.1f dB: aggregate goodput, per-flow fairness, decoder-pool reuse\n", snr)
-		fmt.Fprintf(out, "# every delivered payload is verified bit-identical to a dedicated single-flow receiver\n")
-		fmt.Fprintf(out, "# effective config: k=%d, %d messages per flow (this experiment defaults k to 4; pass -k to override)\n",
-			cfg.K, msgs)
-		emit(o, out, experiments.FormatMultiFlow(pts))
-		return nil
-	case "batch":
-		cfg := o.spinalConfig()
-		if o.trials > 20 {
-			cfg.Trials = 20 // each trial runs once per mode
-		}
-		var pts []experiments.BatchPoint
-		seen := map[float64]bool{}
-		for _, snr := range []float64{0, o.snr, 25} {
-			if seen[snr] {
-				continue
-			}
-			seen[snr] = true
-			pt, err := experiments.BatchObserveComparison(cfg, snr)
-			if err != nil {
-				return err
-			}
-			pts = append(pts, pt)
-		}
-		fmt.Fprintln(out, "# batched vs per-symbol transmission path (bit-identical decodes, wall-clock only)")
-		fmt.Fprintf(out, "# effective config: %d trials (this experiment bounds trials; pass -trials <= 20 to override)\n",
-			cfg.Trials)
-		emit(o, out, experiments.FormatBatch(pts))
-		return nil
-	case "fixedrate":
-		snrs, err := o.sweep()
-		if err != nil {
-			return err
-		}
-		for _, passes := range []int{2, 4, 8} {
-			pts, err := experiments.FixedRateSpinal(o.spinalConfig(), snrs, passes)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "# fixed-rate spinal code, %d passes (%.2f bits/symbol nominal)\n",
-				passes, float64(o.msgBits)/float64(passes*((o.msgBits+o.k-1)/o.k)))
-			emit(o, out, experiments.FormatFixedRate(pts))
-			fmt.Fprintln(out)
-		}
-		return nil
+// sink selects the output renderer for the parsed flags.
+func (o options) sink() sim.Sink {
+	switch {
+	case o.json:
+		return sim.JSONSink{}
+	case o.csv:
+		return sim.CSVSink{}
 	default:
-		return fmt.Errorf("unknown experiment %q", o.exp)
+		return sim.TextSink{}
 	}
 }
 
-// runLDPC prints the eight LDPC baseline curves of Figure 2.
-func runLDPC(o options, out io.Writer) error {
-	snrs, err := o.sweep()
-	if err != nil {
-		return err
-	}
-	for _, cfg := range experiments.Figure2LDPCConfigs() {
-		cfg.Frames = o.frames
-		pts, err := experiments.LDPCThroughputCurve(cfg, snrs)
-		if err != nil {
-			return err
+// emitList renders the scenario registry: as an aligned table (or CSV) with
+// one row per scenario, or as JSON carrying names, descriptions, consumed
+// flags and point schemas — the machine-readable form CI iterates.
+func emitList(o options, out io.Writer) error {
+	if o.json {
+		type jsonScenario struct {
+			Name        string   `json:"name"`
+			Description string   `json:"description"`
+			Flags       []string `json:"flags"`
+			Columns     []string `json:"columns,omitempty"`
 		}
-		fmt.Fprintf(out, "# %s (648-bit codewords, %d-iteration BP)\n", cfg.Label(), ldpc.DefaultIterations)
-		emit(o, out, experiments.FormatThroughput(strings.ReplaceAll(cfg.Label(), " ", "_"), pts))
-		fmt.Fprintln(out)
-	}
-	return nil
-}
-
-// runFigure2 prints every curve of Figure 2: the bounds, the spinal code and
-// the eight LDPC baselines.
-func runFigure2(o options, out io.Writer) error {
-	snrs, err := o.sweep()
-	if err != nil {
-		return err
-	}
-	bounds, err := experiments.Figure2Bounds(snrs)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintln(out, "# Figure 2 — reference bounds")
-	emit(o, out, experiments.FormatBounds(bounds))
-
-	cfg := o.spinalConfig()
-	spinalPts, err := experiments.SpinalRateCurve(cfg, snrs)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(out, "\n# Figure 2 — spinal code (m=%d, k=%d, c=%d, B=%d, %d-bit ADC)\n",
-		cfg.MessageBits, cfg.K, cfg.C, cfg.BeamWidth, cfg.ADCBits)
-	emit(o, out, experiments.FormatRateCurve("spinal", spinalPts))
-
-	for _, ldpcCfg := range experiments.Figure2LDPCConfigs() {
-		ldpcCfg.Frames = o.frames
-		pts, err := experiments.LDPCThroughputCurve(ldpcCfg, snrs)
-		if err != nil {
-			return err
+		list := struct {
+			Scenarios []jsonScenario `json:"scenarios"`
+		}{}
+		for _, sc := range sim.Scenarios() {
+			cols := make([]string, len(sc.Schema))
+			for i, c := range sc.Schema {
+				cols[i] = c.Name
+			}
+			list.Scenarios = append(list.Scenarios, jsonScenario{
+				Name:        sc.Name,
+				Description: sc.Description,
+				Flags:       sc.Flags,
+				Columns:     cols,
+			})
 		}
-		fmt.Fprintf(out, "\n# Figure 2 — %s (648-bit codewords, %d-iteration BP)\n", ldpcCfg.Label(), ldpc.DefaultIterations)
-		emit(o, out, experiments.FormatThroughput(strings.ReplaceAll(ldpcCfg.Label(), " ", "_"), pts))
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(list)
 	}
-	return nil
+	tab := sim.NewTable("",
+		sim.Col("scenario", "%s"),
+		sim.Col("description", "%s"),
+		sim.Col("flags", "%s"),
+	)
+	for _, sc := range sim.Scenarios() {
+		tab.AddRow(sc.Name, sc.Description, strings.Join(sc.Flags, ","))
+	}
+	res := sim.NewResult("list")
+	res.Add(tab)
+	return o.sink().Emit(out, res)
 }

@@ -335,11 +335,11 @@ func scalarReferenceSession(cfg SessionConfig, message []byte, corrupt func(comp
 	if err != nil {
 		return nil, err
 	}
-	dec, err := newSessionDecoder(cfg)
+	dec, _, release, err := sessionDecoder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer dec.Close()
+	defer release()
 	obs, err := NewObservations(cfg.Params.NumSegments())
 	if err != nil {
 		return nil, err

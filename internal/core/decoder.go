@@ -70,15 +70,24 @@ const unlimited = math.MaxInt32
 // more; NewMLDecoder bypasses it entirely.
 const maxCandCap = 1 << 16
 
-// NewBeamDecoder returns a decoder with the given beam width B (the maximum
-// number of tree nodes retained per level). The cap on retained nodes at
-// unobserved levels defaults to B·2^k, clamped to maxCandCap.
-func NewBeamDecoder(p Params, beamWidth int) (*BeamDecoder, error) {
+// DefaultMaxCandidates returns the unobserved-level retention cap
+// NewBeamDecoder installs for the given parameters and beam width: B·2^k,
+// clamped to an implementation bound. DecoderPool.Release uses it to restore
+// a decoder whose cap was overridden, so pooled decoders always come back
+// configured exactly like freshly constructed ones.
+func DefaultMaxCandidates(p Params, beamWidth int) int {
 	maxCand := beamWidth << uint(p.K)
 	if maxCand > maxCandCap || maxCand <= 0 {
 		maxCand = maxCandCap
 	}
-	return newBeamDecoder(p, beamWidth, maxCand)
+	return maxCand
+}
+
+// NewBeamDecoder returns a decoder with the given beam width B (the maximum
+// number of tree nodes retained per level). The cap on retained nodes at
+// unobserved levels defaults to B·2^k, clamped to maxCandCap.
+func NewBeamDecoder(p Params, beamWidth int) (*BeamDecoder, error) {
+	return newBeamDecoder(p, beamWidth, DefaultMaxCandidates(p, beamWidth))
 }
 
 // NewMLDecoder returns the exact maximum-likelihood decoder: a beam decoder

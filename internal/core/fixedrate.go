@@ -66,13 +66,26 @@ func (f *FixedRateCode) Encode(message []byte) ([]complex128, error) {
 // Decode runs one beam-decode over a received fixed-rate block (same order as
 // Encode) and returns the most likely message.
 func (f *FixedRateCode) Decode(received []complex128) ([]byte, error) {
-	if len(received) != f.BlockSymbols() {
-		return nil, fmt.Errorf("core: fixed-rate block has %d symbols, want %d",
-			len(received), f.BlockSymbols())
+	dec, err := NewBeamDecoder(f.params, f.beam)
+	if err != nil {
+		return nil, err
 	}
+	defer dec.Close()
 	obs, err := NewObservations(f.params.NumSegments())
 	if err != nil {
 		return nil, err
+	}
+	return f.DecodeWith(dec, obs, received)
+}
+
+// DecodeWith is Decode on a caller-supplied decoder/observation pair — e.g.
+// a DecoderPool lease reused across trials — which must be empty (a pooled
+// lease after Reset qualifies). Pooled and fresh pairs decode
+// bit-identically, so the choice only affects allocations.
+func (f *FixedRateCode) DecodeWith(dec *BeamDecoder, obs *Observations, received []complex128) ([]byte, error) {
+	if len(received) != f.BlockSymbols() {
+		return nil, fmt.Errorf("core: fixed-rate block has %d symbols, want %d",
+			len(received), f.BlockSymbols())
 	}
 	nseg := f.params.NumSegments()
 	for i, y := range received {
@@ -81,11 +94,6 @@ func (f *FixedRateCode) Decode(received []complex128) ([]byte, error) {
 			return nil, err
 		}
 	}
-	dec, err := NewBeamDecoder(f.params, f.beam)
-	if err != nil {
-		return nil, err
-	}
-	defer dec.Close()
 	out, err := dec.Decode(obs)
 	if err != nil {
 		return nil, err

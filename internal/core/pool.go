@@ -15,9 +15,10 @@ import (
 // the requested parameters (or builds a fresh one on a miss) and
 // LeasedDecoder.Release puts it back. A released pair is reset before it is
 // cached — Observations.Reset bumps the container's epoch, which forces the
-// decoder's next Decode to rebuild from the root — so a pooled decoder is
-// bit-identical in behaviour to a freshly constructed one; only allocations
-// and goroutine pools are recycled. The total number of idle decoders is
+// decoder's next Decode to rebuild from the root, and any per-lease tuning
+// (incremental mode, the unobserved-level cap) is reverted to construction
+// defaults — so a pooled decoder is bit-identical in behaviour to a freshly
+// constructed one; only allocations and goroutine pools are recycled. The total number of idle decoders is
 // bounded by the pool capacity: releases beyond it close the decoder and
 // drop it instead of caching it.
 //
@@ -69,7 +70,44 @@ type LeasedDecoder struct {
 
 	key    poolKey
 	pool   *DecoderPool
+	bitObs *BitObservations
 	leased bool
+}
+
+// Bits returns the lease's binary observation container, building it on
+// first use, so BSC-side consumers can pool decoders exactly like the
+// AWGN-side ones. Like Obs, it is reset on Release.
+func (l *LeasedDecoder) Bits() (*BitObservations, error) {
+	if l.bitObs == nil {
+		obs, err := NewBitObservations(l.Dec.p.NumSegments())
+		if err != nil {
+			return nil, err
+		}
+		l.bitObs = obs
+	}
+	return l.bitObs, nil
+}
+
+// Reset returns the lease to fresh-decoder behaviour without returning it
+// to the pool: the observation containers are cleared (the epoch bump
+// forces the next Decode to rebuild from the root) and any per-lease
+// decoder tuning — incremental mode, the unobserved-level cap — reverts to
+// construction defaults. A caller holding one lease across many trials (the
+// experiment runner's per-worker reuse) therefore gets bit-identical
+// results to leasing a fresh decoder per trial. Parallelism is left alone —
+// it never changes decode results, and every pooled consumer sets it
+// explicitly.
+func (l *LeasedDecoder) Reset() {
+	l.Obs.Reset()
+	if l.bitObs != nil {
+		l.bitObs.Reset()
+	}
+	l.Dec.SetIncremental(true)
+	def := DefaultMaxCandidates(l.Dec.p, l.Dec.b)
+	if l.Dec.maxCand != def {
+		l.Dec.maxCand = def
+		l.Dec.ws.invalidate()
+	}
 }
 
 // NewDecoderPool returns a pool that caches up to capacity idle decoders
@@ -99,6 +137,16 @@ func keyFor(params Params, beamWidth int) poolKey {
 		mapper:      mapper,
 		beamWidth:   beamWidth,
 	}
+}
+
+// LeaseKey returns a canonical string identifying the decoder-compatibility
+// class of (params, beamWidth) — the exact discrimination the pool's
+// internal key makes. Callers that cache leases themselves (the sim
+// runner's per-worker cache) key on it, so their caches can never conflate
+// decoders the pool distinguishes.
+func LeaseKey(params Params, beamWidth int) string {
+	k := keyFor(params, beamWidth)
+	return fmt.Sprintf("%d/%d/%d/%x/%s/%d", k.k, k.c, k.messageBits, k.seed, k.mapper, k.beamWidth)
 }
 
 // Lease checks a decoder for the given parameters out of the pool, building
@@ -150,14 +198,14 @@ func (l *LeasedDecoder) Release() {
 	if p.idleN >= p.capacity {
 		p.stats.Discards++
 		p.mu.Unlock()
-		l.Obs.Reset()
+		l.Reset()
 		l.Dec.Close()
 		return
 	}
 	p.mu.Unlock()
 	// Reset outside the pool lock: clearing a large observation container is
 	// not free, and the lease is not reachable from the pool yet.
-	l.Obs.Reset()
+	l.Reset()
 	p.mu.Lock()
 	if p.idleN >= p.capacity {
 		p.stats.Discards++

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+
+	"spinal/internal/rng"
+)
+
+// TestLeaseResetReuseAcrossTrials checks the trial-scoped reuse helper: one
+// lease Reset between messages must decode exactly like a fresh decoder and
+// container per message.
+func TestLeaseResetReuseAcrossTrials(t *testing.T) {
+	p := poolTestParams(32)
+	pool := NewDecoderPool(4)
+	lease, err := pool.Lease(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+
+	for trial := 0; trial < 5; trial++ {
+		msg := RandomMessage(rng.New(uint64(trial+1)*977), p.MessageBits)
+
+		fresh, err := NewBeamDecoder(p, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh.SetParallelism(1)
+		freshObs, err := NewObservations(p.NumSegments())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := decodeThrough(t, fresh, freshObs, p, msg, 3)
+		fresh.Close()
+
+		lease.Reset()
+		lease.Dec.SetParallelism(1)
+		got := decodeThrough(t, lease.Dec, lease.Obs, p, msg, 3)
+
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d attempts vs %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].Cost != want[i].Cost ||
+				got[i].NodesExpanded != want[i].NodesExpanded ||
+				got[i].NodesRefreshed != want[i].NodesRefreshed ||
+				!EqualMessages(got[i].Message, want[i].Message, p.MessageBits) {
+				t.Fatalf("trial %d attempt %d: reused lease diverged from fresh decoder: %+v vs %+v",
+					trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLeaseBitsContainer checks the lazily built BSC container: it matches
+// the decoder's segment count, survives Reset, and is reusable.
+func TestLeaseBitsContainer(t *testing.T) {
+	p := poolTestParams(32)
+	pool := NewDecoderPool(2)
+	lease, err := pool.Lease(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lease.Release()
+
+	bits, err := lease.Bits()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bits.NumSegments() != p.NumSegments() {
+		t.Fatalf("bit container sized for %d segments, want %d", bits.NumSegments(), p.NumSegments())
+	}
+	if again, _ := lease.Bits(); again != bits {
+		t.Fatal("Bits rebuilt the container on a second call")
+	}
+	if err := bits.Add(SymbolPos{Spine: 0, Pass: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	epoch := bits.Epoch()
+	lease.Reset()
+	if bits.Count() != 0 || bits.Epoch() == epoch {
+		t.Fatalf("Reset did not clear the bit container (count=%d epoch %d->%d)",
+			bits.Count(), epoch, bits.Epoch())
+	}
+}
+
+// TestReleaseRestoresDecoderDefaults checks that per-lease tuning does not
+// leak through the pool: a lease whose decoder had incremental reuse turned
+// off and the candidate cap overridden must come back configured like a
+// fresh decoder.
+func TestReleaseRestoresDecoderDefaults(t *testing.T) {
+	p := poolTestParams(32)
+	pool := NewDecoderPool(2)
+	lease, err := pool.Lease(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := lease.Dec
+	dec.SetIncremental(false)
+	if err := dec.SetMaxCandidates(DefaultMaxCandidates(p, 8) * 2); err != nil {
+		t.Fatal(err)
+	}
+	lease.Release()
+
+	again, err := pool.Lease(p, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Release()
+	if again.Dec != dec {
+		t.Fatal("expected the cached decoder back")
+	}
+	if !again.Dec.Incremental() {
+		t.Fatal("incremental mode not restored on release")
+	}
+	if got, want := again.Dec.MaxCandidates(), DefaultMaxCandidates(p, 8); got != want {
+		t.Fatalf("max candidates after release = %d, want default %d", got, want)
+	}
+}
+
+// TestSessionPoolEquivalence checks SessionConfig.Pool end to end: pooled
+// AWGN and BSC sessions must produce byte-identical transcripts to unpooled
+// ones, and the pool must actually be used (a second trial hits the cache).
+func TestSessionPoolEquivalence(t *testing.T) {
+	p := poolTestParams(32)
+	pool := NewDecoderPool(2)
+	for trial := 0; trial < 3; trial++ {
+		msg := RandomMessage(rng.New(uint64(trial+1)*131), p.MessageBits)
+		cfg := SessionConfig{Params: p, BeamWidth: 8, MaxSymbols: 60 * p.NumSegments(), Parallelism: 1}
+
+		mk := func() func(complex128) complex128 {
+			ch := rng.New(uint64(trial+1) * 7919)
+			return func(x complex128) complex128 {
+				return x + complex(0.3*ch.NormFloat64(), 0.3*ch.NormFloat64())
+			}
+		}
+		want, err := RunSymbolSession(cfg, msg, mk(), GenieVerifier(msg, p.MessageBits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled := cfg
+		pooled.Pool = pool
+		got, err := RunSymbolSession(pooled, msg, mk(), GenieVerifier(msg, p.MessageBits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Success != want.Success || got.ChannelUses != want.ChannelUses ||
+			got.Attempts != want.Attempts || got.NodesExpanded != want.NodesExpanded ||
+			got.NodesRefreshed != want.NodesRefreshed ||
+			!EqualMessages(got.Decoded, want.Decoded, p.MessageBits) {
+			t.Fatalf("trial %d: pooled session diverged: %+v vs %+v", trial, got, want)
+		}
+
+		mkBits := func() func(byte) byte {
+			ch := rng.New(uint64(trial+1) * 104729)
+			return func(b byte) byte {
+				if ch.Bernoulli(0.03) {
+					return b ^ 1
+				}
+				return b
+			}
+		}
+		bitCfg := cfg
+		bitCfg.MaxSymbols = 200 * p.NumSegments()
+		wantBits, err := RunBitSession(bitCfg, msg, mkBits(), GenieVerifier(msg, p.MessageBits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bitPooled := bitCfg
+		bitPooled.Pool = pool
+		gotBits, err := RunBitSession(bitPooled, msg, mkBits(), GenieVerifier(msg, p.MessageBits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotBits.Success != wantBits.Success || gotBits.ChannelUses != wantBits.ChannelUses ||
+			gotBits.NodesExpanded != wantBits.NodesExpanded ||
+			!EqualMessages(gotBits.Decoded, wantBits.Decoded, p.MessageBits) {
+			t.Fatalf("trial %d: pooled bit session diverged: %+v vs %+v", trial, gotBits, wantBits)
+		}
+	}
+	if s := pool.Stats(); s.Hits == 0 {
+		t.Fatalf("pooled sessions never hit the cache: %+v", s)
+	}
+}

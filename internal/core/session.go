@@ -160,6 +160,12 @@ type SessionConfig struct {
 	// (runtime.GOMAXPROCS); 1 forces the serial path. Results are
 	// bit-identical at any setting.
 	Parallelism int
+	// Pool, when non-nil, supplies the session's decoder and observation
+	// containers as a DecoderPool lease (released when the session returns)
+	// instead of constructing them, so callers running many sessions — the
+	// experiment trial runner in particular — reuse decoder workspaces across
+	// trials. Pooled and freshly built decoders are bit-identical.
+	Pool *DecoderPool
 }
 
 func (c SessionConfig) withDefaults() (SessionConfig, error) {
@@ -305,23 +311,34 @@ func nextAttempt(att AttemptPolicy, sent, minUses, nseg, maxSymbols int) (int, b
 	return maxSymbols, false
 }
 
-// newSessionDecoder builds and configures the decoder of a session.
-func newSessionDecoder(cfg SessionConfig) (*BeamDecoder, error) {
-	dec, err := NewBeamDecoder(cfg.Params, cfg.BeamWidth)
-	if err != nil {
-		return nil, err
+// sessionDecoder acquires and configures the decoder of a session: a lease
+// from cfg.Pool when one is configured (lease is nil otherwise), or a freshly
+// built decoder. The returned release func returns the lease to the pool or
+// closes the private decoder. Every tuning knob is applied explicitly in both
+// paths, so a pooled session behaves exactly like an unpooled one.
+func sessionDecoder(cfg SessionConfig) (dec *BeamDecoder, lease *LeasedDecoder, release func(), err error) {
+	if cfg.Pool != nil {
+		lease, err = cfg.Pool.Lease(cfg.Params, cfg.BeamWidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		dec, release = lease.Dec, lease.Release
+	} else {
+		dec, err = NewBeamDecoder(cfg.Params, cfg.BeamWidth)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		release = dec.Close
 	}
 	if cfg.MaxCandidates > 0 {
 		if err := dec.SetMaxCandidates(cfg.MaxCandidates); err != nil {
-			dec.Close()
-			return nil, err
+			release()
+			return nil, nil, nil, err
 		}
 	}
 	dec.SetIncremental(!cfg.DisableIncremental)
-	if cfg.Parallelism > 0 {
-		dec.SetParallelism(cfg.Parallelism)
-	}
-	return dec, nil
+	dec.SetParallelism(cfg.Parallelism) // <= 0 selects the GOMAXPROCS default
+	return dec, lease, release, nil
 }
 
 // RunChannelSession transmits message over a BlockChannel until verify
@@ -344,13 +361,15 @@ func RunChannelSession(cfg SessionConfig, message []byte, ch BlockChannel, verif
 	if err != nil {
 		return nil, err
 	}
-	dec, err := newSessionDecoder(cfg)
+	dec, lease, release, err := sessionDecoder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer dec.Close()
-	obs, err := NewObservations(cfg.Params.NumSegments())
-	if err != nil {
+	defer release()
+	var obs *Observations
+	if lease != nil {
+		obs = lease.Obs
+	} else if obs, err = NewObservations(cfg.Params.NumSegments()); err != nil {
 		return nil, err
 	}
 
@@ -428,13 +447,17 @@ func RunBitChannelSession(cfg SessionConfig, message []byte, ch BlockBitChannel,
 	if err != nil {
 		return nil, err
 	}
-	dec, err := newSessionDecoder(cfg)
+	dec, lease, release, err := sessionDecoder(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer dec.Close()
-	obs, err := NewBitObservations(cfg.Params.NumSegments())
-	if err != nil {
+	defer release()
+	var obs *BitObservations
+	if lease != nil {
+		if obs, err = lease.Bits(); err != nil {
+			return nil, err
+		}
+	} else if obs, err = NewBitObservations(cfg.Params.NumSegments()); err != nil {
 		return nil, err
 	}
 

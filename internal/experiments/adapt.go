@@ -8,6 +8,7 @@ import (
 	"spinal/internal/core"
 	"spinal/internal/fading"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
 	"spinal/internal/stats"
 )
 
@@ -78,59 +79,70 @@ type AdaptationPoint struct {
 	SymbolBudget       int
 }
 
-// AdaptationComparison runs reactive rate adaptation and the rateless spinal
-// code over each scenario and reports both throughputs.
-func AdaptationComparison(scenarios []AdaptationScenario, symbolBudget int, seed uint64) ([]AdaptationPoint, error) {
-	if symbolBudget < 1000 {
-		symbolBudget = 20000
-	}
-	out := make([]AdaptationPoint, 0, len(scenarios))
-	for i, sc := range scenarios {
-		trace, err := sc.Trace(seed + uint64(i))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
-		}
-		cfg := adapt.Config{
-			Trace:         trace,
-			SymbolBudget:  symbolBudget,
-			EstimateDelay: sc.EstimateDelay,
-			EstimateErrDB: sc.EstimateErrDB,
-			Seed:          seed + uint64(i)*101,
-		}
-		adaptive, rateless, err := adapt.Compare(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
-		}
-		fer := 0.0
-		if adaptive.Frames > 0 {
-			fer = float64(adaptive.FrameErrors) / float64(adaptive.Frames)
-		}
-		out = append(out, AdaptationPoint{
-			Scenario:           sc.Name,
-			AdaptiveThroughput: adaptive.Throughput,
-			AdaptiveFER:        fer,
-			RatelessThroughput: rateless.Throughput,
-			RatelessFailures:   rateless.FrameErrors,
-			SymbolBudget:       symbolBudget,
-		})
-	}
-	return out, nil
+// AdaptationConfig drives the adaptation comparison.
+type AdaptationConfig struct {
+	// Scenarios are the time-varying channels to compare over; nil selects
+	// DefaultAdaptationScenarios.
+	Scenarios []AdaptationScenario
+	// SymbolBudget is the number of channel uses each scheme spends per
+	// scenario; values below 1000 select 20000.
+	SymbolBudget int
+	Seed         uint64
+	// TrialWorkers is the sim.Run worker-pool size scenarios are sharded
+	// across; zero means GOMAXPROCS.
+	TrialWorkers int
 }
 
-// FormatAdaptation renders the adaptation comparison.
-func FormatAdaptation(pts []AdaptationPoint) *Table {
-	t := NewTable("scenario", "adaptive_bits_per_sym", "adaptive_fer", "rateless_bits_per_sym", "rateless_failures", "symbol_budget")
-	for _, p := range pts {
-		t.AddRow(
-			p.Scenario,
-			fmt.Sprintf("%.3f", p.AdaptiveThroughput),
-			fmt.Sprintf("%.3f", p.AdaptiveFER),
-			fmt.Sprintf("%.3f", p.RatelessThroughput),
-			fmt.Sprintf("%d", p.RatelessFailures),
-			fmt.Sprintf("%d", p.SymbolBudget),
-		)
+func (c AdaptationConfig) withDefaults() AdaptationConfig {
+	if c.Scenarios == nil {
+		c.Scenarios = DefaultAdaptationScenarios()
 	}
-	return t
+	if c.SymbolBudget < 1000 {
+		c.SymbolBudget = 20000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// AdaptationComparison runs reactive rate adaptation and the rateless spinal
+// code over each scenario and reports both throughputs. Scenarios are
+// independent simulations seeded by their index, so they shard across the
+// sim runner — the previously serial experiment scales with CPUs.
+func AdaptationComparison(cfg AdaptationConfig) ([]AdaptationPoint, error) {
+	cfg = cfg.withDefaults()
+	return sim.Run(sim.Runner{Workers: cfg.TrialWorkers}, len(cfg.Scenarios),
+		func(w *sim.Worker, i int) (AdaptationPoint, error) {
+			sc := cfg.Scenarios[i]
+			trace, err := sc.Trace(cfg.Seed + uint64(i))
+			if err != nil {
+				return AdaptationPoint{}, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+			}
+			acfg := adapt.Config{
+				Trace:         trace,
+				SymbolBudget:  cfg.SymbolBudget,
+				EstimateDelay: sc.EstimateDelay,
+				EstimateErrDB: sc.EstimateErrDB,
+				Seed:          cfg.Seed + uint64(i)*101,
+			}
+			adaptive, rateless, err := adapt.Compare(acfg)
+			if err != nil {
+				return AdaptationPoint{}, fmt.Errorf("experiments: scenario %q: %w", sc.Name, err)
+			}
+			fer := 0.0
+			if adaptive.Frames > 0 {
+				fer = float64(adaptive.FrameErrors) / float64(adaptive.Frames)
+			}
+			return AdaptationPoint{
+				Scenario:           sc.Name,
+				AdaptiveThroughput: adaptive.Throughput,
+				AdaptiveFER:        fer,
+				RatelessThroughput: rateless.Throughput,
+				RatelessFailures:   rateless.FrameErrors,
+				SymbolBudget:       cfg.SymbolBudget,
+			}, nil
+		})
 }
 
 // FixedRatePoint is one point of the fixed-rate spinal experiment.
@@ -152,7 +164,8 @@ type FixedRatePoint struct {
 // FixedRateSpinal evaluates the fixed-rate instantiation of the spinal code
 // (§3: "It is straightforward to adapt the code to run at various fixed
 // rates") at each SNR, alongside the rateless rate, quantifying what the
-// feedback-free mode gives up.
+// feedback-free mode gives up. Trials shard across the sim runner, with
+// decoders leased from the run's pool (core.FixedRateCode.DecodeWith).
 func FixedRateSpinal(cfg SpinalConfig, snrsDB []float64, passes int) ([]FixedRatePoint, error) {
 	cfg = cfg.withDefaults()
 	if passes < 1 {
@@ -162,35 +175,47 @@ func FixedRateSpinal(cfg SpinalConfig, snrsDB []float64, passes int) ([]FixedRat
 	if err != nil {
 		return nil, err
 	}
-	fixed, err := core.NewFixedRate(params, passes, cfg.BeamWidth)
+	// One immutable codec (three ints of configuration) serves every trial
+	// on every worker; decoders lease from the run's pool per trial.
+	codec, err := core.NewFixedRate(params, passes, cfg.BeamWidth)
 	if err != nil {
 		return nil, err
 	}
+	nominalRate := codec.Rate()
 
 	out := make([]FixedRatePoint, 0, len(snrsDB))
 	for _, snr := range snrsDB {
-		var errCount stats.ErrorCounter
-		for trial := 0; trial < cfg.Trials; trial++ {
+		results, err := sim.Run(cfg.runner(), cfg.Trials, func(w *sim.Worker, trial int) (bool, error) {
+			lease, err := w.Decoder(params, cfg.BeamWidth)
+			if err != nil {
+				return false, err
+			}
+			lease.Dec.SetParallelism(trialParallelism(cfg))
 			msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(trial+1)))
 			msg := core.RandomMessage(msgSrc, cfg.MessageBits)
-			block, err := fixed.Encode(msg)
+			block, err := codec.Encode(msg)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			chSrc := rng.New(cfg.Seed ^ (0xbb67ae8584caa73b * uint64(trial+1)))
 			radio, err := channel.NewQuantizedAWGN(snr, cfg.ADCBits, chSrc)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
 			rx := make([]complex128, len(block))
-			for i, x := range block {
-				rx[i] = radio.Corrupt(x)
-			}
-			got, err := fixed.Decode(rx)
+			radio.CorruptBlock(rx, block)
+			got, err := codec.DecodeWith(lease.Dec, lease.Obs, rx)
 			if err != nil {
-				return nil, err
+				return false, err
 			}
-			errCount.RecordFrameResult(core.EqualMessages(got, msg, cfg.MessageBits), cfg.MessageBits)
+			return core.EqualMessages(got, msg, cfg.MessageBits), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var errCount stats.ErrorCounter
+		for _, ok := range results {
+			errCount.RecordFrameResult(ok, cfg.MessageBits)
 		}
 		ratelessPt, err := SpinalRateAtSNR(cfg, snr)
 		if err != nil {
@@ -199,27 +224,11 @@ func FixedRateSpinal(cfg SpinalConfig, snrsDB []float64, passes int) ([]FixedRat
 		out = append(out, FixedRatePoint{
 			SNRdB:        snr,
 			Passes:       passes,
-			Rate:         fixed.Rate(),
-			Throughput:   fixed.Rate() * (1 - errCount.FER()),
+			Rate:         nominalRate,
+			Throughput:   nominalRate * (1 - errCount.FER()),
 			FER:          errCount.FER(),
 			RatelessRate: ratelessPt.Rate,
 		})
 	}
 	return out, nil
-}
-
-// FormatFixedRate renders the fixed-rate spinal experiment.
-func FormatFixedRate(pts []FixedRatePoint) *Table {
-	t := NewTable("snr_db", "passes", "fixed_rate", "fixed_throughput", "fixed_fer", "rateless_rate")
-	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%d", p.Passes),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Throughput),
-			fmt.Sprintf("%.3f", p.FER),
-			fmt.Sprintf("%.3f", p.RatelessRate),
-		)
-	}
-	return t
 }

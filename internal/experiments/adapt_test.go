@@ -36,7 +36,7 @@ func TestAdaptationComparisonStaticOnly(t *testing.T) {
 		EstimateDelay: 648,
 		EstimateErrDB: 1,
 	}}
-	pts, err := AdaptationComparison(scenarios, 3000, 1)
+	pts, err := AdaptationComparison(AdaptationConfig{Scenarios: scenarios, SymbolBudget: 3000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestAdaptationComparisonPropagatesTraceErrors(t *testing.T) {
 			return fading.NewWalk(10, 5, 1, seed) // invalid range
 		},
 	}}
-	if _, err := AdaptationComparison(scenarios, 2000, 1); err == nil {
+	if _, err := AdaptationComparison(AdaptationConfig{Scenarios: scenarios, SymbolBudget: 2000, Seed: 1}); err == nil {
 		t.Fatal("trace construction error not propagated")
 	}
 }

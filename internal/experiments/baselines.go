@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"spinal/internal/channel"
 	"spinal/internal/conv"
@@ -12,7 +10,24 @@ import (
 	"spinal/internal/ldpc"
 	"spinal/internal/modem"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
+	"spinal/internal/stats"
 )
+
+// The fixed-rate baselines in this file all run their frames as independent
+// trials on the sim runner: each frame derives its payload and channel noise
+// from (seed, SNR, frame index), so results are bit-identical at any worker
+// count and frames parallelize across CPUs.
+
+// snrSeed mixes an SNR point into a seed, one stream per point.
+func snrSeed(seed uint64, snrDB float64) uint64 {
+	return seed ^ uint64(int64(snrDB*1000+1000000))
+}
+
+// frameSeed derives the per-frame stream from the per-point seed.
+func frameSeed(pointSeed uint64, frame int) uint64 {
+	return pointSeed ^ (0x9e3779b97f4a7c15 * uint64(frame+1))
+}
 
 // LDPCConfig describes one fixed-rate LDPC baseline: a 648-bit code at a
 // given rate, sent over a given modulation, decoded with belief propagation.
@@ -22,6 +37,9 @@ type LDPCConfig struct {
 	Frames     int
 	Iterations int
 	Seed       uint64
+	// TrialWorkers is the sim.Run worker-pool size frames are sharded
+	// across; zero means GOMAXPROCS.
+	TrialWorkers int
 }
 
 // Figure2LDPCConfigs returns the eight (rate, modulation) combinations
@@ -51,7 +69,7 @@ func (c LDPCConfig) withDefaults() LDPCConfig {
 	if c.Modulation == "" {
 		c.Modulation = "BPSK"
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = 60
 	}
 	if c.Iterations == 0 {
@@ -80,13 +98,60 @@ type ThroughputPoint struct {
 	PeakRate float64
 	// FER is the frame error rate observed at this SNR.
 	FER float64
+	// Conf95 is the half-width of a 95% confidence interval on the mean
+	// per-frame delivered rate.
+	Conf95 float64
 	// Frames is the number of simulated frames.
 	Frames int
 }
 
+// frameTrial is the per-frame outcome of a fixed-rate baseline: the
+// delivered information bits and channel uses of one frame.
+type frameTrial struct {
+	bits    int
+	symbols int
+	ok      bool
+}
+
+// throughputPoint folds per-frame outcomes, in frame order, into one curve
+// point with aggregate throughput and a CI from the per-frame rate stream.
+func throughputPoint(snrDB, peak float64, frames []frameTrial) ThroughputPoint {
+	if len(frames) == 0 {
+		return ThroughputPoint{SNRdB: snrDB, PeakRate: peak}
+	}
+	var rates stats.Running
+	bits, symbols, frameErrors := 0, 0, 0
+	for _, f := range frames {
+		bits += f.bits
+		symbols += f.symbols
+		if !f.ok {
+			frameErrors++
+		}
+		rate := 0.0
+		if f.ok && f.symbols > 0 {
+			rate = float64(f.bits) / float64(f.symbols)
+		}
+		rates.Add(rate)
+	}
+	throughput := 0.0
+	if symbols > 0 {
+		throughput = float64(bits) / float64(symbols)
+	}
+	return ThroughputPoint{
+		SNRdB:      snrDB,
+		Throughput: throughput,
+		PeakRate:   peak,
+		FER:        float64(frameErrors) / float64(len(frames)),
+		Conf95:     rates.Conf95(),
+		Frames:     len(frames),
+	}
+}
+
 // LDPCThroughputCurve simulates a fixed-rate LDPC + modulation combination
 // across the SNR sweep and reports its delivered throughput, reproducing one
-// LDPC curve of Figure 2.
+// LDPC curve of Figure 2. Frames are sharded over the sim runner; each
+// worker stashes one belief-propagation decoder and reuses it across its
+// frames.
 func LDPCThroughputCurve(cfg LDPCConfig, snrsDB []float64) ([]ThroughputPoint, error) {
 	cfg = cfg.withDefaults()
 	code, err := ldpc.NewWiFiLike(cfg.Rate)
@@ -102,101 +167,65 @@ func LDPCThroughputCurve(cfg LDPCConfig, snrsDB []float64) ([]ThroughputPoint, e
 			code.N(), mod.BitsPerSymbol())
 	}
 
-	points := make([]ThroughputPoint, len(snrsDB))
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > len(snrsDB) {
-		workers = len(snrsDB)
-	}
-	idxCh := make(chan int)
-	errMu := sync.Mutex{}
-	var firstErr error
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			dec, derr := ldpc.NewDecoder(code, cfg.Iterations)
-			if derr != nil {
-				errMu.Lock()
-				if firstErr == nil {
-					firstErr = derr
-				}
-				errMu.Unlock()
-				return
+	runner := sim.Runner{Workers: cfg.TrialWorkers}
+	points := make([]ThroughputPoint, 0, len(snrsDB))
+	symbolsPerFrame := code.N() / mod.BitsPerSymbol()
+	peak := code.RateValue() * float64(mod.BitsPerSymbol())
+	for _, snrDB := range snrsDB {
+		pointSeed := snrSeed(cfg.Seed, snrDB)
+		frames, err := sim.Run(runner, cfg.Frames, func(w *sim.Worker, frame int) (frameTrial, error) {
+			decAny, err := w.Stash("ldpc-decoder", func() (any, error) {
+				return ldpc.NewDecoder(code, cfg.Iterations)
+			})
+			if err != nil {
+				return frameTrial{}, err
 			}
-			for i := range idxCh {
-				pt, perr := ldpcPoint(cfg, code, dec, mod, snrsDB[i])
-				if perr != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = perr
+			dec := decAny.(*ldpc.Decoder)
+
+			src := rng.New(frameSeed(pointSeed, frame))
+			ch, err := channel.NewAWGNdB(snrDB, src)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			info := make([]byte, code.K())
+			for i := range info {
+				info[i] = byte(src.Intn(2))
+			}
+			cw, err := code.Encode(info)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			syms, err := mod.Modulate(cw)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			ch.CorruptBlock(syms, syms)
+			llr := mod.Demodulate(syms, ch.Sigma2())
+			res, err := dec.Decode(llr)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			ok := res.Converged
+			if ok {
+				for i := range info {
+					if res.Info[i] != info[i] {
+						ok = false
+						break
 					}
-					errMu.Unlock()
-					continue
 				}
-				points[i] = pt
 			}
-		}()
-	}
-	for i := range snrsDB {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+			bits := 0
+			if ok {
+				bits = code.K()
+			}
+			return frameTrial{bits: bits, symbols: symbolsPerFrame, ok: ok}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, throughputPoint(snrDB, peak, frames))
 	}
 	return points, nil
-}
-
-func ldpcPoint(cfg LDPCConfig, code *ldpc.Code, dec *ldpc.Decoder, mod modem.Modulation, snrDB float64) (ThroughputPoint, error) {
-	src := rng.New(cfg.Seed ^ uint64(int64(snrDB*1000+1000000)))
-	ch, err := channel.NewAWGNdB(snrDB, src)
-	if err != nil {
-		return ThroughputPoint{}, err
-	}
-	frameErrors := 0
-	for frame := 0; frame < cfg.Frames; frame++ {
-		info := make([]byte, code.K())
-		for i := range info {
-			info[i] = byte(src.Intn(2))
-		}
-		cw, err := code.Encode(info)
-		if err != nil {
-			return ThroughputPoint{}, err
-		}
-		syms, err := mod.Modulate(cw)
-		if err != nil {
-			return ThroughputPoint{}, err
-		}
-		ch.CorruptBlock(syms, syms)
-		llr := mod.Demodulate(syms, ch.Sigma2())
-		res, err := dec.Decode(llr)
-		if err != nil {
-			return ThroughputPoint{}, err
-		}
-		ok := res.Converged
-		if ok {
-			for i := range info {
-				if res.Info[i] != info[i] {
-					ok = false
-					break
-				}
-			}
-		}
-		if !ok {
-			frameErrors++
-		}
-	}
-	fer := float64(frameErrors) / float64(cfg.Frames)
-	peak := code.RateValue() * float64(mod.BitsPerSymbol())
-	return ThroughputPoint{
-		SNRdB:      snrDB,
-		Throughput: peak * (1 - fer),
-		PeakRate:   peak,
-		FER:        fer,
-		Frames:     cfg.Frames,
-	}, nil
 }
 
 // ConvConfig describes a convolutional-code baseline.
@@ -206,6 +235,8 @@ type ConvConfig struct {
 	FrameBits  int
 	Frames     int
 	Seed       uint64
+	// TrialWorkers is the sim.Run worker-pool size; zero means GOMAXPROCS.
+	TrialWorkers int
 }
 
 func (c ConvConfig) withDefaults() ConvConfig {
@@ -218,7 +249,7 @@ func (c ConvConfig) withDefaults() ConvConfig {
 	if c.FrameBits == 0 {
 		c.FrameBits = 288
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = 60
 	}
 	if c.Seed == 0 {
@@ -228,7 +259,8 @@ func (c ConvConfig) withDefaults() ConvConfig {
 }
 
 // ConvThroughputCurve simulates a punctured convolutional code with Viterbi
-// decoding across the SNR sweep, as an additional rated baseline.
+// decoding across the SNR sweep, as an additional rated baseline. Frames are
+// sharded over the sim runner with per-frame seeding.
 func ConvThroughputCurve(cfg ConvConfig, snrsDB []float64) ([]ThroughputPoint, error) {
 	cfg = cfg.withDefaults()
 	code, err := conv.NewPunctured(cfg.Rate)
@@ -239,56 +271,76 @@ func ConvThroughputCurve(cfg ConvConfig, snrsDB []float64) ([]ThroughputPoint, e
 	if err != nil {
 		return nil, err
 	}
+	// Frame geometry is fixed by the configuration, not the noise: one
+	// encode determines the padded symbol count every frame shares.
+	probe, err := code.Encode(make([]byte, cfg.FrameBits))
+	if err != nil {
+		return nil, err
+	}
+	codedPerFrame := len(probe)
+	for codedPerFrame%mod.BitsPerSymbol() != 0 {
+		codedPerFrame++
+	}
+	symbolsPerFrame := codedPerFrame / mod.BitsPerSymbol()
+	peak := float64(cfg.FrameBits) / float64(symbolsPerFrame)
+
+	runner := sim.Runner{Workers: cfg.TrialWorkers}
 	points := make([]ThroughputPoint, 0, len(snrsDB))
-	for _, snr := range snrsDB {
-		src := rng.New(cfg.Seed ^ uint64(int64(snr*1000+1000000)))
-		ch, err := channel.NewAWGNdB(snr, src)
-		if err != nil {
-			return nil, err
-		}
-		frameErrors := 0
-		var codedPerFrame int
-		for frame := 0; frame < cfg.Frames; frame++ {
+	for _, snrDB := range snrsDB {
+		pointSeed := snrSeed(cfg.Seed, snrDB)
+		frames, err := sim.Run(runner, cfg.Frames, func(w *sim.Worker, frame int) (frameTrial, error) {
+			codecAny, err := w.Stash("conv-code", func() (any, error) {
+				return conv.NewPunctured(cfg.Rate)
+			})
+			if err != nil {
+				return frameTrial{}, err
+			}
+			codec := codecAny.(*conv.Code)
+
+			src := rng.New(frameSeed(pointSeed, frame))
+			ch, err := channel.NewAWGNdB(snrDB, src)
+			if err != nil {
+				return frameTrial{}, err
+			}
 			info := make([]byte, cfg.FrameBits)
 			for i := range info {
 				info[i] = byte(src.Intn(2))
 			}
-			coded, err := code.Encode(info)
+			coded, err := codec.Encode(info)
 			if err != nil {
-				return nil, err
+				return frameTrial{}, err
 			}
 			// Pad the coded stream to a whole number of symbols.
 			for len(coded)%mod.BitsPerSymbol() != 0 {
 				coded = append(coded, 0)
 			}
-			codedPerFrame = len(coded)
 			syms, err := mod.Modulate(coded)
 			if err != nil {
-				return nil, err
+				return frameTrial{}, err
 			}
 			ch.CorruptBlock(syms, syms)
 			llr := mod.Demodulate(syms, ch.Sigma2())
-			decoded, err := code.Decode(llr[:code.CodedLength(cfg.FrameBits)], cfg.FrameBits)
+			decoded, err := codec.Decode(llr[:codec.CodedLength(cfg.FrameBits)], cfg.FrameBits)
 			if err != nil {
-				return nil, err
+				return frameTrial{}, err
 			}
+			ok := true
 			for i := range info {
 				if decoded[i] != info[i] {
-					frameErrors++
+					ok = false
 					break
 				}
 			}
-		}
-		fer := float64(frameErrors) / float64(cfg.Frames)
-		symbolsPerFrame := float64(codedPerFrame) / float64(mod.BitsPerSymbol())
-		peak := float64(cfg.FrameBits) / symbolsPerFrame
-		points = append(points, ThroughputPoint{
-			SNRdB:      snr,
-			Throughput: peak * (1 - fer),
-			PeakRate:   peak,
-			FER:        fer,
-			Frames:     cfg.Frames,
+			bits := 0
+			if ok {
+				bits = cfg.FrameBits
+			}
+			return frameTrial{bits: bits, symbols: symbolsPerFrame, ok: ok}, nil
 		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, throughputPoint(snrDB, peak, frames))
 	}
 	return points, nil
 }
@@ -300,6 +352,8 @@ type HARQConfig struct {
 	MaxRounds  int
 	Frames     int
 	Seed       uint64
+	// TrialWorkers is the sim.Run worker-pool size; zero means GOMAXPROCS.
+	TrialWorkers int
 }
 
 func (c HARQConfig) withDefaults() HARQConfig {
@@ -309,7 +363,7 @@ func (c HARQConfig) withDefaults() HARQConfig {
 	if c.MaxRounds == 0 {
 		c.MaxRounds = 8
 	}
-	if c.Frames == 0 {
+	if c.Frames <= 0 {
 		c.Frames = 40
 	}
 	if c.Seed == 0 {
@@ -321,48 +375,49 @@ func (c HARQConfig) withDefaults() HARQConfig {
 // HARQThroughputCurve measures the throughput of LDPC hybrid ARQ with Chase
 // combining across the SNR sweep: a conventional way to obtain rateless
 // behaviour from a fixed code, with whole-codeword granularity. Compare with
-// the spinal curve, whose granularity is a single symbol.
+// the spinal curve, whose granularity is a single symbol. Frames are sharded
+// over the sim runner; each worker stashes one HARQ scheme instance.
 func HARQThroughputCurve(cfg HARQConfig, snrsDB []float64) ([]ThroughputPoint, error) {
 	cfg = cfg.withDefaults()
-	scheme, err := harq.New(harq.Config{
-		Rate:       cfg.Rate,
-		Modulation: cfg.Modulation,
-		MaxRounds:  cfg.MaxRounds,
-	})
+	// Validate the configuration once, up front, rather than inside trials.
+	probe, err := harq.New(harq.Config{Rate: cfg.Rate, Modulation: cfg.Modulation, MaxRounds: cfg.MaxRounds})
 	if err != nil {
 		return nil, err
 	}
+	peak := float64(probe.InfoBits()) / float64(probe.SymbolsPerRound())
+
+	runner := sim.Runner{Workers: cfg.TrialWorkers}
 	points := make([]ThroughputPoint, 0, len(snrsDB))
-	for _, snr := range snrsDB {
-		src := rng.New(cfg.Seed ^ uint64(int64(snr*1000+1000000)))
-		ch, err := channel.NewAWGNdB(snr, src)
+	for _, snrDB := range snrsDB {
+		pointSeed := snrSeed(cfg.Seed, snrDB)
+		frames, err := sim.Run(runner, cfg.Frames, func(w *sim.Worker, frame int) (frameTrial, error) {
+			schemeAny, err := w.Stash("harq-scheme", func() (any, error) {
+				return harq.New(harq.Config{Rate: cfg.Rate, Modulation: cfg.Modulation, MaxRounds: cfg.MaxRounds})
+			})
+			if err != nil {
+				return frameTrial{}, err
+			}
+			scheme := schemeAny.(*harq.Scheme)
+
+			src := rng.New(frameSeed(pointSeed, frame))
+			ch, err := channel.NewAWGNdB(snrDB, src)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			res, err := scheme.RunFrame(ch.Corrupt, ch.Sigma2(), src)
+			if err != nil {
+				return frameTrial{}, err
+			}
+			bits := 0
+			if res.Delivered {
+				bits = scheme.InfoBits()
+			}
+			return frameTrial{bits: bits, symbols: res.Symbols, ok: res.Delivered}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		var bits, symbols, failures int
-		for frame := 0; frame < cfg.Frames; frame++ {
-			res, err := scheme.RunFrame(ch.Corrupt, ch.Sigma2(), src)
-			if err != nil {
-				return nil, err
-			}
-			symbols += res.Symbols
-			if res.Delivered {
-				bits += scheme.InfoBits()
-			} else {
-				failures++
-			}
-		}
-		throughput := 0.0
-		if symbols > 0 {
-			throughput = float64(bits) / float64(symbols)
-		}
-		points = append(points, ThroughputPoint{
-			SNRdB:      snr,
-			Throughput: throughput,
-			PeakRate:   float64(scheme.InfoBits()) / float64(scheme.SymbolsPerRound()),
-			FER:        float64(failures) / float64(cfg.Frames),
-			Frames:     cfg.Frames,
-		})
+		points = append(points, throughputPoint(snrDB, peak, frames))
 	}
 	return points, nil
 }
@@ -379,54 +434,104 @@ type OverheadPoint struct {
 	Trials       int
 }
 
+// FountainConfig describes the LT-code overhead experiment: k source blocks
+// of BlockSize bytes streamed over binary erasure channels with the given
+// erasure probabilities.
+type FountainConfig struct {
+	// K is the number of source blocks per generation.
+	K int
+	// BlockSize is the payload bytes per block.
+	BlockSize int
+	// Trials is the number of generations simulated per erasure point.
+	Trials int
+	// Erasures lists the BEC erasure probabilities to sweep.
+	Erasures []float64
+	Seed     uint64
+	// TrialWorkers is the sim.Run worker-pool size; zero means GOMAXPROCS.
+	TrialWorkers int
+}
+
+func (c FountainConfig) withDefaults() FountainConfig {
+	if c.K == 0 {
+		c.K = 256
+	}
+	if c.BlockSize == 0 {
+		c.BlockSize = 64
+	}
+	if c.Trials == 0 {
+		c.Trials = 20
+	}
+	if len(c.Erasures) == 0 {
+		c.Erasures = []float64{0, 0.1, 0.2, 0.3, 0.5}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// fountainTrial is the per-generation outcome of the LT experiment.
+type fountainTrial struct {
+	received int
+	sent     int
+}
+
 // FountainOverhead measures the reception overhead of the LT baseline over a
-// BEC with the given erasure probabilities — the related-work comparator of
-// §2 (Raptor/LT codes are the classical rateless solution for erasures).
-func FountainOverhead(k, blockSize, trials int, erasures []float64, seed uint64) ([]OverheadPoint, error) {
-	if k < 1 || blockSize < 1 || trials < 1 {
+// BEC with the configured erasure probabilities — the related-work comparator
+// of §2 (Raptor/LT codes are the classical rateless solution for erasures).
+func FountainOverhead(cfg FountainConfig) ([]OverheadPoint, error) {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 || cfg.BlockSize < 1 || cfg.Trials < 1 {
 		return nil, fmt.Errorf("experiments: invalid fountain experiment parameters")
 	}
-	out := make([]OverheadPoint, 0, len(erasures))
-	for _, p := range erasures {
+	runner := sim.Runner{Workers: cfg.TrialWorkers}
+	out := make([]OverheadPoint, 0, len(cfg.Erasures))
+	for _, p := range cfg.Erasures {
 		if p < 0 || p >= 1 {
 			return nil, fmt.Errorf("experiments: erasure probability %v out of range", p)
 		}
-		var totalReceived, totalSent float64
-		for trial := 0; trial < trials; trial++ {
-			src := rng.New(seed ^ uint64(trial+1)*0x9e3779b97f4a7c15)
-			lt, err := fountain.NewLT(k, blockSize, seed+uint64(trial))
+		trials, err := sim.Run(runner, cfg.Trials, func(w *sim.Worker, trial int) (fountainTrial, error) {
+			src := rng.New(cfg.Seed ^ uint64(trial+1)*0x9e3779b97f4a7c15)
+			lt, err := fountain.NewLT(cfg.K, cfg.BlockSize, cfg.Seed+uint64(trial))
 			if err != nil {
-				return nil, err
+				return fountainTrial{}, err
 			}
-			source := make([][]byte, k)
+			source := make([][]byte, cfg.K)
 			for i := range source {
-				source[i] = make([]byte, blockSize)
+				source[i] = make([]byte, cfg.BlockSize)
 				src.Bytes(source[i])
 			}
 			dec := fountain.NewDecoder(lt)
 			sent, received := 0, 0
-			for id := uint32(0); !dec.Done() && sent < 100*k; id++ {
+			for id := uint32(0); !dec.Done() && sent < 100*cfg.K; id++ {
 				sent++
 				if src.Bernoulli(p) {
 					continue // erased
 				}
 				sym, err := lt.EncodeSymbol(id, source)
 				if err != nil {
-					return nil, err
+					return fountainTrial{}, err
 				}
 				if err := dec.AddSymbol(id, sym); err != nil {
-					return nil, err
+					return fountainTrial{}, err
 				}
 				received++
 			}
-			totalReceived += float64(received)
-			totalSent += float64(sent)
+			return fountainTrial{received: received, sent: sent}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var totalReceived, totalSent float64
+		for _, t := range trials {
+			totalReceived += float64(t.received)
+			totalSent += float64(t.sent)
 		}
 		out = append(out, OverheadPoint{
 			ErasureProb:  p,
-			Overhead:     totalReceived / float64(trials) / float64(k),
-			SentPerBlock: totalSent / float64(trials) / float64(k),
-			Trials:       trials,
+			Overhead:     totalReceived / float64(cfg.Trials) / float64(cfg.K),
+			SentPerBlock: totalSent / float64(cfg.Trials) / float64(cfg.K),
+			Trials:       cfg.Trials,
 		})
 	}
 	return out, nil

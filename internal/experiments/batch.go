@@ -7,6 +7,7 @@ import (
 	"spinal/internal/channel"
 	"spinal/internal/core"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
 )
 
 // This file measures the batch-first transmission path against the
@@ -34,6 +35,14 @@ type BatchPoint struct {
 	Trials    int
 }
 
+// batchTrial is the per-trial outcome of the scalar-versus-batch comparison.
+type batchTrial struct {
+	scalarNS  int64
+	batchNS   int64
+	symbols   int64
+	delivered bool
+}
+
 // BatchObserveComparison runs the same rateless transmissions twice — once
 // through the batched RunChannelSession and once through a per-symbol
 // reference reimplementation of the pre-batch loop — and reports the
@@ -41,7 +50,9 @@ type BatchPoint struct {
 // the configured seed, so both modes see byte-identical symbol streams; the
 // function errors if the modes ever disagree on success, channel uses,
 // decoded message, attempt count or node accounting, which doubles as an
-// end-to-end equivalence check of the batch pipeline.
+// end-to-end equivalence check of the batch pipeline. Trials shard across
+// the sim runner (per-trial timings sum, so the total reflects compute cost
+// at any worker count).
 func BatchObserveComparison(cfg SpinalConfig, snrDB float64) (BatchPoint, error) {
 	cfg = cfg.withDefaults()
 	params, err := cfg.params()
@@ -52,50 +63,60 @@ func BatchObserveComparison(cfg SpinalConfig, snrDB float64) (BatchPoint, error)
 	if err != nil {
 		return BatchPoint{}, err
 	}
-	pt := BatchPoint{SNRdB: snrDB, Trials: cfg.Trials}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	results, err := sim.Run(cfg.runner(), cfg.Trials, func(w *sim.Worker, trial int) (batchTrial, error) {
 		msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
 		sessionCfg := core.SessionConfig{
 			Params:      params,
 			BeamWidth:   cfg.BeamWidth,
 			Schedule:    sched,
 			MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
-			Parallelism: cfg.Workers,
+			Parallelism: trialParallelism(cfg),
 		}
 		radio := func() (*channel.QuantizedAWGN, error) {
 			return channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
 		}
 
+		var out batchTrial
 		batchCh, err := radio()
 		if err != nil {
-			return BatchPoint{}, err
+			return out, err
 		}
 		start := time.Now()
 		batch, err := core.RunChannelSession(sessionCfg, msg, batchCh, core.GenieVerifier(msg, cfg.MessageBits))
 		if err != nil {
-			return BatchPoint{}, err
+			return out, err
 		}
-		pt.BatchNS += time.Since(start).Nanoseconds()
+		out.batchNS = time.Since(start).Nanoseconds()
 
 		scalarCh, err := radio()
 		if err != nil {
-			return BatchPoint{}, err
+			return out, err
 		}
 		start = time.Now()
 		scalar, err := perSymbolReferenceSession(sessionCfg, msg, scalarCh.Corrupt, core.GenieVerifier(msg, cfg.MessageBits))
 		if err != nil {
-			return BatchPoint{}, err
+			return out, err
 		}
-		pt.ScalarNS += time.Since(start).Nanoseconds()
+		out.scalarNS = time.Since(start).Nanoseconds()
 
 		if batch.Success != scalar.Success || batch.ChannelUses != scalar.ChannelUses ||
 			batch.Attempts != scalar.Attempts || batch.NodesExpanded != scalar.NodesExpanded ||
 			!core.EqualMessages(batch.Decoded, scalar.Decoded, cfg.MessageBits) {
-			return BatchPoint{}, fmt.Errorf(
-				"experiments: batch and per-symbol transmissions diverged on trial %d", trial)
+			return out, fmt.Errorf("experiments: batch and per-symbol transmissions diverged")
 		}
-		pt.Symbols += int64(batch.ChannelUses)
-		if batch.Success {
+		out.symbols = int64(batch.ChannelUses)
+		out.delivered = batch.Success
+		return out, nil
+	})
+	if err != nil {
+		return BatchPoint{}, err
+	}
+	pt := BatchPoint{SNRdB: snrDB, Trials: cfg.Trials}
+	for _, r := range results {
+		pt.ScalarNS += r.scalarNS
+		pt.BatchNS += r.batchNS
+		pt.Symbols += r.symbols
+		if r.delivered {
 			pt.Delivered++
 		}
 	}
@@ -158,21 +179,4 @@ func perSymbolReferenceSession(cfg core.SessionConfig, message []byte, corrupt f
 	}
 	res.ChannelUses = cfg.MaxSymbols
 	return res, nil
-}
-
-// FormatBatch renders the scalar-versus-batch comparison.
-func FormatBatch(pts []BatchPoint) *Table {
-	t := NewTable("snr_db", "scalar_ms", "batch_ms", "batch_speedup", "symbols", "delivered", "trials")
-	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%.2f", float64(p.ScalarNS)/1e6),
-			fmt.Sprintf("%.2f", float64(p.BatchNS)/1e6),
-			fmt.Sprintf("%.2fx", p.Speedup),
-			fmt.Sprintf("%d", p.Symbols),
-			fmt.Sprintf("%d", p.Delivered),
-			fmt.Sprintf("%d", p.Trials),
-		)
-	}
-	return t
 }

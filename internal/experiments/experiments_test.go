@@ -333,7 +333,8 @@ func TestHARQThroughputCurve(t *testing.T) {
 }
 
 func TestFountainOverhead(t *testing.T) {
-	pts, err := FountainOverhead(40, 16, 5, []float64{0, 0.3}, 3)
+	cfg := FountainConfig{K: 40, BlockSize: 16, Trials: 5, Erasures: []float64{0, 0.3}, Seed: 3}
+	pts, err := FountainOverhead(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,29 +349,24 @@ func TestFountainOverhead(t *testing.T) {
 	if pts[1].SentPerBlock <= pts[0].SentPerBlock {
 		t.Fatalf("transmissions should grow with erasures: %v vs %v", pts[1].SentPerBlock, pts[0].SentPerBlock)
 	}
-	if _, err := FountainOverhead(0, 16, 5, []float64{0}, 3); err == nil {
+	if _, err := FountainOverhead(FountainConfig{K: -1, BlockSize: 16, Trials: 5, Erasures: []float64{0}}); err == nil {
 		t.Error("invalid k accepted")
 	}
-	if _, err := FountainOverhead(10, 16, 5, []float64{1.5}, 3); err == nil {
+	if _, err := FountainOverhead(FountainConfig{K: 10, BlockSize: 16, Trials: 5, Erasures: []float64{1.5}}); err == nil {
 		t.Error("invalid erasure probability accepted")
 	}
 }
 
-func TestTableFormatting(t *testing.T) {
-	tab := NewTable("a", "bee", "c")
-	tab.AddRow("1", "2", "3")
-	tab.AddRow("10", "20")
-	s := tab.String()
-	if !strings.Contains(s, "bee") || !strings.Contains(s, "20") {
-		t.Fatalf("table missing content:\n%s", s)
+// TestFountainConfigDefaults pins the withDefaults contract of the satellite
+// config-struct conversion.
+func TestFountainConfigDefaults(t *testing.T) {
+	d := FountainConfig{}.withDefaults()
+	if d.K != 256 || d.BlockSize != 64 || d.Trials != 20 || d.Seed != 1 || len(d.Erasures) != 5 {
+		t.Fatalf("defaults drifted: %+v", d)
 	}
-	lines := strings.Count(s, "\n")
-	if lines != 4 { // header, separator, two rows
-		t.Fatalf("table has %d lines:\n%s", lines, s)
-	}
-	csv := tab.CSV()
-	if !strings.HasPrefix(csv, "a,bee,c\n") {
-		t.Fatalf("csv header wrong: %q", csv)
+	override := FountainConfig{K: 10, Trials: 3}.withDefaults()
+	if override.K != 10 || override.Trials != 3 || override.BlockSize != 64 {
+		t.Fatalf("overrides not respected: %+v", override)
 	}
 }
 
@@ -383,9 +379,13 @@ func TestResultFormatters(t *testing.T) {
 	if s := FormatBounds(bounds).String(); !strings.Contains(s, "2.800") {
 		t.Error("bounds table missing value")
 	}
-	tp := []ThroughputPoint{{SNRdB: 5, Throughput: 0.5, PeakRate: 0.5, FER: 0, Frames: 10}}
-	if s := FormatThroughput("ldpc", tp).String(); !strings.Contains(s, "0.500") {
+	tp := []ThroughputPoint{{SNRdB: 5, Throughput: 0.5, PeakRate: 0.5, FER: 0, Conf95: 0.01, Frames: 10}}
+	s := FormatThroughput("ldpc", tp).String()
+	if !strings.Contains(s, "0.500") {
 		t.Error("throughput table missing value")
+	}
+	if !strings.Contains(s, "conf95") || !strings.Contains(s, "0.010") {
+		t.Errorf("throughput table missing confidence interval column:\n%s", s)
 	}
 	beams := []BeamPoint{{BeamWidth: 4, RatePoint: rate[0]}}
 	if s := FormatBeamSweep(beams).String(); !strings.Contains(s, "4") {
@@ -406,5 +406,9 @@ func TestResultFormatters(t *testing.T) {
 	lt := []OverheadPoint{{ErasureProb: 0.3, Overhead: 1.2, SentPerBlock: 1.7, Trials: 5}}
 	if s := FormatFountain(lt).String(); !strings.Contains(s, "1.200") {
 		t.Error("fountain table missing value")
+	}
+	inc := []DecodeCostPoint{{SNRdB: 0, IncrementalNodes: 100, FromScratchNodes: 370, NodeSpeedup: 3.7, Delivered: 5, Trials: 5}}
+	if s := FormatIncremental(inc).String(); !strings.Contains(s, "3.70") {
+		t.Error("incremental table missing value")
 	}
 }

@@ -1,196 +1,322 @@
 package experiments
 
 import (
-	"fmt"
-	"strings"
+	"spinal/internal/sim"
 )
 
-// This file renders experiment results as plain-text tables and as
-// comma-separated values, so cmd/spinalsim can print the same rows the
-// paper's figures plot.
+// This file declares the point schemas of every experiment and renders
+// result rows into sim.Tables, so the spinalsim command emits the same
+// structured results — aligned text, RFC 4180 CSV or JSON — for every
+// scenario in the registry. Columns whose values depend on wall-clock time
+// (elapsed, speedups, goodput) are declared volatile so determinism tests
+// compare only reproducible cells.
 
-// Table is a simple column-aligned text table.
-type Table struct {
-	header []string
-	rows   [][]string
-}
-
-// NewTable creates a table with the given column headers.
-func NewTable(header ...string) *Table {
-	return &Table{header: header}
-}
-
-// AddRow appends one row; missing cells render as empty strings.
-func (t *Table) AddRow(cells ...string) {
-	t.rows = append(t.rows, cells)
-}
-
-// String renders the table with aligned columns.
-func (t *Table) String() string {
-	widths := make([]int, len(t.header))
-	for i, h := range t.header {
-		widths[i] = len(h)
+// RateCurveColumns is the point schema of a spinal rate-versus-SNR curve.
+// Every point carries the sample count and a 95% confidence half-width on
+// the per-message rate mean, streamed out of stats.Running.
+func RateCurveColumns(name string) []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col(name+"_rate_bits_per_sym", "%.3f"),
+		sim.Col("capacity", "%.3f"),
+		sim.Col("conf95", "%.3f"),
+		sim.Col("failures", "%d"),
+		sim.Col("trials", "%d"),
 	}
-	for _, row := range t.rows {
-		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
-			}
-		}
-	}
-	var b strings.Builder
-	writeRow := func(cells []string) {
-		for i, w := range widths {
-			c := ""
-			if i < len(cells) {
-				c = cells[i]
-			}
-			fmt.Fprintf(&b, "%-*s", w, c)
-			if i != len(widths)-1 {
-				b.WriteString("  ")
-			}
-		}
-		b.WriteString("\n")
-	}
-	writeRow(t.header)
-	sep := make([]string, len(t.header))
-	for i, w := range widths {
-		sep[i] = strings.Repeat("-", w)
-	}
-	writeRow(sep)
-	for _, row := range t.rows {
-		writeRow(row)
-	}
-	return b.String()
-}
-
-// CSV renders the table as comma-separated values.
-func (t *Table) CSV() string {
-	var b strings.Builder
-	b.WriteString(strings.Join(t.header, ","))
-	b.WriteString("\n")
-	for _, row := range t.rows {
-		b.WriteString(strings.Join(row, ","))
-		b.WriteString("\n")
-	}
-	return b.String()
 }
 
 // FormatRateCurve renders a spinal rate curve next to capacity.
-func FormatRateCurve(name string, pts []RatePoint) *Table {
-	t := NewTable("snr_db", name+"_rate_bits_per_sym", "capacity", "conf95", "failures", "trials")
+func FormatRateCurve(name string, pts []RatePoint) *sim.Table {
+	t := sim.NewTable("", RateCurveColumns(name)...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Capacity),
-			fmt.Sprintf("%.3f", p.Conf95),
-			fmt.Sprintf("%d", p.Failures),
-			fmt.Sprintf("%d", p.Trials),
-		)
+		t.AddRow(p.SNRdB, p.Rate, p.Capacity, p.Conf95, p.Failures, p.Trials)
 	}
 	return t
+}
+
+// BoundsColumns is the point schema of the Figure 2 reference bounds.
+func BoundsColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col("shannon", "%.3f"),
+		sim.Col("finite_block_n24_eps1e-4", "%.3f"),
+		sim.Col("theorem1", "%.3f"),
+	}
 }
 
 // FormatBounds renders the reference bounds of Figure 2.
-func FormatBounds(pts []BoundPoint) *Table {
-	t := NewTable("snr_db", "shannon", "finite_block_n24_eps1e-4", "theorem1")
+func FormatBounds(pts []BoundPoint) *sim.Table {
+	t := sim.NewTable("", BoundsColumns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%.3f", p.Shannon),
-			fmt.Sprintf("%.3f", p.FiniteBlock),
-			fmt.Sprintf("%.3f", p.Theorem1),
-		)
+		t.AddRow(p.SNRdB, p.Shannon, p.FiniteBlock, p.Theorem1)
 	}
 	return t
+}
+
+// ThroughputColumns is the point schema of a fixed-rate baseline curve. The
+// conf95 column is the 95% half-width on the per-frame delivered-rate mean.
+func ThroughputColumns(label string) []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col(label+"_throughput", "%.3f"),
+		sim.Col("peak_rate", "%.3f"),
+		sim.Col("fer", "%.3f"),
+		sim.Col("conf95", "%.3f"),
+		sim.Col("frames", "%d"),
+	}
 }
 
 // FormatThroughput renders a fixed-rate baseline curve.
-func FormatThroughput(label string, pts []ThroughputPoint) *Table {
-	t := NewTable("snr_db", label+"_throughput", "peak_rate", "fer", "frames")
+func FormatThroughput(label string, pts []ThroughputPoint) *sim.Table {
+	t := sim.NewTable("", ThroughputColumns(label)...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%.3f", p.Throughput),
-			fmt.Sprintf("%.3f", p.PeakRate),
-			fmt.Sprintf("%.3f", p.FER),
-			fmt.Sprintf("%d", p.Frames),
-		)
+		t.AddRow(p.SNRdB, p.Throughput, p.PeakRate, p.FER, p.Conf95, p.Frames)
 	}
 	return t
+}
+
+// BeamSweepColumns is the point schema of the beam-width ablation.
+func BeamSweepColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("beam_width", "%d"),
+		sim.Col("rate_bits_per_sym", "%.3f"),
+		sim.Col("capacity", "%.3f"),
+		sim.Col("conf95", "%.3f"),
+		sim.Col("failures", "%d"),
+		sim.Col("trials", "%d"),
+	}
 }
 
 // FormatBeamSweep renders the beam-width ablation.
-func FormatBeamSweep(pts []BeamPoint) *Table {
-	t := NewTable("beam_width", "rate_bits_per_sym", "capacity", "failures", "trials")
+func FormatBeamSweep(pts []BeamPoint) *sim.Table {
+	t := sim.NewTable("", BeamSweepColumns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%d", p.BeamWidth),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Capacity),
-			fmt.Sprintf("%d", p.Failures),
-			fmt.Sprintf("%d", p.Trials),
-		)
+		t.AddRow(p.BeamWidth, p.Rate, p.Capacity, p.Conf95, p.Failures, p.Trials)
 	}
 	return t
+}
+
+// ADCSweepColumns is the point schema of the quantization ablation.
+func ADCSweepColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("adc_bits", "%d"),
+		sim.Col("rate_bits_per_sym", "%.3f"),
+		sim.Col("capacity", "%.3f"),
+		sim.Col("conf95", "%.3f"),
+		sim.Col("trials", "%d"),
+	}
 }
 
 // FormatADCSweep renders the quantization ablation.
-func FormatADCSweep(pts []ADCPoint) *Table {
-	t := NewTable("adc_bits", "rate_bits_per_sym", "capacity", "trials")
+func FormatADCSweep(pts []ADCPoint) *sim.Table {
+	t := sim.NewTable("", ADCSweepColumns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%d", p.Bits),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Capacity),
-			fmt.Sprintf("%d", p.Trials),
-		)
+		t.AddRow(p.Bits, p.Rate, p.Capacity, p.Conf95, p.Trials)
 	}
 	return t
+}
+
+// BSCColumns is the point schema of the Theorem 2 experiment.
+func BSCColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("crossover_p", "%.3f"),
+		sim.Col("rate_bits_per_use", "%.3f"),
+		sim.Col("bsc_capacity", "%.3f"),
+		sim.Col("conf95", "%.3f"),
+		sim.Col("failures", "%d"),
+		sim.Col("trials", "%d"),
+	}
 }
 
 // FormatBSC renders the Theorem 2 experiment.
-func FormatBSC(pts []BSCPoint) *Table {
-	t := NewTable("crossover_p", "rate_bits_per_use", "bsc_capacity", "failures", "trials")
+func FormatBSC(pts []BSCPoint) *sim.Table {
+	t := sim.NewTable("", BSCColumns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.3f", p.P),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Capacity),
-			fmt.Sprintf("%d", p.Failures),
-			fmt.Sprintf("%d", p.Trials),
-		)
+		t.AddRow(p.P, p.Rate, p.Capacity, p.Conf95, p.Failures, p.Trials)
 	}
 	return t
+}
+
+// Theorem1Columns is the point schema of the Theorem 1 gap experiment.
+func Theorem1Columns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col("rate", "%.3f"),
+		sim.Col("theorem1_guarantee", "%.3f"),
+		sim.Col("capacity", "%.3f"),
+		sim.Col("gap_to_capacity", "%.3f"),
+		sim.Col("meets_bound", "%t"),
+	}
 }
 
 // FormatTheorem1 renders the Theorem 1 gap experiment.
-func FormatTheorem1(pts []Theorem1Point) *Table {
-	t := NewTable("snr_db", "rate", "theorem1_guarantee", "capacity", "gap_to_capacity", "meets_bound")
+func FormatTheorem1(pts []Theorem1Point) *sim.Table {
+	t := sim.NewTable("", Theorem1Columns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.1f", p.SNRdB),
-			fmt.Sprintf("%.3f", p.Rate),
-			fmt.Sprintf("%.3f", p.Guarantee),
-			fmt.Sprintf("%.3f", p.Capacity),
-			fmt.Sprintf("%.3f", p.GapToCap),
-			fmt.Sprintf("%t", p.MeetsBound),
-		)
+		t.AddRow(p.SNRdB, p.Rate, p.Guarantee, p.Capacity, p.GapToCap, p.MeetsBound)
 	}
 	return t
 }
 
+// FountainColumns is the point schema of the LT overhead experiment.
+func FountainColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("erasure_p", "%.2f"),
+		sim.Col("received_overhead", "%.3f"),
+		sim.Col("sent_per_block", "%.3f"),
+		sim.Col("trials", "%d"),
+	}
+}
+
 // FormatFountain renders the LT overhead experiment.
-func FormatFountain(pts []OverheadPoint) *Table {
-	t := NewTable("erasure_p", "received_overhead", "sent_per_block", "trials")
+func FormatFountain(pts []OverheadPoint) *sim.Table {
+	t := sim.NewTable("", FountainColumns()...)
 	for _, p := range pts {
-		t.AddRow(
-			fmt.Sprintf("%.2f", p.ErasureProb),
-			fmt.Sprintf("%.3f", p.Overhead),
-			fmt.Sprintf("%.3f", p.SentPerBlock),
-			fmt.Sprintf("%d", p.Trials),
-		)
+		t.AddRow(p.ErasureProb, p.Overhead, p.SentPerBlock, p.Trials)
+	}
+	return t
+}
+
+// IncrementalColumns is the point schema of the incremental-decode cost
+// comparison. Node counts are deterministic decoder work, not wall-clock.
+func IncrementalColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col("incremental_nodes", "%d"),
+		sim.Col("refreshed_nodes", "%d"),
+		sim.Col("scratch_nodes", "%d"),
+		sim.Col("node_speedup", "%.2f"),
+		sim.Col("delivered", "%d"),
+		sim.Col("trials", "%d"),
+	}
+}
+
+// FormatIncremental renders the incremental-decode cost comparison.
+func FormatIncremental(pts []DecodeCostPoint) *sim.Table {
+	t := sim.NewTable("", IncrementalColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.SNRdB, p.IncrementalNodes, p.IncrementalRefreshed,
+			p.FromScratchNodes, p.NodeSpeedup, p.Delivered, p.Trials)
+	}
+	return t
+}
+
+// ParallelColumns is the point schema of the parallel-decode scaling sweep.
+func ParallelColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("workers", "%d"),
+		sim.Col("B", "%d"),
+		sim.VolatileCol("elapsed_ms", "%.1f"),
+		sim.VolatileCol("speedup", "%.2f"),
+		sim.Col("nodes", "%d"),
+		sim.VolatileCol("nodes_per_sec", "%.3g"),
+		sim.Col("delivered", "%d"),
+		sim.Col("trials", "%d"),
+	}
+}
+
+// FormatParallel renders a parallel-decode scaling sweep.
+func FormatParallel(points []ParallelDecodePoint) *sim.Table {
+	t := sim.NewTable("", ParallelColumns()...)
+	for _, p := range points {
+		t.AddRow(p.Workers, p.BeamWidth, float64(p.Elapsed.Microseconds())/1000,
+			p.Speedup, p.NodesExpanded, p.NodesPerSec, p.Delivered, p.Trials)
+	}
+	return t
+}
+
+// MultiFlowColumns is the point schema of the multi-flow scaling sweep.
+// Everything downstream of wall-clock scheduling (timings, goodput, pool
+// traffic, the symbols counted at delivery time) is volatile; the delivered
+// count and the flow/message axes are reproducible.
+func MultiFlowColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("flows", "%d"),
+		sim.Col("msgs", "%d"),
+		sim.Col("delivered", "%d"),
+		sim.VolatileCol("elapsed_ms", "%.1f"),
+		sim.VolatileCol("goodput_bps", "%.3g"),
+		sim.VolatileCol("speedup", "%.2f"),
+		sim.VolatileCol("rate", "%.2f"),
+		sim.VolatileCol("fairness", "%.3f"),
+		sim.VolatileCol("pool_hit", "%d"),
+		sim.VolatileCol("pool_miss", "%d"),
+	}
+}
+
+// FormatMultiFlow renders a multi-flow scaling sweep.
+func FormatMultiFlow(points []MultiFlowPoint) *sim.Table {
+	t := sim.NewTable("", MultiFlowColumns()...)
+	for _, p := range points {
+		t.AddRow(p.Flows, p.Flows*p.MessagesPerFlow, p.Delivered,
+			float64(p.Elapsed.Microseconds())/1000, p.GoodputBitsPerSec,
+			p.Speedup, p.AggregateRate, p.Fairness, p.PoolHits, p.PoolMisses)
+	}
+	return t
+}
+
+// BatchColumns is the point schema of the scalar-versus-batch comparison.
+func BatchColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.VolatileCol("scalar_ms", "%.2f"),
+		sim.VolatileCol("batch_ms", "%.2f"),
+		sim.VolatileCol("batch_speedup", "%.2fx"),
+		sim.Col("symbols", "%d"),
+		sim.Col("delivered", "%d"),
+		sim.Col("trials", "%d"),
+	}
+}
+
+// FormatBatch renders the scalar-versus-batch comparison.
+func FormatBatch(pts []BatchPoint) *sim.Table {
+	t := sim.NewTable("", BatchColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.SNRdB, float64(p.ScalarNS)/1e6, float64(p.BatchNS)/1e6,
+			p.Speedup, p.Symbols, p.Delivered, p.Trials)
+	}
+	return t
+}
+
+// AdaptationColumns is the point schema of the adaptation comparison.
+func AdaptationColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("scenario", "%s"),
+		sim.Col("adaptive_bits_per_sym", "%.3f"),
+		sim.Col("adaptive_fer", "%.3f"),
+		sim.Col("rateless_bits_per_sym", "%.3f"),
+		sim.Col("rateless_failures", "%d"),
+		sim.Col("symbol_budget", "%d"),
+	}
+}
+
+// FormatAdaptation renders the adaptation comparison.
+func FormatAdaptation(pts []AdaptationPoint) *sim.Table {
+	t := sim.NewTable("", AdaptationColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.Scenario, p.AdaptiveThroughput, p.AdaptiveFER,
+			p.RatelessThroughput, p.RatelessFailures, p.SymbolBudget)
+	}
+	return t
+}
+
+// FixedRateColumns is the point schema of the fixed-rate spinal experiment.
+func FixedRateColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col("passes", "%d"),
+		sim.Col("fixed_rate", "%.3f"),
+		sim.Col("fixed_throughput", "%.3f"),
+		sim.Col("fixed_fer", "%.3f"),
+		sim.Col("rateless_rate", "%.3f"),
+	}
+}
+
+// FormatFixedRate renders the fixed-rate spinal experiment.
+func FormatFixedRate(pts []FixedRatePoint) *sim.Table {
+	t := sim.NewTable("", FixedRateColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.SNRdB, p.Passes, p.Rate, p.Throughput, p.FER, p.RatelessRate)
 	}
 	return t
 }

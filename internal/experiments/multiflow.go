@@ -8,6 +8,7 @@ import (
 	"spinal/internal/channel"
 	"spinal/internal/link"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
 )
 
 // MultiFlowPoint summarizes one flow-count operating point of the
@@ -110,16 +111,19 @@ func MultiFlowComparison(cfg SpinalConfig, snrDB float64, flowCounts []int, mess
 		pt := MultiFlowPoint{Flows: flows, MessagesPerFlow: messagesPerFlow, SNRdB: snrDB}
 
 		// Precompute every flow's transmissions so the send loop is pure I/O.
+		// Each (flow, message) encode is an independent trial seeded by its
+		// indices, so the precompute shards across the sim runner.
+		flat, err := sim.Run(cfg.runner(), flows*messagesPerFlow,
+			func(w *sim.Worker, i int) (*mfMessage, error) {
+				f, m := i/messagesPerFlow, i%messagesPerFlow
+				return buildMultiFlowMessage(cfg, snrDB, uint32(f+1), uint32(m+1), payloadLen)
+			})
+		if err != nil {
+			return nil, err
+		}
 		msgs := make([][]*mfMessage, flows)
 		for f := 0; f < flows; f++ {
-			msgs[f] = make([]*mfMessage, messagesPerFlow)
-			for m := 0; m < messagesPerFlow; m++ {
-				mm, err := buildMultiFlowMessage(cfg, snrDB, uint32(f+1), uint32(m+1), payloadLen)
-				if err != nil {
-					return nil, err
-				}
-				msgs[f][m] = mm
-			}
+			msgs[f] = flat[f*messagesPerFlow : (f+1)*messagesPerFlow]
 		}
 
 		far, near, err := link.NewPipePair(0, cfg.Seed^uint64(flows))
@@ -343,24 +347,4 @@ func jainIndex(xs []float64) float64 {
 		return 0
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)
-}
-
-// FormatMultiFlow renders a multi-flow scaling sweep.
-func FormatMultiFlow(points []MultiFlowPoint) *Table {
-	t := NewTable("flows", "msgs", "delivered", "elapsed_ms", "goodput_bps", "speedup", "rate", "fairness", "pool_hit", "pool_miss")
-	for _, p := range points {
-		t.AddRow(
-			fmt.Sprintf("%d", p.Flows),
-			fmt.Sprintf("%d", p.Flows*p.MessagesPerFlow),
-			fmt.Sprintf("%d/%d", p.Delivered, p.Flows*p.MessagesPerFlow),
-			fmt.Sprintf("%.1f", float64(p.Elapsed.Microseconds())/1000),
-			fmt.Sprintf("%.3g", p.GoodputBitsPerSec),
-			fmt.Sprintf("%.2f", p.Speedup),
-			fmt.Sprintf("%.2f", p.AggregateRate),
-			fmt.Sprintf("%.3f", p.Fairness),
-			fmt.Sprintf("%d", p.PoolHits),
-			fmt.Sprintf("%d", p.PoolMisses),
-		)
-	}
-	return t
 }

@@ -7,6 +7,7 @@ import (
 	"spinal/internal/channel"
 	"spinal/internal/core"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
 )
 
 // ParallelDecodePoint summarizes the decoding work of full rateless
@@ -36,6 +37,15 @@ type ParallelDecodePoint struct {
 	Trials    int
 }
 
+// parallelTrial is the per-trial outcome at one decoder worker count.
+type parallelTrial struct {
+	decoded   []byte
+	uses      int
+	nodes     int64
+	refreshed int64
+	success   bool
+}
+
 // ParallelDecodeComparison runs the same low-SNR rateless transmissions once
 // per requested worker count and reports wall-clock scaling. Message and
 // channel randomness derive from the configured seed, so every worker count
@@ -43,6 +53,10 @@ type ParallelDecodePoint struct {
 // counts disagree on a decoded message, on the number of channel uses, or on
 // the expanded-node accounting, which doubles as an end-to-end determinism
 // check of the parallel decode engine.
+//
+// Trials run on the sim runner pinned to a single trial worker: this
+// experiment measures how one decode scales across its decoder shards, so
+// fanning trials out across CPUs would corrupt the wall-clock axis.
 func ParallelDecodeComparison(cfg SpinalConfig, snrDB float64, workers []int) ([]ParallelDecodePoint, error) {
 	cfg = cfg.withDefaults()
 	if len(workers) == 0 {
@@ -57,64 +71,64 @@ func ParallelDecodeComparison(cfg SpinalConfig, snrDB float64, workers []int) ([
 		return nil, err
 	}
 
-	type trialRef struct {
-		decoded   []byte
-		uses      int
-		nodes     int64
-		refreshed int64
-		success   bool
-	}
-	refs := make([]trialRef, cfg.Trials)
-
+	refs := make([]parallelTrial, cfg.Trials)
 	out := make([]ParallelDecodePoint, 0, len(workers))
 	for wi, w := range workers {
 		if w < 1 {
 			return nil, fmt.Errorf("experiments: worker count %d invalid", w)
 		}
 		pt := ParallelDecodePoint{SNRdB: snrDB, Workers: w, BeamWidth: cfg.BeamWidth, Trials: cfg.Trials}
-		var refreshed int64
 		start := time.Now()
-		for trial := 0; trial < cfg.Trials; trial++ {
-			msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
-			radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
-			if err != nil {
-				return nil, err
-			}
-			res, err := core.RunChannelSession(core.SessionConfig{
-				Params:      params,
-				BeamWidth:   cfg.BeamWidth,
-				Schedule:    sched,
-				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
-				Parallelism: w,
-			}, msg, radio, core.GenieVerifier(msg, cfg.MessageBits))
-			if err != nil {
-				return nil, err
-			}
-			if wi == 0 {
-				refs[trial] = trialRef{
+		trials, err := sim.Run(sim.Runner{Workers: 1, Pool: cfg.Pool}, cfg.Trials,
+			func(sw *sim.Worker, trial int) (parallelTrial, error) {
+				msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
+				radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
+				if err != nil {
+					return parallelTrial{}, err
+				}
+				res, err := core.RunChannelSession(core.SessionConfig{
+					Params:      params,
+					BeamWidth:   cfg.BeamWidth,
+					Schedule:    sched,
+					MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
+					Parallelism: w,
+					Pool:        sw.Pool(),
+				}, msg, radio, core.GenieVerifier(msg, cfg.MessageBits))
+				if err != nil {
+					return parallelTrial{}, err
+				}
+				return parallelTrial{
 					decoded:   append([]byte(nil), res.Decoded...),
 					uses:      res.ChannelUses,
 					nodes:     res.NodesExpanded,
 					refreshed: res.NodesRefreshed,
 					success:   res.Success,
-				}
+				}, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		pt.Elapsed = time.Since(start)
+		var refreshed int64
+		for trial, res := range trials {
+			if wi == 0 {
+				refs[trial] = res
 			} else {
 				ref := &refs[trial]
-				if res.Success != ref.success || res.ChannelUses != ref.uses ||
-					res.NodesExpanded != ref.nodes || res.NodesRefreshed != ref.refreshed ||
-					!core.EqualMessages(res.Decoded, ref.decoded, cfg.MessageBits) {
+				if res.success != ref.success || res.uses != ref.uses ||
+					res.nodes != ref.nodes || res.refreshed != ref.refreshed ||
+					!core.EqualMessages(res.decoded, ref.decoded, cfg.MessageBits) {
 					return nil, fmt.Errorf(
 						"experiments: %d-worker decode diverged from %d-worker decode on trial %d",
 						w, workers[0], trial)
 				}
 			}
-			pt.NodesExpanded += res.NodesExpanded
-			refreshed += res.NodesRefreshed
-			if res.Success {
+			pt.NodesExpanded += res.nodes
+			refreshed += res.refreshed
+			if res.success {
 				pt.Delivered++
 			}
 		}
-		pt.Elapsed = time.Since(start)
 		if secs := pt.Elapsed.Seconds(); secs > 0 {
 			pt.NodesPerSec = float64(pt.NodesExpanded+refreshed) / secs
 		}
@@ -126,21 +140,4 @@ func ParallelDecodeComparison(cfg SpinalConfig, snrDB float64, workers []int) ([
 		out = append(out, pt)
 	}
 	return out, nil
-}
-
-// FormatParallel renders a parallel-decode scaling sweep.
-func FormatParallel(points []ParallelDecodePoint) *Table {
-	t := NewTable("workers", "B", "elapsed_ms", "speedup", "nodes", "nodes_per_sec", "delivered")
-	for _, p := range points {
-		t.AddRow(
-			fmt.Sprintf("%d", p.Workers),
-			fmt.Sprintf("%d", p.BeamWidth),
-			fmt.Sprintf("%.1f", float64(p.Elapsed.Microseconds())/1000),
-			fmt.Sprintf("%.2f", p.Speedup),
-			fmt.Sprintf("%d", p.NodesExpanded),
-			fmt.Sprintf("%.3g", p.NodesPerSec),
-			fmt.Sprintf("%d/%d", p.Delivered, p.Trials),
-		)
-	}
-	return t
 }

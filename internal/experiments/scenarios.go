@@ -1,0 +1,499 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"spinal/internal/ldpc"
+	"spinal/internal/sim"
+)
+
+// This file registers every experiment as a sim.Scenario, which is the only
+// dispatch surface the spinalsim command has: `-exp list` enumerates this
+// registry, and adding an experiment to the binary means adding one
+// Register call here. Each Run builds its configuration from the generic
+// sim.Request knobs, runs the experiment (all trial loops shard over
+// sim.Run) and returns a structured sim.Result.
+
+// Flag-name groups shared by the scenario declarations.
+var (
+	codeFlags  = []string{"trials", "beam", "k", "c", "m", "adc", "seed", "mapper", "schedule", "workers", "trial-workers"}
+	sweepFlags = append([]string{"snr-min", "snr-max", "snr-step"}, codeFlags...)
+	pointFlags = append([]string{"snr"}, codeFlags...)
+)
+
+// spinalConfigFrom maps the generic request knobs onto a SpinalConfig,
+// mirroring the historical spinalsim flag handling: zero-valued knobs keep
+// the Figure 2 defaults.
+func spinalConfigFrom(req sim.Request) SpinalConfig {
+	cfg := Figure2Config()
+	if req.Trials > 0 {
+		cfg.Trials = req.Trials
+	}
+	if req.Beam > 0 {
+		cfg.BeamWidth = req.Beam
+	}
+	if req.K > 0 {
+		cfg.K = req.K
+	}
+	if req.C > 0 {
+		cfg.C = req.C
+	}
+	if req.MessageBits > 0 {
+		cfg.MessageBits = req.MessageBits
+	}
+	if req.ADCBits > 0 {
+		cfg.ADCBits = req.ADCBits
+	}
+	if req.Mapper != "" {
+		cfg.Mapper = req.Mapper
+	}
+	if req.Schedule != "" {
+		cfg.Schedule = req.Schedule
+	}
+	if req.Seed != 0 {
+		cfg.Seed = req.Seed
+	}
+	cfg.Workers = req.Workers
+	cfg.TrialWorkers = req.TrialWorkers
+	return cfg
+}
+
+// snrsFrom returns the request's sweep, defaulting to the Figure 2 grid.
+func snrsFrom(req sim.Request) []float64 {
+	if len(req.SNRs) > 0 {
+		return req.SNRs
+	}
+	return sim.DefaultRequest().SNRs
+}
+
+// capTrials bounds a scenario's trial count for experiments that run every
+// trial more than once (scaling comparisons), keeping the default -trials
+// from exploding their runtime.
+func capTrials(trials, cap int) int {
+	if trials < 1 || trials > cap {
+		return cap
+	}
+	return trials
+}
+
+func init() {
+	sim.Register(sim.Scenario{
+		Name:        "figure2",
+		Description: "every curve of Figure 2: reference bounds, the spinal code, eight LDPC baselines",
+		Flags:       append([]string{"frames"}, sweepFlags...),
+		Schema:      RateCurveColumns("spinal"),
+		Run:         runFigure2Scenario,
+	})
+	sim.Register(sim.Scenario{
+		Name:        "spinal",
+		Description: "rate achieved by the practical spinal decoder across the SNR sweep",
+		Flags:       sweepFlags,
+		Schema:      RateCurveColumns("spinal"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			pts, err := SpinalRateCurve(spinalConfigFrom(req), snrsFrom(req))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("spinal")
+			res.Add(FormatRateCurve("spinal", pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "bounds",
+		Description: "Shannon, finite-blocklength and Theorem 1 reference bounds",
+		Flags:       []string{"snr-min", "snr-max", "snr-step"},
+		Schema:      BoundsColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			pts, err := Figure2Bounds(snrsFrom(req))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("bounds")
+			res.Add(FormatBounds(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "ldpc",
+		Description: "the eight fixed-rate LDPC baseline curves of Figure 2",
+		Flags:       []string{"snr-min", "snr-max", "snr-step", "frames", "trial-workers"},
+		Schema:      ThroughputColumns("ldpc"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			res := sim.NewResult("ldpc")
+			for _, cfg := range Figure2LDPCConfigs() {
+				if req.Frames > 0 {
+					cfg.Frames = req.Frames
+				}
+				cfg.TrialWorkers = req.TrialWorkers
+				pts, err := LDPCThroughputCurve(cfg, snrsFrom(req))
+				if err != nil {
+					return nil, err
+				}
+				t := FormatThroughput(strings.ReplaceAll(cfg.Label(), " ", "_"), pts)
+				t.Title = fmt.Sprintf("%s (648-bit codewords, %d-iteration BP)", cfg.Label(), ldpc.DefaultIterations)
+				res.Add(t)
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "conv",
+		Description: "punctured convolutional (K=7, Viterbi) baselines at rates 1/2, 2/3, 3/4",
+		Flags:       []string{"snr-min", "snr-max", "snr-step", "frames", "trial-workers"},
+		Schema:      ThroughputColumns("conv"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			res := sim.NewResult("conv")
+			for _, rate := range []string{"1/2", "2/3", "3/4"} {
+				cfg := ConvConfig{Rate: rate, Modulation: "BPSK", Frames: req.Frames, TrialWorkers: req.TrialWorkers}
+				pts, err := ConvThroughputCurve(cfg, snrsFrom(req))
+				if err != nil {
+					return nil, err
+				}
+				t := FormatThroughput("conv_"+strings.ReplaceAll(rate, "/", ""), pts)
+				t.Title = fmt.Sprintf("convolutional K=7 rate %s over BPSK", rate)
+				res.Add(t)
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "bsc",
+		Description: "spinal rate over binary symmetric channels (Theorem 2), k=4 unless -k overrides",
+		Flags:       codeFlags,
+		Schema:      BSCColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			if req.K == 0 || req.K == 8 {
+				cfg.K = 4 // a k=4 code keeps BSC decoding fast; override with -k
+			}
+			pts, err := SpinalBSCCurve(cfg, []float64{0.01, 0.02, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("bsc")
+			res.Notef("effective config: k=%d (this experiment defaults k to 4; pass -k to override)", cfg.K)
+			res.Add(FormatBSC(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "beam",
+		Description: "graceful scale-down: achieved rate versus decoder beam width at one SNR",
+		Flags:       pointFlags,
+		Schema:      BeamSweepColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			snr := req.SNR
+			pts, err := BeamWidthSweep(spinalConfigFrom(req), snr, []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("beam")
+			res.Notef("graceful scale-down at %.1f dB", snr)
+			res.Add(FormatBeamSweep(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "puncture",
+		Description: "punctured (striped) versus sequential schedule across the SNR sweep",
+		Flags:       sweepFlags,
+		Schema:      RateCurveColumns("punctured"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			punct, seq, err := PuncturingComparison(spinalConfigFrom(req), snrsFrom(req))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("puncture")
+			tp := FormatRateCurve("punctured", punct)
+			tp.Title = "punctured (striped) schedule"
+			res.Add(tp)
+			ts := FormatRateCurve("sequential", seq)
+			ts.Title = "sequential schedule"
+			res.Add(ts)
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "adc",
+		Description: "achieved rate versus receiver ADC resolution at one SNR",
+		Flags:       pointFlags,
+		Schema:      ADCSweepColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			snr := req.SNR
+			pts, err := QuantizationSweep(spinalConfigFrom(req), snr, []int{4, 6, 8, 10, 12, 14, 16})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("adc")
+			res.Notef("ADC resolution sweep at %.1f dB", snr)
+			res.Add(FormatADCSweep(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "mapper",
+		Description: "rate curves for the linear, uniform and gaussian constellation mappings",
+		Flags:       sweepFlags,
+		Schema:      RateCurveColumns("linear"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			mappers := []string{"linear", "uniform", "gaussian"}
+			curves, err := MapperComparison(spinalConfigFrom(req), snrsFrom(req), mappers)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("mapper")
+			for _, name := range mappers {
+				t := FormatRateCurve(name, curves[name])
+				t.Title = "mapper: " + name
+				res.Add(t)
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "theorem1",
+		Description: "measured rate against the Theorem 1 guarantee and capacity",
+		Flags:       sweepFlags,
+		Schema:      Theorem1Columns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			pts, err := Theorem1Gap(spinalConfigFrom(req), snrsFrom(req))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("theorem1")
+			res.Add(FormatTheorem1(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "fountain",
+		Description: "LT fountain-code reception overhead over binary erasure channels",
+		Flags:       []string{"trials", "seed", "trial-workers"},
+		Schema:      FountainColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := FountainConfig{
+				Trials:       capTrials(req.Trials, 20),
+				Seed:         req.Seed,
+				TrialWorkers: req.TrialWorkers,
+			}
+			pts, err := FountainOverhead(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("fountain")
+			res.Notef("effective config: %d trials per erasure point (this experiment caps trials at 20)", cfg.Trials)
+			res.Add(FormatFountain(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "harq",
+		Description: "LDPC hybrid ARQ (Chase combining) throughput over QAM-4/16/64",
+		Flags:       []string{"snr-min", "snr-max", "snr-step", "frames", "trial-workers"},
+		Schema:      ThroughputColumns("harq"),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			res := sim.NewResult("harq")
+			for _, mod := range []string{"QAM-4", "QAM-16", "QAM-64"} {
+				cfg := HARQConfig{Rate: ldpc.Rate12, Modulation: mod, Frames: req.Frames, TrialWorkers: req.TrialWorkers}
+				pts, err := HARQThroughputCurve(cfg, snrsFrom(req))
+				if err != nil {
+					return nil, err
+				}
+				t := FormatThroughput("harq_"+mod, pts)
+				t.Title = fmt.Sprintf("hybrid ARQ (Chase combining), LDPC rate 1/2, %s", mod)
+				res.Add(t)
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "adapt",
+		Description: "reactive rate adaptation versus rateless spinal over time-varying channels",
+		Flags:       []string{"trials", "seed", "trial-workers"},
+		Schema:      AdaptationColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			budget := 20000
+			if req.Trials > 0 && req.Trials < 100 {
+				budget = req.Trials * 200 // let -trials scale the run length
+				if budget < 1000 {
+					budget = 1000
+				}
+			}
+			pts, err := AdaptationComparison(AdaptationConfig{
+				SymbolBudget: budget,
+				Seed:         req.Seed,
+				TrialWorkers: req.TrialWorkers,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("adapt")
+			res.Notef("reactive rate adaptation vs rateless spinal over time-varying channels")
+			res.Add(FormatAdaptation(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "fixedrate",
+		Description: "fixed-rate spinal instantiation at 2, 4 and 8 passes versus the rateless rate",
+		Flags:       sweepFlags,
+		Schema:      FixedRateColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			res := sim.NewResult("fixedrate")
+			for _, passes := range []int{2, 4, 8} {
+				pts, err := FixedRateSpinal(cfg, snrsFrom(req), passes)
+				if err != nil {
+					return nil, err
+				}
+				t := FormatFixedRate(pts)
+				t.Title = fmt.Sprintf("fixed-rate spinal code, %d passes (%.2f bits/symbol nominal)",
+					passes, float64(cfg.MessageBits)/float64(passes*((cfg.MessageBits+cfg.K-1)/cfg.K)))
+				res.Add(t)
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "incremental",
+		Description: "incremental decode workspace reuse versus from-scratch attempts (node counts, bit-identical decodes)",
+		Flags:       codeFlags,
+		Schema:      IncrementalColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			cfg.Schedule = "sequential" // the natural low-SNR operating point
+			cfg.Trials = capTrials(req.Trials, 10)
+			pt, err := IncrementalDecodeComparison(cfg, 0)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("incremental")
+			res.Notef("incremental vs from-scratch decoding at 0 dB (bit-identical decodes, node counts)")
+			res.Notef("effective config: %d trials, %s schedule (this experiment fixes the schedule and caps trials at 10)",
+				cfg.Trials, cfg.Schedule)
+			res.Add(FormatIncremental([]DecodeCostPoint{pt}))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "parallel",
+		Description: "parallel beam-decode scaling across decoder worker counts (bit-identical decodes)",
+		Flags:       codeFlags,
+		Schema:      ParallelColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			cfg.Schedule = "sequential" // the natural low-SNR operating point
+			cfg.Trials = capTrials(req.Trials, 20)
+			pts, err := ParallelDecodeComparison(cfg, 0, []int{1, 2, 4, 8})
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("parallel")
+			res.Notef("parallel decode scaling at 0 dB (bit-identical decodes, wall-clock only)")
+			res.Notef("effective config: %d trials, %s schedule, B=%d (this experiment fixes the schedule and bounds trials)",
+				cfg.Trials, cfg.Schedule, cfg.BeamWidth)
+			res.Add(FormatParallel(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "multiflow",
+		Description: "flow-multiplexed link engine: goodput, fairness and pool reuse as flows grow",
+		Flags:       append([]string{"snr"}, codeFlags...),
+		Schema:      MultiFlowColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			if req.K == 0 || req.K == 8 {
+				// The -k default; many concurrent decodes make k=8 slow, so
+				// this experiment runs k=4 unless -k selects something else.
+				cfg.K = 4
+			}
+			snr := req.SNR
+			msgs := 4
+			if req.Trials > 0 && req.Trials < 100 {
+				msgs = req.Trials // let -trials scale messages per flow
+			}
+			pts, err := MultiFlowComparison(cfg, snr, []int{1, 4, 16, 64}, msgs)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("multiflow")
+			res.Notef("flow-multiplexed link engine at %.1f dB: aggregate goodput, per-flow fairness, decoder-pool reuse", snr)
+			res.Notef("every delivered payload is verified bit-identical to a dedicated single-flow receiver")
+			res.Notef("effective config: k=%d, %d messages per flow (this experiment defaults k to 4; pass -k to override)",
+				cfg.K, msgs)
+			res.Add(FormatMultiFlow(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "batch",
+		Description: "batched versus per-symbol transmission path (bit-identical decodes, wall-clock)",
+		Flags:       append([]string{"snr"}, codeFlags...),
+		Schema:      BatchColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg := spinalConfigFrom(req)
+			cfg.Trials = capTrials(req.Trials, 20)
+			var pts []BatchPoint
+			seen := map[float64]bool{}
+			for _, snr := range []float64{0, req.SNR, 25} {
+				if seen[snr] {
+					continue
+				}
+				seen[snr] = true
+				pt, err := BatchObserveComparison(cfg, snr)
+				if err != nil {
+					return nil, err
+				}
+				pts = append(pts, pt)
+			}
+			res := sim.NewResult("batch")
+			res.Notef("batched vs per-symbol transmission path (bit-identical decodes, wall-clock only)")
+			res.Notef("effective config: %d trials (this experiment caps trials at 20)", cfg.Trials)
+			res.Add(FormatBatch(pts))
+			return res, nil
+		},
+	})
+}
+
+// runFigure2Scenario reproduces every curve of Figure 2: the bounds, the
+// spinal code and the eight LDPC baselines.
+func runFigure2Scenario(req sim.Request) (*sim.Result, error) {
+	snrs := snrsFrom(req)
+	res := sim.NewResult("figure2")
+
+	bounds, err := Figure2Bounds(snrs)
+	if err != nil {
+		return nil, err
+	}
+	tb := FormatBounds(bounds)
+	tb.Title = "Figure 2 — reference bounds"
+	res.Add(tb)
+
+	cfg := spinalConfigFrom(req)
+	spinalPts, err := SpinalRateCurve(cfg, snrs)
+	if err != nil {
+		return nil, err
+	}
+	ts := FormatRateCurve("spinal", spinalPts)
+	ts.Title = fmt.Sprintf("Figure 2 — spinal code (m=%d, k=%d, c=%d, B=%d, %d-bit ADC)",
+		cfg.MessageBits, cfg.K, cfg.C, cfg.BeamWidth, cfg.ADCBits)
+	res.Add(ts)
+
+	for _, ldpcCfg := range Figure2LDPCConfigs() {
+		if req.Frames > 0 {
+			ldpcCfg.Frames = req.Frames
+		}
+		ldpcCfg.TrialWorkers = req.TrialWorkers
+		pts, err := LDPCThroughputCurve(ldpcCfg, snrs)
+		if err != nil {
+			return nil, err
+		}
+		t := FormatThroughput(strings.ReplaceAll(ldpcCfg.Label(), " ", "_"), pts)
+		t.Title = fmt.Sprintf("Figure 2 — %s (648-bit codewords, %d-iteration BP)", ldpcCfg.Label(), ldpc.DefaultIterations)
+		res.Add(t)
+	}
+	return res, nil
+}

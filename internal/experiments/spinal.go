@@ -3,20 +3,25 @@
 // finite-blocklength bound, LDPC baselines) and the ablations implied by the
 // text (beam width, puncturing, ADC depth, constellation mapping, BSC
 // behaviour per Theorem 2). Each experiment is exposed as a plain function
-// returning result rows so that the spinalsim command, the benchmarks and the
-// tests all share one implementation.
+// returning result rows — shared by the benchmarks and the tests — and
+// registered as a sim.Scenario (see scenarios.go), which is how the
+// spinalsim command discovers and runs it.
+//
+// Every trial loop in the package runs on the sim.Run sharded runner:
+// trials derive their randomness from the trial index, decoders are leased
+// from a shared core.DecoderPool, and per-point statistics are folded in
+// trial order, so results are bit-identical at any worker count.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"spinal/internal/capacity"
 	"spinal/internal/channel"
 	"spinal/internal/constellation"
 	"spinal/internal/core"
 	"spinal/internal/rng"
+	"spinal/internal/sim"
 	"spinal/internal/stats"
 )
 
@@ -37,11 +42,17 @@ type SpinalConfig struct {
 	MaxPasses   int
 	// Workers is the decoder's per-level parallelism (see
 	// core.BeamDecoder.SetParallelism). Zero means automatic: experiments
-	// that already parallelize across trials (the genie-trial sweeps) use
-	// serial per-trial decoders, while single-session experiments keep the
-	// decoder's GOMAXPROCS default. Results are bit-identical at any
-	// setting.
+	// that already parallelize across trials use serial per-trial decoders,
+	// while single-session experiments keep the decoder's GOMAXPROCS
+	// default. Results are bit-identical at any setting.
 	Workers int
+	// TrialWorkers is the sim.Run worker-pool size trials are sharded
+	// across. Zero means GOMAXPROCS. Results are bit-identical at any
+	// setting.
+	TrialWorkers int
+	// Pool optionally shares a decoder pool across calls (e.g. across the
+	// points of a sweep); nil lets each call pool privately.
+	Pool *core.DecoderPool
 }
 
 // Figure2Config returns the exact configuration of Figure 2 in the paper.
@@ -111,6 +122,11 @@ func (c SpinalConfig) params() (core.Params, error) {
 	return p, p.Validate()
 }
 
+// runner builds the trial runner for the configuration.
+func (c SpinalConfig) runner() sim.Runner {
+	return sim.Runner{Workers: c.TrialWorkers, Pool: c.Pool}
+}
+
 // RatePoint is one point of a rate-versus-SNR curve.
 type RatePoint struct {
 	SNRdB float64
@@ -130,13 +146,19 @@ type RatePoint struct {
 
 // SpinalRateCurve measures the rate achieved by the practical spinal decoder
 // across the given SNR points (in dB), reproducing the spinal curve of
-// Figure 2. Trials are distributed over all CPUs; results are deterministic
-// for a fixed configuration because every trial derives its own random
-// streams from the configured seed.
+// Figure 2. Trials are sharded over the sim runner; results are
+// deterministic for a fixed configuration because every trial derives its
+// own random streams from the configured seed.
 func SpinalRateCurve(cfg SpinalConfig, snrsDB []float64) ([]RatePoint, error) {
 	cfg = cfg.withDefaults()
 	if _, err := cfg.params(); err != nil {
 		return nil, err
+	}
+	if cfg.Pool == nil {
+		// One pool for the whole sweep, so workers reuse decoders across
+		// points instead of rebuilding per SNR.
+		cfg.Pool = core.NewDecoderPool(core.DefaultDecoderPoolCapacity)
+		defer cfg.Pool.Drain()
 	}
 	points := make([]RatePoint, len(snrsDB))
 	for i, snr := range snrsDB {
@@ -149,7 +171,16 @@ func SpinalRateCurve(cfg SpinalConfig, snrsDB []float64) ([]RatePoint, error) {
 	return points, nil
 }
 
-// SpinalRateAtSNR measures the achieved rate at a single SNR point.
+// genieTrial is the per-trial outcome of the rate measurement.
+type genieTrial struct {
+	symbols int
+	ok      bool
+}
+
+// SpinalRateAtSNR measures the achieved rate at a single SNR point. Trials
+// run on the shared sim runner: each sim worker leases one decoder from the
+// run's pool and reuses it (reset between trials) for every trial it
+// executes.
 func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 	cfg = cfg.withDefaults()
 	params, err := cfg.params()
@@ -161,46 +192,26 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 		return RatePoint{}, err
 	}
 
-	type trialResult struct {
-		symbols int
-		ok      bool
+	results, err := sim.Run(cfg.runner(), cfg.Trials, func(w *sim.Worker, trial int) (genieTrial, error) {
+		lease, err := w.Decoder(params, cfg.BeamWidth)
+		if err != nil {
+			return genieTrial{}, err
+		}
+		// Trials already fan out across the runner's workers, so the
+		// per-trial decoder defaults to serial — nesting a GOMAXPROCS shard
+		// pool inside the trial workers would oversubscribe. An explicit
+		// cfg.Workers still applies for scaling studies.
+		if cfg.Workers > 0 {
+			lease.Dec.SetParallelism(cfg.Workers)
+		} else {
+			lease.Dec.SetParallelism(1)
+		}
+		symbols, ok := runGenieTrial(cfg, params, sched, lease, snrDB, uint64(trial))
+		return genieTrial{symbols: symbols, ok: ok}, nil
+	})
+	if err != nil {
+		return RatePoint{}, err
 	}
-	results := make([]trialResult, cfg.Trials)
-	var wg sync.WaitGroup
-	workers := runtime.NumCPU()
-	if workers > cfg.Trials {
-		workers = cfg.Trials
-	}
-	trialCh := make(chan int)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			dec, derr := core.NewBeamDecoder(params, cfg.BeamWidth)
-			if derr != nil {
-				return
-			}
-			defer dec.Close()
-			// The trial loop above already fans out across all CPUs, so the
-			// per-trial decoder defaults to serial — nesting a GOMAXPROCS
-			// shard pool inside NumCPU trial workers would oversubscribe.
-			// An explicit cfg.Workers still applies for scaling studies.
-			if cfg.Workers > 0 {
-				dec.SetParallelism(cfg.Workers)
-			} else {
-				dec.SetParallelism(1)
-			}
-			for trial := range trialCh {
-				symbols, ok := runGenieTrial(cfg, params, sched, dec, snrDB, uint64(trial))
-				results[trial] = trialResult{symbols: symbols, ok: ok}
-			}
-		}()
-	}
-	for trial := 0; trial < cfg.Trials; trial++ {
-		trialCh <- trial
-	}
-	close(trialCh)
-	wg.Wait()
 
 	var meter stats.RateMeter
 	failures := 0
@@ -231,7 +242,7 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 // to fully decode"). The search is exponential-then-binary, which is valid
 // because decodability is (essentially) monotone in the number of received
 // symbols.
-func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, dec *core.BeamDecoder, snrDB float64, trial uint64) (int, bool) {
+func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, lease *core.LeasedDecoder, snrDB float64, trial uint64) (int, bool) {
 	msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (trial + 1)))
 	msg := core.RandomMessage(msgSrc, cfg.MessageBits)
 	enc, err := core.NewEncoder(params, msg)
@@ -258,14 +269,13 @@ func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, de
 	radio.CorruptBlock(received, received)
 
 	decodes := func(prefix int) bool {
-		obs, oerr := core.NewObservations(nseg)
-		if oerr != nil {
+		// Reset clears the leased container and bumps its epoch, so every
+		// prefix decodes from the root exactly as a fresh container would.
+		lease.Reset()
+		if lease.Obs.AddBatch(positions[:prefix], received[:prefix]) != nil {
 			return false
 		}
-		if obs.AddBatch(positions[:prefix], received[:prefix]) != nil {
-			return false
-		}
-		out, derr := dec.Decode(obs)
+		out, derr := lease.Dec.Decode(lease.Obs)
 		if derr != nil {
 			return false
 		}
@@ -368,6 +378,14 @@ type DecodeCostPoint struct {
 	Trials    int
 }
 
+// incrementalTrial is the per-trial outcome of the incremental comparison.
+type incrementalTrial struct {
+	incNodes     int64
+	incRefreshed int64
+	scratchNodes int64
+	delivered    bool
+}
+
 // IncrementalDecodeComparison runs the same rateless transmissions twice —
 // once with the incremental decoder and once forcing every attempt from
 // scratch — and reports the total tree-expansion work of each mode. Message
@@ -385,8 +403,7 @@ func IncrementalDecodeComparison(cfg SpinalConfig, snrDB float64) (DecodeCostPoi
 	if err != nil {
 		return DecodeCostPoint{}, err
 	}
-	pt := DecodeCostPoint{SNRdB: snrDB, Trials: cfg.Trials}
-	for trial := 0; trial < cfg.Trials; trial++ {
+	results, err := sim.Run(cfg.runner(), cfg.Trials, func(w *sim.Worker, trial int) (incrementalTrial, error) {
 		msg := core.RandomMessage(rng.New(cfg.Seed^(0x9e3779b97f4a7c15*uint64(trial+1))), cfg.MessageBits)
 		run := func(disableIncremental bool) (*core.Result, error) {
 			radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, rng.New(cfg.Seed^(0xbb67ae8584caa73b*uint64(trial+1))))
@@ -399,26 +416,39 @@ func IncrementalDecodeComparison(cfg SpinalConfig, snrDB float64) (DecodeCostPoi
 				Schedule:           sched,
 				MaxSymbols:         cfg.MaxPasses * params.NumSegments(),
 				DisableIncremental: disableIncremental,
-				Parallelism:        cfg.Workers,
+				Parallelism:        trialParallelism(cfg),
+				Pool:               w.Pool(),
 			}, msg, radio, core.GenieVerifier(msg, cfg.MessageBits))
 		}
 		inc, err := run(false)
 		if err != nil {
-			return DecodeCostPoint{}, err
+			return incrementalTrial{}, err
 		}
 		scratch, err := run(true)
 		if err != nil {
-			return DecodeCostPoint{}, err
+			return incrementalTrial{}, err
 		}
 		if inc.Success != scratch.Success || inc.ChannelUses != scratch.ChannelUses ||
 			!core.EqualMessages(inc.Decoded, scratch.Decoded, cfg.MessageBits) {
-			return DecodeCostPoint{}, fmt.Errorf(
-				"experiments: incremental and from-scratch decodes diverged on trial %d", trial)
+			return incrementalTrial{}, fmt.Errorf(
+				"experiments: incremental and from-scratch decodes diverged")
 		}
-		pt.IncrementalNodes += inc.NodesExpanded
-		pt.IncrementalRefreshed += inc.NodesRefreshed
-		pt.FromScratchNodes += scratch.NodesExpanded
-		if inc.Success {
+		return incrementalTrial{
+			incNodes:     inc.NodesExpanded,
+			incRefreshed: inc.NodesRefreshed,
+			scratchNodes: scratch.NodesExpanded,
+			delivered:    inc.Success,
+		}, nil
+	})
+	if err != nil {
+		return DecodeCostPoint{}, err
+	}
+	pt := DecodeCostPoint{SNRdB: snrDB, Trials: cfg.Trials}
+	for _, r := range results {
+		pt.IncrementalNodes += r.incNodes
+		pt.IncrementalRefreshed += r.incRefreshed
+		pt.FromScratchNodes += r.scratchNodes
+		if r.delivered {
 			pt.Delivered++
 		}
 	}
@@ -426,6 +456,16 @@ func IncrementalDecodeComparison(cfg SpinalConfig, snrDB float64) (DecodeCostPoi
 		pt.NodeSpeedup = float64(pt.FromScratchNodes) / float64(pt.IncrementalNodes)
 	}
 	return pt, nil
+}
+
+// trialParallelism is the decoder parallelism used inside runner-sharded
+// session trials: serial unless the configuration asks for decoder workers
+// explicitly, because the runner already fans trials out across CPUs.
+func trialParallelism(cfg SpinalConfig) int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return 1
 }
 
 // BeamPoint is one point of the beam-width (scale-down) ablation.
@@ -551,13 +591,23 @@ type BSCPoint struct {
 	P        float64
 	Rate     float64
 	Capacity float64
+	// Conf95 is the half-width of a 95% confidence interval on the
+	// per-message rate mean.
+	Conf95   float64
 	Failures int
 	Trials   int
 }
 
+// bscTrial is the per-trial outcome of the BSC measurement.
+type bscTrial struct {
+	uses int
+	ok   bool
+}
+
 // SpinalBSCCurve measures the rate achieved by the spinal code over binary
 // symmetric channels with the given crossover probabilities, the empirical
-// counterpart of Theorem 2.
+// counterpart of Theorem 2. Trials are sharded over the sim runner, with
+// session decoders leased from the run's pool.
 func SpinalBSCCurve(cfg SpinalConfig, crossovers []float64) ([]BSCPoint, error) {
 	cfg = cfg.withDefaults()
 	params := core.Params{K: cfg.K, C: cfg.C, MessageBits: cfg.MessageBits, Seed: cfg.Seed}
@@ -566,39 +616,47 @@ func SpinalBSCCurve(cfg SpinalConfig, crossovers []float64) ([]BSCPoint, error) 
 	}
 	out := make([]BSCPoint, 0, len(crossovers))
 	for _, p := range crossovers {
-		var meter stats.RateMeter
-		failures := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
+		results, err := sim.Run(cfg.runner(), cfg.Trials, func(w *sim.Worker, trial int) (bscTrial, error) {
 			msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(trial+1)))
 			msg := core.RandomMessage(msgSrc, cfg.MessageBits)
 			chSrc := rng.New(cfg.Seed ^ (0xbb67ae8584caa73b * uint64(trial+1)))
 			bsc, err := channel.NewBSC(p, chSrc)
 			if err != nil {
-				return nil, err
+				return bscTrial{}, err
 			}
 			sessionCfg := core.SessionConfig{
 				Params:      params,
 				BeamWidth:   cfg.BeamWidth,
 				Attempts:    core.AttemptEveryPass{},
 				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
-				Parallelism: cfg.Workers,
+				Parallelism: trialParallelism(cfg),
+				Pool:        w.Pool(),
 			}
 			res, err := core.RunBitChannelSession(sessionCfg, msg, bsc, core.GenieVerifier(msg, cfg.MessageBits))
 			if err != nil {
-				return nil, err
+				return bscTrial{}, err
 			}
+			return bscTrial{uses: res.ChannelUses, ok: res.Success}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var meter stats.RateMeter
+		failures := 0
+		for _, r := range results {
 			bits := 0
-			if res.Success {
+			if r.ok {
 				bits = cfg.MessageBits
 			} else {
 				failures++
 			}
-			meter.Record(bits, res.ChannelUses)
+			meter.Record(bits, r.uses)
 		}
 		out = append(out, BSCPoint{
 			P:        p,
 			Rate:     meter.Rate(),
 			Capacity: capacity.BSC(p),
+			Conf95:   meter.PerMessage().Conf95(),
 			Failures: failures,
 			Trials:   cfg.Trials,
 		})

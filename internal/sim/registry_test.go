@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The registry is global; tests register under names no real scenario uses.
+
+func testScenario(name string) Scenario {
+	return Scenario{
+		Name:        name,
+		Description: "test scenario",
+		Flags:       []string{"trials"},
+		Run:         func(req Request) (*Result, error) { return NewResult(name), nil },
+	}
+}
+
+func TestRegisterLookupAndNames(t *testing.T) {
+	Register(testScenario("zz-test-b"))
+	Register(testScenario("zz-test-a"))
+
+	if _, ok := Lookup("zz-test-a"); !ok {
+		t.Fatal("registered scenario not found")
+	}
+	if _, ok := Lookup("zz-test-missing"); ok {
+		t.Fatal("lookup invented a scenario")
+	}
+	names := Names()
+	idxA, idxB := -1, -1
+	for i, n := range names {
+		if n == "zz-test-a" {
+			idxA = i
+		}
+		if n == "zz-test-b" {
+			idxB = i
+		}
+	}
+	if idxA == -1 || idxB == -1 || idxA > idxB {
+		t.Fatalf("names not sorted or missing: %v", names)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration accepted")
+		}
+	}()
+	Register(testScenario("zz-test-a"))
+}
+
+func TestRegisterRejectsIncomplete(t *testing.T) {
+	for _, s := range []Scenario{
+		{Name: "", Run: func(Request) (*Result, error) { return nil, nil }},
+		{Name: "zz-test-norun"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("incomplete scenario %+v accepted", s)
+				}
+			}()
+			Register(s)
+		}()
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	Register(testScenario("zz-multiflow"))
+	Register(testScenario("zz-fountain"))
+
+	if got := Suggest("zz-multifow"); len(got) == 0 || got[0] != "zz-multiflow" {
+		t.Fatalf("Suggest(zz-multifow) = %v", got)
+	}
+	// Substring matches count too. (The query must stay distinctive: the
+	// whole test binary shares one registry with the real scenarios.)
+	if got := Suggest("zz-fount"); len(got) == 0 || got[0] != "zz-fountain" {
+		t.Fatalf("Suggest(zz-fount) = %v", got)
+	}
+	if got := Suggest("qqqqqqqqqqqq"); len(got) != 0 {
+		t.Fatalf("Suggest(garbage) = %v, want none", got)
+	}
+	if got := Suggest("zz-multiflow"); len(got) == 0 {
+		t.Fatal("exact name should still suggest itself (case of typoed flags)")
+	}
+}
+
+func TestEditDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"abc", "", 3},
+		{"kitten", "sitting", 3},
+		{"spinal", "spinal", 0},
+		{"harq", "hark", 1},
+	}
+	for _, c := range cases {
+		if got := editDistance(c.a, c.b); got != c.want {
+			t.Fatalf("editDistance(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDefaultRequest(t *testing.T) {
+	req := DefaultRequest()
+	if req.Trials != 100 || req.Beam != 16 || req.K != 8 || req.MessageBits != 24 {
+		t.Fatalf("defaults drifted: %+v", req)
+	}
+	wantSNRs := []float64{-10, -5, 0, 5, 10, 15, 20, 25, 30, 35, 40}
+	if !reflect.DeepEqual(req.SNRs, wantSNRs) {
+		t.Fatalf("default sweep = %v", req.SNRs)
+	}
+}

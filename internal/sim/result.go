@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Column describes one column of a result table: its header name, the fmt
+// verb text sinks render cells with, and whether the column is volatile.
+type Column struct {
+	// Name is the column header, e.g. "snr_db".
+	Name string `json:"name"`
+	// Format is the fmt verb used by the text and CSV sinks ("%.3f", "%d");
+	// empty means "%v". The JSON sink always emits the raw value.
+	Format string `json:"-"`
+	// Volatile marks columns whose values depend on wall-clock time
+	// (elapsed, speedup, throughput-per-second). Volatile cells are real
+	// measurements — every sink renders them — but Result.Fingerprint
+	// excludes them, so determinism tests compare only reproducible values.
+	Volatile bool `json:"volatile,omitempty"`
+}
+
+// Col builds a regular column.
+func Col(name, format string) Column { return Column{Name: name, Format: format} }
+
+// VolatileCol builds a wall-clock-dependent column.
+func VolatileCol(name, format string) Column {
+	return Column{Name: name, Format: format, Volatile: true}
+}
+
+// Table is one structured result table: typed cells under a declared column
+// schema. Sinks render it as aligned text, CSV or JSON.
+type Table struct {
+	// Title is an optional caption, rendered as a comment line by the text
+	// sinks.
+	Title   string
+	Columns []Column
+	Rows    [][]any
+}
+
+// NewTable creates a table with the given column schema.
+func NewTable(title string, cols ...Column) *Table {
+	return &Table{Title: title, Columns: cols}
+}
+
+// AddRow appends one row. Rows shorter than the schema render missing cells
+// as empty; extra cells beyond the schema are rejected loudly since they
+// would silently vanish from every sink.
+func (t *Table) AddRow(cells ...any) {
+	if len(cells) > len(t.Columns) {
+		panic(fmt.Sprintf("sim: row with %d cells for %d columns in table %q",
+			len(cells), len(t.Columns), t.Title))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Cell renders the cell at (row, col) with its column format.
+func (t *Table) Cell(row, col int) string {
+	cells := t.Rows[row]
+	if col >= len(cells) || cells[col] == nil {
+		return ""
+	}
+	format := t.Columns[col].Format
+	if format == "" {
+		format = "%v"
+	}
+	return fmt.Sprintf(format, cells[col])
+}
+
+// String renders the table with aligned columns, matching the historical
+// spinalsim output: a header row, a dashed separator, one line per row.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c.Name)
+	}
+	rendered := make([][]string, len(t.Rows))
+	for r := range t.Rows {
+		cells := make([]string, len(t.Columns))
+		for c := range t.Columns {
+			cells[c] = t.Cell(r, c)
+			if len(cells[c]) > widths[c] {
+				widths[c] = len(cells[c])
+			}
+		}
+		rendered[r] = cells
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, w := range widths {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
+			if i != len(widths)-1 {
+				b.WriteString("  ")
+			}
+		}
+		b.WriteString("\n")
+	}
+	header := make([]string, len(t.Columns))
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(header)
+	writeRow(sep)
+	for _, cells := range rendered {
+		writeRow(cells)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC 4180 comma-separated values: cells containing
+// commas, double quotes, or line breaks are quoted, with embedded quotes
+// doubled.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(csvEscape(c.Name))
+	}
+	b.WriteString("\n")
+	for r := range t.Rows {
+		for c := range t.Columns {
+			if c > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(csvEscape(t.Cell(r, c)))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// csvEscape quotes a cell per RFC 4180 when it contains a comma, a double
+// quote or a line break, doubling embedded quotes.
+func csvEscape(cell string) string {
+	if !strings.ContainsAny(cell, ",\"\r\n") {
+		return cell
+	}
+	return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+}
+
+// MarshalJSON emits the table with its column schema and raw (unformatted)
+// cell values, padding short rows with nulls so every row has one value per
+// column.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := make([][]any, len(t.Rows))
+	for r, cells := range t.Rows {
+		row := make([]any, len(t.Columns))
+		copy(row, cells)
+		rows[r] = row
+	}
+	return json.Marshal(struct {
+		Title   string   `json:"title,omitempty"`
+		Columns []Column `json:"columns"`
+		Rows    [][]any  `json:"rows"`
+	}{t.Title, t.Columns, rows})
+}
+
+// Result is the structured outcome of one scenario run.
+type Result struct {
+	// Scenario is the registry name of the scenario that produced this.
+	Scenario string `json:"scenario"`
+	// Notes are free-form context lines (effective configuration, caveats),
+	// rendered as "# ..." comments by the text sinks.
+	Notes []string `json:"notes,omitempty"`
+	// Tables are the result tables, in presentation order.
+	Tables []*Table `json:"tables"`
+	// ElapsedMS is the wall-clock duration of the run, filled in by the
+	// dispatcher. Volatile by nature.
+	ElapsedMS float64 `json:"elapsed_ms,omitempty"`
+}
+
+// NewResult creates an empty result for the named scenario.
+func NewResult(scenario string) *Result { return &Result{Scenario: scenario} }
+
+// Notef appends a formatted note line.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Add appends a table.
+func (r *Result) Add(t *Table) { r.Tables = append(r.Tables, t) }
+
+// Fingerprint renders every non-volatile cell of every table into one
+// canonical string. Two runs of the same scenario are considered
+// deterministic-equal iff their fingerprints match; volatile columns
+// (wall-clock measurements) are excluded, notes are included.
+func (r *Result) Fingerprint() string {
+	var b strings.Builder
+	b.WriteString(r.Scenario)
+	b.WriteString("\n")
+	for _, note := range r.Notes {
+		b.WriteString("# ")
+		b.WriteString(note)
+		b.WriteString("\n")
+	}
+	for _, t := range r.Tables {
+		fmt.Fprintf(&b, "table %q\n", t.Title)
+		for _, c := range t.Columns {
+			if c.Volatile {
+				continue
+			}
+			b.WriteString(c.Name)
+			b.WriteString(",")
+		}
+		b.WriteString("\n")
+		for row := range t.Rows {
+			for col, c := range t.Columns {
+				if c.Volatile {
+					continue
+				}
+				b.WriteString(t.Cell(row, col))
+				b.WriteString(",")
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

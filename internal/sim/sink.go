@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Sink renders a scenario result to a writer. The three implementations
+// cover the historical spinalsim output modes (aligned text, CSV) plus the
+// machine-readable JSON mode.
+type Sink interface {
+	Emit(w io.Writer, res *Result) error
+}
+
+// TextSink renders notes as comment lines and tables as aligned columns —
+// the default spinalsim output.
+type TextSink struct{}
+
+// Emit implements Sink.
+func (TextSink) Emit(w io.Writer, res *Result) error {
+	for _, note := range res.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	for i, t := range res.Tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if t.Title != "" {
+			if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, t.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVSink renders tables as RFC 4180 CSV, with notes and titles as "# "
+// comment lines between them.
+type CSVSink struct{}
+
+// Emit implements Sink.
+func (CSVSink) Emit(w io.Writer, res *Result) error {
+	for _, note := range res.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	for i, t := range res.Tables {
+		if i > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if t.Title != "" {
+			if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, t.CSV()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// JSONSink renders the whole result as one indented JSON object with raw
+// (unformatted) cell values — `spinalsim -json`, built for piping into jq.
+type JSONSink struct{}
+
+// Emit implements Sink.
+func (JSONSink) Emit(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
