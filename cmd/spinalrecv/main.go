@@ -18,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"time"
 
@@ -44,18 +46,41 @@ func main() {
 	maxTracked := flag.Int("max-tracked", 0, "cap on tracked messages across all flows (0 = default)")
 	pool := flag.Int("pool", 0,
 		"decoder-pool capacity: idle decoders kept for reuse across flows (0 = default, negative = disable pooling)")
+	ingestShards := flag.Int("ingest-shards", 1,
+		"SO_REUSEPORT ingest sockets sharing the listen port; >1 runs the sharded reactor (Linux/BSD)")
+	ingestBatch := flag.Int("ingest-batch", 0,
+		"frames pulled from the socket per receive call via recvmmsg-style batching (0 = default)")
 	flag.Parse()
 
-	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed, *maxFlows, *maxTracked, *pool); err != nil {
+	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed,
+		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64, maxFlows, maxTracked, pool int) error {
-	tr, err := link.NewUDP(listen, "")
-	if err != nil {
-		return err
+func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64,
+	maxFlows, maxTracked, pool, ingestShards, ingestBatch int) error {
+	// A single shard binds one plain UDP socket; more shards run the
+	// SO_REUSEPORT reactor, which spreads kernel-side demux across sockets
+	// while frames still funnel into the one flow-demuxed receiver.
+	var tr link.BatchPacketTransport
+	if ingestShards > 1 {
+		reactor, err := link.NewReactor(link.ReactorConfig{
+			Addr:   listen,
+			Shards: ingestShards,
+			Batch:  ingestBatch,
+		})
+		if err != nil {
+			return err
+		}
+		tr = reactor
+	} else {
+		udp, err := link.NewUDP(listen, "")
+		if err != nil {
+			return err
+		}
+		tr = udp
 	}
 	defer tr.Close()
 
@@ -70,18 +95,23 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 		MaxFlows:           maxFlows,
 		MaxTracked:         maxTracked,
 		PoolCapacity:       pool,
+		IngestBatch:        ingestBatch,
 	}, radio)
 	if err != nil {
 		return err
 	}
 	defer recv.Close()
-	fmt.Printf("spinalrecv: listening on %s, simulating a %.1f dB channel, serving multiplexed flows\n",
-		tr.LocalAddr(), snr)
+	addr := listen
+	if la, ok := tr.(interface{ LocalAddr() net.Addr }); ok {
+		addr = la.LocalAddr().String()
+	}
+	fmt.Printf("spinalrecv: listening on %s (%d ingest shard(s)), simulating a %.1f dB channel, serving multiplexed flows\n",
+		addr, ingestShards, snr)
 
 	delivered := 0
 	for count == 0 || delivered < count {
 		d, err := recv.Receive(time.Second)
-		if err == link.ErrTimeout {
+		if errors.Is(err, link.ErrTimeout) {
 			continue
 		}
 		if err != nil {

@@ -27,6 +27,8 @@ func main() {
 	flow := flag.Uint64("flow", 0,
 		"flow identity carried in every frame so one receiver can serve many senders (0 = derive from the process id)")
 	legacy := flag.Bool("v0", false, "emit legacy v0 frames (no flow id) for pre-flow receivers")
+	flush := flag.Int("flush", 0,
+		"data frames coalesced into one sendmmsg-style batched transmit (0 = default, 1 = frame per send)")
 	flag.Parse()
 
 	flowID := uint32(*flow)
@@ -35,13 +37,13 @@ func main() {
 		// any coordination.
 		flowID = uint32(os.Getpid())
 	}
-	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes, flowID, *legacy); err != nil {
+	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes, flowID, *legacy, *flush); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalsend:", err)
 		os.Exit(1)
 	}
 }
 
-func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32, legacy bool) error {
+func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32, legacy bool, flush int) error {
 	if text == "" && file == "" {
 		return fmt.Errorf("nothing to send: pass -text or -file")
 	}
@@ -77,10 +79,11 @@ func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32
 		flowID = 0
 	}
 	sender, err := link.NewSender(tr, link.Config{
-		MaxPasses: passes,
-		AckPoll:   2 * time.Millisecond,
-		FlowID:    flowID,
-		LegacyV0:  legacy,
+		MaxPasses:   passes,
+		AckPoll:     2 * time.Millisecond,
+		FlowID:      flowID,
+		LegacyV0:    legacy,
+		FlushFrames: flush,
 	})
 	if err != nil {
 		return err

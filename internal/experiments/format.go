@@ -320,3 +320,29 @@ func FormatFixedRate(pts []FixedRatePoint) *sim.Table {
 	}
 	return t
 }
+
+// WireSoakColumns is the point schema of the wire-path soak.
+func WireSoakColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("mode", "%s"),
+		sim.Col("flows", "%d"),
+		sim.Col("frames", "%d"),
+		sim.Col("delivered", "%d"),
+		sim.Col("acks", "%d"),
+		sim.VolatileCol("elapsed_ms", "%.2f"),
+		sim.VolatileCol("frames_per_sec", "%.0f"),
+		sim.VolatileCol("allocs_per_frame", "%.4f"),
+		sim.VolatileCol("p99_rtt_us", "%.1f"),
+	}
+}
+
+// FormatWireSoak renders the wire-path soak.
+func FormatWireSoak(pts []WireSoakPoint) *sim.Table {
+	t := sim.NewTable("", WireSoakColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.Mode, p.Flows, p.Frames, p.Delivered, p.Acks,
+			float64(p.Elapsed.Microseconds())/1000, p.FramesPerSec,
+			p.AllocsPerFrame, float64(p.P99RTT.Nanoseconds())/1000)
+	}
+	return t
+}

@@ -429,6 +429,33 @@ func init() {
 		},
 	})
 	sim.Register(sim.Scenario{
+		Name:        "wiresoak",
+		Description: "zero-copy wire path soak: steady-state frames/s, allocs/frame and ack round-trip p99, batched vs unbatched",
+		Flags:       []string{"trials", "frames", "seed"},
+		Schema:      WireSoakColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			flows := capTrials(req.Trials, 4)
+			rounds := req.Frames
+			if rounds < 1 || rounds > 2000 {
+				rounds = 200
+			}
+			seed := req.Seed
+			if seed == 0 {
+				seed = 1
+			}
+			pts, err := WireSoak(seed, flows, rounds)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("wiresoak")
+			res.Notef("steady-state wire path soak: %d flows, %d rounds of %d retransmitted frames each", flows, rounds, flows*wireSoakBurst)
+			res.Notef("warmup delivers every message first; the soak then exercises ingest, in-place parse and arena-backed ack repeat")
+			res.Notef("allocs_per_frame is a whole-process malloc count over the soak; the wire path itself contributes zero")
+			res.Add(FormatWireSoak(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
 		Name:        "batch",
 		Description: "batched versus per-symbol transmission path (bit-identical decodes, wall-clock)",
 		Flags:       append([]string{"snr"}, codeFlags...),

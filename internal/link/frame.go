@@ -86,50 +86,72 @@ type AckFrame struct {
 	Decoded bool
 }
 
-// Marshal serializes the data frame in the generation selected by Version.
-func (f *DataFrame) Marshal() ([]byte, error) {
+// AppendTo appends the frame's wire encoding (in the generation selected by
+// Version) to dst and returns the extended slice. It is the hot-path marshal:
+// appending into a leased arena buffer produces a frame with no allocation at
+// all once the buffer is warm.
+func (f *DataFrame) AppendTo(dst []byte) ([]byte, error) {
 	if len(f.Symbols) == 0 {
 		return nil, fmt.Errorf("link: data frame with no symbols")
 	}
 	if len(f.Symbols) > MaxSymbolsPerFrame {
 		return nil, fmt.Errorf("link: %d symbols exceed the per-frame limit %d", len(f.Symbols), MaxSymbolsPerFrame)
 	}
-	headerLen := dataHeaderLenV1
 	switch f.Version {
 	case FrameV1:
+		dst = append(dst, frameMagic, typeDataV1)
+		dst = binary.BigEndian.AppendUint32(dst, f.FlowID)
 	case FrameV0:
 		if f.FlowID != 0 {
 			return nil, fmt.Errorf("link: v0 frames cannot carry flow %d", f.FlowID)
 		}
-		headerLen = dataHeaderLen
+		dst = append(dst, frameMagic, typeData)
 	default:
 		return nil, fmt.Errorf("link: unknown frame version %d", f.Version)
 	}
-	buf := make([]byte, headerLen+8*len(f.Symbols))
-	buf[0] = frameMagic
-	off := 2
-	if f.Version == FrameV1 {
-		buf[1] = typeDataV1
-		binary.BigEndian.PutUint32(buf[off:], f.FlowID)
-		off += 4
-	} else {
-		buf[1] = typeData
-	}
-	binary.BigEndian.PutUint32(buf[off:], f.MsgID)
-	binary.BigEndian.PutUint32(buf[off+4:], f.MessageBits)
-	buf[off+8] = f.K
-	buf[off+9] = f.C
-	buf[off+10] = f.Schedule
-	binary.BigEndian.PutUint64(buf[off+11:], f.Seed)
-	binary.BigEndian.PutUint32(buf[off+19:], f.StartIndex)
-	binary.BigEndian.PutUint16(buf[off+23:], uint16(len(f.Symbols)))
-	off = headerLen
+	dst = binary.BigEndian.AppendUint32(dst, f.MsgID)
+	dst = binary.BigEndian.AppendUint32(dst, f.MessageBits)
+	dst = append(dst, f.K, f.C, f.Schedule)
+	dst = binary.BigEndian.AppendUint64(dst, f.Seed)
+	dst = binary.BigEndian.AppendUint32(dst, f.StartIndex)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(f.Symbols)))
 	for _, s := range f.Symbols {
-		binary.BigEndian.PutUint32(buf[off:], math.Float32bits(float32(real(s))))
-		binary.BigEndian.PutUint32(buf[off+4:], math.Float32bits(float32(imag(s))))
-		off += 8
+		dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(real(s))))
+		dst = binary.BigEndian.AppendUint32(dst, math.Float32bits(float32(imag(s))))
 	}
-	return buf, nil
+	return dst, nil
+}
+
+// Marshal serializes the data frame in the generation selected by Version.
+// It is a thin allocating wrapper over AppendTo, kept for tests and cold
+// paths; hot paths append into leased buffers instead.
+func (f *DataFrame) Marshal() ([]byte, error) {
+	headerLen := dataHeaderLenV1
+	if f.Version == FrameV0 {
+		headerLen = dataHeaderLen
+	}
+	return f.AppendTo(make([]byte, 0, headerLen+8*len(f.Symbols)))
+}
+
+// AppendTo appends the ack's wire encoding to dst and returns the extended
+// slice — the allocation-free counterpart of Marshal for the per-frame ack
+// path.
+func (f *AckFrame) AppendTo(dst []byte) []byte {
+	if f.Version == FrameV0 {
+		dst = append(dst, frameMagic, typeAck)
+		dst = binary.BigEndian.AppendUint32(dst, f.MsgID)
+		if f.Decoded {
+			return append(dst, 1)
+		}
+		return append(dst, 0)
+	}
+	dst = append(dst, frameMagic, typeAckV1)
+	dst = binary.BigEndian.AppendUint32(dst, f.FlowID)
+	dst = binary.BigEndian.AppendUint32(dst, f.MsgID)
+	if f.Decoded {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
 }
 
 // Marshal serializes the ack frame in the generation selected by Version.
@@ -137,117 +159,227 @@ func (f *DataFrame) Marshal() ([]byte, error) {
 // truncated to the flow-less encoding (the legacy sender it addresses
 // matches on MsgID alone).
 func (f *AckFrame) Marshal() []byte {
+	size := ackLenV1
 	if f.Version == FrameV0 {
-		buf := make([]byte, ackLen)
-		buf[0] = frameMagic
-		buf[1] = typeAck
-		binary.BigEndian.PutUint32(buf[2:], f.MsgID)
-		if f.Decoded {
-			buf[6] = 1
-		}
-		return buf
+		size = ackLen
 	}
-	buf := make([]byte, ackLenV1)
-	buf[0] = frameMagic
-	buf[1] = typeAckV1
-	binary.BigEndian.PutUint32(buf[2:], f.FlowID)
-	binary.BigEndian.PutUint32(buf[6:], f.MsgID)
-	if f.Decoded {
-		buf[10] = 1
-	}
-	return buf
+	return f.AppendTo(make([]byte, 0, size))
 }
 
-// ParseFrame decodes a received frame into either *DataFrame or *AckFrame.
-// Both v0 and v1 frames are accepted; v0 frames come back with FlowID 0 and
-// Version FrameV0.
-func ParseFrame(buf []byte) (interface{}, error) {
+// FrameKind discriminates the two frame families a FrameView can hold.
+type FrameKind uint8
+
+const (
+	// KindData marks a view over a data frame.
+	KindData FrameKind = 1
+	// KindAck marks a view over an ack frame.
+	KindAck FrameKind = 2
+)
+
+// FrameView is a zero-copy decoded frame: the fixed header fields are copied
+// out of the input buffer, but a data frame's symbol payload is NOT — the
+// view aliases it in place, and SymbolsInto decodes the float32 I/Q pairs
+// straight into a caller-owned destination (typically the receiver's scratch
+// batch). The view is therefore only valid while the backing buffer is; once
+// the buffer is released or reused the symbol accessors read garbage. Ack
+// fields are fully copied out (an ack has no payload), so Ack() survives the
+// buffer — the aliasing fuzz test pins both contracts.
+//
+// A zero view is invalid; populate it with UnmarshalFrameInPlace. Views are
+// meant to be reused across frames: unmarshaling overwrites every field and
+// performs no allocation.
+type FrameView struct {
+	Kind    FrameKind
+	Version uint8
+	// FlowID is 0 for v0 frames, which carry no flow id on the wire.
+	FlowID uint32
+	MsgID  uint32
+
+	// Data-frame fields (zero for acks).
+	MessageBits uint32
+	K           uint8
+	C           uint8
+	Schedule    uint8
+	Seed        uint64
+	StartIndex  uint32
+	// NumSymbols is the symbol count of a data frame; the samples themselves
+	// stay in the backing buffer (sym) until SymbolsInto extracts them.
+	NumSymbols int
+	sym        []byte
+
+	// Decoded is the ack status (acks only).
+	Decoded bool
+}
+
+// UnmarshalFrameInPlace parses one raw frame into v without copying the
+// symbol payload: v's symbol accessors alias buf. It accepts exactly the
+// frames ParseFrame accepts and performs no allocation on any path that
+// returns nil.
+func UnmarshalFrameInPlace(buf []byte, v *FrameView) error {
 	if len(buf) < 2 {
-		return nil, fmt.Errorf("link: frame too short (%d bytes)", len(buf))
+		return fmt.Errorf("link: frame too short (%d bytes)", len(buf))
 	}
 	if len(buf) > maxFrameSize {
-		return nil, fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(buf), maxFrameSize)
+		return fmt.Errorf("link: frame of %d bytes exceeds limit %d", len(buf), maxFrameSize)
 	}
 	if buf[0] != frameMagic {
-		return nil, fmt.Errorf("link: bad frame magic %#x", buf[0])
+		return fmt.Errorf("link: bad frame magic %#x", buf[0])
 	}
 	switch buf[1] {
 	case typeData:
-		return parseDataFrame(buf, FrameV0)
+		return v.unmarshalData(buf, FrameV0)
 	case typeDataV1:
-		return parseDataFrame(buf, FrameV1)
+		return v.unmarshalData(buf, FrameV1)
 	case typeAck:
-		return parseAckFrame(buf, FrameV0)
+		return v.unmarshalAck(buf, FrameV0)
 	case typeAckV1:
-		return parseAckFrame(buf, FrameV1)
+		return v.unmarshalAck(buf, FrameV1)
 	default:
-		return nil, fmt.Errorf("link: unknown frame type %d", buf[1])
+		return fmt.Errorf("link: unknown frame type %d", buf[1])
 	}
 }
 
-func parseDataFrame(buf []byte, version uint8) (*DataFrame, error) {
+func (v *FrameView) unmarshalData(buf []byte, version uint8) error {
 	headerLen := dataHeaderLen
 	if version == FrameV1 {
 		headerLen = dataHeaderLenV1
 	}
 	if len(buf) < headerLen {
-		return nil, fmt.Errorf("link: data frame header truncated (%d bytes)", len(buf))
+		return fmt.Errorf("link: data frame header truncated (%d bytes)", len(buf))
 	}
-	f := &DataFrame{Version: version}
 	off := 2
+	flow := uint32(0)
 	if version == FrameV1 {
-		f.FlowID = binary.BigEndian.Uint32(buf[off:])
+		flow = binary.BigEndian.Uint32(buf[off:])
 		off += 4
 	}
-	f.MsgID = binary.BigEndian.Uint32(buf[off:])
-	f.MessageBits = binary.BigEndian.Uint32(buf[off+4:])
-	f.K = buf[off+8]
-	f.C = buf[off+9]
-	f.Schedule = buf[off+10]
-	f.Seed = binary.BigEndian.Uint64(buf[off+11:])
-	f.StartIndex = binary.BigEndian.Uint32(buf[off+19:])
 	count := int(binary.BigEndian.Uint16(buf[off+23:]))
 	if count == 0 {
-		return nil, fmt.Errorf("link: data frame with zero symbols")
+		return fmt.Errorf("link: data frame with zero symbols")
 	}
 	if len(buf) != headerLen+8*count {
-		return nil, fmt.Errorf("link: data frame length %d does not match %d symbols", len(buf), count)
+		return fmt.Errorf("link: data frame length %d does not match %d symbols", len(buf), count)
 	}
-	f.Symbols = make([]complex128, count)
-	off = headerLen
-	for i := range f.Symbols {
-		re := math.Float32frombits(binary.BigEndian.Uint32(buf[off:]))
-		im := math.Float32frombits(binary.BigEndian.Uint32(buf[off+4:]))
-		f.Symbols[i] = complex(float64(re), float64(im))
-		off += 8
+	*v = FrameView{
+		Kind:        KindData,
+		Version:     version,
+		FlowID:      flow,
+		MsgID:       binary.BigEndian.Uint32(buf[off:]),
+		MessageBits: binary.BigEndian.Uint32(buf[off+4:]),
+		K:           buf[off+8],
+		C:           buf[off+9],
+		Schedule:    buf[off+10],
+		Seed:        binary.BigEndian.Uint64(buf[off+11:]),
+		StartIndex:  binary.BigEndian.Uint32(buf[off+19:]),
+		NumSymbols:  count,
+		sym:         buf[headerLen:],
 	}
-	return f, nil
+	return nil
 }
 
-func parseAckFrame(buf []byte, version uint8) (*AckFrame, error) {
+func (v *FrameView) unmarshalAck(buf []byte, version uint8) error {
 	if version == FrameV1 {
 		if len(buf) != ackLenV1 {
-			return nil, fmt.Errorf("link: v1 ack frame has %d bytes, want %d", len(buf), ackLenV1)
+			return fmt.Errorf("link: v1 ack frame has %d bytes, want %d", len(buf), ackLenV1)
 		}
 		if buf[10] > 1 {
-			return nil, fmt.Errorf("link: ack status byte %d invalid", buf[10])
+			return fmt.Errorf("link: ack status byte %d invalid", buf[10])
 		}
-		return &AckFrame{
+		*v = FrameView{
+			Kind:    KindAck,
 			Version: FrameV1,
 			FlowID:  binary.BigEndian.Uint32(buf[2:]),
 			MsgID:   binary.BigEndian.Uint32(buf[6:]),
 			Decoded: buf[10] == 1,
-		}, nil
+		}
+		return nil
 	}
 	if len(buf) != ackLen {
-		return nil, fmt.Errorf("link: ack frame has %d bytes, want %d", len(buf), ackLen)
+		return fmt.Errorf("link: ack frame has %d bytes, want %d", len(buf), ackLen)
 	}
 	if buf[6] > 1 {
-		return nil, fmt.Errorf("link: ack status byte %d invalid", buf[6])
+		return fmt.Errorf("link: ack status byte %d invalid", buf[6])
 	}
-	return &AckFrame{
+	*v = FrameView{
+		Kind:    KindAck,
 		Version: FrameV0,
 		MsgID:   binary.BigEndian.Uint32(buf[2:]),
 		Decoded: buf[6] == 1,
-	}, nil
+	}
+	return nil
+}
+
+// SymbolsInto decodes the data frame's float32 I/Q pairs from the backing
+// buffer into dst, which must hold at least NumSymbols entries. It is the
+// single conversion the zero-copy ingest path performs: wire bytes become
+// observation values with no intermediate slice.
+func (v *FrameView) SymbolsInto(dst []complex128) {
+	if v.Kind != KindData {
+		panic("link: SymbolsInto on a non-data frame view")
+	}
+	_ = dst[v.NumSymbols-1]
+	for i := 0; i < v.NumSymbols; i++ {
+		re := math.Float32frombits(binary.BigEndian.Uint32(v.sym[8*i:]))
+		im := math.Float32frombits(binary.BigEndian.Uint32(v.sym[8*i+4:]))
+		dst[i] = complex(float64(re), float64(im))
+	}
+}
+
+// SymbolAt decodes the i-th symbol of a data frame view.
+func (v *FrameView) SymbolAt(i int) complex128 {
+	if v.Kind != KindData {
+		panic("link: SymbolAt on a non-data frame view")
+	}
+	re := math.Float32frombits(binary.BigEndian.Uint32(v.sym[8*i:]))
+	im := math.Float32frombits(binary.BigEndian.Uint32(v.sym[8*i+4:]))
+	return complex(float64(re), float64(im))
+}
+
+// Ack copies the view out as an AckFrame. The copy is independent of the
+// backing buffer: mutating the buffer afterwards must not change it.
+func (v *FrameView) Ack() AckFrame {
+	if v.Kind != KindAck {
+		panic("link: Ack on a non-ack frame view")
+	}
+	return AckFrame{Version: v.Version, FlowID: v.FlowID, MsgID: v.MsgID, Decoded: v.Decoded}
+}
+
+// Data materializes the view as an allocating *DataFrame with its own symbol
+// slice — the compatibility bridge from the zero-copy path back to the
+// original parse API.
+func (v *FrameView) Data() *DataFrame {
+	if v.Kind != KindData {
+		panic("link: Data on a non-data frame view")
+	}
+	f := &DataFrame{
+		Version:     v.Version,
+		FlowID:      v.FlowID,
+		MsgID:       v.MsgID,
+		MessageBits: v.MessageBits,
+		K:           v.K,
+		C:           v.C,
+		Schedule:    v.Schedule,
+		Seed:        v.Seed,
+		StartIndex:  v.StartIndex,
+		Symbols:     make([]complex128, v.NumSymbols),
+	}
+	v.SymbolsInto(f.Symbols)
+	return f
+}
+
+// ParseFrame decodes a received frame into either *DataFrame or *AckFrame.
+// Both v0 and v1 frames are accepted; v0 frames come back with FlowID 0 and
+// Version FrameV0. It is the allocating wrapper over UnmarshalFrameInPlace —
+// one parser, two calling conventions — kept for tests, tools and the
+// sender's ack path, where a copied-out frame is the right shape.
+func ParseFrame(buf []byte) (interface{}, error) {
+	var v FrameView
+	if err := UnmarshalFrameInPlace(buf, &v); err != nil {
+		return nil, err
+	}
+	if v.Kind == KindData {
+		return v.Data(), nil
+	}
+	ack := v.Ack()
+	return &ack, nil
 }

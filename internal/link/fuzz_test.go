@@ -49,12 +49,38 @@ func FuzzUnmarshalFrame(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{frameMagic}, dataHeaderLenV1))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The in-place parser and ParseFrame must agree on accept/reject —
+		// they are two entrances to one wire format.
+		var view FrameView
+		viewErr := UnmarshalFrameInPlace(data, &view)
 		parsed, err := ParseFrame(data)
+		if (err == nil) != (viewErr == nil) {
+			t.Fatalf("parsers disagree: ParseFrame err %v, in-place err %v", err, viewErr)
+		}
 		if err != nil {
 			return
 		}
 		switch fr := parsed.(type) {
 		case *DataFrame:
+			if view.Kind != KindData {
+				t.Fatalf("in-place view kind %d for a data frame", view.Kind)
+			}
+			if view.FlowID != fr.FlowID || view.MsgID != fr.MsgID ||
+				view.MessageBits != fr.MessageBits || view.K != fr.K || view.C != fr.C ||
+				view.Schedule != fr.Schedule || view.Seed != fr.Seed ||
+				view.StartIndex != fr.StartIndex || view.NumSymbols != len(fr.Symbols) {
+				t.Fatalf("in-place view header disagrees with ParseFrame:\nview: %+v\ndata: %+v", view, fr)
+			}
+			// The aliasing view must yield the same symbols, both per-symbol
+			// and via the batch extraction.
+			batch := make([]complex128, view.NumSymbols)
+			view.SymbolsInto(batch)
+			for i, want := range fr.Symbols {
+				got := view.SymbolAt(i)
+				if !sameComplex(got, want) || !sameComplex(batch[i], want) {
+					t.Fatalf("symbol %d: view %v / batch %v, ParseFrame %v", i, got, batch[i], want)
+				}
+			}
 			out, err := fr.Marshal()
 			if err != nil {
 				t.Fatalf("accepted data frame does not re-marshal: %v", err)
@@ -64,7 +90,27 @@ func FuzzUnmarshalFrame(f *testing.F) {
 			if !hasNaNSymbol(fr) && !bytes.Equal(out, data) {
 				t.Fatalf("data frame round trip changed bytes:\n in: %x\nout: %x", data, out)
 			}
+			// Materializing through the view must round-trip identically too.
+			if mat, err := view.Data().Marshal(); err != nil || (!hasNaNSymbol(fr) && !bytes.Equal(mat, data)) {
+				t.Fatalf("view-materialized frame diverged (err %v):\n in: %x\nout: %x", err, data, mat)
+			}
 		case *AckFrame:
+			if view.Kind != KindAck {
+				t.Fatalf("in-place view kind %d for an ack", view.Kind)
+			}
+			// Copy the ack out of the view, then clobber the backing buffer:
+			// the copy must be unaffected — the aliasing is confined to the
+			// symbol payload, never to copied-out acks.
+			ack := view.Ack()
+			for i := range data {
+				data[i] ^= 0xFF
+			}
+			if ack.FlowID != fr.FlowID || ack.MsgID != fr.MsgID || ack.Decoded != fr.Decoded || ack.Version != fr.Version {
+				t.Fatalf("copied-out ack corrupted by buffer mutation: %+v vs %+v", ack, fr)
+			}
+			for i := range data {
+				data[i] ^= 0xFF
+			}
 			if out := fr.Marshal(); !bytes.Equal(out, data) {
 				t.Fatalf("ack frame round trip changed bytes:\n in: %x\nout: %x", data, out)
 			}
@@ -72,4 +118,13 @@ func FuzzUnmarshalFrame(f *testing.F) {
 			t.Fatalf("parser returned unexpected type %T", parsed)
 		}
 	})
+}
+
+// sameComplex is equality that treats NaN coordinates as equal to NaN, so
+// hostile NaN payloads don't trip the comparison itself.
+func sameComplex(a, b complex128) bool {
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	return eq(real(a), real(b)) && eq(imag(a), imag(b))
 }

@@ -1,0 +1,7 @@
+//go:build !race
+
+package link
+
+// raceEnabled lets allocation-count tests skip under the race detector,
+// whose instrumentation allocates on paths that are otherwise alloc-free.
+const raceEnabled = false

@@ -1,0 +1,342 @@
+package link
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ReactorConfig configures a Reactor.
+type ReactorConfig struct {
+	// Addr is the UDP address every shard binds (e.g. ":9000"). With more
+	// than one shard the sockets share the address via SO_REUSEPORT, so the
+	// kernel spreads incoming datagrams across them.
+	Addr string
+	// Shards is the number of sockets, each drained by its own reader
+	// goroutine. Default 1 (no SO_REUSEPORT required).
+	Shards int
+	// Batch is the number of frames each reader asks for per
+	// ReceiveBatchFrom call. Default 32.
+	Batch int
+	// Queue is the depth of the merged frame queue feeding the consumer.
+	// Default Shards*Batch*8.
+	Queue int
+	// Arena supplies the frame buffers; nil creates a private arena sized
+	// to the queue. A caller-supplied arena must have BufCap() of at least
+	// MaxFrameSize.
+	Arena *Arena
+}
+
+// reactorFrame is one received frame in flight between a reader and the
+// consumer: the arena lease holding the bytes plus its source address.
+type reactorFrame struct {
+	buf  *ArenaBuf
+	addr net.Addr
+}
+
+// ReactorStats counts the reactor's traffic.
+type ReactorStats struct {
+	// Frames is the number of frames enqueued for the consumer.
+	Frames uint64
+	// Dropped is the number of frames discarded because the merged queue
+	// was full — the userspace analogue of a kernel socket-buffer drop.
+	Dropped uint64
+	// Arena is the ledger of the reactor's buffer arena.
+	Arena ArenaStats
+}
+
+// Reactor shards the UDP ingest path: N SO_REUSEPORT sockets × one reader
+// goroutine each, every reader pulling recvmmsg batches into arena-leased
+// buffers and merging them onto one queue. It implements
+// BatchPacketTransport, so a flow-demuxed Receiver consumes it like any
+// other transport — but ReceiveBatchFrom hands frames over by *swapping*
+// buffer storage with the caller instead of copying, keeping the whole
+// socket→decoder path zero-copy.
+//
+// Sends (acks, mostly) are distributed round-robin across the shard sockets;
+// all shards are bound to the same local address, so replies carry the same
+// source no matter which socket they leave on.
+type Reactor struct {
+	cfg   ReactorConfig
+	socks []*UDP
+	arena *Arena
+	own   bool // arena is reactor-owned: Close closes (and leak-checks) it
+
+	q    chan reactorFrame
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// popTimer is the reused blocking-pop timer (popMu-guarded); concurrent
+	// pops fall back to a throwaway timer rather than wait for it.
+	popMu    sync.Mutex
+	popTimer *time.Timer
+
+	frames  atomic.Uint64
+	dropped atomic.Uint64
+	sendIdx atomic.Uint64
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewReactor binds the shard sockets and starts the reader goroutines.
+func NewReactor(cfg ReactorConfig) (*Reactor, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = cfg.Shards * cfg.Batch * 8
+	}
+	arena := cfg.Arena
+	own := false
+	if arena == nil {
+		arena = NewArena(0, cfg.Queue+cfg.Shards*cfg.Batch+64)
+		own = true
+	} else if arena.BufCap() < MaxFrameSize {
+		return nil, fmt.Errorf("link: reactor arena buffers of %d bytes cannot hold a %d-byte frame", arena.BufCap(), MaxFrameSize)
+	}
+	r := &Reactor{
+		cfg:   cfg,
+		arena: arena,
+		own:   own,
+		q:     make(chan reactorFrame, cfg.Queue),
+		done:  make(chan struct{}),
+	}
+	addr := cfg.Addr
+	for i := 0; i < cfg.Shards; i++ {
+		var lc net.ListenConfig
+		if cfg.Shards > 1 {
+			lc.Control = reusePortControl
+		}
+		pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+		if err != nil {
+			for _, s := range r.socks {
+				s.Close()
+			}
+			return nil, fmt.Errorf("link: reactor shard %d listen %q: %w", i, addr, err)
+		}
+		r.socks = append(r.socks, &UDP{conn: pc})
+		if i == 0 {
+			// Later shards must bind the port the first one resolved
+			// (matters when Addr asked for ":0").
+			addr = pc.LocalAddr().String()
+		}
+	}
+	for _, s := range r.socks {
+		r.wg.Add(1)
+		go r.read(s)
+	}
+	return r, nil
+}
+
+// read is one shard's reader loop: recvmmsg batches into leased buffers,
+// each frame pushed onto the merged queue still in its lease.
+func (r *Reactor) read(s *UDP) {
+	defer r.wg.Done()
+	batch := r.cfg.Batch
+	bufs := make([][]byte, batch)
+	addrs := make([]net.Addr, batch)
+	leases := make([]*ArenaBuf, batch)
+	for i := range bufs {
+		leases[i] = r.arena.Lease()
+		bufs[i] = leases[i].Data
+	}
+	defer func() {
+		for _, lb := range leases {
+			lb.Release()
+		}
+	}()
+	for {
+		select {
+		case <-r.done:
+			return
+		default:
+		}
+		n, err := s.ReceiveBatchFrom(bufs, addrs, 50*time.Millisecond)
+		if err != nil {
+			if err == ErrTimeout {
+				continue
+			}
+			// Socket closed (or hard error): this shard is done.
+			return
+		}
+		for i := 0; i < n; i++ {
+			lb := leases[i]
+			lb.Data = bufs[i] // frame-length view; storage may have been swapped
+			select {
+			case r.q <- reactorFrame{buf: lb, addr: addrs[i]}:
+				r.frames.Add(1)
+			default:
+				r.dropped.Add(1)
+				lb.Release()
+			}
+			leases[i] = r.arena.Lease()
+			bufs[i] = leases[i].Data
+		}
+	}
+}
+
+// pop takes one frame off the merged queue, waiting up to timeout (zero
+// polls).
+func (r *Reactor) pop(timeout time.Duration) (reactorFrame, error) {
+	// Fast path: a queued frame returns without arming a timer, so the
+	// loaded steady state stays allocation-light.
+	select {
+	case fr := <-r.q:
+		return fr, nil
+	default:
+	}
+	if timeout <= 0 {
+		select {
+		case fr := <-r.q:
+			return fr, nil
+		case <-r.done:
+			return reactorFrame{}, ErrClosed
+		default:
+			return reactorFrame{}, ErrTimeout
+		}
+	}
+	var timer <-chan time.Time
+	if r.popMu.TryLock() {
+		if r.popTimer == nil {
+			r.popTimer = time.NewTimer(timeout)
+		} else {
+			r.popTimer.Reset(timeout)
+		}
+		timer = r.popTimer.C
+		defer func() {
+			r.popTimer.Stop()
+			r.popMu.Unlock()
+		}()
+	} else {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case fr := <-r.q:
+		return fr, nil
+	case <-r.done:
+		return reactorFrame{}, ErrClosed
+	case <-timer:
+		return reactorFrame{}, ErrTimeout
+	}
+}
+
+// ReceiveBatchFrom implements BatchPacketTransport by swapping storage with
+// the caller: bufs[i] is replaced by the arena storage holding frame i, and
+// the caller's old storage is folded back into the lease before release —
+// recycled when it has frame capacity, discarded otherwise. No bytes are
+// copied.
+func (r *Reactor) ReceiveBatchFrom(bufs [][]byte, addrs []net.Addr, timeout time.Duration) (int, error) {
+	got := 0
+	for got < len(bufs) {
+		var fr reactorFrame
+		var err error
+		if got == 0 {
+			fr, err = r.pop(timeout)
+		} else {
+			fr, err = r.pop(0)
+		}
+		if err != nil {
+			if got > 0 && err == ErrTimeout {
+				return got, nil
+			}
+			return got, err
+		}
+		old := bufs[got]
+		bufs[got] = fr.buf.Data
+		if addrs != nil {
+			addrs[got] = fr.addr
+		}
+		fr.buf.Data = old[:cap(old)]
+		fr.buf.Release()
+		got++
+	}
+	return got, nil
+}
+
+// ReceiveBatch implements BatchTransport.
+func (r *Reactor) ReceiveBatch(bufs [][]byte, timeout time.Duration) (int, error) {
+	return r.ReceiveBatchFrom(bufs, nil, timeout)
+}
+
+// ReceiveFrom implements PacketTransport (copying; the batched path is the
+// zero-copy one).
+func (r *Reactor) ReceiveFrom(buf []byte, timeout time.Duration) (int, net.Addr, error) {
+	fr, err := r.pop(timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	n := copy(buf, fr.buf.Data)
+	fr.buf.Release()
+	return n, fr.addr, nil
+}
+
+// Receive implements Transport.
+func (r *Reactor) Receive(buf []byte, timeout time.Duration) (int, error) {
+	n, _, err := r.ReceiveFrom(buf, timeout)
+	return n, err
+}
+
+// sock picks the next shard socket, round-robin.
+func (r *Reactor) sock() *UDP {
+	return r.socks[int(r.sendIdx.Add(1)-1)%len(r.socks)]
+}
+
+// Send implements Transport, delegating to a shard socket (which must have
+// learned or been configured with a peer).
+func (r *Reactor) Send(frame []byte) error { return r.sock().Send(frame) }
+
+// SendTo implements PacketTransport, round-robin across the shard sockets.
+func (r *Reactor) SendTo(frame []byte, to net.Addr) error { return r.sock().SendTo(frame, to) }
+
+// SendBatch implements BatchTransport.
+func (r *Reactor) SendBatch(frames [][]byte) (int, error) { return r.sock().SendBatch(frames) }
+
+// LocalAddr returns the shared local address of the shard sockets.
+func (r *Reactor) LocalAddr() net.Addr { return r.socks[0].LocalAddr() }
+
+// Shards returns the number of ingest sockets.
+func (r *Reactor) Shards() int { return len(r.socks) }
+
+// Stats returns a snapshot of the reactor's counters.
+func (r *Reactor) Stats() ReactorStats {
+	return ReactorStats{
+		Frames:  r.frames.Load(),
+		Dropped: r.dropped.Load(),
+		Arena:   r.arena.Stats(),
+	}
+}
+
+// Close stops the readers, closes the shard sockets, releases queued frames
+// and — when the arena is reactor-owned — closes it, surfacing any buffer
+// leak as an error.
+func (r *Reactor) Close() error {
+	r.closeOnce.Do(func() {
+		close(r.done)
+		for _, s := range r.socks {
+			s.Close()
+		}
+		r.wg.Wait()
+		for {
+			select {
+			case fr := <-r.q:
+				fr.buf.Release()
+				continue
+			default:
+			}
+			break
+		}
+		if r.own {
+			r.closeErr = r.arena.Close()
+		}
+	})
+	return r.closeErr
+}

@@ -1,6 +1,7 @@
 package link
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -55,7 +56,9 @@ import (
 // Applications that care deduplicate by (FlowID, MsgID).
 type Receiver struct {
 	tr         Transport
-	ptr        PacketTransport // tr when it can address peers, else nil
+	ptr        PacketTransport      // tr when it can address peers, else nil
+	btr        BatchTransport       // tr when it can receive batches, else nil
+	bptr       BatchPacketTransport // both at once, else nil
 	cfg        Config
 	impairment channel.SymbolChannel
 
@@ -67,8 +70,14 @@ type Receiver struct {
 	// goroutine only): positions and impaired values, index-aligned.
 	scratchPos []core.SymbolPos
 	scratchY   []complex128
-	pool       *core.DecoderPool
-	eng        *flowEngine
+	// rxBufs/rxAddrs are the ingest batch: Config.IngestBatch full-capacity
+	// frame buffers (storage may be swapped by arena-backed transports) and
+	// their source addresses. view is the reused in-place frame parse.
+	rxBufs  [][]byte
+	rxAddrs []net.Addr
+	view    FrameView
+	pool    *core.DecoderPool
+	eng     *flowEngine
 }
 
 // Delivered is one successfully decoded packet.
@@ -208,6 +217,21 @@ func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*R
 	if pt, ok := tr.(PacketTransport); ok {
 		r.ptr = pt
 	}
+	if bt, ok := tr.(BatchTransport); ok {
+		r.btr = bt
+	}
+	if bpt, ok := tr.(BatchPacketTransport); ok {
+		r.bptr = bpt
+	}
+	batch := cfg.IngestBatch
+	if r.btr == nil && r.bptr == nil {
+		batch = 1 // single-frame transport: one reused buffer
+	}
+	r.rxBufs = make([][]byte, batch)
+	for i := range r.rxBufs {
+		r.rxBufs[i] = make([]byte, maxFrameSize)
+	}
+	r.rxAddrs = make([]net.Addr, batch)
 	// Backstop for receivers dropped without Close (benchmarks and tests
 	// build them freely): stop the workers once the receiver is unreachable.
 	// The engine never references the receiver, so this cleanup can run.
@@ -229,9 +253,10 @@ func (r *Receiver) Close() error {
 // To keep the decoders from falling behind fast senders, Receive drains
 // every frame queued on the transport into the per-message pending buffers
 // and hands decode attempts to the worker pool; it never decodes inline.
+// On a BatchTransport the drain moves Config.IngestBatch frames per
+// transport call.
 func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 	deadline := time.Now().Add(timeout)
-	buf := make([]byte, maxFrameSize)
 	for {
 		// Read busy before take: if no attempt is outstanding afterwards,
 		// every finished attempt's result was already visible to take, so
@@ -251,22 +276,56 @@ func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 		if busy && slice > receivePoll {
 			slice = receivePoll
 		}
-		n, from, err := r.receiveFrom(buf, slice)
-		if err == ErrTimeout {
+		got, err := r.ingest(slice)
+		if errors.Is(err, ErrTimeout) {
 			continue
 		}
 		if err != nil {
 			return nil, err
 		}
+		r.processIngested(got)
 		// Drain whatever else is queued without blocking.
 		for {
-			if st, fresh, aerr := r.addFrame(buf[:n], from); aerr == nil && fresh {
-				r.enqueue(st)
-			}
-			n, from, err = r.receiveFrom(buf, 0)
-			if err != nil {
+			got, err = r.ingest(0)
+			if err != nil || got == 0 {
 				break
 			}
+			r.processIngested(got)
+		}
+	}
+}
+
+// ingest pulls the next batch of raw frames off the transport into
+// rxBufs/rxAddrs and returns how many arrived. Transports without batch
+// support deliver one frame per call.
+func (r *Receiver) ingest(timeout time.Duration) (int, error) {
+	switch {
+	case r.bptr != nil:
+		return r.bptr.ReceiveBatchFrom(r.rxBufs, r.rxAddrs, timeout)
+	case r.btr != nil:
+		return r.btr.ReceiveBatch(r.rxBufs, timeout)
+	default:
+		buf := r.rxBufs[0][:cap(r.rxBufs[0])]
+		n, from, err := r.receiveFrom(buf, timeout)
+		if err != nil {
+			return 0, err
+		}
+		r.rxBufs[0] = buf[:n]
+		r.rxAddrs[0] = from
+		return 1, nil
+	}
+}
+
+// processIngested runs the ingested frames through the demux, queueing a
+// decode attempt for every message that gained symbols.
+func (r *Receiver) processIngested(got int) {
+	for i := 0; i < got; i++ {
+		var from net.Addr
+		if r.bptr != nil || r.btr == nil {
+			from = r.rxAddrs[i]
+		}
+		if st, fresh, err := r.addFrame(r.rxBufs[i], from); err == nil && fresh {
+			r.enqueue(st)
 		}
 	}
 }
@@ -294,25 +353,44 @@ func (r *Receiver) HandleFrame(raw []byte) (*Delivered, error) {
 	return r.eng.attempt(st)
 }
 
-// addFrame parses a raw frame and appends its symbols to the per-message
-// pending buffer. It returns the state the frame contributed to and whether
-// that message needs a decode attempt (acks and duplicates of
-// already-delivered messages do not).
+// HandleFrames is HandleFrame over a whole batch: every frame is ingested
+// and attempted in order, and all completed packets are returned. It is the
+// deterministic counterpart of the batched Receive path — identical frames
+// produce identical deliveries regardless of how they were batched. The
+// first frame error stops the batch.
+func (r *Receiver) HandleFrames(raws [][]byte) ([]Delivered, error) {
+	var out []Delivered
+	for _, raw := range raws {
+		d, err := r.HandleFrame(raw)
+		if err != nil {
+			return out, err
+		}
+		if d != nil {
+			out = append(out, *d)
+		}
+	}
+	return out, nil
+}
+
+// addFrame parses a raw frame in place and appends its symbols to the
+// per-message pending buffer. It returns the state the frame contributed to
+// and whether that message needs a decode attempt (acks and duplicates of
+// already-delivered messages do not). The symbol payload is read straight
+// out of raw via the reused view — no per-frame allocation.
 func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) {
-	parsed, err := ParseFrame(raw)
-	if err != nil {
+	v := &r.view
+	if err := UnmarshalFrameInPlace(raw, v); err != nil {
 		return nil, false, err
 	}
-	data, ok := parsed.(*DataFrame)
-	if !ok {
+	if v.Kind != KindData {
 		return nil, false, nil // stray ack: ignore
 	}
-	st, err := r.stateFor(data)
+	st, err := r.stateFor(v)
 	if err != nil {
 		return nil, false, err
 	}
 	r.seq++
-	r.flows[data.FlowID].lastSeq = r.seq
+	r.flows[v.FlowID].lastSeq = r.seq
 	if r.seq%evictSweepEvery == 0 {
 		r.evictDelivered()
 	}
@@ -335,12 +413,12 @@ func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) 
 	// runs over the whole frame in one block call when the model supports
 	// it, and the pending buffer receives the frame through one append.
 	nseg := st.params.NumSegments()
-	n := len(data.Symbols)
+	n := v.NumSymbols
 	// Bound the stream indices before the batch position fill: on 32-bit
 	// platforms a hostile StartIndex would otherwise wrap negative and panic
 	// in the schedule instead of dropping the frame.
-	if int64(data.StartIndex)+int64(n) > math.MaxInt32 {
-		return nil, false, fmt.Errorf("link: symbol start index %d out of range", data.StartIndex)
+	if int64(v.StartIndex)+int64(n) > math.MaxInt32 {
+		return nil, false, fmt.Errorf("link: symbol start index %d out of range", v.StartIndex)
 	}
 	if cap(r.scratchPos) < n {
 		r.scratchPos = make([]core.SymbolPos, n)
@@ -348,13 +426,13 @@ func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) 
 	}
 	poss := r.scratchPos[:n]
 	ys := r.scratchY[:n]
-	core.PositionsInto(st.sched, int(data.StartIndex), poss)
+	core.PositionsInto(st.sched, int(v.StartIndex), poss)
 	for i, pos := range poss {
 		if pos.Spine >= nseg {
-			return nil, false, fmt.Errorf("link: symbol index %d out of range", int(data.StartIndex)+i)
+			return nil, false, fmt.Errorf("link: symbol index %d out of range", int(v.StartIndex)+i)
 		}
 	}
-	copy(ys, data.Symbols)
+	v.SymbolsInto(ys)
 	if r.impairment != nil {
 		if blk, ok := r.impairment.(channel.BlockChannel); ok {
 			blk.CorruptBlock(ys, ys)
@@ -385,39 +463,39 @@ func (r *Receiver) enqueue(st *msgState) {
 }
 
 // stateFor finds or creates the decoding state for the message described by
-// a data frame, validating the advertised parameters and applying admission
-// control at every level (flow count, per-flow messages, total messages).
-// Validation runs before any admission decision, so a garbage frame can
-// never shed a live flow or evict tracked state.
-func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
-	fs := r.flows[data.FlowID]
+// a data-frame view, validating the advertised parameters and applying
+// admission control at every level (flow count, per-flow messages, total
+// messages). Validation runs before any admission decision, so a garbage
+// frame can never shed a live flow or evict tracked state.
+func (r *Receiver) stateFor(v *FrameView) (*msgState, error) {
+	fs := r.flows[v.FlowID]
 	if fs != nil {
-		if st, ok := fs.states[data.MsgID]; ok {
-			if st.params.MessageBits != int(data.MessageBits) || st.params.K != int(data.K) || st.params.C != int(data.C) {
-				return nil, fmt.Errorf("link: flow %d message %d changed parameters mid-flight", data.FlowID, data.MsgID)
+		if st, ok := fs.states[v.MsgID]; ok {
+			if st.params.MessageBits != int(v.MessageBits) || st.params.K != int(v.K) || st.params.C != int(v.C) {
+				return nil, fmt.Errorf("link: flow %d message %d changed parameters mid-flight", v.FlowID, v.MsgID)
 			}
 			return st, nil
 		}
 	}
-	if data.MessageBits == 0 || data.MessageBits > (MaxPayload+4)*8 {
-		return nil, fmt.Errorf("link: message of %d bits rejected", data.MessageBits)
+	if v.MessageBits == 0 || v.MessageBits > (MaxPayload+4)*8 {
+		return nil, fmt.Errorf("link: message of %d bits rejected", v.MessageBits)
 	}
-	if int(data.K) > 12 || data.K == 0 {
-		return nil, fmt.Errorf("link: unsupported k=%d", data.K)
+	if int(v.K) > 12 || v.K == 0 {
+		return nil, fmt.Errorf("link: unsupported k=%d", v.K)
 	}
-	if data.Seed != r.cfg.Seed {
+	if v.Seed != r.cfg.Seed {
 		return nil, fmt.Errorf("link: frame advertises unknown code seed")
 	}
 	params := core.Params{
-		K:           int(data.K),
-		C:           int(data.C),
-		MessageBits: int(data.MessageBits),
-		Seed:        data.Seed,
+		K:           int(v.K),
+		C:           int(v.C),
+		MessageBits: int(v.MessageBits),
+		Seed:        v.Seed,
 	}
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
-	sched, err := scheduleFor(data.Schedule, params.NumSegments())
+	sched, err := scheduleFor(v.Schedule, params.NumSegments())
 	if err != nil {
 		return nil, err
 	}
@@ -425,8 +503,8 @@ func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
 		if len(r.flows) >= r.cfg.MaxFlows {
 			r.shedOldestFlow()
 		}
-		fs = &flowState{id: data.FlowID, states: map[uint32]*msgState{}}
-		r.flows[data.FlowID] = fs
+		fs = &flowState{id: v.FlowID, states: map[uint32]*msgState{}}
+		r.flows[v.FlowID] = fs
 	}
 	if len(fs.states) >= r.cfg.MaxTrackedPerFlow {
 		r.evictForCap(fs, fs)
@@ -448,15 +526,15 @@ func (r *Receiver) stateFor(data *DataFrame) (*msgState, error) {
 	}
 	lease.Dec.SetParallelism(par)
 	st := &msgState{
-		flow:    data.FlowID,
-		id:      data.MsgID,
-		wireV1:  data.Version == FrameV1,
+		flow:    v.FlowID,
+		id:      v.MsgID,
+		wireV1:  v.Version == FrameV1,
 		params:  params,
 		sched:   sched,
 		minUses: (params.MessageBits + 2*params.C - 1) / (2 * params.C),
 		lease:   lease,
 	}
-	fs.states[data.MsgID] = st
+	fs.states[v.MsgID] = st
 	r.nmsgs++
 	return st, nil
 }
@@ -630,6 +708,9 @@ func (r *Receiver) PoolStats() core.PoolStats { return r.pool.Stats() }
 type flowEngine struct {
 	tr Transport
 	pt PacketTransport // tr when addressable, else nil
+	// acks leases the marshal buffers for outgoing acks, so the ack path
+	// allocates nothing in steady state.
+	acks *Arena
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -659,7 +740,7 @@ func newFlowEngine(tr Transport, workers int) *flowEngine {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &flowEngine{tr: tr, flowQ: map[uint32]*flowQueue{}}
+	e := &flowEngine{tr: tr, flowQ: map[uint32]*flowQueue{}, acks: NewArena(ackMarshalCap, 2*workers+8)}
 	if pt, ok := tr.(PacketTransport); ok {
 		e.pt = pt
 	}
@@ -872,18 +953,25 @@ func (e *flowEngine) sendAckFor(st *msgState, decoded bool) error {
 	if v1 {
 		version = FrameV1
 	}
-	ack := &AckFrame{Version: version, FlowID: st.flow, MsgID: st.id, Decoded: decoded}
+	ack := AckFrame{Version: version, FlowID: st.flow, MsgID: st.id, Decoded: decoded}
+	lb := e.acks.Lease()
+	frame := ack.AppendTo(lb.Data[:0])
 	var err error
 	if e.pt != nil && addr != nil {
-		err = e.pt.SendTo(ack.Marshal(), addr)
+		err = e.pt.SendTo(frame, addr)
 	} else {
-		err = e.tr.Send(ack.Marshal())
+		err = e.tr.Send(frame)
 	}
+	lb.Release()
 	if err != nil {
 		return fmt.Errorf("link: sending ack: %w", err)
 	}
 	return nil
 }
+
+// ackMarshalCap sizes the engine's ack-marshal arena buffers; the largest
+// ack (v1) is 11 bytes.
+const ackMarshalCap = 32
 
 // stop shuts the workers down, letting them drain queued attempts first.
 func (e *flowEngine) stop() {
@@ -893,5 +981,8 @@ func (e *flowEngine) stop() {
 		e.cond.Broadcast()
 		e.mu.Unlock()
 		e.wg.Wait()
+		// Every ack lease is released before its send returns, so a clean
+		// engine shutdown cannot leak; Close just drops the free list.
+		_ = e.acks.Close()
 	})
 }

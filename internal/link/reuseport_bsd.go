@@ -1,0 +1,18 @@
+//go:build darwin || freebsd || netbsd || openbsd || dragonfly
+
+package link
+
+import "syscall"
+
+// reusePortControl is the net.ListenConfig.Control hook that marks a socket
+// SO_REUSEPORT before bind, so N sockets can share one UDP address and the
+// kernel load-balances incoming datagrams across them.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_REUSEPORT, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

@@ -1,0 +1,22 @@
+//go:build linux
+
+package link
+
+import "syscall"
+
+// soReusePort is SO_REUSEPORT on Linux; the stdlib syscall package does not
+// define the constant there (it predates kernel 3.9).
+const soReusePort = 0xf
+
+// reusePortControl is the net.ListenConfig.Control hook that marks a socket
+// SO_REUSEPORT before bind, so N sockets can share one UDP address and the
+// kernel load-balances incoming datagrams across them.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	var serr error
+	if err := c.Control(func(fd uintptr) {
+		serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+	}); err != nil {
+		return err
+	}
+	return serr
+}

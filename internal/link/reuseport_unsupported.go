@@ -1,0 +1,14 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd && !dragonfly
+
+package link
+
+import (
+	"fmt"
+	"syscall"
+)
+
+// reusePortControl reports that SO_REUSEPORT sharding is unavailable; the
+// reactor still works with a single shard on these platforms.
+func reusePortControl(network, address string, c syscall.RawConn) error {
+	return fmt.Errorf("link: SO_REUSEPORT is not supported on this platform")
+}

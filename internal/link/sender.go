@@ -1,6 +1,7 @@
 package link
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -72,7 +73,22 @@ type Config struct {
 	// LegacyV0 makes the sender emit v0 (pre-flow) frames, for
 	// interoperating with pre-v1 receivers. Requires FlowID 0.
 	LegacyV0 bool
+	// IngestBatch is how many frames the receiver pulls from the transport
+	// per batched receive call (BatchTransport); zero selects
+	// DefaultIngestBatch. Transports without batch support ignore it.
+	IngestBatch int
+	// FlushFrames is how many data frames the sender coalesces into one
+	// SendBatch before it pauses to poll for an ack; zero selects 1, the
+	// classic frame-by-frame cadence. Larger values amortize syscalls at
+	// the cost of overshooting the ack by up to a flush of symbols.
+	FlushFrames int
 }
+
+// DefaultIngestBatch is the default receiver batch size per receive call.
+const DefaultIngestBatch = 32
+
+// MaxIngestBatch bounds IngestBatch and FlushFrames.
+const MaxIngestBatch = 1024
 
 // DefaultMaxTracked is the default cap on simultaneously tracked messages at
 // the receiver, across all flows.
@@ -119,6 +135,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxFlows == 0 {
 		c.MaxFlows = DefaultMaxFlows
 	}
+	if c.IngestBatch == 0 {
+		c.IngestBatch = DefaultIngestBatch
+	}
+	if c.FlushFrames == 0 {
+		c.FlushFrames = 1
+	}
 	return c
 }
 
@@ -157,6 +179,12 @@ func (c Config) validate() error {
 	if c.LegacyV0 && c.FlowID != 0 {
 		return fmt.Errorf("link: legacy v0 framing cannot carry flow %d", c.FlowID)
 	}
+	if c.IngestBatch < 1 || c.IngestBatch > MaxIngestBatch {
+		return fmt.Errorf("link: IngestBatch must be in [1,%d], got %d", MaxIngestBatch, c.IngestBatch)
+	}
+	if c.FlushFrames < 1 || c.FlushFrames > MaxIngestBatch {
+		return fmt.Errorf("link: FlushFrames must be in [1,%d], got %d", MaxIngestBatch, c.FlushFrames)
+	}
 	return nil
 }
 
@@ -164,10 +192,23 @@ func (c Config) validate() error {
 // state stays small on embedded receivers).
 const MaxPayload = 2048
 
-// Sender is the transmitting half of the rateless link.
+// Sender is the transmitting half of the rateless link. Its frame buffers
+// and symbol scratch are reused across packets, so Send must not be called
+// concurrently on one Sender (it never was safe to assume otherwise; use one
+// Sender per goroutine).
 type Sender struct {
 	tr  Transport
+	btr BatchTransport // tr when it supports batched sends, else nil
 	cfg Config
+
+	// arena leases the marshal buffers of in-flight (queued, not yet
+	// flushed) data frames; symbuf is the per-frame symbol scratch.
+	arena  *Arena
+	symbuf []complex128
+	frames [][]byte
+	leases []*ArenaBuf
+	ackBuf []byte
+	view   FrameView
 }
 
 // NewSender returns a sender that transmits over tr.
@@ -179,7 +220,19 @@ func NewSender(tr Transport, cfg Config) (*Sender, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Sender{tr: tr, cfg: cfg}, nil
+	s := &Sender{
+		tr:     tr,
+		cfg:    cfg,
+		arena:  NewArena(0, cfg.FlushFrames+2),
+		symbuf: make([]complex128, cfg.SymbolsPerFrame),
+		frames: make([][]byte, 0, cfg.FlushFrames),
+		leases: make([]*ArenaBuf, 0, cfg.FlushFrames),
+		ackBuf: make([]byte, maxFrameSize),
+	}
+	if bt, ok := tr.(BatchTransport); ok {
+		s.btr = bt
+	}
+	return s, nil
 }
 
 // SendReport summarizes the transmission of one packet.
@@ -230,12 +283,25 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 	report := &SendReport{}
 	maxSymbols := s.cfg.MaxPasses * params.NumSegments()
 	next := 0
+	// On any early exit, return queued-but-unflushed marshal buffers to the
+	// arena (flush clears both slices on the normal path).
+	defer func() {
+		for _, lb := range s.leases {
+			lb.Release()
+		}
+		s.leases = s.leases[:0]
+		s.frames = s.frames[:0]
+	}()
 	for next < maxSymbols {
 		count := s.cfg.SymbolsPerFrame
 		if next+count > maxSymbols {
 			count = maxSymbols - next
 		}
-		frame := &DataFrame{
+		syms := s.symbuf[:count]
+		for i := 0; i < count; i++ {
+			syms[i] = enc.SymbolAt(sched.Pos(next + i))
+		}
+		frame := DataFrame{
 			Version:     version,
 			FlowID:      s.cfg.FlowID,
 			MsgID:       msgID,
@@ -245,22 +311,29 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 			Schedule:    s.cfg.Schedule,
 			Seed:        s.cfg.Seed,
 			StartIndex:  uint32(next),
-			Symbols:     make([]complex128, count),
+			Symbols:     syms,
 		}
-		for i := 0; i < count; i++ {
-			frame.Symbols[i] = enc.SymbolAt(sched.Pos(next + i))
-		}
-		buf, err := frame.Marshal()
+		lb := s.arena.Lease()
+		buf, err := frame.AppendTo(lb.Data[:0])
 		if err != nil {
+			lb.Release()
 			return nil, err
 		}
-		if err := s.tr.Send(buf); err != nil {
-			return nil, fmt.Errorf("link: sending data frame: %w", err)
-		}
+		lb.Data = buf
+		s.leases = append(s.leases, lb)
+		s.frames = append(s.frames, buf)
 		next += count
 		report.FramesSent++
 		report.SymbolsSent = next
 
+		// Coalesce up to FlushFrames frames into one batched send before
+		// pausing for the ack poll.
+		if len(s.frames) < s.cfg.FlushFrames && next < maxSymbols {
+			continue
+		}
+		if err := s.flush(); err != nil {
+			return nil, err
+		}
 		acked, shed, err := s.waitForAck(msgID, s.cfg.AckPoll)
 		if err != nil {
 			return nil, err
@@ -290,12 +363,40 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 	return report, nil
 }
 
+// flush hands the queued frames to the transport — one SendBatch when the
+// transport supports it, a send loop otherwise — and returns their marshal
+// buffers to the arena.
+func (s *Sender) flush() error {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	var err error
+	if s.btr != nil {
+		_, err = s.btr.SendBatch(s.frames)
+	} else {
+		for _, f := range s.frames {
+			if err = s.tr.Send(f); err != nil {
+				break
+			}
+		}
+	}
+	for _, lb := range s.leases {
+		lb.Release()
+	}
+	s.leases = s.leases[:0]
+	s.frames = s.frames[:0]
+	if err != nil {
+		return fmt.Errorf("link: sending data frame: %w", err)
+	}
+	return nil
+}
+
 // waitForAck polls the transport for an acknowledgement of msgID on this
 // sender's flow. A positive ack reports acked; a negative ack — the
 // receiver shed this flow under admission control — reports shed, telling
 // Send to stop retransmitting.
 func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (acked, shed bool, err error) {
-	buf := make([]byte, maxFrameSize)
+	buf := s.ackBuf
 	deadline := time.Now().Add(wait)
 	for {
 		remaining := time.Until(deadline)
@@ -303,21 +404,20 @@ func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (acked, shed bool,
 			remaining = 0
 		}
 		n, err := s.tr.Receive(buf, remaining)
-		switch err {
-		case nil:
-		case ErrTimeout:
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrTimeout):
 			return false, false, nil
 		default:
 			return false, false, fmt.Errorf("link: waiting for ack: %w", err)
 		}
-		parsed, err := ParseFrame(buf[:n])
-		if err != nil {
+		if uerr := UnmarshalFrameInPlace(buf[:n], &s.view); uerr != nil {
 			continue // ignore garbage
 		}
 		// v0 acks carry flow 0, which is exactly this sender's flow when it
 		// speaks v0; acks for other flows on a shared transport are ignored.
-		if ack, ok := parsed.(*AckFrame); ok && ack.MsgID == msgID && ack.FlowID == s.cfg.FlowID {
-			if ack.Decoded {
+		if s.view.Kind == KindAck && s.view.MsgID == msgID && s.view.FlowID == s.cfg.FlowID {
+			if s.view.Decoded {
 				return true, false, nil
 			}
 			return false, true, nil

@@ -39,11 +39,51 @@ type Transport interface {
 	// their relative order; no order is defined between concurrent senders.
 	Send(frame []byte) error
 	// Receive waits up to timeout for one frame and copies it into buf,
-	// returning the frame length. A zero timeout polls without blocking.
-	// It returns ErrTimeout if no frame is available in time.
+	// returning the frame length. A zero timeout polls: it returns queued
+	// frames immediately and ErrTimeout when none are queued, without the
+	// blocking wait (the UDP transport's portable path may wait up to a
+	// millisecond for the kernel; its Linux batch path polls truly
+	// non-blocking). Timeout errors satisfy errors.Is(err, ErrTimeout).
 	Receive(buf []byte, timeout time.Duration) (int, error)
 	// Close releases the transport's resources.
 	Close() error
+}
+
+// BatchTransport is implemented by transports that can move many frames per
+// call, amortizing the per-frame cost (a syscall on UDP, a channel operation
+// on the pipe) across a whole batch. It is an optional upgrade interface:
+// callers type-assert and fall back to the one-frame methods.
+type BatchTransport interface {
+	Transport
+	// ReceiveBatch fills up to len(bufs) frames, one frame per buffer, and
+	// returns how many were received. Each bufs[i] is used to its full
+	// capacity and re-sliced to the frame length on return; implementations
+	// may swap bufs[i] for different backing storage of at least the same
+	// capacity (the arena swap contract), so callers must use the returned
+	// slice headers, not retain aliases of the originals. The timeout
+	// bounds the wait for the first frame only — once at least one frame
+	// is in hand the call returns with whatever else is immediately
+	// available, and a zero timeout polls without blocking. ErrTimeout is
+	// returned only when no frame arrived at all.
+	ReceiveBatch(bufs [][]byte, timeout time.Duration) (int, error)
+	// SendBatch transmits the frames in order and returns how many were
+	// handed to the link; frames the link itself drops (loss, full queue)
+	// count as sent, exactly as with Send. Each frame remains individually
+	// atomic.
+	SendBatch(frames [][]byte) (int, error)
+}
+
+// BatchPacketTransport combines batched I/O with per-peer addressing: the
+// multi-socket ingest path reads frame bursts with their source addresses so
+// acks can be directed back to the sender each frame came from.
+type BatchPacketTransport interface {
+	PacketTransport
+	BatchTransport
+	// ReceiveBatchFrom behaves like ReceiveBatch and additionally records
+	// the source address of frame i in addrs[i]. addrs may be nil when the
+	// caller does not need sources; otherwise len(addrs) must be at least
+	// len(bufs).
+	ReceiveBatchFrom(bufs [][]byte, addrs []net.Addr, timeout time.Duration) (int, error)
 }
 
 // PacketTransport is implemented by transports that can tell apart — and
@@ -64,16 +104,28 @@ type PacketTransport interface {
 // maxFrameSize bounds the size of a single frame on any transport.
 const maxFrameSize = 4096
 
+// MaxFrameSize is the exported frame-size bound: the capacity callers should
+// give receive buffers (and what Arena buffers default to) so any frame fits.
+const MaxFrameSize = maxFrameSize
+
 // Pipe is an in-memory Transport endpoint. Frames sent on one endpoint are
 // received on its peer, subject to an optional independent loss probability.
+// The pair shares a bounded free list of frame buffers, so its steady state
+// recycles storage instead of allocating per frame — the same discipline as
+// the UDP path, which keeps in-memory soak runs representative of the wire.
 type Pipe struct {
 	out   chan []byte
 	in    chan []byte
+	pool  chan []byte
 	loss  float64
 	src   *rng.Rand
 	mu    sync.Mutex
 	close chan struct{}
 	once  sync.Once
+	// rtimer is the reused blocking-receive timer (rtmu-guarded); a second
+	// concurrent Receive falls back to a throwaway timer rather than wait.
+	rtmu   sync.Mutex
+	rtimer *time.Timer
 }
 
 // NewPipePair returns two connected in-memory transports. Frames sent in
@@ -85,10 +137,33 @@ func NewPipePair(loss float64, seed uint64) (*Pipe, *Pipe, error) {
 	}
 	ab := make(chan []byte, 1024)
 	ba := make(chan []byte, 1024)
+	pool := make(chan []byte, cap(ab)+cap(ba)+64)
 	closed := make(chan struct{})
-	a := &Pipe{out: ab, in: ba, loss: loss, src: rng.New(seed), close: closed}
-	b := &Pipe{out: ba, in: ab, loss: loss, src: rng.New(seed + 1), close: closed}
+	a := &Pipe{out: ab, in: ba, pool: pool, loss: loss, src: rng.New(seed), close: closed}
+	b := &Pipe{out: ba, in: ab, pool: pool, loss: loss, src: rng.New(seed + 1), close: closed}
 	return a, b, nil
+}
+
+// getBuf takes a buffer from the pair's free list, allocating when empty.
+func (p *Pipe) getBuf() []byte {
+	select {
+	case b := <-p.pool:
+		return b[:0]
+	default:
+		return make([]byte, 0, maxFrameSize)
+	}
+}
+
+// putBuf returns a buffer to the free list, letting it go to the garbage
+// collector when the list is full.
+func (p *Pipe) putBuf(b []byte) {
+	if cap(b) < maxFrameSize {
+		return
+	}
+	select {
+	case p.pool <- b:
+	default:
+	}
 }
 
 // Send implements Transport. Lossy pipes drop the frame silently with the
@@ -110,44 +185,107 @@ func (p *Pipe) Send(frame []byte) error {
 	if drop {
 		return nil
 	}
-	cp := append([]byte(nil), frame...)
+	cp := append(p.getBuf(), frame...)
 	select {
 	case p.out <- cp:
 		return nil
 	case <-p.close:
+		p.putBuf(cp)
 		return ErrClosed
 	default:
 		// Queue full: behave like a saturated link and drop the frame.
+		p.putBuf(cp)
 		return nil
 	}
 }
 
-// Receive implements Transport.
+// Receive implements Transport. A zero timeout polls: queued frames return
+// immediately, an empty queue returns ErrTimeout without blocking.
 func (p *Pipe) Receive(buf []byte, timeout time.Duration) (int, error) {
-	var timer <-chan time.Time
-	if timeout > 0 {
-		t := time.NewTimer(timeout)
-		defer t.Stop()
-		timer = t.C
+	// Fast path: a queued frame returns without arming a timer, which keeps
+	// the loaded steady state allocation-free.
+	select {
+	case frame := <-p.in:
+		n := copy(buf, frame)
+		p.putBuf(frame)
+		return n, nil
+	default:
 	}
-	if timeout == 0 {
+	if timeout <= 0 {
 		select {
 		case frame := <-p.in:
-			return copy(buf, frame), nil
+			n := copy(buf, frame)
+			p.putBuf(frame)
+			return n, nil
 		case <-p.close:
 			return 0, ErrClosed
 		default:
 			return 0, ErrTimeout
 		}
 	}
+	var timer <-chan time.Time
+	if p.rtmu.TryLock() {
+		if p.rtimer == nil {
+			p.rtimer = time.NewTimer(timeout)
+		} else {
+			p.rtimer.Reset(timeout)
+		}
+		timer = p.rtimer.C
+		defer func() {
+			p.rtimer.Stop()
+			p.rtmu.Unlock()
+		}()
+	} else {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
 	select {
 	case frame := <-p.in:
-		return copy(buf, frame), nil
+		n := copy(buf, frame)
+		p.putBuf(frame)
+		return n, nil
 	case <-p.close:
 		return 0, ErrClosed
 	case <-timer:
 		return 0, ErrTimeout
 	}
+}
+
+// ReceiveBatch implements BatchTransport: the timeout applies to the first
+// frame only, everything already queued behind it is drained in the same
+// call.
+func (p *Pipe) ReceiveBatch(bufs [][]byte, timeout time.Duration) (int, error) {
+	got := 0
+	for got < len(bufs) {
+		to := timeout
+		if got > 0 {
+			to = 0
+		}
+		full := bufs[got][:cap(bufs[got])]
+		n, err := p.Receive(full, to)
+		if err != nil {
+			if got > 0 && errors.Is(err, ErrTimeout) {
+				return got, nil
+			}
+			return got, err
+		}
+		bufs[got] = full[:n]
+		got++
+	}
+	return got, nil
+}
+
+// SendBatch implements BatchTransport. On the in-memory pipe a batch is the
+// frames sent back to back; each frame keeps Send's per-frame atomicity and
+// loss behavior.
+func (p *Pipe) SendBatch(frames [][]byte) (int, error) {
+	for i, f := range frames {
+		if err := p.Send(f); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
 }
 
 // Close implements Transport. Closing either endpoint closes the pair.
@@ -157,11 +295,18 @@ func (p *Pipe) Close() error {
 }
 
 // UDP is a Transport over UDP datagrams, so the sender and receiver can run
-// as separate processes (see cmd/spinalsend and cmd/spinalrecv).
+// as separate processes (see cmd/spinalsend and cmd/spinalrecv). It also
+// implements BatchPacketTransport: on Linux batches map to single
+// recvmmsg/sendmmsg syscalls, elsewhere to a portable receive/send loop (see
+// udp_batch_*.go).
 type UDP struct {
 	conn net.PacketConn
 	peer net.Addr
 	mu   sync.Mutex
+
+	// batch holds the platform-specific batched-I/O state (scatter-gather
+	// headers and the sockaddr cache on Linux; empty elsewhere).
+	batch udpBatch
 }
 
 // NewUDP opens a UDP transport bound to localAddr (e.g. "127.0.0.1:9000" or
@@ -234,6 +379,11 @@ func (u *UDP) ReceiveFrom(buf []byte, timeout time.Duration) (int, net.Addr, err
 	}
 	u.mu.Unlock()
 	return n, from, nil
+}
+
+// ReceiveBatch implements BatchTransport.
+func (u *UDP) ReceiveBatch(bufs [][]byte, timeout time.Duration) (int, error) {
+	return u.ReceiveBatchFrom(bufs, nil, timeout)
 }
 
 // SendTo implements PacketTransport. A single WriteTo is one datagram, so

@@ -1,0 +1,53 @@
+//go:build !linux || !(amd64 || arm64)
+
+package link
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// udpBatch carries no state on platforms without a batched-syscall fast
+// path; the batch methods fall back to a portable receive/send loop.
+type udpBatch struct{}
+
+// ReceiveBatchFrom implements BatchPacketTransport with a portable loop: the
+// first frame honors the caller's timeout, the rest are drained with
+// zero-timeout polls. The portable zero-timeout poll may wait up to a
+// millisecond per probe (see ReceiveFrom); the Linux build replaces this
+// with a single non-blocking recvmmsg call.
+func (u *UDP) ReceiveBatchFrom(bufs [][]byte, addrs []net.Addr, timeout time.Duration) (int, error) {
+	got := 0
+	for got < len(bufs) {
+		to := timeout
+		if got > 0 {
+			to = 0
+		}
+		full := bufs[got][:cap(bufs[got])]
+		n, from, err := u.ReceiveFrom(full, to)
+		if err != nil {
+			if got > 0 && errors.Is(err, ErrTimeout) {
+				return got, nil
+			}
+			return got, err
+		}
+		bufs[got] = full[:n]
+		if addrs != nil {
+			addrs[got] = from
+		}
+		got++
+	}
+	return got, nil
+}
+
+// SendBatch implements BatchTransport as a plain send loop; every frame is
+// still one datagram.
+func (u *UDP) SendBatch(frames [][]byte) (int, error) {
+	for i, f := range frames {
+		if err := u.Send(f); err != nil {
+			return i, err
+		}
+	}
+	return len(frames), nil
+}

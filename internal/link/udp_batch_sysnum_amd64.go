@@ -1,0 +1,7 @@
+//go:build linux && amd64
+
+package link
+
+// sysSendmmsg is sendmmsg(2)'s syscall number on linux/amd64; the stdlib
+// syscall table there stops just short of it.
+const sysSendmmsg = 307

@@ -1,0 +1,8 @@
+//go:build linux && arm64
+
+package link
+
+import "syscall"
+
+// sysSendmmsg is sendmmsg(2)'s syscall number on linux/arm64.
+const sysSendmmsg = syscall.SYS_SENDMMSG

@@ -1,0 +1,307 @@
+package link
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// newTestReceiver builds a receiver over one end of a fresh pipe pair and
+// returns it with the peer endpoint (where its acks land).
+func newTestReceiver(t *testing.T, cfg Config) (*Receiver, *Pipe) {
+	t.Helper()
+	peer, rend, err := NewPipePair(0, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { peer.Close() })
+	r, err := NewReceiver(rend, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r, peer
+}
+
+// TestBatchedPathMatchesUnbatched is the end-to-end equivalence gate for the
+// zero-copy wire path: the same encoded frames delivered through
+// SendBatch → pipe → ReceiveBatch into arena-leased buffers must decode to
+// bit-identical payloads with identical symbol counts as the reference
+// frame-at-a-time path. Batching is an I/O optimization, never a semantic one.
+func TestBatchedPathMatchesUnbatched(t *testing.T) {
+	cfg := Config{SymbolsPerFrame: 24}
+	type msg struct {
+		flow, id uint32
+		payload  []byte
+	}
+	msgs := []msg{
+		{flow: 1, id: 1, payload: []byte("the quick brown fox jumps over the lazy dog")},
+		{flow: 1, id: 2, payload: bytes.Repeat([]byte{0xA7}, 200)},
+		{flow: 9, id: 1, payload: []byte("second flow, first message")},
+	}
+	// Interleave the flows' frames the way a shared link would see them.
+	var frames [][]byte
+	for _, m := range msgs {
+		fs, err := EncodeFrames(cfg, m.flow, m.id, m.payload, cfg.SymbolsPerFrame, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, fs...)
+	}
+	for i, j := 0, len(frames)-1; i < j; i, j = i+2, j-2 {
+		frames[i], frames[j] = frames[j], frames[i]
+	}
+
+	// Reference: deterministic frame-at-a-time ingest.
+	ref, _ := newTestReceiver(t, cfg)
+	want, err := ref.HandleFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(msgs) {
+		t.Fatalf("reference path delivered %d packets, want %d", len(want), len(msgs))
+	}
+
+	// Batched: the frames cross a pipe via SendBatch/ReceiveBatch into
+	// arena-leased buffers, then feed an identical receiver.
+	sendEnd, recvEnd, err := NewPipePair(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sendEnd.Close()
+	got, _ := newTestReceiver(t, cfg)
+	arena := NewArena(MaxFrameSize, len(frames)+4)
+	defer func() {
+		if err := arena.Close(); err != nil {
+			t.Errorf("arena leak after batched run: %v", err)
+		}
+	}()
+	var have []Delivered
+	for off := 0; off < len(frames); {
+		batch := 7 // deliberately not a divisor of len(frames)
+		if off+batch > len(frames) {
+			batch = len(frames) - off
+		}
+		if n, err := sendEnd.SendBatch(frames[off : off+batch]); err != nil || n != batch {
+			t.Fatalf("SendBatch = %d, %v", n, err)
+		}
+		leases := make([]*ArenaBuf, batch)
+		bufs := make([][]byte, batch)
+		for i := range bufs {
+			leases[i] = arena.Lease()
+			bufs[i] = leases[i].Data[:cap(leases[i].Data)]
+		}
+		n, err := recvEnd.ReceiveBatch(bufs, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != batch {
+			t.Fatalf("ReceiveBatch = %d, want %d", n, batch)
+		}
+		ds, err := got.HandleFrames(bufs[:n])
+		if err != nil {
+			t.Fatal(err)
+		}
+		have = append(have, ds...)
+		for i := range leases {
+			leases[i].Data = leases[i].Data[:cap(leases[i].Data)]
+			leases[i].Release()
+		}
+		off += batch
+	}
+
+	if len(have) != len(want) {
+		t.Fatalf("batched path delivered %d packets, reference %d", len(have), len(want))
+	}
+	for i := range want {
+		w, h := want[i], have[i]
+		if w.FlowID != h.FlowID || w.MsgID != h.MsgID {
+			t.Fatalf("delivery %d: batched (%d,%d) vs reference (%d,%d)", i, h.FlowID, h.MsgID, w.FlowID, w.MsgID)
+		}
+		if !bytes.Equal(w.Payload, h.Payload) {
+			t.Fatalf("delivery %d (flow %d msg %d): payloads differ", i, w.FlowID, w.MsgID)
+		}
+		if w.Symbols != h.Symbols {
+			t.Fatalf("delivery %d (flow %d msg %d): batched used %d symbols, reference %d",
+				i, w.FlowID, w.MsgID, h.Symbols, w.Symbols)
+		}
+	}
+}
+
+// TestSteadyStateIngestAllocs pins the steady-state ingest path —
+// in-place parse, demux, schedule positions, symbol append — at zero
+// allocations per frame. The pending buffer is drained between runs so the
+// measurement sees the steady state, not one-time slice growth.
+func TestSteadyStateIngestAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	cfg := Config{SymbolsPerFrame: 48}
+	r, _ := newTestReceiver(t, cfg)
+	payload := bytes.Repeat([]byte{0x5C}, MaxPayload)
+	frames, err := EncodeFrames(cfg, 4, 11, payload, cfg.SymbolsPerFrame, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) > 8 {
+		frames = frames[:8]
+	}
+	// Warm up: create the flow/message state and grow every scratch buffer.
+	for _, f := range frames {
+		if _, _, err := r.addFrame(f, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := r.flows[4].states[11]
+	st.pending.reset()
+
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, f := range frames {
+			if _, _, err := r.addFrame(f, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain as a worker would, keeping capacity, so the measurement
+		// never charges for unbounded pending growth.
+		st.pending.reset()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ingest allocated %.2f times per %d-frame batch, want 0", allocs, len(frames))
+	}
+}
+
+// TestSteadyStateAckAllocs pins the ack-repeat path — a retransmitted frame
+// for an already-delivered message answered straight from the done state —
+// at zero allocations per frame: in-place parse, arena-leased ack marshal,
+// pooled pipe buffer.
+func TestSteadyStateAckAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are perturbed under the race detector")
+	}
+	cfg := Config{SymbolsPerFrame: 16}
+	r, peer := newTestReceiver(t, cfg)
+	frames, err := EncodeFrames(cfg, 2, 5, []byte("small packet, fast decode"), cfg.SymbolsPerFrame, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := r.HandleFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 {
+		t.Fatalf("warmup delivered %d packets, want 1", len(ds))
+	}
+	ackBuf := make([]byte, MaxFrameSize)
+	// Drain the delivery ack so the pipe starts the measurement empty.
+	if _, err := peer.Receive(ackBuf, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	retransmit := frames[0]
+	// Warm the pipe's buffer pool through one full send/receive cycle.
+	if _, err := r.HandleFrame(retransmit); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peer.Receive(ackBuf, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(500, func() {
+		if _, err := r.HandleFrame(retransmit); err != nil {
+			t.Fatal(err)
+		}
+		// Drain the repeated ack so the pipe's buffer returns to its pool.
+		if _, err := peer.Receive(ackBuf, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ack-repeat path allocated %.2f times per frame, want 0", allocs)
+	}
+}
+
+// TestReactorFeedsReceiver wires the sharded reactor to a Receiver end to
+// end: frames encoded by EncodeFrames arrive over real UDP sockets through
+// two SO_REUSEPORT shards, and the delivered payload matches the reference
+// frame-at-a-time path exactly.
+func TestReactorFeedsReceiver(t *testing.T) {
+	cfg := Config{SymbolsPerFrame: 24}
+	payload := []byte("over the reactor, across two shards")
+	frames, err := EncodeFrames(cfg, 6, 3, payload, cfg.SymbolsPerFrame, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := newTestReceiver(t, cfg)
+	want, err := ref.HandleFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 1 {
+		t.Fatalf("reference delivered %d packets, want 1", len(want))
+	}
+
+	reactor, err := NewReactor(ReactorConfig{Addr: "127.0.0.1:0", Shards: 2, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReceiver(reactor, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	sender, err := NewUDP("127.0.0.1:0", reactor.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sender.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		// Retransmit passes until the receiver acks; UDP may drop locally.
+		for pass := 0; pass < 50; pass++ {
+			if _, err := sender.SendBatch(frames); err != nil {
+				done <- err
+				return
+			}
+			buf := make([]byte, MaxFrameSize)
+			if n, err := sender.Receive(buf, 100*time.Millisecond); err == nil {
+				var v FrameView
+				if UnmarshalFrameInPlace(buf[:n], &v) == nil && v.Kind == KindAck && v.Decoded {
+					done <- nil
+					return
+				}
+			} else if !errors.Is(err, ErrTimeout) {
+				done <- err
+				return
+			}
+		}
+		done <- fmt.Errorf("no ack after 50 passes")
+	}()
+
+	var got *Delivered
+	deadline := time.Now().Add(10 * time.Second)
+	for got == nil && time.Now().Before(deadline) {
+		d, err := r.Receive(time.Second)
+		if errors.Is(err, ErrTimeout) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = d
+	}
+	if got == nil {
+		t.Fatal("receiver never delivered over the reactor")
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	if got.FlowID != want[0].FlowID || got.MsgID != want[0].MsgID || !bytes.Equal(got.Payload, want[0].Payload) {
+		t.Fatalf("reactor delivery (flow %d msg %d, %d bytes) differs from reference", got.FlowID, got.MsgID, len(got.Payload))
+	}
+	r.Close()
+	if err := reactor.Close(); err != nil {
+		t.Fatalf("reactor close: %v", err)
+	}
+}
