@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -50,17 +51,24 @@ func main() {
 		"SO_REUSEPORT ingest sockets sharing the listen port; >1 runs the sharded reactor (Linux/BSD)")
 	ingestBatch := flag.Int("ingest-batch", 0,
 		"frames pulled from the socket per receive call via recvmmsg-style batching (0 = default)")
+	idleExpiry := flag.Duration("idle-expiry", 0,
+		"expire flows with no frame for this long, NACKing their in-flight packets (0 = never)")
+	budget := flag.Int64("budget", 0,
+		"per-flow decode budget: how far ahead of the least-spent flow (in decode nodes) a flow may run before its attempts are deferred (0 = off)")
+	stats := flag.Duration("stats", 0,
+		"emit a JSON engine-stats line to stderr at this interval (0 = off)")
 	flag.Parse()
 
 	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed,
-		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch); err != nil {
+		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch, *idleExpiry, *budget, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
 }
 
 func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64,
-	maxFlows, maxTracked, pool, ingestShards, ingestBatch int) error {
+	maxFlows, maxTracked, pool, ingestShards, ingestBatch int,
+	idleExpiry time.Duration, budget int64, statsEvery time.Duration) error {
 	// A single shard binds one plain UDP socket; more shards run the
 	// SO_REUSEPORT reactor, which spreads kernel-side demux across sockets
 	// while frames still funnel into the one flow-demuxed receiver.
@@ -96,6 +104,8 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 		MaxTracked:         maxTracked,
 		PoolCapacity:       pool,
 		IngestBatch:        ingestBatch,
+		IdleExpiry:         idleExpiry,
+		FlowDecodeBudget:   budget,
 	}, radio)
 	if err != nil {
 		return err
@@ -108,9 +118,25 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 	fmt.Printf("spinalrecv: listening on %s (%d ingest shard(s)), simulating a %.1f dB channel, serving multiplexed flows\n",
 		addr, ingestShards, snr)
 
+	// Stats lines come from this goroutine — the one driving Receive — which
+	// is the EngineStats contract; no ticker goroutine races the engine.
+	enc := json.NewEncoder(os.Stderr)
+	nextStats := time.Now().Add(statsEvery)
+	emitStats := func() {
+		if statsEvery <= 0 || time.Now().Before(nextStats) {
+			return
+		}
+		nextStats = time.Now().Add(statsEvery)
+		_ = enc.Encode(recv.EngineStats())
+	}
+	slice := time.Second
+	if statsEvery > 0 && statsEvery < slice {
+		slice = statsEvery
+	}
 	delivered := 0
 	for count == 0 || delivered < count {
-		d, err := recv.Receive(time.Second)
+		d, err := recv.Receive(slice)
+		emitStats()
 		if errors.Is(err, link.ErrTimeout) {
 			continue
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,8 @@ func main() {
 	legacy := flag.Bool("v0", false, "emit legacy v0 frames (no flow id) for pre-flow receivers")
 	flush := flag.Int("flush", 0,
 		"data frames coalesced into one sendmmsg-style batched transmit (0 = default, 1 = frame per send)")
+	deadline := flag.Duration("deadline", 0,
+		"wall-clock budget per packet: give up with a deadline error instead of transmitting forever (0 = no deadline)")
 	flag.Parse()
 
 	flowID := uint32(*flow)
@@ -37,13 +40,13 @@ func main() {
 		// any coordination.
 		flowID = uint32(os.Getpid())
 	}
-	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes, flowID, *legacy, *flush); err != nil {
+	if err := send(*to, *local, *text, *file, *repeat, *chunk, *passes, flowID, *legacy, *flush, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalsend:", err)
 		os.Exit(1)
 	}
 }
 
-func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32, legacy bool, flush int) error {
+func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32, legacy bool, flush int, deadline time.Duration) error {
 	if text == "" && file == "" {
 		return fmt.Errorf("nothing to send: pass -text or -file")
 	}
@@ -79,11 +82,12 @@ func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32
 		flowID = 0
 	}
 	sender, err := link.NewSender(tr, link.Config{
-		MaxPasses:   passes,
-		AckPoll:     2 * time.Millisecond,
-		FlowID:      flowID,
-		LegacyV0:    legacy,
-		FlushFrames: flush,
+		MaxPasses:    passes,
+		AckPoll:      2 * time.Millisecond,
+		FlowID:       flowID,
+		LegacyV0:     legacy,
+		FlushFrames:  flush,
+		SendDeadline: deadline,
 	})
 	if err != nil {
 		return err
@@ -93,6 +97,11 @@ func send(to, local, text, file string, repeat, chunk, passes int, flowID uint32
 	totalBits, totalSymbols := 0, 0
 	for i, p := range payloads {
 		report, err := sender.Send(uint32(i+1), p)
+		if errors.Is(err, link.ErrDeadline) {
+			fmt.Printf("packet %d: gave up at the %v deadline after %d symbols\n",
+				i+1, deadline, report.SymbolsSent)
+			continue
+		}
 		if err != nil {
 			return err
 		}

@@ -55,6 +55,7 @@ type options struct {
 	schedule     string
 	workers      int
 	trialWorkers int
+	short        bool
 	csv          bool
 	json         bool
 }
@@ -82,6 +83,8 @@ func run(args []string, out io.Writer) error {
 		"decoder worker goroutines per level expansion (0 = automatic; results are bit-identical at any setting)")
 	fs.IntVar(&opt.trialWorkers, "trial-workers", 0,
 		"trial-runner worker goroutines (0 = GOMAXPROCS; results are bit-identical at any setting)")
+	fs.BoolVar(&opt.short, "short", false,
+		"run the scenario's abbreviated configuration (CI smoke); scenarios that do not declare it ignore it")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&opt.json, "json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
@@ -156,6 +159,7 @@ func (o options) request() (sim.Request, error) {
 		Schedule:     o.schedule,
 		Workers:      o.workers,
 		TrialWorkers: o.trialWorkers,
+		Short:        o.short,
 	}, err
 }
 

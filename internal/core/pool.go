@@ -52,14 +52,18 @@ type poolKey struct {
 // experiments and tests.
 type PoolStats struct {
 	// Hits is the number of leases served from the idle cache.
-	Hits uint64
+	Hits uint64 `json:"hits"`
 	// Misses is the number of leases that had to build a fresh decoder.
-	Misses uint64
+	Misses uint64 `json:"misses"`
 	// Discards is the number of releases dropped because the pool was at
 	// capacity (the decoder is closed, not cached).
-	Discards uint64
+	Discards uint64 `json:"discards"`
 	// Idle is the number of decoders currently cached.
-	Idle int
+	Idle int `json:"idle"`
+	// Outstanding is the number of leases checked out and not yet released.
+	// A non-zero count after a consumer claims to have drained is a decoder
+	// leak; chaos and shutdown tests gate on it reading zero.
+	Outstanding int `json:"outstanding"`
 }
 
 // LeasedDecoder is one decoder/observation pair checked out of a
@@ -161,19 +165,28 @@ func (p *DecoderPool) Lease(params Params, beamWidth int) (*LeasedDecoder, error
 		p.idle[key] = list[:len(list)-1]
 		p.idleN--
 		p.stats.Hits++
+		p.stats.Outstanding++
 		ld.leased = true
 		p.mu.Unlock()
 		return ld, nil
 	}
 	p.stats.Misses++
+	p.stats.Outstanding++
 	p.mu.Unlock()
 
+	unlease := func() {
+		p.mu.Lock()
+		p.stats.Outstanding--
+		p.mu.Unlock()
+	}
 	dec, err := NewBeamDecoder(params, beamWidth)
 	if err != nil {
+		unlease()
 		return nil, err
 	}
 	obs, err := NewObservations(params.NumSegments())
 	if err != nil {
+		unlease()
 		return nil, err
 	}
 	return &LeasedDecoder{Dec: dec, Obs: obs, key: key, pool: p, leased: true}, nil
@@ -195,6 +208,7 @@ func (l *LeasedDecoder) Release() {
 		return
 	}
 	l.leased = false
+	p.stats.Outstanding--
 	if p.idleN >= p.capacity {
 		p.stats.Discards++
 		p.mu.Unlock()

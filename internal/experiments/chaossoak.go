@@ -1,0 +1,376 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"spinal/internal/link"
+)
+
+// ChaosSoakPoint summarizes one end-to-end soak of the link engine over a
+// fault-injected UDP loopback: many concurrent sender processes-in-miniature
+// stream messages through seeded schedules of loss, duplication, reordering,
+// corruption, burst loss and ack-direction faults, and the point records
+// whether every message resolved cleanly and whether the engine leaked.
+type ChaosSoakPoint struct {
+	// Mode is "clean" (no fault injection) or "chaos" (every flow faulted,
+	// the last flow hostile).
+	Mode string
+	// Flows is the number of concurrent sender identities; Messages is the
+	// total message count across them.
+	Flows    int
+	Messages int
+	// Delivered/Shed/Expired partition the resolved messages: positively
+	// acknowledged, negatively acknowledged (admission control), or given up
+	// cleanly at the sender's retransmit deadline. Lost counts messages that
+	// resolved none of those ways — the soak's hard failure signal.
+	Delivered int
+	Shed      int
+	Expired   int
+	Lost      int
+	// AckFramesIgnored sums the senders' discarded-ack counters (corrupted
+	// or misdirected feedback frames the hardened ack wait rode out).
+	AckFramesIgnored int
+	// Fairness is Jain's index over the per-flow delivered rates of the
+	// well-behaved flows (the hostile flow, when present, is excluded): the
+	// DoS question is whether the hostile flow hurt everyone else.
+	Fairness float64
+	// HostileDelivered is how many of the hostile flow's messages still got
+	// through its own hostile schedule (chaos mode only).
+	HostileDelivered int
+	// BudgetDeferrals counts decode-scheduler decisions that deferred an
+	// over-budget flow; ShedFlows/ExpiredFlows are the receiver's admission
+	// and idle-expiry drop counters.
+	BudgetDeferrals uint64
+	ShedFlows       uint64
+	ExpiredFlows    uint64
+	// FaultDrops/FaultCorrupted/FaultDuplicated/FaultReordered/FaultErrors
+	// aggregate the fault lanes' ledgers across every sender (both
+	// directions), proving the schedule actually fired.
+	FaultDrops      uint64
+	FaultCorrupted  uint64
+	FaultDuplicated uint64
+	FaultReordered  uint64
+	FaultErrors     uint64
+	// PoolOutstanding and AckArenaOutstanding are the leak gates, read after
+	// the receiver is closed: decoder leases and ack marshal buffers still
+	// checked out. Both must be zero.
+	PoolOutstanding     int
+	AckArenaOutstanding int
+	// Elapsed is the soak wall-clock time.
+	Elapsed time.Duration
+}
+
+// chaosSoakPayloadLen keeps per-message decodes cheap (k=4 runs many flows
+// concurrently) while still spanning several frames per pass.
+const chaosSoakPayloadLen = 16
+
+// chaosMildProfile is the fault schedule every well-behaved chaos flow runs
+// its data frames through: enough loss, duplication, reordering, corruption
+// and transient I/O errors to exercise each hardening path, mild enough that
+// rateless retransmission always wins.
+func chaosMildProfile() link.FaultProfile {
+	return link.FaultProfile{
+		DropProb:    0.05,
+		DupProb:     0.05,
+		ReorderProb: 0.05,
+		CorruptProb: 0.02,
+		ErrProb:     0.01,
+	}
+}
+
+// chaosMildAckProfile impairs the feedback direction of well-behaved flows:
+// lost and duplicated acks force the ack-repeat path and the sender backoff.
+func chaosMildAckProfile() link.FaultProfile {
+	return link.FaultProfile{DropProb: 0.1, DupProb: 0.1}
+}
+
+// chaosHostileProfile is the hostile flow's data schedule: Gilbert-Elliott
+// burst loss on top of independent loss, heavy corruption, duplication,
+// reordering and periodic stall windows — the flow that must not be able to
+// starve everyone else.
+func chaosHostileProfile() link.FaultProfile {
+	return link.FaultProfile{
+		DropProb:    0.05,
+		DupProb:     0.05,
+		ReorderProb: 0.1,
+		CorruptProb: 0.2,
+		GE: &link.GilbertElliott{
+			GoodToBad: 0.05,
+			BadToGood: 0.3,
+			GoodLoss:  0.02,
+			BadLoss:   0.9,
+		},
+		StallEvery:  64,
+		StallFrames: 8,
+	}
+}
+
+// chaosHostileAckProfile batters the hostile flow's feedback path.
+func chaosHostileAckProfile() link.FaultProfile {
+	return link.FaultProfile{DropProb: 0.4, DupProb: 0.2, ErrProb: 0.05}
+}
+
+// chaosSoakPayload derives the deterministic payload of one (flow, msg).
+func chaosSoakPayload(seed uint64, flow, msg int) []byte {
+	p := make([]byte, chaosSoakPayloadLen)
+	for i := range p {
+		p[i] = byte(seed>>uint(i%8*8) ^ uint64(flow*131+msg*31+i*7+1))
+	}
+	return p
+}
+
+// ChaosSoak runs the link engine end to end over UDP loopback twice — once
+// clean, once under seeded fault schedules with the last flow hostile — and
+// enforces the delivered-or-shed guarantee, the leak gates and the fairness
+// floor: the chaos run's Jain index across well-behaved flows must stay
+// within floor (e.g. 0.9) of the clean run's. Violations are returned as
+// errors so CI fails loudly; the points carry the measured values either way.
+func ChaosSoak(seed uint64, flows, msgs int, floor float64) ([]ChaosSoakPoint, error) {
+	if flows < 2 || msgs < 1 {
+		return nil, fmt.Errorf("experiments: chaossoak needs at least two flows and one message, got %d/%d", flows, msgs)
+	}
+	if seed == 0 {
+		seed = 0x5eed
+	}
+	clean, err := chaosSoakRun("clean", seed, flows, msgs)
+	if err != nil {
+		return nil, err
+	}
+	chaos, err := chaosSoakRun("chaos", seed, flows, msgs)
+	if err != nil {
+		return nil, err
+	}
+	pts := []ChaosSoakPoint{*clean, *chaos}
+	for _, p := range pts {
+		if p.Lost > 0 {
+			return pts, fmt.Errorf("experiments: chaossoak %s run lost %d messages forever (not delivered, shed, or deadline-expired)", p.Mode, p.Lost)
+		}
+		if p.PoolOutstanding != 0 {
+			return pts, fmt.Errorf("experiments: chaossoak %s run leaked %d decoder leases", p.Mode, p.PoolOutstanding)
+		}
+		if p.AckArenaOutstanding != 0 {
+			return pts, fmt.Errorf("experiments: chaossoak %s run leaked %d ack arena buffers", p.Mode, p.AckArenaOutstanding)
+		}
+	}
+	if floor > 0 && chaos.Fairness < floor*clean.Fairness {
+		return pts, fmt.Errorf("experiments: chaossoak fairness %.3f under a hostile flow fell below %.2fx the clean run's %.3f",
+			chaos.Fairness, floor, clean.Fairness)
+	}
+	return pts, nil
+}
+
+// chaosFlowResult is one sender goroutine's tally.
+type chaosFlowResult struct {
+	delivered   int
+	shed        int
+	expired     int
+	lost        int
+	ackIgnored  int
+	symbolsSent int
+	bitsAcked   int
+	tx, rx      link.LaneStats
+	err         error
+}
+
+// faultStatser is the stats surface every fault-transport wrapper promotes.
+type faultStatser interface {
+	TxStats() link.LaneStats
+	RxStats() link.LaneStats
+}
+
+func chaosSoakRun(mode string, seed uint64, flows, msgs int) (*ChaosSoakPoint, error) {
+	// One clean server socket; all fault injection lives on the sender side,
+	// in both directions (tx faults impair data, rx faults impair acks), so
+	// each flow runs its own seeded schedule.
+	recvUDP, err := link.NewUDP("127.0.0.1:0", "")
+	if err != nil {
+		return nil, err
+	}
+	rcfg := link.Config{
+		K:                4,
+		Seed:             seed,
+		FlowDecodeBudget: 25000,
+		IdleExpiry:       5 * time.Second,
+	}
+	recv, err := link.NewReceiver(recvUDP, rcfg, nil)
+	if err != nil {
+		recvUDP.Close()
+		return nil, err
+	}
+	recvAddr := recvUDP.LocalAddr().String()
+
+	// Expected payloads, for bit-exactness verification at delivery.
+	expect := map[uint64][]byte{}
+	for f := 1; f <= flows; f++ {
+		for m := 1; m <= msgs; m++ {
+			expect[uint64(f)<<32|uint64(m)] = chaosSoakPayload(seed, f, m)
+		}
+	}
+
+	// The receiver pump: ingest, decode, verify every delivery bit-identical
+	// to the expected payload. Corrupted frames can spawn ghost flows and
+	// messages the receiver must absorb; they never deliver (the CRC gates
+	// them) and their state is bounded by admission control and idle expiry.
+	var delivered atomic.Int64
+	var pumpErr atomic.Value
+	stop := make(chan struct{})
+	pumpDone := make(chan struct{})
+	statsCh := make(chan link.EngineStats, 1)
+	go func() {
+		defer close(pumpDone)
+		// Snapshot the engine counters on exit, from the ingest goroutine —
+		// the only goroutine allowed to read them — before handing the
+		// receiver back for Close.
+		defer func() { statsCh <- recv.EngineStats() }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			d, err := recv.Receive(2 * time.Millisecond)
+			if err != nil && err != link.ErrTimeout {
+				pumpErr.Store(err)
+				return
+			}
+			if d == nil {
+				continue
+			}
+			want, ok := expect[uint64(d.FlowID)<<32|uint64(d.MsgID)]
+			if !ok || !bytes.Equal(d.Payload, want) {
+				pumpErr.Store(fmt.Errorf("experiments: chaossoak delivered a wrong payload for flow %d msg %d", d.FlowID, d.MsgID))
+				return
+			}
+			delivered.Add(1)
+		}
+	}()
+
+	// One sender goroutine per flow, each over its own (possibly faulted)
+	// UDP socket. The last flow is the hostile one in chaos mode.
+	results := make([]chaosFlowResult, flows)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for f := 1; f <= flows; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			res := &results[f-1]
+			udp, err := link.NewUDP("127.0.0.1:0", recvAddr)
+			if err != nil {
+				res.err = err
+				return
+			}
+			defer udp.Close()
+			var tr link.Transport = udp
+			if mode == "chaos" {
+				tx, rx := chaosMildProfile(), chaosMildAckProfile()
+				if f == flows {
+					tx, rx = chaosHostileProfile(), chaosHostileAckProfile()
+				}
+				tr = link.NewFaultTransport(udp, tx, rx, seed^uint64(f)*0x9e3779b97f4a7c15)
+			}
+			defer func() {
+				if fs, ok := tr.(faultStatser); ok {
+					res.tx, res.rx = fs.TxStats(), fs.RxStats()
+				}
+			}()
+			scfg := link.Config{
+				K:            4,
+				Seed:         seed,
+				FlowID:       uint32(f),
+				MaxPasses:    200,
+				SendDeadline: 30 * time.Second,
+			}
+			snd, err := link.NewSender(tr, scfg)
+			if err != nil {
+				res.err = err
+				return
+			}
+			for m := 1; m <= msgs; m++ {
+				rep, err := snd.Send(uint32(m), chaosSoakPayload(seed, f, m))
+				if rep != nil {
+					res.ackIgnored += rep.AckFramesIgnored
+					res.symbolsSent += rep.SymbolsSent
+				}
+				switch {
+				case err != nil && errors.Is(err, link.ErrDeadline):
+					res.expired++
+				case err != nil:
+					res.err = err
+					return
+				case rep.Acked:
+					res.delivered++
+					res.bitsAcked += chaosSoakPayloadLen * 8
+				case rep.Shed:
+					res.shed++
+				default:
+					res.lost++
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Give in-flight receiver work a moment to drain, then stop the pump and
+	// close the receiver; Close returns every surviving decoder lease.
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	<-pumpDone
+	stats := <-statsCh
+	if err := recv.Close(); err != nil {
+		return nil, err
+	}
+	poolAfter := recv.PoolStats()
+	ackArena := stats.AckArena
+	recvUDP.Close()
+	if e := pumpErr.Load(); e != nil {
+		return nil, e.(error)
+	}
+
+	pt := &ChaosSoakPoint{
+		Mode:            mode,
+		Flows:           flows,
+		Messages:        flows * msgs,
+		BudgetDeferrals: stats.BudgetDeferrals,
+		ShedFlows:       stats.ShedFlows,
+		ExpiredFlows:    stats.ExpiredFlows,
+		PoolOutstanding: poolAfter.Outstanding,
+		// Outstanding ack buffers are released before each send returns, so
+		// any nonzero residue here is a real leak.
+		AckArenaOutstanding: ackArena.Outstanding,
+		Elapsed:             elapsed,
+	}
+	rates := make([]float64, 0, flows)
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return nil, res.err
+		}
+		pt.Delivered += res.delivered
+		pt.Shed += res.shed
+		pt.Expired += res.expired
+		pt.Lost += res.lost
+		pt.AckFramesIgnored += res.ackIgnored
+		for _, lane := range []link.LaneStats{res.tx, res.rx} {
+			pt.FaultDrops += lane.Dropped
+			pt.FaultCorrupted += lane.Corrupted
+			pt.FaultDuplicated += lane.Duplicated
+			pt.FaultReordered += lane.Reordered
+			pt.FaultErrors += lane.Errors
+		}
+		hostile := mode == "chaos" && i == flows-1
+		if hostile {
+			pt.HostileDelivered = res.delivered
+		} else if res.symbolsSent > 0 {
+			rates = append(rates, float64(res.bitsAcked)/float64(res.symbolsSent))
+		}
+	}
+	pt.Fairness = jainIndex(rates)
+	return pt, nil
+}

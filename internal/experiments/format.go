@@ -346,3 +346,45 @@ func FormatWireSoak(pts []WireSoakPoint) *sim.Table {
 	}
 	return t
 }
+
+// ChaosSoakColumns is the point schema of the chaos soak. The outcome split,
+// fairness and fault-ledger columns depend on wall-clock scheduling over the
+// UDP loopback, so they are volatile; the gated columns (lost and the two
+// leak counters) are deterministic zeros on a passing run.
+func ChaosSoakColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("mode", "%s"),
+		sim.Col("flows", "%d"),
+		sim.Col("messages", "%d"),
+		sim.VolatileCol("delivered", "%d"),
+		sim.VolatileCol("shed", "%d"),
+		sim.VolatileCol("expired", "%d"),
+		sim.Col("lost", "%d"),
+		sim.VolatileCol("fairness", "%.3f"),
+		sim.VolatileCol("hostile_delivered", "%d"),
+		sim.VolatileCol("budget_deferrals", "%d"),
+		sim.VolatileCol("acks_ignored", "%d"),
+		sim.VolatileCol("fault_drops", "%d"),
+		sim.VolatileCol("fault_corrupted", "%d"),
+		sim.VolatileCol("fault_duplicated", "%d"),
+		sim.VolatileCol("fault_reordered", "%d"),
+		sim.VolatileCol("fault_errors", "%d"),
+		sim.Col("pool_outstanding", "%d"),
+		sim.Col("ack_arena_outstanding", "%d"),
+		sim.VolatileCol("elapsed_ms", "%.1f"),
+	}
+}
+
+// FormatChaosSoak renders the chaos soak.
+func FormatChaosSoak(pts []ChaosSoakPoint) *sim.Table {
+	t := sim.NewTable("", ChaosSoakColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.Mode, p.Flows, p.Messages, p.Delivered, p.Shed, p.Expired,
+			p.Lost, p.Fairness, p.HostileDelivered, p.BudgetDeferrals,
+			p.AckFramesIgnored, p.FaultDrops, p.FaultCorrupted,
+			p.FaultDuplicated, p.FaultReordered, p.FaultErrors,
+			p.PoolOutstanding, p.AckArenaOutstanding,
+			float64(p.Elapsed.Microseconds())/1000)
+	}
+	return t
+}

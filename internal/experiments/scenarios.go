@@ -456,6 +456,32 @@ func init() {
 		},
 	})
 	sim.Register(sim.Scenario{
+		Name:        "chaossoak",
+		Description: "chaos-hardened link engine soak: seeded fault schedules end to end, delivered-or-shed, leak and fairness gates",
+		Flags:       []string{"trials", "seed", "short"},
+		Schema:      ChaosSoakColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			flows, msgs := 4, 3
+			if req.Trials > 0 && req.Trials < 100 {
+				msgs = req.Trials // let -trials scale messages per flow
+			}
+			if req.Short {
+				flows, msgs = 3, 2
+			}
+			pts, err := ChaosSoak(req.Seed, flows, msgs, 0.9)
+			res := sim.NewResult("chaossoak")
+			res.Notef("link engine soak over fault-injected UDP loopback: %d flows x %d messages, clean vs chaos (last flow hostile)", flows, msgs)
+			res.Notef("gates: 0 lost-forever messages, 0 leaked decoder leases / ack buffers, hostile-flow fairness >= 0.9x clean run")
+			if len(pts) > 0 {
+				res.Add(FormatChaosSoak(pts))
+			}
+			if err != nil {
+				return nil, err
+			}
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
 		Name:        "batch",
 		Description: "batched versus per-symbol transmission path (bit-identical decodes, wall-clock)",
 		Flags:       append([]string{"snr"}, codeFlags...),

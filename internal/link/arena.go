@@ -46,17 +46,17 @@ type ArenaBuf struct {
 type ArenaStats struct {
 	// Leases counts every Lease call; Misses counts the subset that had to
 	// allocate because the free list was empty.
-	Leases uint64
-	Misses uint64
+	Leases uint64 `json:"leases"`
+	Misses uint64 `json:"misses"`
 	// Releases counts every Release; Discards counts the subset dropped to
 	// the garbage collector because the free list was full (or the buffer
 	// came back undersized after a swap).
-	Releases uint64
-	Discards uint64
+	Releases uint64 `json:"releases"`
+	Discards uint64 `json:"discards"`
 	// Outstanding is the current number of leased-but-unreleased buffers.
-	Outstanding int
+	Outstanding int `json:"outstanding"`
 	// Free is the current free-list depth.
-	Free int
+	Free int `json:"free"`
 }
 
 // DefaultArenaFree is the default bound on an arena's idle free list.

@@ -62,10 +62,11 @@ type Receiver struct {
 	cfg        Config
 	impairment channel.SymbolChannel
 
-	flows map[uint32]*flowState
-	nmsgs int    // total tracked messages across flows (ingest goroutine only)
-	seq   uint64 // data frames processed; drives eviction (ingest goroutine only)
-	shed  uint64 // flows shed by admission control (ingest goroutine only)
+	flows   map[uint32]*flowState
+	nmsgs   int    // total tracked messages across flows (ingest goroutine only)
+	seq     uint64 // data frames processed; drives eviction (ingest goroutine only)
+	shed    uint64 // flows shed by admission control (ingest goroutine only)
+	expired uint64 // flows dropped by idle expiry (ingest goroutine only)
 	// scratchPos/scratchY are the per-frame symbol batch buffers (ingest
 	// goroutine only): positions and impaired values, index-aligned.
 	scratchPos []core.SymbolPos
@@ -126,6 +127,9 @@ type flowState struct {
 	id      uint32
 	states  map[uint32]*msgState
 	lastSeq uint64 // last data frame seen for this flow
+	// lastFrame is the wall-clock arrival of the flow's latest data frame;
+	// it drives Config.IdleExpiry (maintained only when expiry is enabled).
+	lastFrame time.Time
 }
 
 // msgState tracks the decoding progress of one packet of one flow. The
@@ -212,7 +216,7 @@ func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*R
 		impairment: impairment,
 		flows:      map[uint32]*flowState{},
 		pool:       core.NewDecoderPool(poolCap),
-		eng:        newFlowEngine(tr, workers),
+		eng:        newFlowEngine(tr, workers, cfg.FlowDecodeBudget),
 	}
 	if pt, ok := tr.(PacketTransport); ok {
 		r.ptr = pt
@@ -239,11 +243,28 @@ func NewReceiver(tr Transport, cfg Config, impairment channel.SymbolChannel) (*R
 	return r, nil
 }
 
-// Close stops the decode workers, waiting for queued attempts to finish.
-// It must not be called concurrently with Receive. The receiver must not be
-// used afterwards.
+// Close stops the decode workers (waiting for queued attempts to finish) and
+// then returns every tracked message's decoder lease to the pool, so a
+// receiver closed after a chaotic run leaves the pool's Outstanding counter
+// at zero. It must not be called concurrently with Receive. The receiver
+// must not be used afterwards.
 func (r *Receiver) Close() error {
 	r.eng.stop()
+	// The workers have drained: no attempt is in flight, so every surviving
+	// lease is owned by its state and can be reclaimed directly.
+	for id, fs := range r.flows {
+		for _, st := range fs.states {
+			st.mu.Lock()
+			st.evicted = true
+			reclaim := st.lease
+			st.lease = nil
+			st.mu.Unlock()
+			reclaim.Release()
+		}
+		delete(r.flows, id)
+		r.eng.forgetFlow(id)
+	}
+	r.nmsgs = 0
 	return nil
 }
 
@@ -275,6 +296,15 @@ func (r *Receiver) Receive(timeout time.Duration) (*Delivered, error) {
 		slice := remaining
 		if busy && slice > receivePoll {
 			slice = receivePoll
+		}
+		// Idle expiry runs on this loop (no timer goroutine), so while
+		// silent flows are tracked the blocking slice is capped at the
+		// expiry interval to keep expiry responsive on a quiet link.
+		if r.cfg.IdleExpiry > 0 {
+			r.expireIdle()
+			if len(r.flows) > 0 && slice > r.cfg.IdleExpiry {
+				slice = r.cfg.IdleExpiry
+			}
 		}
 		got, err := r.ingest(slice)
 		if errors.Is(err, ErrTimeout) {
@@ -390,7 +420,11 @@ func (r *Receiver) addFrame(raw []byte, from net.Addr) (*msgState, bool, error) 
 		return nil, false, err
 	}
 	r.seq++
-	r.flows[v.FlowID].lastSeq = r.seq
+	fs := r.flows[v.FlowID]
+	fs.lastSeq = r.seq
+	if r.cfg.IdleExpiry > 0 {
+		fs.lastFrame = time.Now()
+	}
 	if r.seq%evictSweepEvery == 0 {
 		r.evictDelivered()
 	}
@@ -495,6 +529,10 @@ func (r *Receiver) stateFor(v *FrameView) (*msgState, error) {
 	if err := params.Validate(); err != nil {
 		return nil, err
 	}
+	if cost := int64(params.NumSegments()) << uint(v.K); r.cfg.MaxDecodeCost > 0 && cost > r.cfg.MaxDecodeCost {
+		return nil, fmt.Errorf("link: frame advertises decode cost %d (k=%d, %d segments) beyond cap %d",
+			cost, v.K, params.NumSegments(), r.cfg.MaxDecodeCost)
+	}
 	sched, err := scheduleFor(v.Schedule, params.NumSegments())
 	if err != nil {
 		return nil, err
@@ -571,6 +609,7 @@ func (r *Receiver) evictDelivered() {
 		}
 		if len(fs.states) == 0 {
 			delete(r.flows, id)
+			r.eng.forgetFlow(id)
 		}
 	}
 }
@@ -613,6 +652,7 @@ func (r *Receiver) evictForCap(scope, keep *flowState) {
 	r.dropState(victimFlow, victim)
 	if len(victimFlow.states) == 0 && victimFlow != keep {
 		delete(r.flows, victimFlow.id)
+		r.eng.forgetFlow(victimFlow.id)
 	}
 }
 
@@ -642,7 +682,37 @@ func (r *Receiver) shedOldestFlow() {
 		r.dropState(victim, st)
 	}
 	delete(r.flows, victim.id)
+	r.eng.forgetFlow(victim.id)
 	r.shed++
+}
+
+// expireIdle drops flows whose senders have gone silent for Config.IdleExpiry:
+// every undelivered message is NACKed (best effort) and its state dropped, so
+// zombie senders stop pinning decoder leases and arena buffers. Like
+// admission-control shedding, expiry never loses data for good — a sender
+// that resumes transmitting simply re-admits the flow with fresh state.
+func (r *Receiver) expireIdle() {
+	if r.cfg.IdleExpiry <= 0 || len(r.flows) == 0 {
+		return
+	}
+	now := time.Now()
+	for id, fs := range r.flows {
+		if now.Sub(fs.lastFrame) <= r.cfg.IdleExpiry {
+			continue
+		}
+		for _, st := range fs.states {
+			st.mu.Lock()
+			done := st.done
+			st.mu.Unlock()
+			if !done {
+				_ = r.eng.sendAckFor(st, false)
+			}
+			r.dropState(fs, st)
+		}
+		delete(r.flows, id)
+		r.eng.forgetFlow(id)
+		r.expired++
+	}
 }
 
 // FlowSymbolsReceived reports how many symbols have been accumulated for a
@@ -695,9 +765,52 @@ func (r *Receiver) TrackedFlows() int { return len(r.flows) }
 // ShedFlows reports how many flows admission control has shed.
 func (r *Receiver) ShedFlows() uint64 { return r.shed }
 
+// ExpiredFlows reports how many flows idle expiry has dropped.
+func (r *Receiver) ExpiredFlows() uint64 { return r.expired }
+
+// BudgetDeferrals reports how many times the decode scheduler deferred an
+// over-budget flow's attempt in favour of a cheaper flow (always zero when
+// Config.FlowDecodeBudget is unset).
+func (r *Receiver) BudgetDeferrals() uint64 { return r.eng.budgetDeferrals() }
+
 // PoolStats returns the shared decoder pool's counters — how often message
 // states reused a pooled decoder instead of building one.
 func (r *Receiver) PoolStats() core.PoolStats { return r.pool.Stats() }
+
+// EngineStats is a point-in-time snapshot of the link engine's operational
+// counters, assembled for observability endpoints (spinalrecv -stats) and
+// chaos-test leak gates. Like the underlying accessors, it must be taken
+// from the goroutine driving Receive.
+type EngineStats struct {
+	// TrackedFlows and TrackedMessages are the current tracking-table sizes.
+	TrackedFlows    int `json:"tracked_flows"`
+	TrackedMessages int `json:"tracked_messages"`
+	// ShedFlows and ExpiredFlows count flows dropped by admission control
+	// and by idle expiry respectively.
+	ShedFlows    uint64 `json:"shed_flows"`
+	ExpiredFlows uint64 `json:"expired_flows"`
+	// BudgetDeferrals counts decode-scheduler decisions that skipped an
+	// over-budget flow.
+	BudgetDeferrals uint64 `json:"budget_deferrals"`
+	// Pool is the shared decoder pool's traffic counters; Pool.Outstanding
+	// above zero after a drain means leaked decoder leases.
+	Pool core.PoolStats `json:"pool"`
+	// AckArena is the engine's ack-marshal arena counters.
+	AckArena ArenaStats `json:"ack_arena"`
+}
+
+// EngineStats snapshots the receiver's operational counters.
+func (r *Receiver) EngineStats() EngineStats {
+	return EngineStats{
+		TrackedFlows:    len(r.flows),
+		TrackedMessages: r.nmsgs,
+		ShedFlows:       r.shed,
+		ExpiredFlows:    r.expired,
+		BudgetDeferrals: r.eng.budgetDeferrals(),
+		Pool:            r.pool.Stats(),
+		AckArena:        r.eng.acks.Stats(),
+	}
+}
 
 // flowEngine owns the decode worker goroutines and the fair scheduler.
 // Attempt tokens are queued per flow, and workers pick the next token by
@@ -711,6 +824,11 @@ type flowEngine struct {
 	// acks leases the marshal buffers for outgoing acks, so the ack path
 	// allocates nothing in steady state.
 	acks *Arena
+	// budget is Config.FlowDecodeBudget: how far (in decode-tree nodes
+	// expanded) any flow's spend may lead the least-spent flow that has
+	// pending work before the scheduler defers its attempts. Zero disables
+	// budget accounting.
+	budget int64
 
 	mu   sync.Mutex
 	cond *sync.Cond
@@ -718,6 +836,12 @@ type flowEngine struct {
 	// of flows that currently have tokens.
 	flowQ map[uint32]*flowQueue
 	ring  []*flowQueue
+	// spent is the per-flow decode-spend ledger (nodes expanded over the
+	// flow's lifetime); entries are forgotten when the receiver drops the
+	// flow. deferrals counts scheduling decisions that skipped an
+	// over-budget flow in favour of a cheaper one.
+	spent     map[uint32]int64
+	deferrals uint64
 	// outstanding counts attempt tokens submitted but not yet fully
 	// processed (result recorded); while it is zero, Receive can block for
 	// its whole timeout instead of polling for worker results.
@@ -736,11 +860,17 @@ type flowQueue struct {
 	inRing bool
 }
 
-func newFlowEngine(tr Transport, workers int) *flowEngine {
+func newFlowEngine(tr Transport, workers int, budget int64) *flowEngine {
 	if workers < 1 {
 		workers = 1
 	}
-	e := &flowEngine{tr: tr, flowQ: map[uint32]*flowQueue{}, acks: NewArena(ackMarshalCap, 2*workers+8)}
+	e := &flowEngine{
+		tr:     tr,
+		flowQ:  map[uint32]*flowQueue{},
+		acks:   NewArena(ackMarshalCap, 2*workers+8),
+		budget: budget,
+		spent:  map[uint32]int64{},
+	}
 	if pt, ok := tr.(PacketTransport); ok {
 		e.pt = pt
 	}
@@ -766,10 +896,14 @@ func (e *flowEngine) worker() {
 			e.mu.Unlock()
 			return
 		}
-		// Round-robin: take the head flow, pop one of its tokens, and move
-		// it to the back of the ring if it still has work.
-		fq := e.ring[0]
-		e.ring = e.ring[1:]
+		// Budget-aware round-robin: take the first flow in the ring whose
+		// decode spend is within FlowDecodeBudget of the least-spent flow
+		// that has work, pop one of its tokens, and move it to the back of
+		// the ring if it still has work. Skipped flows are deferred, not
+		// dropped: their tokens stay queued and run as soon as the cheaper
+		// flows catch up. The least-spent flow always qualifies, so a pick
+		// always exists and deferral can never livelock.
+		fq := e.pickLocked()
 		st := fq.msgs[0]
 		fq.msgs = fq.msgs[1:]
 		if len(fq.msgs) > 0 {
@@ -793,6 +927,62 @@ func (e *flowEngine) worker() {
 		e.outstanding--
 		e.mu.Unlock()
 	}
+}
+
+// pickLocked removes and returns the next schedulable flow queue from the
+// ring. Callers hold e.mu and guarantee the ring is non-empty. Without a
+// budget (or with a single flow queued) it is plain round-robin; with one,
+// flows whose ledger leads the cheapest queued flow by more than the budget
+// are rotated past (counted as deferrals) until an affordable flow is found.
+func (e *flowEngine) pickLocked() *flowQueue {
+	if e.budget <= 0 || len(e.ring) == 1 {
+		fq := e.ring[0]
+		e.ring = e.ring[1:]
+		return fq
+	}
+	min := e.spent[e.ring[0].id]
+	for _, fq := range e.ring[1:] {
+		if s := e.spent[fq.id]; s < min {
+			min = s
+		}
+	}
+	for i, fq := range e.ring {
+		if e.spent[fq.id]-min <= e.budget {
+			e.deferrals += uint64(i)
+			e.ring = append(e.ring[:i], e.ring[i+1:]...)
+			return fq
+		}
+	}
+	// Unreachable: the minimum-spend flow always satisfies the budget.
+	fq := e.ring[0]
+	e.ring = e.ring[1:]
+	return fq
+}
+
+// noteSpend charges freshly expanded decode-tree nodes to a flow's ledger.
+func (e *flowEngine) noteSpend(flow uint32, nodes int64) {
+	if e.budget <= 0 || nodes == 0 {
+		return
+	}
+	e.mu.Lock()
+	e.spent[flow] += nodes
+	e.mu.Unlock()
+}
+
+// forgetFlow drops a flow's spend ledger entry when the receiver stops
+// tracking the flow, so the ledger stays bounded by the live-flow cap.
+func (e *flowEngine) forgetFlow(flow uint32) {
+	e.mu.Lock()
+	delete(e.spent, flow)
+	e.mu.Unlock()
+}
+
+// budgetDeferrals reports how many scheduling decisions skipped an
+// over-budget flow.
+func (e *flowEngine) budgetDeferrals() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deferrals
 }
 
 // submit queues one attempt token on its flow's queue.
@@ -902,6 +1092,9 @@ func (e *flowEngine) attempt(st *msgState) (*Delivered, error) {
 		st.lease = nil
 	}
 	st.mu.Unlock()
+	if out != nil {
+		e.noteSpend(st.flow, int64(out.NodesExpanded))
+	}
 	reclaim.Release()
 	if err != nil || evicted || out == nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"spinal/internal/core"
 	"spinal/internal/crc"
+	"spinal/internal/rng"
 )
 
 // Config holds the link parameters shared (by convention) between the sender
@@ -30,10 +31,29 @@ type Config struct {
 	// MaxPasses bounds how many encoding passes the sender emits before
 	// giving up on a packet; zero selects 60.
 	MaxPasses int
-	// AckPoll is how long the sender waits for an acknowledgement after each
-	// data frame; zero selects 200 microseconds (in-memory links are fast;
-	// UDP deployments should raise this).
+	// AckPoll is the sender's initial acknowledgement wait after each flush
+	// of data frames; zero selects 200 microseconds (in-memory links are
+	// fast; UDP deployments should raise this). The wait is not fixed: every
+	// flush that goes unacknowledged doubles it — with a deterministic ±25%
+	// jitter so many senders never synchronize their polls — up to
+	// AckPollMax, and it resets for each new message. Backing off keeps a
+	// sender from busy-spinning redundant passes into a receiver that is
+	// still working through its decode backlog.
 	AckPoll time.Duration
+	// AckPollMax caps the exponential ack-wait backoff; zero selects
+	// 16 x AckPoll.
+	AckPollMax time.Duration
+	// SendDeadline bounds the wall-clock retransmission time of one Send
+	// call. When it expires before an ack (or NACK) arrives, Send stops
+	// cleanly: it returns the report gathered so far together with an error
+	// wrapping ErrDeadline. Zero means no deadline (give up only on the
+	// MaxPasses budget).
+	SendDeadline time.Duration
+	// SendRetries is how many consecutive transient transport errors one
+	// send or ack-wait operation absorbs (with a short pause) before Send
+	// fails. ErrClosed is always fatal. Zero selects 8; negative disables
+	// retries, restoring fail-on-first-error.
+	SendRetries int
 	// FinalWait is how long the sender keeps listening for a late
 	// acknowledgement after it has emitted its last frame, covering the time
 	// the receiver needs to catch up on decoding; zero selects one second.
@@ -82,7 +102,38 @@ type Config struct {
 	// classic frame-by-frame cadence. Larger values amortize syscalls at
 	// the cost of overshooting the ack by up to a flush of symbols.
 	FlushFrames int
+	// FlowDecodeBudget bounds how far ahead of the least-spent active flow
+	// any flow's decode spend (tree nodes expanded) may run before the
+	// receiver's scheduler defers its attempts. Deferral degrades
+	// gracefully: frames keep accumulating in the deferred flow's pending
+	// buffers and its attempts run as soon as the other flows catch up (or
+	// it is the only flow with work) — nothing is ever dropped — so one
+	// bad-channel flow cannot monopolize the decode workers. Zero disables
+	// budget accounting.
+	FlowDecodeBudget int64
+	// IdleExpiry expires flows whose senders have gone silent: a flow with
+	// no frame for this long is dropped, its undelivered messages are
+	// NACKed, and its decoder leases and buffers return to their pools —
+	// zombie senders stop pinning receiver state. Expiry is checked on the
+	// receiver's Receive loop, so it needs no timer goroutine. Zero
+	// disables idle expiry.
+	IdleExpiry time.Duration
+	// MaxDecodeCost caps the decode work a single frame may advertise,
+	// measured as 2^K times the segment count of the message it describes.
+	// The wire format admits parameters (K=12 with a maximum-length
+	// message) whose beam decode runs minutes per attempt, so one hostile
+	// frame could otherwise pin a decode worker — a cheap denial of
+	// service against the receiver. Frames over the cap are rejected at
+	// admission, before any state is allocated. Zero selects
+	// DefaultMaxDecodeCost, which admits every configuration this
+	// repository ships with ~4x headroom; negative disables the cap.
+	MaxDecodeCost int64
 }
+
+// DefaultMaxDecodeCost is the default Config.MaxDecodeCost: roughly 4x the
+// advertised decode cost of the largest legitimate configuration (K=8 with a
+// MaxPayload-sized message).
+const DefaultMaxDecodeCost = 1 << 21
 
 // DefaultIngestBatch is the default receiver batch size per receive call.
 const DefaultIngestBatch = 32
@@ -123,6 +174,14 @@ func (c Config) withDefaults() Config {
 	if c.AckPoll == 0 {
 		c.AckPoll = 200 * time.Microsecond
 	}
+	if c.AckPollMax == 0 {
+		c.AckPollMax = 16 * c.AckPoll
+	}
+	if c.SendRetries == 0 {
+		c.SendRetries = 8
+	} else if c.SendRetries < 0 {
+		c.SendRetries = 0
+	}
 	if c.FinalWait == 0 {
 		c.FinalWait = time.Second
 	}
@@ -140,6 +199,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushFrames == 0 {
 		c.FlushFrames = 1
+	}
+	if c.MaxDecodeCost == 0 {
+		c.MaxDecodeCost = DefaultMaxDecodeCost
 	}
 	return c
 }
@@ -176,6 +238,18 @@ func (c Config) validate() error {
 	if c.MaxFlows < 0 {
 		return fmt.Errorf("link: MaxFlows must be >= 0, got %d", c.MaxFlows)
 	}
+	if c.AckPollMax < c.AckPoll {
+		return fmt.Errorf("link: AckPollMax %v below AckPoll %v", c.AckPollMax, c.AckPoll)
+	}
+	if c.SendDeadline < 0 {
+		return fmt.Errorf("link: SendDeadline must be >= 0, got %v", c.SendDeadline)
+	}
+	if c.FlowDecodeBudget < 0 {
+		return fmt.Errorf("link: FlowDecodeBudget must be >= 0, got %d", c.FlowDecodeBudget)
+	}
+	if c.IdleExpiry < 0 {
+		return fmt.Errorf("link: IdleExpiry must be >= 0, got %v", c.IdleExpiry)
+	}
 	if c.LegacyV0 && c.FlowID != 0 {
 		return fmt.Errorf("link: legacy v0 framing cannot carry flow %d", c.FlowID)
 	}
@@ -191,6 +265,12 @@ func (c Config) validate() error {
 // MaxPayload is the largest payload one packet can carry (limited so decoder
 // state stays small on embedded receivers).
 const MaxPayload = 2048
+
+// ErrDeadline reports that a Send call exhausted its Config.SendDeadline
+// before the message was acknowledged or shed. Errors returned by Send for
+// an expired deadline satisfy errors.Is(err, ErrDeadline), and the report
+// accompanying the error carries the partial transmission counters.
+var ErrDeadline = errors.New("link: send deadline exceeded")
 
 // Sender is the transmitting half of the rateless link. Its frame buffers
 // and symbol scratch are reused across packets, so Send must not be called
@@ -209,6 +289,9 @@ type Sender struct {
 	leases []*ArenaBuf
 	ackBuf []byte
 	view   FrameView
+	// jit drives the deterministic ack-backoff jitter (seeded from the
+	// config, so a run's pacing replays exactly).
+	jit *rng.Rand
 }
 
 // NewSender returns a sender that transmits over tr.
@@ -228,6 +311,7 @@ func NewSender(tr Transport, cfg Config) (*Sender, error) {
 		frames: make([][]byte, 0, cfg.FlushFrames),
 		leases: make([]*ArenaBuf, 0, cfg.FlushFrames),
 		ackBuf: make([]byte, maxFrameSize),
+		jit:    rng.New(cfg.Seed ^ uint64(cfg.FlowID)<<32 ^ 0x5bd1e995a4f09db5),
 	}
 	if bt, ok := tr.(BatchTransport); ok {
 		s.btr = bt
@@ -250,6 +334,15 @@ type SendReport struct {
 	// Rate is the delivered payload bits per transmitted symbol (zero if the
 	// packet was not acknowledged).
 	Rate float64
+	// AckFramesIgnored counts frames the ack wait discarded because they
+	// were not this message's ack: acks for other flows or messages on a
+	// shared transport, duplicated stale acks, and unparseable garbage.
+	// A steadily climbing count flags a misdirected or corrupted feedback
+	// path that the sender is silently riding out.
+	AckFramesIgnored int
+	// DeadlineExceeded reports that Config.SendDeadline expired before the
+	// message resolved; Send pairs it with an error wrapping ErrDeadline.
+	DeadlineExceeded bool
 }
 
 // Send transmits one packet ratelessly and returns once the receiver
@@ -283,6 +376,11 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 	report := &SendReport{}
 	maxSymbols := s.cfg.MaxPasses * params.NumSegments()
 	next := 0
+	var deadline time.Time
+	if s.cfg.SendDeadline > 0 {
+		deadline = time.Now().Add(s.cfg.SendDeadline)
+	}
+	ackWait := s.cfg.AckPoll
 	// On any early exit, return queued-but-unflushed marshal buffers to the
 	// arena (flush clears both slices on the normal path).
 	defer func() {
@@ -293,6 +391,10 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 		s.frames = s.frames[:0]
 	}()
 	for next < maxSymbols {
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			report.DeadlineExceeded = true
+			return report, fmt.Errorf("link: message %d: %w", msgID, ErrDeadline)
+		}
 		count := s.cfg.SymbolsPerFrame
 		if next+count > maxSymbols {
 			count = maxSymbols - next
@@ -331,10 +433,14 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 		if len(s.frames) < s.cfg.FlushFrames && next < maxSymbols {
 			continue
 		}
-		if err := s.flush(); err != nil {
+		if err := s.flush(deadline); err != nil {
+			if errors.Is(err, ErrDeadline) {
+				report.DeadlineExceeded = true
+				return report, fmt.Errorf("link: message %d: %w", msgID, ErrDeadline)
+			}
 			return nil, err
 		}
-		acked, shed, err := s.waitForAck(msgID, s.cfg.AckPoll)
+		acked, shed, err := s.waitForAck(report, msgID, s.jitter(ackWait), deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -347,38 +453,90 @@ func (s *Sender) Send(msgID uint32, payload []byte) (*SendReport, error) {
 			report.Shed = true
 			return report, nil
 		}
+		// Unresolved: back off the next poll so we stop busy-spinning
+		// redundant passes into a receiver still working its backlog.
+		if ackWait < s.cfg.AckPollMax {
+			ackWait *= 2
+			if ackWait > s.cfg.AckPollMax {
+				ackWait = s.cfg.AckPollMax
+			}
+		}
 	}
 
 	// Final, more patient wait: the last frames may still be in flight and the
 	// receiver may still be working through its decode backlog.
-	acked, shed, err := s.waitForAck(msgID, s.cfg.FinalWait)
+	finalWait := s.cfg.FinalWait
+	if !deadline.IsZero() {
+		if remaining := time.Until(deadline); remaining < finalWait {
+			finalWait = remaining
+		}
+	}
+	if finalWait < 0 {
+		finalWait = 0
+	}
+	acked, shed, err := s.waitForAck(report, msgID, finalWait, deadline)
 	if err != nil {
 		return nil, err
 	}
 	if acked {
 		report.Acked = true
 		report.Rate = float64(len(payload)*8) / float64(report.SymbolsSent)
+		return report, nil
 	}
 	report.Shed = shed
+	if !shed && !deadline.IsZero() && !time.Now().Before(deadline) {
+		report.DeadlineExceeded = true
+		return report, fmt.Errorf("link: message %d: %w", msgID, ErrDeadline)
+	}
 	return report, nil
+}
+
+// jitter spreads a backoff wait by a deterministic ±25% so many senders
+// sharing a receiver never synchronize their ack polls.
+func (s *Sender) jitter(wait time.Duration) time.Duration {
+	if wait <= 0 {
+		return wait
+	}
+	scaled := time.Duration(float64(wait) * (0.75 + 0.5*s.jit.Float64()))
+	if scaled < time.Microsecond {
+		scaled = time.Microsecond
+	}
+	return scaled
 }
 
 // flush hands the queued frames to the transport — one SendBatch when the
 // transport supports it, a send loop otherwise — and returns their marshal
-// buffers to the arena.
-func (s *Sender) flush() error {
-	if len(s.frames) == 0 {
-		return nil
-	}
+// buffers to the arena. Transient transport errors (anything but ErrClosed)
+// are retried in place up to Config.SendRetries times, resuming from the
+// first unsent frame, so a momentary stall or injected fault does not fail
+// the whole message.
+func (s *Sender) flush(deadline time.Time) error {
+	frames := s.frames
 	var err error
-	if s.btr != nil {
-		_, err = s.btr.SendBatch(s.frames)
-	} else {
-		for _, f := range s.frames {
-			if err = s.tr.Send(f); err != nil {
-				break
+	for retries := 0; len(frames) > 0; {
+		if s.btr != nil {
+			var n int
+			n, err = s.btr.SendBatch(frames)
+			frames = frames[n:]
+		} else {
+			err = s.tr.Send(frames[0])
+			if err == nil {
+				frames = frames[1:]
 			}
 		}
+		if err == nil {
+			retries = 0
+			continue
+		}
+		if errors.Is(err, ErrClosed) || retries >= s.cfg.SendRetries {
+			break
+		}
+		retries++
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			err = ErrDeadline
+			break
+		}
+		time.Sleep(s.jitter(s.cfg.AckPoll))
 	}
 	for _, lb := range s.leases {
 		lb.Release()
@@ -386,6 +544,9 @@ func (s *Sender) flush() error {
 	s.leases = s.leases[:0]
 	s.frames = s.frames[:0]
 	if err != nil {
+		if errors.Is(err, ErrDeadline) {
+			return err
+		}
 		return fmt.Errorf("link: sending data frame: %w", err)
 	}
 	return nil
@@ -394,25 +555,47 @@ func (s *Sender) flush() error {
 // waitForAck polls the transport for an acknowledgement of msgID on this
 // sender's flow. A positive ack reports acked; a negative ack — the
 // receiver shed this flow under admission control — reports shed, telling
-// Send to stop retransmitting.
-func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (acked, shed bool, err error) {
+// Send to stop retransmitting. Frames that are not this message's ack are
+// counted in report.AckFramesIgnored; transient receive errors are retried
+// up to Config.SendRetries times before failing the send.
+func (s *Sender) waitForAck(report *SendReport, msgID uint32, wait time.Duration, sendDeadline time.Time) (acked, shed bool, err error) {
 	buf := s.ackBuf
-	deadline := time.Now().Add(wait)
+	end := time.Now().Add(wait)
+	if !sendDeadline.IsZero() && sendDeadline.Before(end) {
+		end = sendDeadline
+	}
+	retries := 0
 	for {
-		remaining := time.Until(deadline)
+		remaining := time.Until(end)
 		if remaining < 0 {
 			remaining = 0
 		}
 		n, err := s.tr.Receive(buf, remaining)
 		switch {
 		case err == nil:
+			retries = 0
 		case errors.Is(err, ErrTimeout):
 			return false, false, nil
-		default:
+		case errors.Is(err, ErrClosed):
 			return false, false, fmt.Errorf("link: waiting for ack: %w", err)
+		default:
+			// Transient fault (e.g. an injected transport error): ride it
+			// out and keep listening, bounded by the retry budget.
+			if retries >= s.cfg.SendRetries {
+				return false, false, fmt.Errorf("link: waiting for ack: %w", err)
+			}
+			retries++
+			if remaining == 0 {
+				return false, false, nil
+			}
+			continue
 		}
 		if uerr := UnmarshalFrameInPlace(buf[:n], &s.view); uerr != nil {
-			continue // ignore garbage
+			report.AckFramesIgnored++ // garbage (e.g. corrupted ack bytes)
+			if remaining == 0 {
+				return false, false, nil
+			}
+			continue
 		}
 		// v0 acks carry flow 0, which is exactly this sender's flow when it
 		// speaks v0; acks for other flows on a shared transport are ignored.
@@ -422,6 +605,7 @@ func (s *Sender) waitForAck(msgID uint32, wait time.Duration) (acked, shed bool,
 			}
 			return false, true, nil
 		}
+		report.AckFramesIgnored++
 		if remaining == 0 {
 			return false, false, nil
 		}

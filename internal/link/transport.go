@@ -121,7 +121,10 @@ type Pipe struct {
 	src   *rng.Rand
 	mu    sync.Mutex
 	close chan struct{}
-	once  sync.Once
+	// once is shared by both endpoints: closing either endpoint closes the
+	// pair, and closing both (each side tearing down independently, the
+	// normal shape under chaos tests) must stay a safe no-op.
+	once *sync.Once
 	// rtimer is the reused blocking-receive timer (rtmu-guarded); a second
 	// concurrent Receive falls back to a throwaway timer rather than wait.
 	rtmu   sync.Mutex
@@ -139,8 +142,9 @@ func NewPipePair(loss float64, seed uint64) (*Pipe, *Pipe, error) {
 	ba := make(chan []byte, 1024)
 	pool := make(chan []byte, cap(ab)+cap(ba)+64)
 	closed := make(chan struct{})
-	a := &Pipe{out: ab, in: ba, pool: pool, loss: loss, src: rng.New(seed), close: closed}
-	b := &Pipe{out: ba, in: ab, pool: pool, loss: loss, src: rng.New(seed + 1), close: closed}
+	once := new(sync.Once)
+	a := &Pipe{out: ab, in: ba, pool: pool, loss: loss, src: rng.New(seed), close: closed, once: once}
+	b := &Pipe{out: ba, in: ab, pool: pool, loss: loss, src: rng.New(seed + 1), close: closed, once: once}
 	return a, b, nil
 }
 

@@ -55,6 +55,10 @@ type Request struct {
 	// TrialWorkers is the trial runner's worker-pool size (-trial-workers);
 	// zero means GOMAXPROCS. Results are bit-identical at any setting.
 	TrialWorkers int
+	// Short asks the scenario for its abbreviated configuration (-short):
+	// fewer flows/messages/rounds, tuned so CI smoke jobs finish quickly.
+	// Scenarios that declare the flag scale down; the rest ignore it.
+	Short bool
 }
 
 // DefaultRequest returns the knob values the spinalsim flags default to, so
