@@ -279,6 +279,74 @@ func BenchmarkParallelDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkDecodeSymbolsPerSec is the single-core decoder throughput gate:
+// how many received channel symbols per second one worker folds through a
+// full from-scratch beam decode, for the exact float64 metric and the
+// quantized int32 metric across beam widths. The symbols/s metric is the
+// paper-facing unit (a receiver must decode at least as fast as symbols
+// arrive); nodes/s is the same run in the decoder's unit of work. CI's
+// bench-smoke job diffs this benchmark against the committed
+// BENCH_baseline.json with benchstat.
+func BenchmarkDecodeSymbolsPerSec(b *testing.B) {
+	params := core.Params{K: 8, C: 10, MessageBits: 128, Seed: core.DefaultSeed}
+	msg := core.RandomMessage(rng.New(41), params.MessageBits)
+	enc, err := core.NewEncoder(params, msg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	radio, err := channel.NewQuantizedAWGN(0, 14, rng.New(43))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := core.NewSequentialSchedule(params.NumSegments())
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := core.NewObservations(params.NumSegments())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Four passes of 0 dB observations, as a mid-SNR operating point where
+	// the decode does real disambiguation work at every level.
+	const passes = 4
+	nSymbols := passes * params.NumSegments()
+	for i := 0; i < nSymbols; i++ {
+		pos := sched.Pos(i)
+		if err := obs.Add(pos, radio.Corrupt(enc.SymbolAt(pos))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, metric := range []core.CostMetric{core.CostFloat64, core.CostInt32} {
+		for _, beam := range []int{16, 64, 256} {
+			metric, beam := metric, beam
+			b.Run(fmt.Sprintf("metric=%s/B=%d", metric, beam), func(b *testing.B) {
+				dec, err := core.NewBeamDecoder(params, beam)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer dec.Close()
+				if err := dec.SetCostMetric(metric); err != nil {
+					b.Fatal(err)
+				}
+				dec.SetParallelism(1)
+				dec.SetIncremental(false)
+				var nodes int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					out, derr := dec.Decode(obs)
+					if derr != nil {
+						b.Fatal(derr)
+					}
+					nodes += int64(out.NodesExpanded)
+				}
+				b.ReportMetric(float64(b.N)*float64(nSymbols)/b.Elapsed().Seconds(), "symbols/s")
+				b.ReportMetric(float64(nodes)/b.Elapsed().Seconds(), "nodes/s")
+			})
+		}
+	}
+}
+
 // BenchmarkBatchObserve isolates the receive hot path the batch-first API
 // vectorizes: producing one pass of symbols, corrupting it, and folding it
 // into the decoder's observations — scalar (one schedule call, one encoder

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"spinal/internal/channel"
+	"spinal/internal/core"
 	"spinal/internal/link"
 	"spinal/internal/rng"
 )
@@ -57,10 +58,12 @@ func main() {
 		"per-flow decode budget: how far ahead of the least-spent flow (in decode nodes) a flow may run before its attempts are deferred (0 = off)")
 	stats := flag.Duration("stats", 0,
 		"emit a JSON engine-stats line to stderr at this interval (0 = off)")
+	metric := flag.String("metric", "",
+		"decoder cost metric: float64|int32 (empty = float64)")
 	flag.Parse()
 
 	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed,
-		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch, *idleExpiry, *budget, *stats); err != nil {
+		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch, *idleExpiry, *budget, *stats, *metric); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
@@ -68,7 +71,11 @@ func main() {
 
 func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64,
 	maxFlows, maxTracked, pool, ingestShards, ingestBatch int,
-	idleExpiry time.Duration, budget int64, statsEvery time.Duration) error {
+	idleExpiry time.Duration, budget int64, statsEvery time.Duration, metric string) error {
+	costMetric, err := core.ParseCostMetric(metric)
+	if err != nil {
+		return err
+	}
 	// A single shard binds one plain UDP socket; more shards run the
 	// SO_REUSEPORT reactor, which spreads kernel-side demux across sockets
 	// while frames still funnel into the one flow-demuxed receiver.
@@ -106,6 +113,7 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 		IngestBatch:        ingestBatch,
 		IdleExpiry:         idleExpiry,
 		FlowDecodeBudget:   budget,
+		CostMetric:         costMetric,
 	}, radio)
 	if err != nil {
 		return err

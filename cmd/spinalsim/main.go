@@ -56,6 +56,9 @@ type options struct {
 	workers      int
 	trialWorkers int
 	short        bool
+	metric       string
+	cpuProfile   string
+	memProfile   string
 	csv          bool
 	json         bool
 }
@@ -85,6 +88,10 @@ func run(args []string, out io.Writer) error {
 		"trial-runner worker goroutines (0 = GOMAXPROCS; results are bit-identical at any setting)")
 	fs.BoolVar(&opt.short, "short", false,
 		"run the scenario's abbreviated configuration (CI smoke); scenarios that do not declare it ignore it")
+	fs.StringVar(&opt.metric, "metric", "",
+		"decoder cost metric: float64|int32 (empty = float64); scenarios that do not declare it ignore it")
+	fs.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the scenario run to this file")
+	fs.StringVar(&opt.memProfile, "memprofile", "", "write a heap profile taken after the scenario run to this file")
 	fs.BoolVar(&opt.csv, "csv", false, "emit CSV instead of aligned tables")
 	fs.BoolVar(&opt.json, "json", false, "emit machine-readable JSON")
 	if err := fs.Parse(args); err != nil {
@@ -113,12 +120,19 @@ func run(args []string, out io.Writer) error {
 		// contract (req.SNRs stays empty, selecting the scenario default).
 		return err
 	}
-	start := time.Now()
-	res, err := sc.Run(req)
+	stopProfile, err := sim.Profile(req)
 	if err != nil {
 		return err
 	}
+	start := time.Now()
+	res, err := sc.Run(req)
 	elapsed := time.Since(start)
+	if perr := stopProfile(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		return err
+	}
 	res.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	if err := opt.sink().Emit(out, res); err != nil {
 		return err
@@ -160,6 +174,9 @@ func (o options) request() (sim.Request, error) {
 		Workers:      o.workers,
 		TrialWorkers: o.trialWorkers,
 		Short:        o.short,
+		Metric:       o.metric,
+		CPUProfile:   o.cpuProfile,
+		MemProfile:   o.memProfile,
 	}, err
 }
 

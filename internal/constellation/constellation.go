@@ -29,6 +29,19 @@ type Mapper interface {
 	Name() string
 }
 
+// TableMapper is implemented by mappers whose two dimensions are mapped
+// independently through a shared per-dimension coordinate table, i.e.
+// Map(word) == complex(tab[word>>c&mask], tab[word&mask]). Every mapper in
+// this package qualifies; the beam decoder uses the table to replace the
+// per-symbol interface call in its cost fold with two array loads, and to
+// derive the integer symbol grid of its quantized cost metric.
+type TableMapper interface {
+	Mapper
+	// DimTable returns the per-dimension coordinate table, indexed by the
+	// c-bit value of one dimension. Callers must treat it as read-only.
+	DimTable() []float64
+}
+
 // dimMapper implements Mapper from a per-dimension raw mapping function.
 // The raw mapping is normalized at construction time so that the average
 // symbol energy over uniformly random bits is exactly 1.
@@ -40,6 +53,10 @@ type dimMapper struct {
 
 func (m *dimMapper) C() int       { return m.c }
 func (m *dimMapper) Name() string { return m.name }
+
+// DimTable exposes the normalized per-dimension coordinate table. The slice
+// is owned by the mapper and must not be modified.
+func (m *dimMapper) DimTable() []float64 { return m.table }
 
 func (m *dimMapper) Map(word uint32) complex128 {
 	mask := uint32(1)<<uint(m.c) - 1

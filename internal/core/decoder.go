@@ -41,23 +41,45 @@ import (
 // set of the level regardless of how the work was sharded, so parallel and
 // serial decodes are bit-identical at any worker count. SetParallelism(1)
 // restores the exact single-threaded path.
+//
+// Search state lives in a structure-of-arrays engine (see engine.go),
+// instantiated per cost metric: the default exact float64 metric, and the
+// opt-in quantized int32 metric of SetCostMetric (fixed-point cost folds
+// with saturating adds — the arithmetic a hardware decoder would ship).
 type BeamDecoder struct {
-	p           Params
-	b           int
-	maxCand     int
-	family      hash.Family
-	mapper      constellation.Mapper
+	p       Params
+	b       int
+	maxCand int
+	family  hash.Family
+	mapper  constellation.Mapper
+	// dimTab is the mapper's per-dimension coordinate table (nil for custom
+	// mappers that do not expose one). The cost folds use it to replace the
+	// per-symbol Mapper.Map interface call with two array loads — the same
+	// float64 values, so decodes are unchanged.
+	dimTab      []float64
 	incremental bool
 	workers     int
+	metric      CostMetric
+	// quantTab is dimTab snapped onto the int32 metric's fixed-point grid,
+	// built lazily the first time the quantized metric is selected.
+	quantTab []int32
 
 	nodesExpanded  int
 	nodesRefreshed int
 
-	ws        decodeWorkspace
-	pool      *decodePool
-	par       []parShard
-	region    parRegion
-	shardBody func(worker int)
+	// engF/engI are the per-metric search engines; engF always exists, engI
+	// is created the first time the int32 metric is selected. They share the
+	// worker pool.
+	engF *engine[float64, f64Ops]
+	engI *engine[int32, i32Ops]
+	pool *decodePool
+
+	// Reusable coster values, so Decode does not allocate one per call when
+	// it passes them through the levelCoster interface.
+	awgnC  awgnCoster
+	bscC   bscCoster
+	qawgnC awgnQuantCoster
+	qbscC  bscQuantCoster
 }
 
 // unlimited is the beam width used by the ML decoder.
@@ -111,7 +133,7 @@ func newBeamDecoder(p Params, beamWidth, maxCand int) (*BeamDecoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &BeamDecoder{
+	d := &BeamDecoder{
 		p:           p,
 		b:           beamWidth,
 		maxCand:     maxCand,
@@ -119,7 +141,12 @@ func newBeamDecoder(p Params, beamWidth, maxCand int) (*BeamDecoder, error) {
 		mapper:      mapper,
 		incremental: true,
 		workers:     runtime.GOMAXPROCS(0),
-	}, nil
+	}
+	if tm, ok := mapper.(constellation.TableMapper); ok {
+		d.dimTab = tm.DimTable()
+	}
+	d.engF = newEngine[float64, f64Ops](d)
+	return d, nil
 }
 
 // BeamWidth returns the configured beam width B.
@@ -136,7 +163,7 @@ func (d *BeamDecoder) SetMaxCandidates(n int) error {
 		return fmt.Errorf("core: max candidates %d must be at least the beam width %d", n, d.b)
 	}
 	d.maxCand = n
-	d.ws.invalidate()
+	d.invalidateWorkspaces()
 	return nil
 }
 
@@ -147,12 +174,60 @@ func (d *BeamDecoder) SetMaxCandidates(n int) error {
 func (d *BeamDecoder) SetIncremental(on bool) {
 	d.incremental = on
 	if !on {
-		d.ws.invalidate()
+		d.invalidateWorkspaces()
 	}
 }
 
 // Incremental reports whether workspace reuse is enabled.
 func (d *BeamDecoder) Incremental() bool { return d.incremental }
+
+// SetCostMetric selects the arithmetic path costs accumulate in: the exact
+// float64 default, or the opt-in quantized int32 metric (fixed-point grid,
+// saturating adds). Switching metrics invalidates the incremental workspace
+// — cached cost sums in one carrier do not describe the other — so the next
+// Decode rebuilds from the root. The int32 metric derives its integer symbol
+// grid from the mapper's per-dimension table and therefore requires a
+// table-backed mapper (every built-in mapper qualifies).
+func (d *BeamDecoder) SetCostMetric(m CostMetric) error {
+	switch m {
+	case CostFloat64:
+	case CostInt32:
+		if d.dimTab == nil {
+			return fmt.Errorf("core: the int32 cost metric requires a table-backed constellation mapper (%s is not)", d.mapper.Name())
+		}
+		if d.quantTab == nil {
+			tab := make([]int32, len(d.dimTab))
+			for i, v := range d.dimTab {
+				tab[i] = quantCoord(v)
+			}
+			d.quantTab = tab
+		}
+		if d.engI == nil {
+			d.engI = newEngine[int32, i32Ops](d)
+		}
+	default:
+		return fmt.Errorf("core: unknown cost metric %d", m)
+	}
+	if m == d.metric {
+		return nil
+	}
+	d.metric = m
+	d.invalidateWorkspaces()
+	return nil
+}
+
+// CostMetric reports the configured cost metric.
+func (d *BeamDecoder) CostMetric() CostMetric { return d.metric }
+
+// invalidateWorkspaces discards every engine's cached incremental state.
+func (d *BeamDecoder) invalidateWorkspaces() {
+	if d.engF != nil {
+		d.engF.ws.invalidate()
+	}
+	if d.engI != nil {
+		d.engI.ws.invalidate()
+	}
+}
 
 // NodesExpanded reports the number of tree nodes freshly expanded (one hash
 // evaluation plus a full cost computation each) by the most recent Decode
@@ -172,7 +247,8 @@ type DecodeResult struct {
 	// Message is the most likely message found, packed LSB-first.
 	Message []byte
 	// Cost is the accumulated distance of the returned message's symbols to
-	// the observations (squared Euclidean for AWGN, Hamming for BSC).
+	// the observations (squared Euclidean for AWGN, Hamming for BSC; in grid
+	// units under the quantized int32 metric).
 	Cost float64
 	// NodesExpanded is the number of decoding-tree nodes freshly evaluated
 	// (hash replay plus full cost) in this attempt.
@@ -194,8 +270,18 @@ func (d *BeamDecoder) Decode(obs *Observations) (*DecodeResult, error) {
 		return nil, fmt.Errorf("core: observations sized for %d segments, decoder for %d",
 			obs.NumSegments(), d.p.NumSegments())
 	}
-	coster := &awgnCoster{d: d, obs: obs}
-	out := d.run(coster, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+	var out *DecodeResult
+	if d.metric == CostInt32 {
+		c := &d.qawgnC
+		c.d, c.obs, c.tab = d, obs, d.quantTab
+		out = d.engI.run(c, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+		c.obs = nil // do not pin the container between decodes
+	} else {
+		c := &d.awgnC
+		c.d, c.obs, c.tab = d, obs, d.dimTab
+		out = d.engF.run(c, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+		c.obs = nil
+	}
 	obs.MarkClean()
 	return out, nil
 }
@@ -211,50 +297,291 @@ func (d *BeamDecoder) DecodeBits(obs *BitObservations) (*DecodeResult, error) {
 		return nil, fmt.Errorf("core: observations sized for %d segments, decoder for %d",
 			obs.NumSegments(), d.p.NumSegments())
 	}
-	coster := &bscCoster{d: d, obs: obs}
-	out := d.run(coster, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+	var out *DecodeResult
+	if d.metric == CostInt32 {
+		c := &d.qbscC
+		c.d, c.obs = d, obs
+		out = d.engI.run(c, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+		c.obs = nil
+	} else {
+		c := &d.bscC
+		c.d, c.obs = d, obs
+		out = d.engF.run(c, obs, obs.Generation(), obs.Epoch(), obs.cleanGen, obs.DirtyLevel())
+		c.obs = nil
+	}
 	obs.MarkClean()
 	return out, nil
 }
 
-// levelCoster computes observation costs for hypothesized spine values at a
-// tree level. costAll left-folds every observation at the level in recording
-// order; costOne returns the single term of observation idx. The incremental
-// refresh extends cached sums with costOne term by term, which performs the
-// exact same floating-point additions, in the same order, as costAll would —
-// that is what makes incremental and from-scratch decodes bit-identical.
-type levelCoster interface {
-	numObs(level int) int
-	costAll(spine uint64, level int) float64
-	costOne(spine uint64, level, idx int) float64
-}
-
+// awgnCoster is the exact float64 squared-Euclidean metric for AWGN
+// observations. prepareLevel stages the level's observations as flat
+// coordinate/bit-offset arrays so the sharded cost folds run over dense
+// float64 slices, and the fold extracts each pass's 2c coded bits from a
+// hash word cached in registers, recomputing it only when the word index
+// changes (passes read the expansion in ascending order, so that is once per
+// 64 bits). When the mapper exposes its per-dimension table the fold reads
+// symbol coordinates straight from it — two array loads instead of an
+// interface call. All of it is value-preserving: the same hash words, the
+// same table float64s, the same add order, so this path computes
+// bit-identical costs to the plain symbolFor replay it descends from.
 type awgnCoster struct {
 	d   *BeamDecoder
 	obs *Observations
+	tab []float64
+
+	// Per-level scratch staged by prepareLevel: received coordinates and the
+	// starting bit offset of each observation's pass in the spine expansion.
+	yI     []float64
+	yQ     []float64
+	starts []uint32
 }
 
 func (c *awgnCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
-func (c *awgnCoster) term(spine uint64, ob symbolObs) float64 {
-	x := symbolFor(c.d.family, c.d.mapper, c.d.p.C, spine, ob.pass)
-	dI := real(ob.y) - real(x)
-	dQ := imag(ob.y) - imag(x)
-	return dI*dI + dQ*dQ
-}
-
-func (c *awgnCoster) costAll(spine uint64, level int) float64 {
-	var sum float64
-	for _, ob := range c.obs.spines[level] {
-		sum += c.term(spine, ob)
+func (c *awgnCoster) prepareLevel(level int) {
+	obs := c.obs.spines[level]
+	n := len(obs)
+	c.yI = sized(c.yI, n)
+	c.yQ = sized(c.yQ, n)
+	c.starts = sized(c.starts, n)
+	for i := range obs {
+		c.yI[i] = real(obs[i].y)
+		c.yQ[i] = imag(obs[i].y)
+		c.starts[i] = uint32(2 * c.d.p.C * obs[i].pass)
 	}
-	return sum
 }
 
-func (c *awgnCoster) costOne(spine uint64, level, idx int) float64 {
-	return c.term(spine, c.obs.spines[level][idx])
+// costTail is the scalar fold; the decoder's hot paths go through
+// costTailMany, this exists for in-package oracles and tests.
+func (c *awgnCoster) costTail(local float64, spine uint64, level, from int) float64 {
+	loc := [1]float64{local}
+	sp := [1]uint64{spine}
+	c.costTailMany(loc[:], sp[:], level, from)
+	return loc[0]
 }
 
+func (c *awgnCoster) costTailMany(locals []float64, spines []uint64, level, from int) {
+	n := len(c.starts)
+	if from >= n {
+		if from == 0 {
+			clear(locals) // an empty full fold still owns the output
+		}
+		return
+	}
+	tab := c.tab
+	if tab == nil {
+		// Custom mapper without a dimension table: replay through the Mapper
+		// interface, still with word-level memoization of the expansion.
+		width := uint(2 * c.d.p.C)
+		var ex hash.Expander
+		for j, spine := range spines {
+			ex.Reset(c.d.family, spine)
+			var local float64
+			if from > 0 {
+				local = locals[j]
+			}
+			for i := from; i < n; i++ {
+				x := c.d.mapper.Map(uint32(ex.BitRange(uint(c.starts[i]), width)))
+				dI := c.yI[i] - real(x)
+				dQ := c.yQ[i] - imag(x)
+				local += dI*dI + dQ*dQ
+			}
+			locals[j] = local
+		}
+		return
+	}
+	cc := uint(c.d.p.C)
+	mask := uint32(1)<<cc - 1
+	width := uint32(2 * c.d.p.C)
+	wmask := uint32(uint64(1)<<width - 1)
+	fam := c.d.family
+	starts := c.starts[from:n]
+	yI := c.yI[from:n]
+	yQ := c.yQ[from:n:n]
+	for j, spine := range spines {
+		var local float64
+		if from > 0 {
+			local = locals[j]
+		}
+		wi := ^uint32(0) // cached word index; all-ones is never valid here
+		var w uint64
+		for i, start := range starts {
+			idx := start >> 6
+			off := start & 63
+			if idx != wi {
+				w = fam.Word(spine, idx)
+				wi = idx
+			}
+			var word uint32
+			if off+width <= 64 {
+				word = uint32(w>>(64-off-width)) & wmask
+			} else {
+				// The range straddles into the next word; advance the cache
+				// to it, since later passes start there.
+				hiBits := 64 - off
+				loBits := width - hiBits
+				hi := w & (uint64(1)<<hiBits - 1)
+				w = fam.Word(spine, idx+1)
+				wi = idx + 1
+				word = uint32(hi<<loBits | w>>(64-loBits))
+			}
+			dI := yI[i] - tab[word>>cc&mask]
+			dQ := yQ[i] - tab[word&mask]
+			local += dI*dI + dQ*dQ
+		}
+		locals[j] = local
+	}
+}
+
+// awgnQuantCoster is the quantized int32 metric for AWGN observations:
+// observations and symbol coordinates are snapped onto the costQuantScale
+// fixed-point grid and per-term squared distances accumulate in the int32
+// carrier (saturating — non-negative terms make a single final clamp of the
+// int64 running sum exactly equivalent to per-term saturating adds).
+//
+// The fold is restructured around the integer grid. prepareLevel tabulates,
+// per observation and per dimension, the squared distance to every one of
+// the 2^c constellation coordinates — the fixed-point analogue of a
+// hardware distance LUT — so the per-child term is two table loads and an
+// add, with no subtraction or multiplication left in the loop. costTailMany
+// then iterates term-outer/child-inner: each observation's hash word index
+// is resolved once for the whole batch, and the inner loops are flat passes
+// over the batch whose hash computations pipeline across children instead
+// of serializing along each child's pass chain.
+type awgnQuantCoster struct {
+	d   *BeamDecoder
+	obs *Observations
+	tab []int32
+
+	// Per-level scratch, rebuilt by prepareLevel.
+	starts []uint32
+	// dI2/dQ2 are the per-observation squared-distance LUTs: row i (2^c
+	// entries at offset i*dim) maps a dimension's c-bit value to the squared
+	// grid distance from observation i's coordinate. Entries fit uint32:
+	// coordinates are clamped to +/-costQuantMax, so a difference is at most
+	// 2^17-2 in magnitude and its square below 2^34... per-dimension
+	// differences are at most 2*costQuantMax = 2^16-2, squared below 2^32.
+	dI2 []uint32
+	dQ2 []uint32
+	// words/acc are batch scratch for the interchanged fold.
+	words []uint64
+	acc   []int64
+}
+
+func (c *awgnQuantCoster) numObs(level int) int { return len(c.obs.spines[level]) }
+
+func (c *awgnQuantCoster) prepareLevel(level int) {
+	obs := c.obs.spines[level]
+	n := len(obs)
+	dim := 1 << uint(c.d.p.C)
+	c.starts = sized(c.starts, n)
+	c.dI2 = sized(c.dI2, n*dim)
+	c.dQ2 = sized(c.dQ2, n*dim)
+	tab := c.tab
+	for i := range obs {
+		c.starts[i] = uint32(2 * c.d.p.C * obs[i].pass)
+		qI := quantCoord(real(obs[i].y))
+		qQ := quantCoord(imag(obs[i].y))
+		rowI := c.dI2[i*dim : (i+1)*dim]
+		rowQ := c.dQ2[i*dim : (i+1)*dim]
+		for v, t := range tab {
+			dI := int64(qI - t)
+			rowI[v] = uint32(dI * dI)
+			dQ := int64(qQ - t)
+			rowQ[v] = uint32(dQ * dQ)
+		}
+	}
+}
+
+// quantFoldChunk bounds the batch slice the interchanged fold processes per
+// outer pass, keeping its word/accumulator scratch inside the L1/L2 caches
+// even when a refresh folds a whole cached level at once.
+const quantFoldChunk = 1024
+
+func (c *awgnQuantCoster) costTailMany(locals []int32, spines []uint64, level, from int) {
+	n := len(c.starts)
+	if from >= n {
+		if from == 0 {
+			clear(locals) // an empty full fold still owns the output
+		}
+		return
+	}
+	for len(spines) > quantFoldChunk {
+		c.costChunk(locals[:quantFoldChunk], spines[:quantFoldChunk], from)
+		locals = locals[quantFoldChunk:]
+		spines = spines[quantFoldChunk:]
+	}
+	c.costChunk(locals, spines, from)
+}
+
+func (c *awgnQuantCoster) costChunk(locals []int32, spines []uint64, from int) {
+	n := len(c.starts)
+	cc := uint(c.d.p.C)
+	dim := 1 << cc
+	mask := uint32(dim - 1)
+	width := uint32(2 * c.d.p.C)
+	wmask := uint32(uint64(1)<<width - 1)
+	fam := c.d.family
+	m := len(spines)
+	c.words = sized(c.words, m)
+	c.acc = sized(c.acc, m)
+	words := c.words[:m]
+	acc := c.acc[:m:m]
+	if from == 0 {
+		clear(acc)
+	} else {
+		for j, l := range locals {
+			acc[j] = int64(l)
+		}
+	}
+	curIdx := ^uint32(0)
+	for i := from; i < n; i++ {
+		start := c.starts[i]
+		idx := start >> 6
+		off := start & 63
+		rowI := c.dI2[i*dim : (i+1)*dim]
+		rowQ := c.dQ2[i*dim : (i+1)*dim : (i+1)*dim]
+		// Bounds-check-elimination hints: every lookup index is masked to at
+		// most mask, and words/acc run in lockstep.
+		_, _ = rowI[mask], rowQ[mask]
+		if idx != curIdx {
+			for j, spine := range spines {
+				words[j] = fam.Word(spine, idx)
+			}
+			curIdx = idx
+		}
+		if off+width <= 64 {
+			shift := 64 - off - width
+			aa := acc[:len(words)]
+			for j := range words {
+				word := uint32(words[j]>>shift) & wmask
+				aa[j] += int64(rowI[word>>cc&mask]) + int64(rowQ[word&mask])
+			}
+		} else {
+			// The range straddles into the next word; roll the word buffer
+			// forward to it, since later passes start there.
+			hiBits := 64 - off
+			loBits := width - hiBits
+			hmask := uint64(1)<<hiBits - 1
+			ww := words[:len(spines)]
+			aa := acc[:len(spines)]
+			for j, spine := range spines {
+				w2 := fam.Word(spine, idx+1)
+				word := uint32((ww[j]&hmask)<<loBits | w2>>(64-loBits))
+				ww[j] = w2
+				aa[j] += int64(rowI[word>>cc&mask]) + int64(rowQ[word&mask])
+			}
+			curIdx = idx + 1
+		}
+	}
+	final := acc[:len(locals)]
+	for j := range locals {
+		locals[j] = sat32(final[j])
+	}
+}
+
+// bscCoster is the exact Hamming metric for binary-channel observations,
+// with the same hash-word memoization as the AWGN fold.
 type bscCoster struct {
 	d   *BeamDecoder
 	obs *BitObservations
@@ -262,538 +589,82 @@ type bscCoster struct {
 
 func (c *bscCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
-func (c *bscCoster) costAll(spine uint64, level int) float64 {
-	var sum float64
-	for _, ob := range c.obs.spines[level] {
-		if codedBitFor(c.d.family, spine, ob.pass) != ob.bit {
-			sum++
+func (c *bscCoster) prepareLevel(level int) {}
+
+func (c *bscCoster) costTailMany(locals []float64, spines []uint64, level, from int) {
+	obs := c.obs.spines[level]
+	if from >= len(obs) {
+		if from == 0 {
+			clear(locals) // an empty full fold still owns the output
 		}
-	}
-	return sum
-}
-
-func (c *bscCoster) costOne(spine uint64, level, idx int) float64 {
-	ob := c.obs.spines[level][idx]
-	if codedBitFor(c.d.family, spine, ob.pass) != ob.bit {
-		return 1
-	}
-	return 0
-}
-
-// treeNode is one node of the (pruned) decoding tree.
-type treeNode struct {
-	spine  uint64
-	cost   float64
-	parent int32
-	seg    uint16
-}
-
-// childNode is one pre-pruning expansion of a frontier node: the child spine
-// value, the accumulated cost of this level's observations against it (the
-// memoized symbolFor/codedBitFor work), and the (parent, seg) pair that
-// produced it. Cumulative path costs are reconstituted as
-// parent.cost + local at selection time, so cached children stay valid when
-// upstream costs shift without structural change.
-type childNode struct {
-	spine  uint64
-	local  float64
-	parent int32
-	seg    uint16
-}
-
-// cachedLevel is the per-level workspace state retained between attempts.
-type cachedLevel struct {
-	// children is the full expansion of the parent frontier in deterministic
-	// (parent-major, segment-minor) order; childObs observations at this
-	// level are folded into each child's local cost. valid reports whether
-	// children corresponds to the frontier the level was last expanded from.
-	children []childNode
-	childObs int
-	valid    bool
-	// frontier is the selection output of the latest attempt at this level;
-	// prev is the one before it (the frontier `children` of the next level
-	// were expanded from). The two slices are swapped, not copied, when the
-	// level is re-selected.
-	frontier []treeNode
-	prev     []treeNode
-}
-
-// maxCachedChildren bounds the memory the workspace spends per level: an
-// unobserved level expanded from a maxCand-wide parent frontier can produce
-// maxCand·2^k children, far more than is worth materializing. Levels whose
-// expansion exceeds the bound are re-expanded from scratch on every attempt
-// (exactly the pre-incremental behavior) instead of cached.
-const maxCachedChildren = 1 << 17
-
-// decodeWorkspace is the persistent state that makes repeated decode attempts
-// incremental. It is owned by one BeamDecoder and keyed to one observation
-// container at a time.
-type decodeWorkspace struct {
-	// obs identifies the observation container the cached state was built
-	// from; a different container (or channel kind) resets the workspace.
-	obs any
-	// gen is the container generation at the end of the last attempt.
-	gen uint64
-	// epoch is the container epoch of the last attempt; a Reset starts a new
-	// epoch, after which cached cost sums no longer describe the contents.
-	epoch uint64
-	// levels caches frontiers and expansions per tree level.
-	levels []cachedLevel
-	// complete reports that the last attempt ran to completion, making the
-	// cached state trustworthy.
-	complete bool
-	// sel is the reusable top-B selector.
-	sel selector
-	// segs is the reusable backtrack buffer.
-	segs []uint64
-	// scratch is a reusable assembly buffer for rebuilt child expansions.
-	scratch []childNode
-	// pidx is a reusable spine→index map over a parent frontier (at most
-	// MaxCandidates entries), used to match persisting parents between
-	// attempts so their children blocks can be reused wholesale.
-	pidx map[uint64]int32
-}
-
-// invalidate discards all cached state (the buffers are kept for reuse).
-func (ws *decodeWorkspace) invalidate() {
-	ws.obs = nil
-	ws.complete = false
-	for i := range ws.levels {
-		ws.levels[i].valid = false
-		ws.levels[i].frontier = ws.levels[i].frontier[:0]
-		ws.levels[i].prev = ws.levels[i].prev[:0]
-	}
-}
-
-// prepare sizes the workspace for nseg levels and decides which level the
-// beam search must resume from for this attempt.
-func (ws *decodeWorkspace) prepare(obs any, epoch, cleanGen uint64, dirty, nseg int, incremental bool) int {
-	if len(ws.levels) != nseg {
-		ws.levels = make([]cachedLevel, nseg)
-		ws.complete = false
-		ws.obs = nil
-	}
-	if !incremental || ws.obs != obs || !ws.complete || epoch != ws.epoch {
-		ws.invalidate()
-		ws.obs = obs
-		return 0
-	}
-	if cleanGen != ws.gen {
-		// The last MarkClean was not ours: another consumer decoded (and
-		// cleared the dirty watermark) after observations we have not seen,
-		// so the dirty level no longer covers everything that changed since
-		// our own last attempt. Forfeit reuse rather than trust it.
-		ws.invalidate()
-		ws.obs = obs
-		return 0
-	}
-	if dirty > nseg {
-		dirty = nseg
-	}
-	return dirty
-}
-
-// run executes the level-by-level beam search, resuming from the first dirty
-// level when the workspace holds a completed previous attempt for the same
-// observation container.
-func (d *BeamDecoder) run(coster levelCoster, obs any, gen, epoch, cleanGen uint64, dirty int) *DecodeResult {
-	nseg := d.p.NumSegments()
-	ws := &d.ws
-	start := ws.prepare(obs, epoch, cleanGen, dirty, nseg, d.incremental)
-	d.nodesExpanded = 0
-	d.nodesRefreshed = 0
-
-	// parentOK tracks whether the previous level's frontier is structurally
-	// identical (same spine/parent/seg in the same order) to the one the
-	// cached children of the current level were expanded from. At the resume
-	// level it holds by construction: everything above the first dirty level
-	// is untouched. oldParent is the frontier those children were expanded
-	// from, kept for block-level reuse when the structure did change.
-	parentOK := true
-	var oldParent []treeNode
-	if start > 0 {
-		oldParent = ws.levels[start-1].frontier // unchanged above the dirty level
-	} else {
-		oldParent = rootFrontier
-	}
-	for t := start; t < nseg; t++ {
-		var parent []treeNode
-		if t > 0 {
-			parent = ws.levels[t-1].frontier
-		} else {
-			parent = rootFrontier
-		}
-		lv := &ws.levels[t]
-		nObs := coster.numObs(t)
-
-		keep := d.b
-		if nObs == 0 {
-			keep = d.maxCand
-		}
-		ws.sel.reset(keep)
-
-		nSeg := 1 << uint(d.p.SegmentBits(t))
-		switch {
-		case parentOK && lv.valid:
-			// Cached expansion: fold in only the observations that arrived
-			// since the last attempt, one term at a time so the running sum
-			// stays bit-identical to a from-scratch fold. Symbols for passes
-			// already folded in are never recomputed, and no hash is replayed.
-			if w := d.workersFor(len(lv.children)); w > 1 {
-				d.runRegion(w, parRegion{kind: regionRefresh, coster: coster, lv: lv,
-					parent: parent, t: t, nObs: nObs, units: len(lv.children), keep: keep})
-			} else {
-				d.nodesRefreshed += d.refreshRange(coster, lv, parent, t, nObs, 0, len(lv.children), &ws.sel)
-			}
-			lv.childObs = nObs
-
-		case d.incremental && len(parent)*nSeg <= maxCachedChildren:
-			// The parent frontier changed structurally, so the cached
-			// expansion no longer lines up index-for-index. But a parent
-			// that persisted (same spine value) still produces the exact
-			// same children block — child spines and this level's
-			// observation costs depend only on the parent spine — so index
-			// the old parents by spine and reuse whole blocks, extending
-			// their cost sums term by term to the current observations.
-			// Only children of genuinely new parents are expanded by hash
-			// replay with a full cost computation.
-			reuse := lv.valid && len(oldParent) > 0 && len(lv.children) == len(oldParent)*nSeg
-			if reuse {
-				if ws.pidx == nil {
-					ws.pidx = make(map[uint64]int32, len(oldParent))
-				} else {
-					clear(ws.pidx)
-				}
-				for i := range oldParent {
-					if _, dup := ws.pidx[oldParent[i].spine]; !dup {
-						ws.pidx[oldParent[i].spine] = int32(i)
-					}
-				}
-			}
-			need := len(parent) * nSeg
-			if cap(ws.scratch) < need {
-				ws.scratch = make([]childNode, need)
-			}
-			newChildren := ws.scratch[:need]
-			if w := d.workersFor(need); w > 1 {
-				d.runRegion(w, parRegion{kind: regionRebuild, coster: coster, lv: lv,
-					parent: parent, t: t, nObs: nObs, nSeg: nSeg, reuse: reuse,
-					out: newChildren, units: len(parent), keep: keep})
-			} else {
-				e, r := d.rebuildRange(coster, lv, parent, t, nObs, nSeg, reuse, 0, len(parent), newChildren, &ws.sel)
-				d.nodesExpanded += e
-				d.nodesRefreshed += r
-			}
-			ws.scratch, lv.children = lv.children[:0], newChildren
-			lv.childObs = nObs
-			lv.valid = true
-
-		default:
-			// Over-budget (or non-incremental) expansion: stream children
-			// straight through the selector without materializing them —
-			// the pre-incremental behavior and memory footprint.
-			lv.children = lv.children[:0]
-			lv.valid = false
-			if w := d.workersFor(len(parent) * nSeg); w > 1 {
-				d.runRegion(w, parRegion{kind: regionStream, coster: coster,
-					parent: parent, t: t, nSeg: nSeg, units: len(parent), keep: keep})
-			} else {
-				d.nodesExpanded += d.streamRange(coster, parent, t, nSeg, 0, len(parent), &ws.sel)
-			}
-			lv.childObs = nObs
-		}
-
-		// Canonicalize the selection to (parent, seg) order. The heap's
-		// internal order depends on cost values, so without this step any
-		// cost perturbation would reshuffle the frontier and defeat the
-		// structural-reuse check above even when the same B nodes survive.
-		// The order is deterministic, so from-scratch and incremental runs
-		// still agree exactly.
-		newFrontier := ws.sel.canonical()
-
-		// Stash this level's previous frontier for the next level's block
-		// matching, compare structures, and install the new frontier. If the
-		// structure held, the next level's cached children (keyed by parent
-		// index and segment) remain valid even though the costs moved.
-		parentOK = sameStructure(newFrontier, lv.frontier)
-		lv.prev, lv.frontier = lv.frontier, append(lv.prev[:0], newFrontier...)
-		oldParent = lv.prev
-	}
-
-	// Locate the lowest-cost leaf and walk back up the tree to recover the
-	// message segments.
-	leaves := ws.levels[nseg-1].frontier
-	best := 0
-	for i := 1; i < len(leaves); i++ {
-		if leaves[i].cost < leaves[best].cost {
-			best = i
-		}
-	}
-	if cap(ws.segs) < nseg {
-		ws.segs = make([]uint64, nseg)
-	}
-	segs := ws.segs[:nseg]
-	idx := int32(best)
-	for t := nseg - 1; t >= 0; t-- {
-		n := ws.levels[t].frontier[idx]
-		segs[t] = uint64(n.seg)
-		idx = n.parent
-	}
-	ws.gen = gen
-	ws.epoch = epoch
-	ws.complete = true
-	return &DecodeResult{
-		Message:        packSegments(d.p, segs),
-		Cost:           leaves[best].cost,
-		NodesExpanded:  d.nodesExpanded,
-		NodesRefreshed: d.nodesRefreshed,
-	}
-}
-
-// refreshRange is the cached-expansion path for children[lo:hi): extend each
-// cached child's local cost sum with the observation terms that arrived since
-// the level was last folded, then offer the reconstituted path cost to sel.
-// Each child's sum is extended term by term in recording order — the exact
-// same floating-point additions a from-scratch fold would perform — so the
-// result does not depend on how the range was sharded. Returns the number of
-// cached nodes reused.
-func (d *BeamDecoder) refreshRange(coster levelCoster, lv *cachedLevel, parent []treeNode, t, nObs, lo, hi int, sel *selector) int {
-	for i := lo; i < hi; i++ {
-		c := &lv.children[i]
-		for j := lv.childObs; j < nObs; j++ {
-			c.local += coster.costOne(c.spine, t, j)
-		}
-		base := 0.0
-		if t > 0 {
-			base = parent[c.parent].cost
-		}
-		sel.offer(treeNode{spine: c.spine, cost: base + c.local, parent: c.parent, seg: c.seg})
-	}
-	return hi - lo
-}
-
-// rebuildRange expands parents[lo:hi) into their children, writing each
-// parent's block at its global offset pi*nSeg in out and offering every child
-// to sel. Parents that persisted from the previous frontier (found through
-// ws.pidx when reuse is set) have their cached children blocks reused with a
-// term-by-term cost extension; new parents are expanded by hash replay with a
-// full cost fold. Returns (freshly expanded, refreshed) node counts.
-func (d *BeamDecoder) rebuildRange(coster levelCoster, lv *cachedLevel, parent []treeNode, t, nObs, nSeg int, reuse bool, lo, hi int, out []childNode, sel *selector) (expanded, refreshed int) {
-	ws := &d.ws
-	for pi := lo; pi < hi; pi++ {
-		ps := parent[pi].spine
-		base := 0.0
-		if t > 0 {
-			base = parent[pi].cost
-		}
-		block := -1
-		if reuse {
-			if j, ok := ws.pidx[ps]; ok {
-				block = int(j) * nSeg
-			}
-		}
-		for seg := 0; seg < nSeg; seg++ {
-			var s uint64
-			var local float64
-			if block >= 0 {
-				old := &lv.children[block+seg]
-				s = old.spine
-				local = old.local
-				for j := lv.childObs; j < nObs; j++ {
-					local += coster.costOne(s, t, j)
-				}
-				refreshed++
-			} else {
-				s = d.family.Next(ps, uint64(seg))
-				local = coster.costAll(s, t)
-				expanded++
-			}
-			out[pi*nSeg+seg] = childNode{spine: s, local: local, parent: int32(pi), seg: uint16(seg)}
-			sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
-		}
-	}
-	return expanded, refreshed
-}
-
-// streamRange expands parents[lo:hi) straight through the selector without
-// materializing the children — the over-budget and non-incremental path.
-// Returns the number of nodes expanded.
-func (d *BeamDecoder) streamRange(coster levelCoster, parent []treeNode, t, nSeg, lo, hi int, sel *selector) int {
-	for pi := lo; pi < hi; pi++ {
-		ps := parent[pi].spine
-		base := 0.0
-		if t > 0 {
-			base = parent[pi].cost
-		}
-		for seg := 0; seg < nSeg; seg++ {
-			s := d.family.Next(ps, uint64(seg))
-			local := coster.costAll(s, t)
-			sel.offer(treeNode{spine: s, cost: base + local, parent: int32(pi), seg: uint16(seg)})
-		}
-	}
-	return (hi - lo) * nSeg
-}
-
-// rootFrontier is the virtual level -1 frontier: the single root node with
-// the agreed initial spine value s0 = 0 and zero cost.
-var rootFrontier = []treeNode{{spine: 0, cost: 0, parent: -1}}
-
-// sameStructure reports whether two frontiers contain the same nodes — same
-// spine, parent and segment — in the same order. Costs are deliberately not
-// compared: downstream caches reconstruct cumulative costs from the parent
-// frontier at selection time, so only structural change invalidates them.
-func sameStructure(a, b []treeNode) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i].spine != b[i].spine || a[i].parent != b[i].parent || a[i].seg != b[i].seg {
-			return false
-		}
-	}
-	return true
-}
-
-// nodeLess is the strict total order the beam selection is defined over:
-// cost first, then (parent, seg) as the tie-break. Because every (parent,
-// seg) pair is unique within a level the order has no ties, so the `keep`
-// smallest nodes of a level are a unique set — independent of the order in
-// which candidates are offered. That independence is what makes sharded
-// (parallel) expansion bit-identical to serial expansion: each shard retains
-// its own keep-smallest subset, and the merged keep-smallest of those
-// subsets equals the keep-smallest of the whole level.
-func nodeLess(a, b *treeNode) bool {
-	if a.cost != b.cost {
-		return a.cost < b.cost
-	}
-	if a.parent != b.parent {
-		return a.parent < b.parent
-	}
-	return a.seg < b.seg
-}
-
-// selector retains the `keep` smallest nodes (under nodeLess) offered to it,
-// using a bounded max-heap. The node buffer is reused across decode attempts
-// via reset.
-type selector struct {
-	keep  int
-	nodes []treeNode
-}
-
-func newSelector(keep int) *selector {
-	s := &selector{}
-	s.reset(keep)
-	return s
-}
-
-// reset empties the selector and sets its retention bound, keeping the
-// underlying buffer.
-func (s *selector) reset(keep int) {
-	capHint := keep
-	if capHint > 4096 {
-		capHint = 4096
-	}
-	if cap(s.nodes) < capHint {
-		s.nodes = make([]treeNode, 0, capHint)
-	}
-	s.nodes = s.nodes[:0]
-	s.keep = keep
-}
-
-func (s *selector) offer(n treeNode) {
-	if len(s.nodes) < s.keep {
-		s.nodes = append(s.nodes, n)
-		s.siftUp(len(s.nodes) - 1)
 		return
 	}
-	if !nodeLess(&n, &s.nodes[0]) {
+	fam := c.d.family
+	tail := obs[from:]
+	for j, spine := range spines {
+		var local float64
+		if from > 0 {
+			local = locals[j]
+		}
+		wi := ^uint32(0)
+		var w uint64
+		for i := range tail {
+			// One coded bit per pass: bit p is bit p%64 (MSB-first) of word
+			// p/64 of the expansion.
+			p := uint32(tail[i].pass)
+			if idx := p >> 6; idx != wi {
+				w = fam.Word(spine, idx)
+				wi = idx
+			}
+			if byte(w>>(63-p&63))&1 != tail[i].bit {
+				local++
+			}
+		}
+		locals[j] = local
+	}
+}
+
+// bscQuantCoster is the int32 Hamming metric. Hamming distances are already
+// integers, so this is the exact BSC metric in the integer carrier; it
+// exists so the metric knob applies uniformly to both channel kinds.
+type bscQuantCoster struct {
+	d   *BeamDecoder
+	obs *BitObservations
+}
+
+func (c *bscQuantCoster) numObs(level int) int { return len(c.obs.spines[level]) }
+
+func (c *bscQuantCoster) prepareLevel(level int) {}
+
+func (c *bscQuantCoster) costTailMany(locals []int32, spines []uint64, level, from int) {
+	obs := c.obs.spines[level]
+	if from >= len(obs) {
+		if from == 0 {
+			clear(locals) // an empty full fold still owns the output
+		}
 		return
 	}
-	s.nodes[0] = n
-	s.siftDown(0)
-}
-
-func (s *selector) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !nodeLess(&s.nodes[parent], &s.nodes[i]) {
-			break
+	fam := c.d.family
+	tail := obs[from:]
+	for j, spine := range spines {
+		// Mismatch counts are non-negative, so an int64 count with one final
+		// clamp equals per-term saturating adds.
+		var acc int64
+		if from > 0 {
+			acc = int64(locals[j])
 		}
-		s.nodes[parent], s.nodes[i] = s.nodes[i], s.nodes[parent]
-		i = parent
-	}
-}
-
-func (s *selector) siftDown(i int) {
-	n := len(s.nodes)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
+		wi := ^uint32(0)
+		var w uint64
+		for i := range tail {
+			p := uint32(tail[i].pass)
+			if idx := p >> 6; idx != wi {
+				w = fam.Word(spine, idx)
+				wi = idx
+			}
+			if byte(w>>(63-p&63))&1 != tail[i].bit {
+				acc++
+			}
 		}
-		largest := left
-		if right := left + 1; right < n && nodeLess(&s.nodes[left], &s.nodes[right]) {
-			largest = right
-		}
-		if !nodeLess(&s.nodes[i], &s.nodes[largest]) {
-			return
-		}
-		s.nodes[i], s.nodes[largest] = s.nodes[largest], s.nodes[i]
-		i = largest
-	}
-}
-
-// items returns the retained nodes in arbitrary (but deterministic) order.
-func (s *selector) items() []treeNode { return s.nodes }
-
-// canonical returns the retained nodes sorted by (parent, seg) — the order
-// the children were generated in. Unlike the raw heap order it does not
-// depend on the cost values, so a frontier whose membership is unchanged
-// between attempts compares structurally equal even though every cost moved.
-func (s *selector) canonical() []treeNode {
-	sortByParentSeg(s.nodes)
-	return s.nodes
-}
-
-// parentSegLess orders nodes by (parent, seg) — the deterministic generation
-// order of a level's children. Keys are unique within a level, so stability
-// is not a concern.
-func parentSegLess(a, b *treeNode) bool {
-	if a.parent != b.parent {
-		return a.parent < b.parent
-	}
-	return a.seg < b.seg
-}
-
-// sortByParentSeg sorts nodes by (parent, seg) with an in-place heapsort.
-// It replaces a sort.Slice call on the per-level hot path: sort.Slice
-// allocates a closure (and an interface header) on every call, while the
-// heap drain allocates nothing.
-func sortByParentSeg(nodes []treeNode) {
-	n := len(nodes)
-	for i := n/2 - 1; i >= 0; i-- {
-		siftDownParentSeg(nodes, i, n)
-	}
-	for end := n - 1; end > 0; end-- {
-		nodes[0], nodes[end] = nodes[end], nodes[0]
-		siftDownParentSeg(nodes, 0, end)
-	}
-}
-
-func siftDownParentSeg(nodes []treeNode, i, n int) {
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		largest := left
-		if right := left + 1; right < n && parentSegLess(&nodes[left], &nodes[right]) {
-			largest = right
-		}
-		if !parentSegLess(&nodes[i], &nodes[largest]) {
-			return
-		}
-		nodes[i], nodes[largest] = nodes[largest], nodes[i]
-		i = largest
+		locals[j] = sat32(acc)
 	}
 }

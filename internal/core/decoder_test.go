@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"spinal/internal/channel"
@@ -228,7 +229,8 @@ func TestMLDecoderMatchesExhaustiveOptimum(t *testing.T) {
 		enc, _ := NewEncoder(p, cand)
 		var cost float64
 		for s, sv := range enc.Spine() {
-			cost += coster.costAll(sv, s)
+			coster.prepareLevel(s)
+			cost += coster.costTail(0, sv, s, 0)
 		}
 		if bestCost < 0 || cost < bestCost {
 			bestCost = cost
@@ -428,12 +430,12 @@ func TestNodesExpandedBounded(t *testing.T) {
 }
 
 func TestSelectorKeepsLowestCosts(t *testing.T) {
-	sel := newSelector(3)
+	sel := newSelector[float64](3)
 	costs := []float64{5, 1, 9, 3, 7, 2, 8}
 	for i, c := range costs {
-		sel.offer(treeNode{cost: c, seg: uint16(i)})
+		sel.offer(cand[float64]{cost: c, key: packKey(0, uint16(i))})
 	}
-	items := sel.items()
+	items := sel.canonical()
 	if len(items) != 3 {
 		t.Fatalf("selector kept %d items", len(items))
 	}
@@ -445,12 +447,54 @@ func TestSelectorKeepsLowestCosts(t *testing.T) {
 }
 
 func TestSelectorFewerThanKeep(t *testing.T) {
-	sel := newSelector(10)
+	sel := newSelector[float64](10)
 	for i := 0; i < 4; i++ {
-		sel.offer(treeNode{cost: float64(i)})
+		sel.offer(cand[float64]{cost: float64(i), key: packKey(0, uint16(i))})
 	}
-	if len(sel.items()) != 4 {
+	if len(sel.canonical()) != 4 {
 		t.Fatalf("selector dropped items below capacity")
+	}
+}
+
+func TestSelectorManyOffersExactMembership(t *testing.T) {
+	// Force multiple quickselect compactions and verify the surviving set is
+	// exactly the keep-smallest, in canonical key order.
+	const keep = 32
+	const n = 10000
+	sel := newSelector[float64](keep)
+	src := rng.New(7)
+	type ref struct {
+		cost float64
+		key  int64
+	}
+	refs := make([]ref, 0, n)
+	for i := 0; i < n; i++ {
+		c := src.Float64()
+		key := packKey(int32(i/8), uint16(i%8))
+		refs = append(refs, ref{c, key})
+		sel.offer(cand[float64]{cost: c, key: key, spine: uint64(i)})
+	}
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].cost != refs[j].cost {
+			return refs[i].cost < refs[j].cost
+		}
+		return refs[i].key < refs[j].key
+	})
+	want := map[int64]bool{}
+	for _, r := range refs[:keep] {
+		want[r.key] = true
+	}
+	items := sel.canonical()
+	if len(items) != keep {
+		t.Fatalf("selector kept %d items, want %d", len(items), keep)
+	}
+	for i, n := range items {
+		if !want[n.key] {
+			t.Fatalf("selector kept key %d, not among the %d smallest", n.key, keep)
+		}
+		if i > 0 && items[i-1].key >= n.key {
+			t.Fatalf("canonical order violated at %d", i)
+		}
 	}
 }
 

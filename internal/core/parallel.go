@@ -5,24 +5,22 @@ import (
 	"sync"
 )
 
-// This file is the parallel decode engine: a reusable worker pool owned by
-// one BeamDecoder, per-worker shard workspaces reused across attempts so the
-// hot loop stays allocation-free, and the deterministic merge that reduces
-// per-shard top-keep selections into the level's global frontier.
+// This file is the decoder's worker pool: a set of helper goroutines owned by
+// one BeamDecoder and shared by its per-metric engines, which shard each
+// level expansion across them (see engine.runRegion). The dispatch path
+// allocates nothing at steady state: the region descriptor is an engine field
+// rather than a closure, the helpers are signalled over empty-struct
+// channels, and the WaitGroup is pooled. That keeps per-symbol decode
+// attempts — the link receiver's hot loop — free of GC pressure.
 //
-// Correctness rests on the selector's strict total order (see nodeLess): the
-// keep-smallest set of a level is unique, every shard retains the
-// keep-smallest subset of its own chunk, and the keep-smallest of the union
-// of those subsets equals the keep-smallest of the whole level. Each child's
-// cost is computed by exactly the same floating-point operations regardless
-// of which shard computes it, so parallel decodes are bit-identical to
-// serial ones — same messages, same costs, same node accounting — at any
-// worker count.
-//
-// The dispatch path allocates nothing at steady state: the region descriptor
-// is a decoder field rather than a closure, the helpers are signalled over
-// empty-struct channels, and the WaitGroup is pooled. That keeps per-symbol
-// decode attempts — the link receiver's hot loop — free of GC pressure.
+// Correctness of sharding rests on the selector's strict total order (see
+// candLess): the keep-smallest set of a level is unique, every shard retains
+// the keep-smallest subset of its own chunk, and the keep-smallest of the
+// union of those subsets equals the keep-smallest of the whole level. Each
+// child's cost is computed by exactly the same floating-point operations
+// regardless of which shard computes it, so parallel decodes are
+// bit-identical to serial ones — same messages, same costs, same node
+// accounting — at any worker count.
 
 // minParallelChildren is the smallest level expansion worth sharding; below
 // it the dispatch overhead exceeds the expansion work. It is a variable only
@@ -33,39 +31,6 @@ var minParallelChildren = 1024
 // effective worker count is capped so no shard gets less. Variable for the
 // same testing reason.
 var minShardChildren = 256
-
-// Region kinds mirror the three expansion paths of BeamDecoder.run.
-const (
-	regionRefresh = iota
-	regionRebuild
-	regionStream
-)
-
-// parRegion describes the parallel region in flight: which expansion path to
-// run, its per-level inputs, and the shard geometry. It lives on the decoder
-// so dispatching a region allocates nothing.
-type parRegion struct {
-	kind   int
-	coster levelCoster
-	lv     *cachedLevel
-	parent []treeNode
-	t      int
-	nObs   int
-	nSeg   int
-	reuse  bool
-	out    []childNode
-	units  int
-	chunk  int
-	keep   int
-}
-
-// parShard is one worker's private per-level workspace, reused across levels
-// and attempts.
-type parShard struct {
-	sel       selector
-	expanded  int
-	refreshed int
-}
 
 // SetParallelism sets the number of worker goroutines used to expand each
 // level of the decoding tree. Values <= 0 select runtime.GOMAXPROCS(0), the
@@ -81,7 +46,6 @@ func (d *BeamDecoder) SetParallelism(n int) {
 	}
 	d.workers = n
 	d.releasePool()
-	d.par = nil
 }
 
 // Parallelism reports the configured worker count.
@@ -102,6 +66,19 @@ func (d *BeamDecoder) releasePool() {
 	}
 }
 
+// ensurePool lazily creates the worker pool the engines dispatch regions on.
+func (d *BeamDecoder) ensurePool() {
+	if d.pool != nil {
+		return
+	}
+	d.pool = newDecodePool(d.workers - 1)
+	// Backstop for decoders dropped without Close: once the decoder is
+	// unreachable (between regions the pool holds no reference to it), stop
+	// its helpers so they do not leak for the process lifetime. Sessions
+	// create a decoder per message, so this matters.
+	runtime.AddCleanup(d, func(p *decodePool) { p.close() }, d.pool)
+}
+
 // workersFor decides how many shards to split `children` work units across:
 // the configured parallelism, capped so every shard receives a meaningful
 // chunk, and 1 when the level is too small to be worth dispatching.
@@ -117,68 +94,6 @@ func (d *BeamDecoder) workersFor(children int) int {
 		return 1
 	}
 	return w
-}
-
-// runRegion executes one sharded level expansion on w workers — the calling
-// goroutine is worker 0, the pool helpers take the rest — then merges the
-// per-shard top-keep selections into the global selector (ws.sel, already
-// reset by the level loop) and folds the shard work counters into the
-// decoder totals. Merge order does not matter: under the total order the
-// surviving membership is unique, and the level loop's canonical() sort
-// fixes the frontier layout.
-func (d *BeamDecoder) runRegion(w int, region parRegion) {
-	if d.par == nil {
-		d.par = make([]parShard, d.workers)
-	}
-	if d.pool == nil {
-		d.pool = newDecodePool(d.workers - 1)
-		// Backstop for decoders dropped without Close: once the decoder is
-		// unreachable (between regions the pool holds no reference to it),
-		// stop its helpers so they do not leak for the process lifetime.
-		// Sessions create a decoder per message, so this matters.
-		runtime.AddCleanup(d, func(p *decodePool) { p.close() }, d.pool)
-	}
-	if d.shardBody == nil {
-		d.shardBody = d.runShard // one closure for the decoder's lifetime
-	}
-	region.chunk = (region.units + w - 1) / w
-	d.region = region
-	d.pool.dispatch(w, d.shardBody)
-	d.region = parRegion{} // do not pin the observation container between attempts
-	for i := 0; i < w; i++ {
-		sh := &d.par[i]
-		for _, n := range sh.sel.items() {
-			d.ws.sel.offer(n)
-		}
-		d.nodesExpanded += sh.expanded
-		d.nodesRefreshed += sh.refreshed
-	}
-}
-
-// runShard is the body every worker executes: carve this shard's chunk out
-// of the region and run the matching range expansion into the shard-private
-// selector and counters.
-func (d *BeamDecoder) runShard(shard int) {
-	rg := &d.region
-	sh := &d.par[shard]
-	sh.sel.reset(rg.keep)
-	sh.expanded, sh.refreshed = 0, 0
-	lo := shard * rg.chunk
-	hi := lo + rg.chunk
-	if lo > rg.units {
-		lo = rg.units
-	}
-	if hi > rg.units {
-		hi = rg.units
-	}
-	switch rg.kind {
-	case regionRefresh:
-		sh.refreshed = d.refreshRange(rg.coster, rg.lv, rg.parent, rg.t, rg.nObs, lo, hi, &sh.sel)
-	case regionRebuild:
-		sh.expanded, sh.refreshed = d.rebuildRange(rg.coster, rg.lv, rg.parent, rg.t, rg.nObs, rg.nSeg, rg.reuse, lo, hi, rg.out, &sh.sel)
-	case regionStream:
-		sh.expanded = d.streamRange(rg.coster, rg.parent, rg.t, rg.nSeg, lo, hi, &sh.sel)
-	}
 }
 
 // decodePool owns the helper goroutines of one decoder. Helper i (1-based;

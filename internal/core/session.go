@@ -160,6 +160,9 @@ type SessionConfig struct {
 	// (runtime.GOMAXPROCS); 1 forces the serial path. Results are
 	// bit-identical at any setting.
 	Parallelism int
+	// CostMetric selects the decoder's cost arithmetic: the exact CostFloat64
+	// default, or the quantized CostInt32 metric (see BeamDecoder.SetCostMetric).
+	CostMetric CostMetric
 	// Pool, when non-nil, supplies the session's decoder and observation
 	// containers as a DecoderPool lease (released when the session returns)
 	// instead of constructing them, so callers running many sessions — the
@@ -335,6 +338,10 @@ func sessionDecoder(cfg SessionConfig) (dec *BeamDecoder, lease *LeasedDecoder, 
 			release()
 			return nil, nil, nil, err
 		}
+	}
+	if err := dec.SetCostMetric(cfg.CostMetric); err != nil {
+		release()
+		return nil, nil, nil, err
 	}
 	dec.SetIncremental(!cfg.DisableIncremental)
 	dec.SetParallelism(cfg.Parallelism) // <= 0 selects the GOMAXPROCS default

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"spinal/internal/rng"
+)
+
+func TestSpineIndexBasics(t *testing.T) {
+	var x spineIndex
+	x.reset(4)
+	if _, ok := x.get(42); ok {
+		t.Fatal("fresh index reports a hit")
+	}
+	x.put(42, 7)
+	x.put(99, 1)
+	if idx, ok := x.get(42); !ok || idx != 7 {
+		t.Fatalf("get(42) = %d, %v", idx, ok)
+	}
+	if idx, ok := x.get(99); !ok || idx != 1 {
+		t.Fatalf("get(99) = %d, %v", idx, ok)
+	}
+	// Duplicate puts keep the first entry, matching the insert-if-absent
+	// behavior of the map this index replaced.
+	x.put(42, 3)
+	if idx, _ := x.get(42); idx != 7 {
+		t.Fatalf("duplicate put overwrote: get(42) = %d", idx)
+	}
+	// Reset invalidates in O(1): every previous key must miss.
+	x.reset(4)
+	if _, ok := x.get(42); ok {
+		t.Fatal("reset did not invalidate")
+	}
+}
+
+func TestSpineIndexCollisions(t *testing.T) {
+	// Keys crafted to collide in the low bits force linear probing; the index
+	// must still resolve every key exactly.
+	var x spineIndex
+	const n = 64
+	x.reset(n)
+	for i := 0; i < n; i++ {
+		// Identical low 32 bits across all keys: worst-case probe chains.
+		x.put(uint64(i)<<32|0xdeadbeef, int32(i))
+	}
+	for i := 0; i < n; i++ {
+		if idx, ok := x.get(uint64(i)<<32 | 0xdeadbeef); !ok || idx != int32(i) {
+			t.Fatalf("colliding key %d: got %d, %v", i, idx, ok)
+		}
+	}
+	if _, ok := x.get(uint64(n)<<32 | 0xdeadbeef); ok {
+		t.Fatal("absent colliding key reported present")
+	}
+}
+
+func TestSpineIndexReuseAcrossGenerations(t *testing.T) {
+	var x spineIndex
+	src := rng.New(17)
+	for gen := 0; gen < 100; gen++ {
+		n := 1 + int(src.Uint64()%200)
+		x.reset(n)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = src.Uint64()
+			x.put(keys[i], int32(i))
+		}
+		for i, k := range keys {
+			if idx, ok := x.get(k); !ok || idx != int32(i) {
+				t.Fatalf("gen %d key %d: got %d, %v", gen, i, idx, ok)
+			}
+		}
+	}
+}
+
+// benchSpineKeys returns hash-like keys of the kind the rebuild path indexes:
+// avalanche-mixed spine values from the decoder's RNG.
+func benchSpineKeys(n int) []uint64 {
+	src := rng.New(5)
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = src.Uint64()
+	}
+	return keys
+}
+
+// BenchmarkSpineIndex compares the open-addressed index against the
+// map[uint64]int32 it replaced, over the rebuild path's access pattern:
+// reset, insert one frontier's spine values, then look up hits and misses.
+func BenchmarkSpineIndex(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		keys := benchSpineKeys(2 * n)
+		hits, misses := keys[:n], keys[n:]
+		b.Run(fmt.Sprintf("open-addr/n=%d", n), func(b *testing.B) {
+			var x spineIndex
+			b.ReportAllocs()
+			for b.Loop() {
+				x.reset(n)
+				for i, k := range hits {
+					x.put(k, int32(i))
+				}
+				var found int
+				for _, k := range hits {
+					if _, ok := x.get(k); ok {
+						found++
+					}
+				}
+				for _, k := range misses {
+					if _, ok := x.get(k); ok {
+						found++
+					}
+				}
+				if found != n {
+					b.Fatalf("found %d of %d", found, n)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("map/n=%d", n), func(b *testing.B) {
+			m := make(map[uint64]int32, n)
+			b.ReportAllocs()
+			for b.Loop() {
+				clear(m)
+				for i, k := range hits {
+					if _, ok := m[k]; !ok {
+						m[k] = int32(i)
+					}
+				}
+				var found int
+				for _, k := range hits {
+					if _, ok := m[k]; ok {
+						found++
+					}
+				}
+				for _, k := range misses {
+					if _, ok := m[k]; ok {
+						found++
+					}
+				}
+				if found != n {
+					b.Fatalf("found %d of %d", found, n)
+				}
+			}
+		})
+	}
+}

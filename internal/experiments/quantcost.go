@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"spinal/internal/core"
+	"spinal/internal/sim"
+)
+
+// QuantCostPoint compares the exact float64 cost metric against the
+// quantized int32 metric at one SNR: same messages, same noise, same decoder
+// configuration — only the decoder's cost arithmetic differs. The difference
+// between the two achieved rates is the "equivalence tariff" of running the
+// decoder on hardware-style fixed-point arithmetic.
+type QuantCostPoint struct {
+	SNRdB float64
+	// RateFloat/RateInt32 are the aggregate achieved rates (bits/symbol)
+	// under the two metrics.
+	RateFloat float64
+	RateInt32 float64
+	// Tariff is RateFloat - RateInt32: the rate given up by quantizing the
+	// cost arithmetic (negative values mean the int32 metric happened to
+	// decode earlier on this trial set).
+	Tariff float64
+	// FailFloat/FailInt32 count messages not decoded within the pass
+	// budget under each metric.
+	FailFloat int
+	FailInt32 int
+	Trials    int
+}
+
+// QuantCostComparison measures the int32 metric's rate tariff across an SNR
+// sweep: for every SNR it runs the genie rate measurement twice on identical
+// trials (same per-trial seeds, so the same messages and the same noise
+// stream), once per cost metric. Everything except the decoder's cost
+// arithmetic is held fixed, so the rate difference isolates the effect of
+// fixed-point quantization on the beam search's decisions.
+func QuantCostComparison(cfg SpinalConfig, snrsDB []float64) ([]QuantCostPoint, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Pool == nil {
+		cfg.Pool = core.NewDecoderPool(core.DefaultDecoderPoolCapacity)
+		defer cfg.Pool.Drain()
+	}
+	points := make([]QuantCostPoint, len(snrsDB))
+	for i, snr := range snrsDB {
+		fcfg := cfg
+		fcfg.Metric = core.CostFloat64
+		fpt, err := SpinalRateAtSNR(fcfg, snr)
+		if err != nil {
+			return nil, err
+		}
+		qcfg := cfg
+		qcfg.Metric = core.CostInt32
+		qpt, err := SpinalRateAtSNR(qcfg, snr)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = QuantCostPoint{
+			SNRdB:     snr,
+			RateFloat: fpt.Rate,
+			RateInt32: qpt.Rate,
+			Tariff:    fpt.Rate - qpt.Rate,
+			FailFloat: fpt.Failures,
+			FailInt32: qpt.Failures,
+			Trials:    cfg.Trials,
+		}
+	}
+	return points, nil
+}
+
+// QuantCostColumns is the point schema of the quantcost scenario.
+func QuantCostColumns() []sim.Column {
+	return []sim.Column{
+		sim.Col("snr_db", "%.1f"),
+		sim.Col("rate_float64", "%.3f"),
+		sim.Col("rate_int32", "%.3f"),
+		sim.Col("tariff_bits_per_sym", "%.3f"),
+		sim.Col("fail_float64", "%d"),
+		sim.Col("fail_int32", "%d"),
+		sim.Col("trials", "%d"),
+	}
+}
+
+// FormatQuantCost renders the metric comparison.
+func FormatQuantCost(pts []QuantCostPoint) *sim.Table {
+	t := sim.NewTable("", QuantCostColumns()...)
+	for _, p := range pts {
+		t.AddRow(p.SNRdB, p.RateFloat, p.RateInt32, p.Tariff, p.FailFloat, p.FailInt32, p.Trials)
+	}
+	return t
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestQuantCostTariff asserts the central claim of the quantcost scenario:
+// the quantized int32 cost metric pays at most a small rate tariff relative
+// to the exact float64 metric. The two runs share per-trial seeds, so the
+// comparison is over identical messages and noise; with a 14-bit ADC the
+// quantization step of the cost grid sits far below the noise floor and the
+// beam search almost always makes the same decisions under both metrics.
+func TestQuantCostTariff(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Trials = 12
+	snrs := []float64{0, 10, 20}
+	pts, err := QuantCostComparison(cfg, snrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(snrs) {
+		t.Fatalf("points = %d, want %d", len(pts), len(snrs))
+	}
+	// The tariff bound: the int32 metric may not give up more than 5% of the
+	// float64 rate (plus an absolute floor for the low-SNR points where rates
+	// are small). A negative tariff — int32 decoding a pass earlier — is fine.
+	for _, p := range pts {
+		if p.RateFloat <= 0 || p.RateInt32 <= 0 {
+			t.Fatalf("non-positive rate at %v dB: float=%v int32=%v", p.SNRdB, p.RateFloat, p.RateInt32)
+		}
+		if limit := math.Max(0.05*p.RateFloat, 0.1); p.Tariff > limit {
+			t.Errorf("tariff at %v dB = %.3f bits/sym (float %.3f, int32 %.3f); limit %.3f",
+				p.SNRdB, p.Tariff, p.RateFloat, p.RateInt32, limit)
+		}
+		if p.FailInt32 > p.FailFloat {
+			t.Errorf("int32 metric failed %d messages vs %d under float64 at %v dB",
+				p.FailInt32, p.FailFloat, p.SNRdB)
+		}
+		if p.Trials != cfg.Trials {
+			t.Errorf("trials = %d, want %d", p.Trials, cfg.Trials)
+		}
+	}
+}
+
+func TestFormatQuantCost(t *testing.T) {
+	pts := []QuantCostPoint{{SNRdB: 10, RateFloat: 2.9, RateInt32: 2.85, Tariff: 0.05, Trials: 4}}
+	tab := FormatQuantCost(pts)
+	if got := len(tab.Rows); got != 1 {
+		t.Fatalf("rows = %d", got)
+	}
+	rendered := tab.String()
+	for _, col := range []string{"snr_db", "rate_float64", "rate_int32", "tariff_bits_per_sym"} {
+		if !strings.Contains(rendered, col) {
+			t.Errorf("rendered table missing column %q:\n%s", col, rendered)
+		}
+	}
+}

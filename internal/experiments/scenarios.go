@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"spinal/internal/core"
 	"spinal/internal/ldpc"
 	"spinal/internal/sim"
 )
@@ -17,15 +18,16 @@ import (
 
 // Flag-name groups shared by the scenario declarations.
 var (
-	codeFlags  = []string{"trials", "beam", "k", "c", "m", "adc", "seed", "mapper", "schedule", "workers", "trial-workers"}
+	codeFlags  = []string{"trials", "beam", "k", "c", "m", "adc", "seed", "mapper", "schedule", "workers", "trial-workers", "metric"}
 	sweepFlags = append([]string{"snr-min", "snr-max", "snr-step"}, codeFlags...)
 	pointFlags = append([]string{"snr"}, codeFlags...)
 )
 
 // spinalConfigFrom maps the generic request knobs onto a SpinalConfig,
 // mirroring the historical spinalsim flag handling: zero-valued knobs keep
-// the Figure 2 defaults.
-func spinalConfigFrom(req sim.Request) SpinalConfig {
+// the Figure 2 defaults. The only error source is an unknown -metric
+// spelling.
+func spinalConfigFrom(req sim.Request) (SpinalConfig, error) {
 	cfg := Figure2Config()
 	if req.Trials > 0 {
 		cfg.Trials = req.Trials
@@ -56,7 +58,12 @@ func spinalConfigFrom(req sim.Request) SpinalConfig {
 	}
 	cfg.Workers = req.Workers
 	cfg.TrialWorkers = req.TrialWorkers
-	return cfg
+	metric, err := core.ParseCostMetric(req.Metric)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Metric = metric
+	return cfg, nil
 }
 
 // snrsFrom returns the request's sweep, defaulting to the Figure 2 grid.
@@ -91,12 +98,47 @@ func init() {
 		Flags:       sweepFlags,
 		Schema:      RateCurveColumns("spinal"),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			pts, err := SpinalRateCurve(spinalConfigFrom(req), snrsFrom(req))
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			pts, err := SpinalRateCurve(cfg, snrsFrom(req))
 			if err != nil {
 				return nil, err
 			}
 			res := sim.NewResult("spinal")
 			res.Add(FormatRateCurve("spinal", pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "quantcost",
+		Description: "rate tariff of the quantized int32 cost metric vs exact float64 across the SNR sweep",
+		Flags:       append([]string{"snr-min", "snr-max", "snr-step", "short"}, codeFlags...),
+		Schema:      QuantCostColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			snrs := snrsFrom(req)
+			if req.Short {
+				if cfg.Trials > 10 {
+					cfg.Trials = 10
+				}
+				snrs = []float64{0, 10, 20}
+			}
+			pts, err := QuantCostComparison(cfg, snrs)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("quantcost")
+			res.Add(FormatQuantCost(pts))
+			res.Notef("identical per-trial seeds under both metrics: the tariff isolates the cost arithmetic")
+			if req.Short {
+				res.Notef("effective config: %d trials at %d SNR points (-short caps trials and the sweep)",
+					cfg.Trials, len(snrs))
+			}
 			return res, nil
 		},
 	})
@@ -164,7 +206,10 @@ func init() {
 		Flags:       codeFlags,
 		Schema:      BSCColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			if req.K == 0 || req.K == 8 {
 				cfg.K = 4 // a k=4 code keeps BSC decoding fast; override with -k
 			}
@@ -185,7 +230,11 @@ func init() {
 		Schema:      BeamSweepColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
 			snr := req.SNR
-			pts, err := BeamWidthSweep(spinalConfigFrom(req), snr, []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			pts, err := BeamWidthSweep(cfg, snr, []int{1, 2, 4, 8, 16, 32, 64, 128, 256})
 			if err != nil {
 				return nil, err
 			}
@@ -201,7 +250,11 @@ func init() {
 		Flags:       sweepFlags,
 		Schema:      RateCurveColumns("punctured"),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			punct, seq, err := PuncturingComparison(spinalConfigFrom(req), snrsFrom(req))
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			punct, seq, err := PuncturingComparison(cfg, snrsFrom(req))
 			if err != nil {
 				return nil, err
 			}
@@ -222,7 +275,11 @@ func init() {
 		Schema:      ADCSweepColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
 			snr := req.SNR
-			pts, err := QuantizationSweep(spinalConfigFrom(req), snr, []int{4, 6, 8, 10, 12, 14, 16})
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			pts, err := QuantizationSweep(cfg, snr, []int{4, 6, 8, 10, 12, 14, 16})
 			if err != nil {
 				return nil, err
 			}
@@ -239,7 +296,11 @@ func init() {
 		Schema:      RateCurveColumns("linear"),
 		Run: func(req sim.Request) (*sim.Result, error) {
 			mappers := []string{"linear", "uniform", "gaussian"}
-			curves, err := MapperComparison(spinalConfigFrom(req), snrsFrom(req), mappers)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			curves, err := MapperComparison(cfg, snrsFrom(req), mappers)
 			if err != nil {
 				return nil, err
 			}
@@ -258,7 +319,11 @@ func init() {
 		Flags:       sweepFlags,
 		Schema:      Theorem1Columns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			pts, err := Theorem1Gap(spinalConfigFrom(req), snrsFrom(req))
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			pts, err := Theorem1Gap(cfg, snrsFrom(req))
 			if err != nil {
 				return nil, err
 			}
@@ -341,7 +406,10 @@ func init() {
 		Flags:       sweepFlags,
 		Schema:      FixedRateColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			res := sim.NewResult("fixedrate")
 			for _, passes := range []int{2, 4, 8} {
 				pts, err := FixedRateSpinal(cfg, snrsFrom(req), passes)
@@ -362,7 +430,10 @@ func init() {
 		Flags:       codeFlags,
 		Schema:      IncrementalColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			cfg.Schedule = "sequential" // the natural low-SNR operating point
 			cfg.Trials = capTrials(req.Trials, 10)
 			pt, err := IncrementalDecodeComparison(cfg, 0)
@@ -383,7 +454,10 @@ func init() {
 		Flags:       codeFlags,
 		Schema:      ParallelColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			cfg.Schedule = "sequential" // the natural low-SNR operating point
 			cfg.Trials = capTrials(req.Trials, 20)
 			pts, err := ParallelDecodeComparison(cfg, 0, []int{1, 2, 4, 8})
@@ -404,7 +478,10 @@ func init() {
 		Flags:       append([]string{"snr"}, codeFlags...),
 		Schema:      MultiFlowColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			if req.K == 0 || req.K == 8 {
 				// The -k default; many concurrent decodes make k=8 slow, so
 				// this experiment runs k=4 unless -k selects something else.
@@ -487,7 +564,10 @@ func init() {
 		Flags:       append([]string{"snr"}, codeFlags...),
 		Schema:      BatchColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {
-			cfg := spinalConfigFrom(req)
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
 			cfg.Trials = capTrials(req.Trials, 20)
 			var pts []BatchPoint
 			seen := map[float64]bool{}
@@ -525,7 +605,10 @@ func runFigure2Scenario(req sim.Request) (*sim.Result, error) {
 	tb.Title = "Figure 2 — reference bounds"
 	res.Add(tb)
 
-	cfg := spinalConfigFrom(req)
+	cfg, err := spinalConfigFrom(req)
+	if err != nil {
+		return nil, err
+	}
 	spinalPts, err := SpinalRateCurve(cfg, snrs)
 	if err != nil {
 		return nil, err

@@ -12,7 +12,7 @@ import (
 var registryNames = []string{
 	"figure2", "spinal", "bounds", "ldpc", "conv", "bsc", "beam", "puncture",
 	"adc", "mapper", "theorem1", "fountain", "harq", "adapt", "fixedrate",
-	"incremental", "parallel", "multiflow", "batch",
+	"incremental", "parallel", "multiflow", "batch", "quantcost",
 }
 
 // smokeRequest is the minimal-trials request the registry-wide tests run

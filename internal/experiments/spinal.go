@@ -50,6 +50,10 @@ type SpinalConfig struct {
 	// across. Zero means GOMAXPROCS. Results are bit-identical at any
 	// setting.
 	TrialWorkers int
+	// Metric is the decoder cost arithmetic (core.CostFloat64, the exact
+	// default, or core.CostInt32 — the fixed-point metric whose rate
+	// tariff the quantcost scenario measures).
+	Metric core.CostMetric
 	// Pool optionally shares a decoder pool across calls (e.g. across the
 	// points of a sweep); nil lets each call pool privately.
 	Pool *core.DecoderPool
@@ -197,6 +201,12 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 		if err != nil {
 			return genieTrial{}, err
 		}
+		// Validate the metric against the mapper once up front;
+		// runGenieTrial re-applies it after every lease.Reset (which
+		// reverts per-lease tuning to the float64 default).
+		if err := lease.Dec.SetCostMetric(cfg.Metric); err != nil {
+			return genieTrial{}, err
+		}
 		// Trials already fan out across the runner's workers, so the
 		// per-trial decoder defaults to serial — nesting a GOMAXPROCS shard
 		// pool inside the trial workers would oversubscribe. An explicit
@@ -271,7 +281,12 @@ func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, le
 	decodes := func(prefix int) bool {
 		// Reset clears the leased container and bumps its epoch, so every
 		// prefix decodes from the root exactly as a fresh container would.
+		// It also reverts the cost metric, so a non-default one is
+		// re-applied (the caller already validated it against the mapper).
 		lease.Reset()
+		if lease.Dec.SetCostMetric(cfg.Metric) != nil {
+			return false
+		}
 		if lease.Obs.AddBatch(positions[:prefix], received[:prefix]) != nil {
 			return false
 		}

@@ -1,0 +1,62 @@
+package hash
+
+// Expander replays the pseudo-random bit expansion of one spine value with
+// word-level memoization. The beam decoder's cost folds pull bit ranges of
+// the same spine value for many passes in ascending order; going through
+// Family.BitRange directly recomputes the two-round hash of the backing
+// 64-bit word for every range, even though consecutive passes usually read
+// the same word (a 64-bit word covers 64/2c passes, plus straddles). An
+// Expander caches the last two words of the expansion so those reads hit.
+//
+// The cache is pure memoization: BitRange returns exactly the same values as
+// Family.BitRange(s, start, n) for the spine value installed by Reset, so
+// decoders built on it stay bit-identical to ones hashing directly.
+type Expander struct {
+	f   Family
+	s   uint64
+	idx [2]uint32
+	w   [2]uint64
+	ok  [2]bool
+}
+
+// Reset points the expander at spine value s of family f and empties the
+// word cache.
+func (e *Expander) Reset(f Family, s uint64) {
+	e.f, e.s = f, s
+	e.ok[0], e.ok[1] = false, false
+}
+
+// word returns Word(s, idx), memoized two-way by index parity so that a
+// range straddling words idx and idx+1 keeps both cached.
+func (e *Expander) word(idx uint32) uint64 {
+	slot := idx & 1
+	if !e.ok[slot] || e.idx[slot] != idx {
+		e.idx[slot] = idx
+		e.w[slot] = e.f.Word(e.s, idx)
+		e.ok[slot] = true
+	}
+	return e.w[slot]
+}
+
+// BitRange extracts n bits (1 <= n <= 64) of the expansion of the installed
+// spine value starting at bit offset start, exactly like Family.BitRange.
+func (e *Expander) BitRange(start, n uint) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if n > 64 {
+		panic("hash: BitRange width exceeds 64 bits")
+	}
+	wordIdx := uint32(start / 64)
+	bitOff := start % 64
+	w := e.word(wordIdx)
+	if bitOff+n <= 64 {
+		return (w >> (64 - bitOff - n)) & maskN(n)
+	}
+	// The range straddles two words.
+	hiBits := 64 - bitOff
+	loBits := n - hiBits
+	hi := w & maskN(hiBits)
+	lo := e.word(wordIdx+1) >> (64 - loBits)
+	return hi<<loBits | lo
+}

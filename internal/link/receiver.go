@@ -554,6 +554,12 @@ func (r *Receiver) stateFor(v *FrameView) (*msgState, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Release resets leased decoders to the float64 default, so the metric
+	// is (re)applied on every lease.
+	if err := lease.Dec.SetCostMetric(r.cfg.CostMetric); err != nil {
+		lease.Release()
+		return nil, err
+	}
 	// Per-message decodes default to the serial path: the receiver's
 	// parallelism comes from decoding distinct messages concurrently, and a
 	// goroutine pool per tracked message would mostly add churn. Raise

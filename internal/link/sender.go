@@ -118,6 +118,11 @@ type Config struct {
 	// receiver's Receive loop, so it needs no timer goroutine. Zero
 	// disables idle expiry.
 	IdleExpiry time.Duration
+	// CostMetric selects the receiver decoders' cost arithmetic: the exact
+	// float64 default or the quantized int32 metric
+	// (core.BeamDecoder.SetCostMetric). Receiver-local — it does not need
+	// to match the sender.
+	CostMetric core.CostMetric
 	// MaxDecodeCost caps the decode work a single frame may advertise,
 	// measured as 2^K times the segment count of the message it describes.
 	// The wire format admits parameters (K=12 with a maximum-length

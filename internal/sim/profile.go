@@ -1,0 +1,49 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile starts the pprof collection a Request asks for and returns the
+// function that finishes it. The returned stop must be called exactly once,
+// after the profiled work: it stops the CPU profile (when one was requested)
+// and writes the heap profile (after a GC, so it reflects live memory rather
+// than collection timing). With both paths empty, Profile is a no-op and
+// stop never fails.
+func Profile(req Request) (stop func() error, err error) {
+	var cpu *os.File
+	if req.CPUProfile != "" {
+		cpu, err = os.Create(req.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("sim: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("sim: start cpu profile: %w", err)
+		}
+	}
+	memPath := req.MemProfile
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("sim: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("sim: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("sim: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

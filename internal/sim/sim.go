@@ -59,6 +59,15 @@ type Request struct {
 	// fewer flows/messages/rounds, tuned so CI smoke jobs finish quickly.
 	// Scenarios that declare the flag scale down; the rest ignore it.
 	Short bool
+	// Metric names the decoder cost metric (-metric): "float64" (default)
+	// or "int32" (core.ParseCostMetric spellings). Scenarios that declare
+	// the flag pass it to their decoders; the rest ignore it.
+	Metric string
+	// CPUProfile and MemProfile are file paths for pprof output
+	// (-cpuprofile/-memprofile); empty disables. The profiles cover the
+	// scenario run, not flag parsing or output rendering — see Profile.
+	CPUProfile string
+	MemProfile string
 }
 
 // DefaultRequest returns the knob values the spinalsim flags default to, so

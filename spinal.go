@@ -77,7 +77,27 @@ type Config struct {
 	// path. Decoding results are bit-identical at any setting — the knob
 	// trades goroutines for wall-clock time only.
 	Workers int
+	// CostMetric selects the decoder's cost arithmetic: CostFloat64 (the
+	// exact default) or CostInt32, which folds path costs on a fixed-point
+	// grid with saturating adds — the arithmetic a hardware decoder would
+	// ship — for a small, measured rate tariff (see the `quantcost`
+	// scenario). Requires one of the built-in (table-backed) mappers.
+	CostMetric CostMetric
 }
+
+// CostMetric selects the decoder's cost arithmetic; see Config.CostMetric.
+type CostMetric = core.CostMetric
+
+const (
+	// CostFloat64 is the exact float64 metric (the default).
+	CostFloat64 = core.CostFloat64
+	// CostInt32 is the quantized fixed-point metric.
+	CostInt32 = core.CostInt32
+)
+
+// ParseCostMetric resolves the CLI spelling of a cost metric ("float64" or
+// "int32"; the empty string selects the default).
+func ParseCostMetric(s string) (CostMetric, error) { return core.ParseCostMetric(s) }
 
 func (c Config) withDefaults() Config {
 	if c.K == 0 {
@@ -282,7 +302,13 @@ func (p *DecoderPool) Lease(c *Code) (*Decoder, error) {
 	}
 	// Always set parallelism: a cached decoder carries its previous
 	// lessee's setting, and Workers == 0 must mean the fresh-decoder
-	// default (GOMAXPROCS), not whatever came before.
+	// default (GOMAXPROCS), not whatever came before. (Release resets the
+	// cost metric to the float64 default, so only a non-default metric
+	// needs applying here.)
+	if err := lease.Dec.SetCostMetric(c.cfg.CostMetric); err != nil {
+		lease.Release()
+		return nil, err
+	}
 	lease.Dec.SetParallelism(c.cfg.Workers)
 	return &Decoder{dec: lease.Dec, obs: lease.Obs, n: c.cfg.MessageBits, lease: lease}, nil
 }
@@ -311,6 +337,9 @@ type Decoder struct {
 func (c *Code) NewDecoder() (*Decoder, error) {
 	dec, err := core.NewBeamDecoder(c.params, c.cfg.BeamWidth)
 	if err != nil {
+		return nil, err
+	}
+	if err := dec.SetCostMetric(c.cfg.CostMetric); err != nil {
 		return nil, err
 	}
 	if c.cfg.Workers > 0 {
@@ -416,6 +445,7 @@ func (c *Code) sessionConfig(message []byte, verify func([]byte) bool, maxSymbol
 		Schedule:    sched,
 		MaxSymbols:  maxSymbols,
 		Parallelism: c.cfg.Workers,
+		CostMetric:  c.cfg.CostMetric,
 	}, core.Verifier(verify), nil
 }
 
