@@ -2,9 +2,11 @@ package spinal
 
 import (
 	"fmt"
+	"strings"
 
 	"spinal/internal/channel"
 	"spinal/internal/fading"
+	"spinal/internal/impair"
 	"spinal/internal/rng"
 )
 
@@ -181,6 +183,71 @@ func RayleighTrace(avgSNRdB float64, coherence int, seed uint64) (Trace, error) 
 // user walking away from an access point).
 func WalkTrace(minDB, maxDB, stepdB float64, seed uint64) (Trace, error) {
 	return fading.NewWalk(minDB, maxDB, stepdB, seed)
+}
+
+// DopplerTrace returns a Jakes-model Doppler fading SNR trace: the average
+// SNR modulated by a sum of sinusoids at normalized Doppler frequency fd
+// (cycles per symbol, 0 < fd <= 0.5) — correlated fast fading, in contrast
+// to RayleighTrace's independent blocks.
+func DopplerTrace(avgSNRdB, fd float64, seed uint64) (Trace, error) {
+	return fading.NewDoppler(avgSNRdB, fd, seed)
+}
+
+// NewImpairmentPipeline compiles a declarative impairment spec — either the
+// compact string grammar ("ge(good=16,bad=3)|spike(prob=0.02)|erase(p=0.01)")
+// or its JSON form — into a Channel. Every stage's randomness derives from
+// the pipeline seed, its name and its occurrence, so the same spec and seed
+// reproduce byte-identical corruption anywhere, and a stage keeps its fault
+// schedule when the stages around it change.
+func NewImpairmentPipeline(spec string, seed uint64) (Channel, error) {
+	s, err := impair.ParseAny(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.Build(seed)
+}
+
+// composed chains channels: symbols pass through each in order, variances
+// add, names join with '+'.
+type composed struct {
+	chs []Channel
+}
+
+func (c *composed) CorruptBlock(dst, src []complex128) {
+	c.chs[0].CorruptBlock(dst, src)
+	for _, ch := range c.chs[1:] {
+		ch.CorruptBlock(dst, dst)
+	}
+}
+
+func (c *composed) NoiseVariance() float64 {
+	var sum float64
+	for _, ch := range c.chs {
+		sum += ch.NoiseVariance()
+	}
+	return sum
+}
+
+func (c *composed) Name() string {
+	names := make([]string, len(c.chs))
+	for i, ch := range c.chs {
+		names[i] = ch.Name()
+	}
+	return strings.Join(names, "+")
+}
+
+// Compose chains channels into one: each transmitted block passes through
+// every channel in order, NoiseVariance sums the parts, and the name joins
+// theirs with '+'. Use it to stack hand-built channels the spec grammar
+// cannot express (e.g. a quantized ADC front end over a trace channel).
+func Compose(stages ...Channel) (Channel, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("spinal: Compose needs at least one channel")
+	}
+	if len(stages) == 1 {
+		return stages[0], nil
+	}
+	return &composed{chs: stages}, nil
 }
 
 // traceChannel drives AWGN whose SNR follows a trace symbol by symbol.

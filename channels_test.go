@@ -154,6 +154,169 @@ func TestBECMarksErasures(t *testing.T) {
 	}
 }
 
+// TestImpairmentPipelineFacade pins the declarative channel entry point:
+// the same spec and seed reproduce byte-identical corruption in both the
+// string and JSON forms, the code delivers end to end over a stacked
+// pipeline, and malformed specs are rejected.
+func TestImpairmentPipelineFacade(t *testing.T) {
+	const spec = "ge(good=20,bad=8,dgood=300,dbad=80)|spike(prob=0.02,dwell=15,db=-3)"
+	xs := make([]complex128, 128)
+	for i := range xs {
+		xs[i] = complex(float64(i%5)*0.3-0.6, float64(i%3)*0.4-0.4)
+	}
+	a, err := spinal.NewImpairmentPipeline(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() == "" || a.NoiseVariance() <= 0 {
+		t.Fatalf("pipeline metadata missing: name=%q sigma2=%v", a.Name(), a.NoiseVariance())
+	}
+	b, err := spinal.NewImpairmentPipeline(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const jsonSpec = `{"stages":[` +
+		`{"stage":"ge","args":{"good":20,"bad":8,"dgood":300,"dbad":80}},` +
+		`{"stage":"spike","args":{"prob":0.02,"dwell":15,"db":-3}}]}`
+	c, err := spinal.NewImpairmentPipeline(jsonSpec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra := make([]complex128, len(xs))
+	rb := make([]complex128, len(xs))
+	rc := make([]complex128, len(xs))
+	a.CorruptBlock(ra, xs)
+	b.CorruptBlock(rb, xs)
+	c.CorruptBlock(rc, xs)
+	for i := range xs {
+		if ra[i] != rb[i] {
+			t.Fatalf("same spec+seed diverged at symbol %d", i)
+		}
+		if ra[i] != rc[i] {
+			t.Fatalf("JSON form diverged from spec string at symbol %d", i)
+		}
+	}
+
+	code, err := spinal.NewCode(spinal.Config{MessageBits: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := spinal.RandomMessage(64, 71)
+	ch, err := spinal.NewImpairmentPipeline(spec, 72)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := code.TransmitOver(msg, ch, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || !code.Equal(res.Decoded, msg) {
+		t.Fatal("rateless transmission over the impairment pipeline failed")
+	}
+
+	for _, bad := range []string{"nosuch", "awgn(snr=10,snr=11)", "ge(|", "awgn(frob=1)"} {
+		if _, err := spinal.NewImpairmentPipeline(bad, 1); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestComposeChannels pins the Channel combinator: composition applies the
+// parts in order with their own noise streams, sums their variances and
+// joins their names.
+func TestComposeChannels(t *testing.T) {
+	if _, err := spinal.Compose(); err == nil {
+		t.Error("empty composition accepted")
+	}
+	single, err := spinal.NewAWGN(12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := spinal.Compose(single)
+	if err != nil || got != single {
+		t.Fatalf("one-channel composition should be the channel itself (err=%v)", err)
+	}
+
+	mk := func() (spinal.Channel, spinal.Channel) {
+		awgn, err := spinal.NewAWGN(14, 81)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ray, err := spinal.NewRayleigh(20, 16, 82)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return awgn, ray
+	}
+	a1, r1 := mk()
+	comp, err := spinal.Compose(a1, r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a1.Name() + "+" + r1.Name(); comp.Name() != want {
+		t.Errorf("composed name %q, want %q", comp.Name(), want)
+	}
+	if want := a1.NoiseVariance() + r1.NoiseVariance(); math.Abs(comp.NoiseVariance()-want) > 1e-12 {
+		t.Errorf("composed variance %v, want %v", comp.NoiseVariance(), want)
+	}
+	xs := make([]complex128, 96)
+	for i := range xs {
+		xs[i] = complex(float64(i%4)*0.4-0.6, float64(i%6)*0.2-0.5)
+	}
+	viaComp := make([]complex128, len(xs))
+	comp.CorruptBlock(viaComp, xs)
+	// Identically seeded parts applied by hand must match.
+	a2, r2 := mk()
+	manual := make([]complex128, len(xs))
+	a2.CorruptBlock(manual, xs)
+	r2.CorruptBlock(manual, manual)
+	for i := range xs {
+		if viaComp[i] != manual[i] {
+			t.Fatalf("composition diverged from sequential application at symbol %d", i)
+		}
+	}
+}
+
+// TestDopplerTrace exercises the Jakes-model trace: deterministic, finite,
+// varying, and rejecting out-of-range Doppler frequencies.
+func TestDopplerTrace(t *testing.T) {
+	tr, err := spinal.DopplerTrace(18, 0.02, 91)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() == "" {
+		t.Error("Doppler trace has no name")
+	}
+	varied := false
+	for i := 0; i < 256; i++ {
+		s := tr.SNRdB(i)
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			t.Fatalf("Doppler trace SNR not finite at %d: %v", i, s)
+		}
+		if s != tr.SNRdB(0) {
+			varied = true
+		}
+		if s != tr.SNRdB(i) {
+			t.Fatalf("Doppler trace not deterministic at %d", i)
+		}
+	}
+	if !varied {
+		t.Error("Doppler trace never varied over 256 symbols")
+	}
+	ch, err := spinal.NewTraceChannel(tr, 92)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.NoiseVariance() <= 0 {
+		t.Error("Doppler trace channel variance not positive")
+	}
+	for _, fd := range []float64{0, -0.1, 0.6} {
+		if _, err := spinal.DopplerTrace(18, fd, 1); err == nil {
+			t.Errorf("fd=%v accepted", fd)
+		}
+	}
+}
+
 // TestObserveBatchMatchesObserve is the facade half of the scalar/batch
 // equivalence acceptance: ObserveBatch followed by one Decode must yield a
 // bit-identical message and identical NodesExpanded to the per-symbol

@@ -1,8 +1,10 @@
 // Command spinalrecv is the receiving half of the rateless spinal link over
 // UDP. It binds a local UDP port, simulates the radio by passing every
 // received symbol through an AWGN channel at the configured SNR (plus a
-// 14-bit ADC), decodes arriving packets with the spinal beam decoder, and
-// acknowledges each packet as soon as its CRC verifies.
+// 14-bit ADC) — or through a declarative impairment pipeline when -impair is
+// set, optionally with frame-level faults via -fault — decodes arriving
+// packets with the spinal beam decoder, and acknowledges each packet as soon
+// as its CRC verifies.
 //
 // One spinalrecv serves many concurrent spinalsend processes over its
 // single UDP socket: frames are demultiplexed by the flow id each sender
@@ -28,6 +30,7 @@ import (
 
 	"spinal/internal/channel"
 	"spinal/internal/core"
+	"spinal/internal/impair"
 	"spinal/internal/link"
 	"spinal/internal/rng"
 )
@@ -60,10 +63,15 @@ func main() {
 		"emit a JSON engine-stats line to stderr at this interval (0 = off)")
 	metric := flag.String("metric", "",
 		"decoder cost metric: float64|int32 (empty = float64)")
+	impairSpec := flag.String("impair", "",
+		"impairment-pipeline spec replacing the AWGN radio, e.g. \"ge(good=16,bad=3)|spike(prob=0.02)|erase(p=0.01)\" or its JSON form")
+	faultSpec := flag.String("fault", "",
+		"frame-level fault profile applied to received frames, e.g. \"drop=0.05,reorder=0.1,depth=4\" or the JSON form of link.FaultProfile")
 	flag.Parse()
 
 	if err := serve(*listen, *snr, *adc, *beam, *workers, *decWorkers, *count, *seed,
-		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch, *idleExpiry, *budget, *stats, *metric); err != nil {
+		*maxFlows, *maxTracked, *pool, *ingestShards, *ingestBatch, *idleExpiry, *budget, *stats,
+		*metric, *impairSpec, *faultSpec); err != nil {
 		fmt.Fprintln(os.Stderr, "spinalrecv:", err)
 		os.Exit(1)
 	}
@@ -71,7 +79,8 @@ func main() {
 
 func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int, seed uint64,
 	maxFlows, maxTracked, pool, ingestShards, ingestBatch int,
-	idleExpiry time.Duration, budget int64, statsEvery time.Duration, metric string) error {
+	idleExpiry time.Duration, budget int64, statsEvery time.Duration,
+	metric, impairSpec, faultSpec string) error {
 	costMetric, err := core.ParseCostMetric(metric)
 	if err != nil {
 		return err
@@ -99,11 +108,41 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 	}
 	defer tr.Close()
 
-	radio, err := channel.NewQuantizedAWGN(snr, adc, rng.New(seed))
-	if err != nil {
-		return err
+	// The simulated radio: AWGN plus ADC by default, or a declarative
+	// impairment pipeline when -impair is set. Either way the receiver sees a
+	// channel.SymbolChannel consuming one deterministic noise stream.
+	var radio channel.SymbolChannel
+	radioDesc := fmt.Sprintf("a %.1f dB channel", snr)
+	if impairSpec != "" {
+		spec, err := impair.ParseAny(impairSpec)
+		if err != nil {
+			return err
+		}
+		pl, err := spec.Build(seed)
+		if err != nil {
+			return err
+		}
+		radio = pl
+		radioDesc = pl.Name()
+	} else {
+		q, err := channel.NewQuantizedAWGN(snr, adc, rng.New(seed))
+		if err != nil {
+			return err
+		}
+		radio = q
 	}
-	recv, err := link.NewReceiver(tr, link.Config{
+	// Frame-level faults wrap the transport the receiver reads from; the
+	// wrapped transport loses batch ingest, which is fine for a fault-injected
+	// test run.
+	var recvTr link.Transport = tr
+	if faultSpec != "" {
+		profile, err := impair.ParseFaultProfile(faultSpec)
+		if err != nil {
+			return err
+		}
+		recvTr = link.NewFaultTransport(tr, link.FaultProfile{}, profile, seed^0x1f83d9abfb41bd6b)
+	}
+	recv, err := link.NewReceiver(recvTr, link.Config{
 		BeamWidth:          beam,
 		DecodeWorkers:      workers,
 		DecoderParallelism: decWorkers,
@@ -123,8 +162,8 @@ func serve(listen string, snr float64, adc, beam, workers, decWorkers, count int
 	if la, ok := tr.(interface{ LocalAddr() net.Addr }); ok {
 		addr = la.LocalAddr().String()
 	}
-	fmt.Printf("spinalrecv: listening on %s (%d ingest shard(s)), simulating a %.1f dB channel, serving multiplexed flows\n",
-		addr, ingestShards, snr)
+	fmt.Printf("spinalrecv: listening on %s (%d ingest shard(s)), simulating %s, serving multiplexed flows\n",
+		addr, ingestShards, radioDesc)
 
 	// Stats lines come from this goroutine — the one driving Receive — which
 	// is the EngineStats contract; no ticker goroutine races the engine.

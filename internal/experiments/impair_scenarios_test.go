@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"testing"
+
+	"spinal/internal/impair"
+)
+
+// TestImpairSweepStackedHarsher pins the acceptance property of the
+// impairment sweep: the full stack is measurably harsher than any single
+// stage — the spinal rate over the composition is strictly below the rate
+// over each stage alone.
+func TestImpairSweepStackedHarsher(t *testing.T) {
+	cfg := SpinalConfig{K: 4, Trials: 8, MaxPasses: 150}
+	spec, err := impair.ParseAny(DefaultImpairStack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ImpairSweep(cfg, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(spec.Stages)+1 {
+		t.Fatalf("got %d points for %d stages", len(pts), len(spec.Stages))
+	}
+	stack := pts[len(pts)-1]
+	if stack.Profile != "stack" {
+		t.Fatalf("last point is %q, want the stack", stack.Profile)
+	}
+	if stack.Rate <= 0 {
+		t.Fatalf("stack rate %v: the code should still deliver under the stack", stack.Rate)
+	}
+	for _, p := range pts[:len(pts)-1] {
+		if stack.Rate >= p.Rate {
+			t.Errorf("stack rate %.3f not below single-stage %q rate %.3f", stack.Rate, p.Profile, p.Rate)
+		}
+	}
+}
+
+// TestBakeoffShape pins the artifact contract: one cell per (profile,
+// scheme) with spinal and at least three baselines over at least two
+// stacked profiles, all cells carrying the same trial count.
+func TestBakeoffShape(t *testing.T) {
+	cfg := BakeoffConfig{Spinal: SpinalConfig{K: 4, MaxPasses: 150}, Trials: 6}
+	pts, err := Bakeoff(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := map[string]map[string]BakeoffPoint{}
+	for _, p := range pts {
+		if profiles[p.Profile] == nil {
+			profiles[p.Profile] = map[string]BakeoffPoint{}
+		}
+		profiles[p.Profile][p.Scheme] = p
+		if p.Trials != cfg.Trials {
+			t.Errorf("cell (%s, %s) ran %d trials, want %d", p.Profile, p.Scheme, p.Trials, cfg.Trials)
+		}
+		if p.Delivered < 0 || p.Delivered > p.Trials {
+			t.Errorf("cell (%s, %s) delivered %d of %d", p.Profile, p.Scheme, p.Delivered, p.Trials)
+		}
+	}
+	if len(profiles) < 2 {
+		t.Fatalf("bakeoff covered %d profiles, want >= 2 stacked profiles", len(profiles))
+	}
+	for prof, schemes := range profiles {
+		for _, want := range []string{"spinal", "ldpc", "conv", "harq"} {
+			if _, ok := schemes[want]; !ok {
+				t.Errorf("profile %s missing scheme %s", prof, want)
+			}
+		}
+		// The rateless code should keep delivering under every stack.
+		if sp := schemes["spinal"]; sp.Delivered == 0 {
+			t.Errorf("profile %s: spinal delivered nothing", prof)
+		}
+	}
+}
+
+// TestChurnLoad pins the churn-load invariants: both modes deliver (payloads
+// are verified bit-identical inside ChurnLoad), the impaired mode never
+// delivers more than the clean one, and the under-provisioned receiver
+// sheds flows under churn.
+func TestChurnLoad(t *testing.T) {
+	cfg := ChurnConfig{Spinal: SpinalConfig{K: 4}, MaxFlows: 4}
+	cfg.Workload.Messages = 24
+	pts, err := ChurnLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 || pts[0].Mode != "clean" || pts[1].Mode != "impaired" {
+		t.Fatalf("unexpected modes: %+v", pts)
+	}
+	clean, impaired := pts[0], pts[1]
+	if clean.Delivered == 0 {
+		t.Fatal("clean mode delivered nothing")
+	}
+	if impaired.Delivered == 0 {
+		t.Fatal("impaired mode delivered nothing: the stack should cost rate, not delivery")
+	}
+	if impaired.Delivered > clean.Delivered {
+		t.Errorf("impaired mode delivered %d > clean %d", impaired.Delivered, clean.Delivered)
+	}
+	if clean.Shed == 0 {
+		t.Errorf("receiver tracking %d of %d flows never shed", cfg.MaxFlows, clean.Flows)
+	}
+	if clean.Fairness <= 0 || clean.Fairness > 1 {
+		t.Errorf("fairness %v out of (0,1]", clean.Fairness)
+	}
+	// The fault schedule's corruption must be caught by the CRC, never
+	// delivered: rejected frames only appear in the impaired mode.
+	if clean.Rejected != 0 {
+		t.Errorf("clean mode rejected %d frames", clean.Rejected)
+	}
+}

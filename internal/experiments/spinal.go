@@ -253,14 +253,24 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 // because decodability is (essentially) monotone in the number of received
 // symbols.
 func runGenieTrial(cfg SpinalConfig, params core.Params, sched core.Schedule, lease *core.LeasedDecoder, snrDB float64, trial uint64) (int, bool) {
-	msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (trial + 1)))
-	msg := core.RandomMessage(msgSrc, cfg.MessageBits)
-	enc, err := core.NewEncoder(params, msg)
+	chSrc := rng.New(cfg.Seed ^ (0xbb67ae8584caa73b * (trial + 1)))
+	radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, chSrc)
 	if err != nil {
 		return 0, false
 	}
-	chSrc := rng.New(cfg.Seed ^ (0xbb67ae8584caa73b * (trial + 1)))
-	radio, err := channel.NewQuantizedAWGN(snrDB, cfg.ADCBits, chSrc)
+	return runGenieTrialOver(cfg, params, sched, lease, radio, trial)
+}
+
+// runGenieTrialOver is runGenieTrial over an arbitrary block channel — the
+// genie methodology is channel-agnostic, so impairment-pipeline experiments
+// reuse the same search with the same per-trial message streams. The caller
+// owns the radio's seeding; the message stream still derives from cfg.Seed
+// and the trial index, so every scheme facing this radio sends the same
+// messages.
+func runGenieTrialOver(cfg SpinalConfig, params core.Params, sched core.Schedule, lease *core.LeasedDecoder, radio channel.BlockChannel, trial uint64) (int, bool) {
+	msgSrc := rng.New(cfg.Seed ^ (0x9e3779b97f4a7c15 * (trial + 1)))
+	msg := core.RandomMessage(msgSrc, cfg.MessageBits)
+	enc, err := core.NewEncoder(params, msg)
 	if err != nil {
 		return 0, false
 	}

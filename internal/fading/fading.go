@@ -201,6 +201,67 @@ func (w *Walk) Name() string {
 	return fmt.Sprintf("walk(%.0f..%.0fdB)", w.min, w.max)
 }
 
+// Doppler is a Jakes-style sum-of-sinusoids fading trace: the power gain at
+// symbol i is |Σ exp(j(2π·fd·i·cos αk + φk))|²/M over M scatterers with
+// random angles of arrival and phases, giving the oscillating constructive/
+// destructive interference pattern of a receiver moving at normalized Doppler
+// frequency fd (cycles per symbol). Unlike the block models, the gain is a
+// closed-form function of the index, so the trace has no mutable state.
+type Doppler struct {
+	avgSNRdB float64
+	fd       float64
+	cosA     []float64
+	phase    []float64
+}
+
+// dopplerScatterers is the number of sinusoids summed per gain sample; eight
+// is enough for the envelope to be visibly Rayleigh-like.
+const dopplerScatterers = 8
+
+// NewDoppler returns a Doppler fading trace with the given average SNR and
+// normalized Doppler frequency fd in cycles per symbol (0 < fd <= 0.5).
+// Scatterer angles and phases derive deterministically from seed.
+func NewDoppler(avgSNRdB, fd float64, seed uint64) (*Doppler, error) {
+	if fd <= 0 || fd > 0.5 {
+		return nil, fmt.Errorf("fading: doppler frequency %v out of (0, 0.5]", fd)
+	}
+	src := rng.New(seed)
+	d := &Doppler{
+		avgSNRdB: avgSNRdB,
+		fd:       fd,
+		cosA:     make([]float64, dopplerScatterers),
+		phase:    make([]float64, dopplerScatterers),
+	}
+	for k := range d.cosA {
+		d.cosA[k] = math.Cos(2 * math.Pi * src.Float64())
+		d.phase[k] = 2 * math.Pi * src.Float64()
+	}
+	return d, nil
+}
+
+// SNRdB implements Trace.
+func (d *Doppler) SNRdB(i int) float64 {
+	if i < 0 {
+		i = 0
+	}
+	var re, im float64
+	for k := range d.cosA {
+		theta := 2*math.Pi*d.fd*float64(i)*d.cosA[k] + d.phase[k]
+		re += math.Cos(theta)
+		im += math.Sin(theta)
+	}
+	g := (re*re + im*im) / dopplerScatterers
+	if g < 1e-6 {
+		g = 1e-6
+	}
+	return d.avgSNRdB + 10*math.Log10(g)
+}
+
+// Name implements Trace.
+func (d *Doppler) Name() string {
+	return fmt.Sprintf("doppler(avg %.0fdB, fd=%.3g)", d.avgSNRdB, d.fd)
+}
+
 // Channel applies a trace to transmitted symbols: symbol i experiences AWGN
 // at trace.SNRdB(i). It implements the same Corrupt contract as the static
 // channels in internal/channel, tracking the symbol index internally.

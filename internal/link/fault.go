@@ -23,29 +23,29 @@ var ErrInjected = errors.New("link: injected transport fault")
 // independent loss, then corruption, duplication and reordering.
 type FaultProfile struct {
 	// DropProb is independent per-frame loss.
-	DropProb float64
+	DropProb float64 `json:"drop,omitempty"`
 	// DupProb delivers the frame twice.
-	DupProb float64
+	DupProb float64 `json:"dup,omitempty"`
 	// ReorderProb holds the frame back so that later frames overtake it; the
 	// held frame is released after at most ReorderDepth subsequent frames
 	// (bounded reorder). Zero depth selects 4.
-	ReorderProb  float64
-	ReorderDepth int
+	ReorderProb  float64 `json:"reorder,omitempty"`
+	ReorderDepth int     `json:"depth,omitempty"`
 	// CorruptProb flips CorruptBits random bits somewhere in the frame (the
 	// copy handed on, never the caller's buffer). Zero bits selects 8.
-	CorruptProb float64
-	CorruptBits int
+	CorruptProb float64 `json:"corrupt,omitempty"`
+	CorruptBits int     `json:"bits,omitempty"`
 	// GE overlays two-state Gilbert-Elliott burst loss on top of DropProb.
-	GE *GilbertElliott
+	GE *GilbertElliott `json:"ge,omitempty"`
 	// StallEvery/StallFrames carve deterministic partition windows out of the
 	// schedule: of every StallEvery frames, the first StallFrames are dropped
 	// (the link is "down"), starting with the second period so a link never
 	// opens stalled. Zero disables stalls.
-	StallEvery  int
-	StallFrames int
+	StallEvery  int `json:"stall_every,omitempty"`
+	StallFrames int `json:"stall_frames,omitempty"`
 	// ErrProb makes the transport operation itself fail with ErrInjected
 	// before touching the frame — a transient I/O error, not a loss.
-	ErrProb float64
+	ErrProb float64 `json:"err,omitempty"`
 }
 
 // enabled reports whether the profile injects anything at all.
@@ -60,10 +60,10 @@ func (p FaultProfile) enabled() bool {
 // loss bursts with loss-free stretches in between, which i.i.d. loss cannot
 // produce.
 type GilbertElliott struct {
-	GoodToBad float64
-	BadToGood float64
-	GoodLoss  float64
-	BadLoss   float64
+	GoodToBad float64 `json:"good2bad"`
+	BadToGood float64 `json:"bad2good"`
+	GoodLoss  float64 `json:"goodloss"`
+	BadLoss   float64 `json:"badloss"`
 }
 
 // faultLane applies one direction's schedule. All its state is guarded by

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"spinal/internal/rng"
+)
+
+// This file is the trace-driven workload generator: it turns an arrival
+// process (Poisson or two-state MMPP), a message-size mix and flow on/off
+// churn into one deterministic event trace. Generation is a pure function of
+// the config — one seeded PRNG consumed in a fixed order — and each event
+// carries its index-derived seed, so a sharded trial runner that encodes
+// event i on any worker reproduces bit-identical frames at any worker count.
+
+// SizeClass is one entry of a message-size mix: messages of Bytes payload
+// bytes arriving with relative Weight.
+type SizeClass struct {
+	Bytes  int
+	Weight float64
+}
+
+// WorkloadConfig describes a traffic trace.
+type WorkloadConfig struct {
+	// Seed drives every random choice in the trace.
+	Seed uint64
+	// Flows is the size of the flow population (flow IDs 1..Flows).
+	Flows int
+	// Messages is the number of arrival events to generate.
+	Messages int
+	// Arrival selects the arrival process: "poisson" (constant rate) or
+	// "mmpp" (Markov-modulated: the rate toggles between Rate and
+	// Rate*Burst with exponential dwell times of mean Dwell).
+	Arrival string
+	// Rate is the mean arrival rate in messages per unit time.
+	Rate float64
+	// Burst is the MMPP burst-state rate multiplier (>= 1).
+	Burst float64
+	// Dwell is the MMPP mean state dwell in time units.
+	Dwell float64
+	// Sizes is the message-size mix; a single class is a fixed size.
+	Sizes []SizeClass
+	// MeanOn/MeanOff are the mean flow on/off lifetimes in time units
+	// (exponential). Zero disables churn: every flow is always on.
+	MeanOn  float64
+	MeanOff float64
+}
+
+// Event is one message arrival in a workload trace.
+type Event struct {
+	// At is the arrival time in abstract time units.
+	At float64
+	// Flow is the flow the message belongs to (1-based).
+	Flow uint32
+	// Msg is the per-flow message number (1-based).
+	Msg uint32
+	// Size is the payload size in bytes.
+	Size int
+}
+
+// Seed derives the event's encode seed from a base seed and the event's
+// position in the trace, the same splitmix64 mixing the trial runner uses —
+// whichever worker encodes this event gets the same stream.
+func (e Event) Seed(base uint64, index int) uint64 {
+	return base ^ (0x9e3779b97f4a7c15 * uint64(index+1))
+}
+
+// flowState is one flow's on/off renewal process.
+type flowState struct {
+	on     bool
+	toggle float64 // next state change
+	msgs   uint32
+}
+
+// GenerateWorkload produces the deterministic event trace described by the
+// config. The same config always yields the same trace.
+func GenerateWorkload(cfg WorkloadConfig) ([]Event, error) {
+	if cfg.Flows < 1 {
+		return nil, fmt.Errorf("sim: workload needs at least one flow")
+	}
+	if cfg.Messages < 1 {
+		return nil, fmt.Errorf("sim: workload needs at least one message")
+	}
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("sim: workload rate must be positive")
+	}
+	if len(cfg.Sizes) == 0 {
+		return nil, fmt.Errorf("sim: workload needs at least one size class")
+	}
+	var totalWeight float64
+	for _, s := range cfg.Sizes {
+		if s.Bytes < 1 || s.Weight <= 0 {
+			return nil, fmt.Errorf("sim: size class %+v needs positive bytes and weight", s)
+		}
+		totalWeight += s.Weight
+	}
+	burst := false
+	switch cfg.Arrival {
+	case "", "poisson":
+	case "mmpp":
+		if cfg.Burst < 1 || cfg.Dwell <= 0 {
+			return nil, fmt.Errorf("sim: mmpp needs burst >= 1 and positive dwell")
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown arrival process %q", cfg.Arrival)
+	}
+	churn := cfg.MeanOn > 0 && cfg.MeanOff > 0
+
+	src := rng.New(cfg.Seed)
+	expo := func(mean float64) float64 {
+		return -math.Log(1-src.Float64()) * mean
+	}
+
+	flows := make([]flowState, cfg.Flows)
+	for i := range flows {
+		flows[i].on = true
+		if churn {
+			// Start each flow in a random phase of its cycle.
+			flows[i].on = src.Float64() < cfg.MeanOn/(cfg.MeanOn+cfg.MeanOff)
+			mean := cfg.MeanOn
+			if !flows[i].on {
+				mean = cfg.MeanOff
+			}
+			flows[i].toggle = expo(mean)
+		}
+	}
+
+	events := make([]Event, 0, cfg.Messages)
+	var now, modeToggle float64
+	if cfg.Arrival == "mmpp" {
+		modeToggle = expo(cfg.Dwell)
+	}
+	active := make([]int, 0, cfg.Flows)
+	for len(events) < cfg.Messages {
+		rate := cfg.Rate
+		if burst {
+			rate *= cfg.Burst
+		}
+		now += expo(1 / rate)
+
+		// Advance the modulating chain and the flows' renewal processes past
+		// the arrival instant.
+		if cfg.Arrival == "mmpp" {
+			for modeToggle <= now {
+				burst = !burst
+				modeToggle += expo(cfg.Dwell)
+			}
+		}
+		if churn {
+			for i := range flows {
+				for flows[i].toggle <= now {
+					flows[i].on = !flows[i].on
+					mean := cfg.MeanOn
+					if !flows[i].on {
+						mean = cfg.MeanOff
+					}
+					flows[i].toggle += expo(mean)
+				}
+			}
+		}
+
+		active = active[:0]
+		for i := range flows {
+			if flows[i].on {
+				active = append(active, i)
+			}
+		}
+		var pick int
+		if len(active) > 0 {
+			pick = active[src.Intn(len(active))]
+		} else {
+			// Every flow is dormant: the arrival wakes one up, restarting
+			// its on period.
+			pick = src.Intn(cfg.Flows)
+			flows[pick].on = true
+			flows[pick].toggle = now + expo(cfg.MeanOn)
+		}
+
+		w := src.Float64() * totalWeight
+		size := cfg.Sizes[len(cfg.Sizes)-1].Bytes
+		for _, s := range cfg.Sizes {
+			if w < s.Weight {
+				size = s.Bytes
+				break
+			}
+			w -= s.Weight
+		}
+
+		flows[pick].msgs++
+		events = append(events, Event{
+			At:   now,
+			Flow: uint32(pick + 1),
+			Msg:  flows[pick].msgs,
+			Size: size,
+		})
+	}
+	return events, nil
+}

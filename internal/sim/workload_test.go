@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func churnConfig(seed uint64) WorkloadConfig {
+	return WorkloadConfig{
+		Seed:     seed,
+		Flows:    8,
+		Messages: 400,
+		Arrival:  "mmpp",
+		Rate:     1,
+		Burst:    6,
+		Dwell:    25,
+		Sizes: []SizeClass{
+			{Bytes: 16, Weight: 3},
+			{Bytes: 64, Weight: 1},
+			{Bytes: 200, Weight: 0.5},
+		},
+		MeanOn:  40,
+		MeanOff: 20,
+	}
+}
+
+// TestWorkloadDeterministic pins that a workload trace is a pure function of
+// its config: same config ⇒ identical events, different seed ⇒ a different
+// trace.
+func TestWorkloadDeterministic(t *testing.T) {
+	a, err := GenerateWorkload(churnConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWorkload(churnConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs between identical configs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := GenerateWorkload(churnConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestWorkloadShape sanity-checks the trace: time increases, flow/msg ids
+// are well formed and per-flow message numbers are dense, sizes come from
+// the mix, and the churn actually spreads load across multiple flows.
+func TestWorkloadShape(t *testing.T) {
+	cfg := churnConfig(3)
+	events, err := GenerateWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != cfg.Messages {
+		t.Fatalf("generated %d events, want %d", len(events), cfg.Messages)
+	}
+	sizes := map[int]bool{}
+	for _, s := range cfg.Sizes {
+		sizes[s.Bytes] = true
+	}
+	last := 0.0
+	nextMsg := map[uint32]uint32{}
+	flowsSeen := map[uint32]bool{}
+	for i, e := range events {
+		if e.At < last || math.IsNaN(e.At) {
+			t.Fatalf("event %d: time went backwards (%v after %v)", i, e.At, last)
+		}
+		last = e.At
+		if e.Flow < 1 || int(e.Flow) > cfg.Flows {
+			t.Fatalf("event %d: flow %d out of range", i, e.Flow)
+		}
+		if e.Msg != nextMsg[e.Flow]+1 {
+			t.Fatalf("event %d: flow %d msg %d not dense (prev %d)", i, e.Flow, e.Msg, nextMsg[e.Flow])
+		}
+		nextMsg[e.Flow] = e.Msg
+		if !sizes[e.Size] {
+			t.Fatalf("event %d: size %d not in the mix", i, e.Size)
+		}
+		flowsSeen[e.Flow] = true
+	}
+	if len(flowsSeen) < 2 {
+		t.Fatalf("only %d flows ever sent; churn is not spreading load", len(flowsSeen))
+	}
+	if events[0].Seed(99, 0) == events[0].Seed(99, 1) {
+		t.Fatal("event seeds do not depend on the index")
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	bad := []WorkloadConfig{
+		{},
+		{Flows: 1, Messages: 1, Rate: 0, Sizes: []SizeClass{{16, 1}}},
+		{Flows: 1, Messages: 1, Rate: 1},
+		{Flows: 1, Messages: 1, Rate: 1, Sizes: []SizeClass{{0, 1}}},
+		{Flows: 1, Messages: 1, Rate: 1, Sizes: []SizeClass{{16, 1}}, Arrival: "weird"},
+		{Flows: 1, Messages: 1, Rate: 1, Sizes: []SizeClass{{16, 1}}, Arrival: "mmpp"},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateWorkload(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	// Poisson without churn is the simplest valid config.
+	events, err := GenerateWorkload(WorkloadConfig{
+		Flows: 2, Messages: 10, Rate: 1, Sizes: []SizeClass{{Bytes: 16, Weight: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 10 {
+		t.Fatalf("got %d events", len(events))
+	}
+}
