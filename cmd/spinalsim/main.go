@@ -57,6 +57,7 @@ type options struct {
 	trialWorkers int
 	short        bool
 	metric       string
+	search       string
 	impair       string
 	cpuProfile   string
 	memProfile   string
@@ -91,6 +92,8 @@ func run(args []string, out io.Writer) error {
 		"run the scenario's abbreviated configuration (CI smoke); scenarios that do not declare it ignore it")
 	fs.StringVar(&opt.metric, "metric", "",
 		"decoder cost metric: float64|int32 (empty = float64); scenarios that do not declare it ignore it")
+	fs.StringVar(&opt.search, "search", "",
+		"decoder search strategy: exact|gap[:G]|lookahead[:M]|approx (empty = exact); scenarios that do not declare it ignore it")
 	fs.StringVar(&opt.impair, "impair", "",
 		"impairment-pipeline spec, e.g. \"ge(good=16,bad=3)|spike(prob=0.02)|erase(p=0.01)\" or its JSON form; scenarios that do not declare it ignore it")
 	fs.StringVar(&opt.cpuProfile, "cpuprofile", "", "write a CPU profile of the scenario run to this file")
@@ -178,6 +181,7 @@ func (o options) request() (sim.Request, error) {
 		TrialWorkers: o.trialWorkers,
 		Short:        o.short,
 		Metric:       o.metric,
+		Search:       o.search,
 		Impair:       o.impair,
 		CPUProfile:   o.cpuProfile,
 		MemProfile:   o.memProfile,

@@ -60,12 +60,16 @@ type BeamDecoder struct {
 	incremental bool
 	workers     int
 	metric      CostMetric
+	// search is the normalized approximate-search strategy (see search.go);
+	// the zero value is the exact search.
+	search SearchConfig
 	// quantTab is dimTab snapped onto the int32 metric's fixed-point grid,
 	// built lazily the first time the quantized metric is selected.
 	quantTab []int32
 
 	nodesExpanded  int
 	nodesRefreshed int
+	nodesSaved     int
 
 	// engF/engI are the per-metric search engines; engF always exists, engI
 	// is created the first time the int32 metric is selected. They share the
@@ -242,6 +246,14 @@ func (d *BeamDecoder) NodesExpanded() int { return d.nodesExpanded }
 // folded.
 func (d *BeamDecoder) NodesRefreshed() int { return d.nodesRefreshed }
 
+// NodesSaved reports the estimated number of child expansions the most
+// recent Decode call avoided through approximate search: each frontier node
+// dropped by gap pruning or lookahead narrowing would have spawned a full
+// block of children at the next level, and each node pruned by a prefix
+// commit would have kept being refreshed on later attempts. Always zero
+// under the exact search.
+func (d *BeamDecoder) NodesSaved() int { return d.nodesSaved }
+
 // DecodeResult is the outcome of one decode attempt.
 type DecodeResult struct {
 	// Message is the most likely message found, packed LSB-first.
@@ -256,6 +268,9 @@ type DecodeResult struct {
 	// NodesRefreshed is the number of cached nodes reused from the previous
 	// attempt with an in-place cost update.
 	NodesRefreshed int
+	// NodesSaved is the estimated number of child expansions avoided by
+	// approximate search (see BeamDecoder.NodesSaved); zero in exact mode.
+	NodesSaved int
 }
 
 // Decode runs the beam search against AWGN-channel observations and returns
@@ -337,6 +352,10 @@ type awgnCoster struct {
 }
 
 func (c *awgnCoster) numObs(level int) int { return len(c.obs.spines[level]) }
+
+// unitCost: path costs are squared Euclidean distances, already in the exact
+// metric's natural unit.
+func (c *awgnCoster) unitCost() float64 { return 1 }
 
 func (c *awgnCoster) prepareLevel(level int) {
 	obs := c.obs.spines[level]
@@ -470,6 +489,10 @@ type awgnQuantCoster struct {
 
 func (c *awgnQuantCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
+// unitCost: quantized squared distances count in grid² steps, so one unit of
+// exact squared Euclidean distance is costQuantScale² carrier units.
+func (c *awgnQuantCoster) unitCost() float64 { return costQuantScale * costQuantScale }
+
 func (c *awgnQuantCoster) prepareLevel(level int) {
 	obs := c.obs.spines[level]
 	n := len(obs)
@@ -589,6 +612,9 @@ type bscCoster struct {
 
 func (c *bscCoster) numObs(level int) int { return len(c.obs.spines[level]) }
 
+// unitCost: Hamming costs count bit flips directly.
+func (c *bscCoster) unitCost() float64 { return 1 }
+
 func (c *bscCoster) prepareLevel(level int) {}
 
 func (c *bscCoster) costTailMany(locals []float64, spines []uint64, level, from int) {
@@ -633,6 +659,9 @@ type bscQuantCoster struct {
 }
 
 func (c *bscQuantCoster) numObs(level int) int { return len(c.obs.spines[level]) }
+
+// unitCost: the int32 Hamming metric counts bit flips directly (no grid).
+func (c *bscQuantCoster) unitCost() float64 { return 1 }
 
 func (c *bscQuantCoster) prepareLevel(level int) {}
 

@@ -96,7 +96,7 @@ func (l *LeasedDecoder) Bits() (*BitObservations, error) {
 // to the pool: the observation containers are cleared (the epoch bump
 // forces the next Decode to rebuild from the root) and any per-lease
 // decoder tuning — incremental mode, the unobserved-level cap, the cost
-// metric — reverts to construction defaults. A caller holding one lease
+// metric, the search strategy — reverts to construction defaults. A caller holding one lease
 // across many trials (the experiment runner's per-worker reuse) therefore
 // gets bit-identical results to leasing a fresh decoder per trial.
 // Parallelism is left alone — it never changes decode results, and every
@@ -107,7 +107,8 @@ func (l *LeasedDecoder) Reset() {
 		l.bitObs.Reset()
 	}
 	l.Dec.SetIncremental(true)
-	l.Dec.SetCostMetric(CostFloat64) // cannot fail: float64 is always valid
+	l.Dec.SetCostMetric(CostFloat64)      // cannot fail: float64 is always valid
+	l.Dec.SetSearchConfig(SearchConfig{}) // cannot fail: exact is always valid
 	def := DefaultMaxCandidates(l.Dec.p, l.Dec.b)
 	if l.Dec.maxCand != def {
 		l.Dec.maxCand = def

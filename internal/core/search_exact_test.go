@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"spinal/internal/rng"
+)
+
+// This file pins the exact-search decoder to golden fingerprints recorded
+// from the decoder as it stood before the approximate-search modes landed.
+// SearchExact must remain bit-identical to that decoder — same messages, same
+// costs, same NodesExpanded/NodesRefreshed — at every worker count, for both
+// cost metrics, with incremental reuse on or off. Any engine change that
+// perturbs the exact path trips these constants.
+
+// exactPinParams is the fixed operating point the fingerprints are recorded
+// at: the Figure 2 code geometry with a shorter message so the matrix of
+// configurations stays fast.
+func exactPinParams() Params {
+	return Params{K: 8, C: 10, MessageBits: 96, Seed: DefaultSeed}
+}
+
+const (
+	exactPinTrials = 3
+	exactPinPasses = 4
+	exactPinBeam   = 16
+)
+
+// exactPinWorkers returns the worker counts the matrix sweeps: the serial
+// path, an uneven shard count, and the GOMAXPROCS default.
+func exactPinWorkers() []int {
+	return []int{1, 3, runtime.GOMAXPROCS(0)}
+}
+
+// awgnPinObservations writes the per-trial received symbols for the AWGN
+// fingerprint: a seeded message sent over seeded Gaussian noise, one decode
+// attempt per pass.
+func awgnPinStream(t *testing.T, trial int) (msg []byte, byPass [][]complex128) {
+	t.Helper()
+	p := exactPinParams()
+	msg = RandomMessage(rng.New(uint64(trial+1)*0x9e3779b9), p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := rng.New(uint64(trial+1) * 0xbb67ae85)
+	byPass = make([][]complex128, exactPinPasses)
+	for pass := range byPass {
+		row := make([]complex128, p.NumSegments())
+		for s := range row {
+			// ~10 dB: per-dimension deviation 0.22 on the unit-energy grid.
+			row[s] = enc.Symbol(s, pass) +
+				complex(0.22*noise.NormFloat64(), 0.22*noise.NormFloat64())
+		}
+		byPass[pass] = row
+	}
+	return msg, byPass
+}
+
+// bscPinStream is the binary-channel counterpart: coded bits flipped with
+// probability 0.03.
+func bscPinStream(t *testing.T, trial int) (msg []byte, byPass [][]byte) {
+	t.Helper()
+	p := exactPinParams()
+	msg = RandomMessage(rng.New(uint64(trial+1)*0x5851f42d), p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := rng.New(uint64(trial+1) * 0x14057b7e)
+	byPass = make([][]byte, exactPinPasses)
+	for pass := range byPass {
+		row := make([]byte, p.NumSegments())
+		for s := range row {
+			b := enc.CodedBit(s, pass)
+			if noise.Bernoulli(0.03) {
+				b ^= 1
+			}
+			row[s] = b
+		}
+		byPass[pass] = row
+	}
+	return msg, byPass
+}
+
+// exactFingerprints decodes the fixed trial set under one configuration and
+// returns two FNV-1a fingerprints: one over the decode results (message bytes
+// and exact cost bits — identical across worker counts AND incremental
+// on/off) and one over the work counters (NodesExpanded/NodesRefreshed —
+// identical across worker counts, different between incremental on/off).
+func exactFingerprints(t *testing.T, metric CostMetric, workers int, incremental, bits bool) (result, work uint64) {
+	t.Helper()
+	p := exactPinParams()
+	dec, err := NewBeamDecoder(p, exactPinBeam)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	if err := dec.SetCostMetric(metric); err != nil {
+		t.Fatal(err)
+	}
+	dec.SetIncremental(incremental)
+	dec.SetParallelism(workers)
+
+	hr, hw := fnv.New64a(), fnv.New64a()
+	record := func(trial, pass int, out *DecodeResult) {
+		fmt.Fprintf(hr, "%d/%d:%x:%x;", trial, pass, out.Message, math.Float64bits(out.Cost))
+		fmt.Fprintf(hw, "%d/%d:%d:%d;", trial, pass, out.NodesExpanded, out.NodesRefreshed)
+	}
+	for trial := 0; trial < exactPinTrials; trial++ {
+		if bits {
+			_, byPass := bscPinStream(t, trial)
+			obs, err := NewBitObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass, row := range byPass {
+				for s, b := range row {
+					if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, b); err != nil {
+						t.Fatal(err)
+					}
+				}
+				out, err := dec.DecodeBits(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				record(trial, pass, out)
+			}
+		} else {
+			_, byPass := awgnPinStream(t, trial)
+			obs, err := NewObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass, row := range byPass {
+				for s, y := range row {
+					if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, y); err != nil {
+						t.Fatal(err)
+					}
+				}
+				out, err := dec.Decode(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				record(trial, pass, out)
+			}
+		}
+	}
+	return hr.Sum64(), hw.Sum64()
+}
+
+// Golden fingerprints recorded from the pre-approximate-search decoder.
+// Keyed by channel kind and metric (results) plus incremental mode (work).
+var exactPinResultGolden = map[string]uint64{
+	"awgn/float64": 0x1268fe4ab3350bfd,
+	"awgn/int32":   0x5909429cf57ce3a4,
+	// The Hamming metric is integer-exact in both carriers, so the BSC
+	// fingerprints coincide across metrics.
+	"bsc/float64": 0x4ecfefbb8904a834,
+	"bsc/int32":   0x4ecfefbb8904a834,
+}
+
+var exactPinWorkGolden = map[string]uint64{
+	// Node counts are structural (frontier sizes), so they coincide across
+	// metrics, and every from-scratch run expands the same tree shape.
+	"awgn/float64/inc":     0x288650d93a80269c,
+	"awgn/float64/scratch": 0x9e2c2d02c5e24b85,
+	"awgn/int32/inc":       0x288650d93a80269c,
+	"awgn/int32/scratch":   0x9e2c2d02c5e24b85,
+	"bsc/float64/inc":      0x84105db0776089b8,
+	"bsc/float64/scratch":  0x9e2c2d02c5e24b85,
+	"bsc/int32/inc":        0x84105db0776089b8,
+	"bsc/int32/scratch":    0x9e2c2d02c5e24b85,
+}
+
+// TestExactSearchPinnedToPreApproxDecoder is the satellite-3 pin: exact-mode
+// decodes across workers {1,3,GOMAXPROCS} × metric {float64,int32} ×
+// incremental {on,off} × channel {AWGN,BSC} must reproduce the golden
+// fingerprints recorded before the approximate-search engine changes.
+func TestExactSearchPinnedToPreApproxDecoder(t *testing.T) {
+	for _, bits := range []bool{false, true} {
+		kind := "awgn"
+		if bits {
+			kind = "bsc"
+		}
+		for _, metric := range []CostMetric{CostFloat64, CostInt32} {
+			for _, incremental := range []bool{true, false} {
+				mode := "inc"
+				if !incremental {
+					mode = "scratch"
+				}
+				for _, workers := range exactPinWorkers() {
+					result, work := exactFingerprints(t, metric, workers, incremental, bits)
+					rKey := fmt.Sprintf("%s/%s", kind, metric)
+					wKey := fmt.Sprintf("%s/%s/%s", kind, metric, mode)
+					if want := exactPinResultGolden[rKey]; result != want {
+						t.Errorf("result fingerprint %s (workers=%d inc=%v) = %#016x, want %#016x",
+							rKey, workers, incremental, result, want)
+					}
+					if want := exactPinWorkGolden[wKey]; work != want {
+						t.Errorf("work fingerprint %s (workers=%d) = %#016x, want %#016x",
+							wKey, workers, work, want)
+					}
+				}
+			}
+		}
+	}
+}

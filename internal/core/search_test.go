@@ -1,0 +1,415 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"spinal/internal/rng"
+)
+
+// approxTestModes returns the non-exact search configs the tests sweep, in
+// increasing aggressiveness.
+func approxTestModes() []SearchConfig {
+	return []SearchConfig{
+		{Mode: SearchGap},
+		{Mode: SearchLookahead},
+		{Mode: SearchApprox},
+	}
+}
+
+// TestParseSearchConfig checks the CLI spellings, their round-trip through
+// String, and the rejection of malformed inputs.
+func TestParseSearchConfig(t *testing.T) {
+	good := []struct {
+		in   string
+		want SearchConfig
+	}{
+		{"", SearchConfig{}},
+		{"exact", SearchConfig{}},
+		{"gap", SearchConfig{Mode: SearchGap}},
+		{"gap:2.5", SearchConfig{Mode: SearchGap, CostGap: 2.5, PerLevel: true}},
+		{"lookahead", SearchConfig{Mode: SearchLookahead}},
+		{"lookahead:6", SearchConfig{Mode: SearchLookahead, ExpandTop: 6}},
+		{"approx", SearchConfig{Mode: SearchApprox}},
+	}
+	for _, tc := range good {
+		got, err := ParseSearchConfig(tc.in)
+		if err != nil {
+			t.Errorf("ParseSearchConfig(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSearchConfig(%q) = %+v, want %+v", tc.in, got, tc.want)
+			continue
+		}
+		if tc.in == "" {
+			continue
+		}
+		back, err := ParseSearchConfig(got.String())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q through %q: %+v, %v", tc.in, got.String(), back, err)
+		}
+	}
+	for _, bad := range []string{"fuzzy", "gap:", "gap:-1", "gap:x", "lookahead:0", "lookahead:q", "approx:3", "exact:1"} {
+		if _, err := ParseSearchConfig(bad); err == nil {
+			t.Errorf("ParseSearchConfig(%q) unexpectedly succeeded", bad)
+		}
+	}
+}
+
+// TestSetSearchConfigNormalizes checks that installed configs resolve their
+// zero refinements against the beam width and that exact resets cleanly.
+func TestSetSearchConfigNormalizes(t *testing.T) {
+	dec, err := NewBeamDecoder(exactPinParams(), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dec.Close()
+	if err := dec.SetSearchConfig(SearchConfig{Mode: SearchApprox}); err != nil {
+		t.Fatal(err)
+	}
+	got := dec.SearchConfig()
+	if got.ExpandTop != 8 || got.CostGap != DefaultCostGap || !got.PerLevel || got.CommitLevels != DefaultCommitLevels {
+		t.Fatalf("normalized approx config = %+v", got)
+	}
+	if err := dec.SetSearchConfig(SearchConfig{Mode: SearchLookahead, ExpandTop: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.SearchConfig(); got.ExpandTop != 16 {
+		t.Fatalf("ExpandTop not clamped to the beam width: %+v", got)
+	}
+	if err := dec.SetSearchConfig(SearchConfig{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := dec.SearchConfig(); got != (SearchConfig{}) {
+		t.Fatalf("exact did not normalize to the zero config: %+v", got)
+	}
+	if err := dec.SetSearchConfig(SearchConfig{Mode: SearchMode(9)}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+	if err := dec.SetSearchConfig(SearchConfig{Mode: SearchGap, CostGap: -2}); err == nil {
+		t.Fatal("negative gap accepted")
+	}
+}
+
+// TestApproxModesRoundTripNoiseless checks the fundamental contract under
+// every approximate mode: two noiseless passes still decode exactly. The
+// true path has zero cost at every level, so no gap can prune it and no
+// lookahead ranking can demote it.
+func TestApproxModesRoundTripNoiseless(t *testing.T) {
+	p := exactPinParams()
+	for _, mode := range approxTestModes() {
+		for _, metric := range []CostMetric{CostFloat64, CostInt32} {
+			msg, _ := awgnPinStream(t, 0)
+			enc, err := NewEncoder(p, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := NewBeamDecoder(p, exactPinBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.SetCostMetric(metric); err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.SetSearchConfig(mode); err != nil {
+				t.Fatal(err)
+			}
+			obs, err := NewObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ {
+				for s := 0; s < p.NumSegments(); s++ {
+					if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, enc.Symbol(s, pass)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				out, err := dec.Decode(obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if pass == 1 && !EqualMessages(out.Message, msg, p.MessageBits) {
+					t.Errorf("mode %v metric %v: noiseless round trip failed", mode, metric)
+				}
+			}
+			dec.Close()
+		}
+	}
+}
+
+// TestApproxDeterministicAcrossWorkers checks that approximate decodes, like
+// exact ones, are bit-identical at every worker count: all narrowing happens
+// in the single-threaded post-selection section.
+func TestApproxDeterministicAcrossWorkers(t *testing.T) {
+	p := exactPinParams()
+	for _, mode := range approxTestModes() {
+		var ref []string
+		for _, workers := range exactPinWorkers() {
+			dec, err := NewBeamDecoder(p, exactPinBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.SetSearchConfig(mode); err != nil {
+				t.Fatal(err)
+			}
+			dec.SetParallelism(workers)
+			var got []string
+			for trial := 0; trial < 2; trial++ {
+				_, byPass := awgnPinStream(t, trial)
+				obs, err := NewObservations(p.NumSegments())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pass, row := range byPass {
+					for s, y := range row {
+						if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, y); err != nil {
+							t.Fatal(err)
+						}
+					}
+					out, err := dec.Decode(obs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got = append(got, fmt.Sprintf("%x/%v/%d/%d/%d",
+						out.Message, out.Cost, out.NodesExpanded, out.NodesRefreshed, out.NodesSaved))
+				}
+			}
+			dec.Close()
+			if ref == nil {
+				ref = got
+				continue
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("mode %v: workers=%d diverged at attempt %d:\n%s\nvs\n%s",
+						mode, workers, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestApproxIncrementalMatchesScratchWithoutCommit checks that with prefix
+// commit disabled, the gap/lookahead narrowing composes with incremental
+// reuse exactly: resumed attempts produce the same messages and costs as
+// from-scratch ones. (With commit enabled they may differ — freezing the
+// prefix against revision IS the approximation commit makes.)
+func TestApproxIncrementalMatchesScratchWithoutCommit(t *testing.T) {
+	p := exactPinParams()
+	for _, mode := range approxTestModes() {
+		mode.CommitLevels = -1
+		var fps [2][]string
+		for vi, incremental := range []bool{true, false} {
+			dec, err := NewBeamDecoder(p, exactPinBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := dec.SetSearchConfig(mode); err != nil {
+				t.Fatal(err)
+			}
+			dec.SetIncremental(incremental)
+			dec.SetParallelism(1)
+			for trial := 0; trial < 2; trial++ {
+				_, byPass := awgnPinStream(t, trial)
+				obs, err := NewObservations(p.NumSegments())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for pass, row := range byPass {
+					for s, y := range row {
+						if err := obs.Add(SymbolPos{Spine: s, Pass: pass}, y); err != nil {
+							t.Fatal(err)
+						}
+					}
+					out, err := dec.Decode(obs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					fps[vi] = append(fps[vi], fmt.Sprintf("%x/%v", out.Message, out.Cost))
+				}
+			}
+			dec.Close()
+		}
+		for i := range fps[0] {
+			if fps[0][i] != fps[1][i] {
+				t.Fatalf("mode %v (commit off): incremental diverged from scratch at attempt %d: %s vs %s",
+					mode, i, fps[0][i], fps[1][i])
+			}
+		}
+	}
+}
+
+// approxSessionStream extends the AWGN pin stream to a longer pass budget so
+// session-level tests have headroom: an approximation that costs one extra
+// pass still completes instead of failing outright.
+func approxSessionStream(t *testing.T, trial, passes int) (msg []byte, flat []complex128) {
+	t.Helper()
+	p := exactPinParams()
+	msg = RandomMessage(rng.New(uint64(trial+1)*0x9e3779b9), p.MessageBits)
+	enc, err := NewEncoder(p, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := rng.New(uint64(trial+1) * 0xbb67ae85)
+	for pass := 0; pass < passes; pass++ {
+		for s := 0; s < p.NumSegments(); s++ {
+			flat = append(flat, enc.Symbol(s, pass)+
+				complex(0.22*noise.NormFloat64(), 0.22*noise.NormFloat64()))
+		}
+	}
+	return msg, flat
+}
+
+// runApproxSession runs one fixed-seed session under a search config; the
+// session-level search tests compare its transcript across configs.
+func runApproxSession(t *testing.T, trial, passes int, search SearchConfig) *Result {
+	t.Helper()
+	p := exactPinParams()
+	msg, flat := approxSessionStream(t, trial, passes)
+	cfg := SessionConfig{
+		Params: p, BeamWidth: exactPinBeam, Parallelism: 1,
+		MaxSymbols: len(flat), Search: search,
+		Attempts: AttemptEveryPass{},
+	}
+	i := 0
+	res, err := RunSymbolSession(cfg, msg, func(complex128) complex128 {
+		y := flat[i]
+		i++
+		return y
+	}, GenieVerifier(msg, p.MessageBits))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestApproxSavesNodes checks the point of the whole exercise: on a noisy
+// multi-pass session, every approximate mode expands fewer nodes than the
+// exact search while still delivering the message, and reports non-zero
+// NodesSaved.
+func TestApproxSavesNodes(t *testing.T) {
+	run := func(search SearchConfig) *Result { return runApproxSession(t, 1, 8, search) }
+	exact := run(SearchConfig{})
+	if !exact.Success {
+		t.Fatal("exact session failed; pick a better operating point")
+	}
+	for _, mode := range approxTestModes() {
+		res := run(mode)
+		if !res.Success {
+			t.Errorf("mode %v: session failed", mode)
+			continue
+		}
+		if res.NodesExpanded >= exact.NodesExpanded {
+			t.Errorf("mode %v: expanded %d nodes, exact %d — no savings",
+				mode, res.NodesExpanded, exact.NodesExpanded)
+		}
+		if res.NodesSaved == 0 {
+			t.Errorf("mode %v: NodesSaved = 0", mode)
+		}
+	}
+}
+
+// TestCostGapMonotonicity pins the empirical monotonicity of the gap knob on
+// a fixed seed set: widening the gap only ever adds surviving candidates, so
+// the delivered rate must not drop as the gap grows. (Not a theorem — a
+// wider beam can in principle steal a downstream slot — but deterministic on
+// these seeds, so pinned as a regression guard.)
+func TestCostGapMonotonicity(t *testing.T) {
+	p := exactPinParams()
+	gaps := []float64{1, 2, 3, 4, 6, 8}
+	const trials = 6
+	rate := func(gap float64) float64 {
+		t.Helper()
+		var sum float64
+		for trial := 0; trial < trials; trial++ {
+			res := runApproxSession(t, trial, 8,
+				SearchConfig{Mode: SearchGap, CostGap: gap, PerLevel: true})
+			sum += res.Rate(p.MessageBits)
+		}
+		return sum
+	}
+	prev := -1.0
+	for _, g := range gaps {
+		r := rate(g)
+		if r < prev-1e-9 {
+			t.Fatalf("aggregate rate dropped when widening gap to %g: %v -> %v", g, prev, r)
+		}
+		prev = r
+	}
+}
+
+// TestLeasedDecoderMatchesFreshAcrossMetricAndSearch is the satellite pool
+// property: a pooled decoder that previously ran under any (metric, search)
+// tuning must, after Release and re-Lease, decode exactly like a freshly
+// constructed decoder under every (metric, search) combination.
+func TestLeasedDecoderMatchesFreshAcrossMetricAndSearch(t *testing.T) {
+	p := exactPinParams()
+	pool := NewDecoderPool(2)
+	searches := append([]SearchConfig{{}}, approxTestModes()...)
+	for _, metric := range []CostMetric{CostFloat64, CostInt32} {
+		for _, search := range searches {
+			lease, err := pool.Lease(p, exactPinBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := lease.Dec.SearchConfig(); got != (SearchConfig{}) {
+				t.Fatalf("leased decoder came back with search config %+v", got)
+			}
+			if got := lease.Dec.CostMetric(); got != CostFloat64 {
+				t.Fatalf("leased decoder came back with metric %v", got)
+			}
+			if err := lease.Dec.SetCostMetric(metric); err != nil {
+				t.Fatal(err)
+			}
+			if err := lease.Dec.SetSearchConfig(search); err != nil {
+				t.Fatal(err)
+			}
+			lease.Dec.SetParallelism(1)
+
+			fresh, err := NewBeamDecoder(p, exactPinBeam)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.SetCostMetric(metric); err != nil {
+				t.Fatal(err)
+			}
+			if err := fresh.SetSearchConfig(search); err != nil {
+				t.Fatal(err)
+			}
+			fresh.SetParallelism(1)
+			freshObs, err := NewObservations(p.NumSegments())
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			_, byPass := awgnPinStream(t, 2)
+			for pass, row := range byPass {
+				for s, y := range row {
+					if err := lease.Obs.Add(SymbolPos{Spine: s, Pass: pass}, y); err != nil {
+						t.Fatal(err)
+					}
+					if err := freshObs.Add(SymbolPos{Spine: s, Pass: pass}, y); err != nil {
+						t.Fatal(err)
+					}
+				}
+				got, err := lease.Dec.Decode(lease.Obs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Decode(freshObs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Cost != want.Cost || got.NodesExpanded != want.NodesExpanded ||
+					got.NodesRefreshed != want.NodesRefreshed || got.NodesSaved != want.NodesSaved ||
+					!EqualMessages(got.Message, want.Message, p.MessageBits) {
+					t.Fatalf("metric %v search %v pass %d: leased diverged from fresh: %+v vs %+v",
+						metric, search, pass, got, want)
+				}
+			}
+			fresh.Close()
+			lease.Release()
+		}
+	}
+}

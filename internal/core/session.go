@@ -163,6 +163,10 @@ type SessionConfig struct {
 	// CostMetric selects the decoder's cost arithmetic: the exact CostFloat64
 	// default, or the quantized CostInt32 metric (see BeamDecoder.SetCostMetric).
 	CostMetric CostMetric
+	// Search selects the decoder's tree-search strategy: the exact beam
+	// search (the zero value) or an approximate mode (see
+	// BeamDecoder.SetSearchConfig).
+	Search SearchConfig
 	// Pool, when non-nil, supplies the session's decoder and observation
 	// containers as a DecoderPool lease (released when the session returns)
 	// instead of constructing them, so callers running many sessions — the
@@ -215,6 +219,9 @@ type Result struct {
 	// attempts with an in-place cost update — the work the incremental
 	// decoder did instead of re-expanding.
 	NodesRefreshed int64
+	// NodesSaved is the total estimated child expansions avoided by
+	// approximate search across all attempts; zero under exact search.
+	NodesSaved int64
 }
 
 // Rate returns the achieved rate in message bits per channel use, or zero if
@@ -343,6 +350,10 @@ func sessionDecoder(cfg SessionConfig) (dec *BeamDecoder, lease *LeasedDecoder, 
 		release()
 		return nil, nil, nil, err
 	}
+	if err := dec.SetSearchConfig(cfg.Search); err != nil {
+		release()
+		return nil, nil, nil, err
+	}
 	dec.SetIncremental(!cfg.DisableIncremental)
 	dec.SetParallelism(cfg.Parallelism) // <= 0 selects the GOMAXPROCS default
 	return dec, lease, release, nil
@@ -416,6 +427,7 @@ func RunChannelSession(cfg SessionConfig, message []byte, ch BlockChannel, verif
 		res.Attempts++
 		res.NodesExpanded += int64(out.NodesExpanded)
 		res.NodesRefreshed += int64(out.NodesRefreshed)
+		res.NodesSaved += int64(out.NodesSaved)
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true
@@ -504,6 +516,7 @@ func RunBitChannelSession(cfg SessionConfig, message []byte, ch BlockBitChannel,
 		res.Attempts++
 		res.NodesExpanded += int64(out.NodesExpanded)
 		res.NodesRefreshed += int64(out.NodesRefreshed)
+		res.NodesSaved += int64(out.NodesSaved)
 		res.Decoded = out.Message
 		if verify(out.Message) {
 			res.Success = true

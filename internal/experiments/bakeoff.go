@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"spinal/internal/conv"
+	"spinal/internal/crc"
+	"spinal/internal/fountain"
 	"spinal/internal/harq"
 	"spinal/internal/impair"
 	"spinal/internal/ldpc"
@@ -132,7 +134,7 @@ func Bakeoff(cfg BakeoffConfig) ([]BakeoffPoint, error) {
 		})
 
 		// The baselines face pipelines built from the same per-trial seeds.
-		for _, scheme := range []string{"ldpc", "conv", "harq"} {
+		for _, scheme := range []string{"ldpc", "conv", "harq", "fountain"} {
 			trials, err := bakeoffBaseline(scheme, spec, base, cfg.Trials, cfg.TrialWorkers)
 			if err != nil {
 				return nil, err
@@ -301,6 +303,101 @@ func bakeoffBaseline(scheme string, spec *impair.Spec, base uint64, trials, tria
 				bits = sch.InfoBits()
 			}
 			return frameTrial{bits: bits, symbols: res.Symbols, ok: res.Delivered}, nil
+		})
+	case "fountain":
+		// Rateless at the packet level rather than the symbol level: LT
+		// symbols stream until the peeling decoder completes, but each
+		// symbol is an all-or-nothing CRC-guarded packet — a corrupted
+		// packet contributes nothing, where spinal's decoder still extracts
+		// information from every noisy symbol.
+		const (
+			ltBlocks    = 16
+			ltBlockSize = 8
+			maxOverhead = 5 // cap transmissions at maxOverhead * ltBlocks symbols
+		)
+		mod, err := modem.ByName("QAM-4")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := fountain.NewLT(ltBlocks, ltBlockSize, base); err != nil {
+			return nil, err
+		}
+		// data + CRC32 trailer, bits-as-bytes, QAM-4 channel symbols per packet.
+		packetBytes := ltBlockSize + 4
+		packetSymbols := packetBytes * 8 / mod.BitsPerSymbol()
+		return sim.Run(runner, trials, func(w *sim.Worker, trial int) (frameTrial, error) {
+			ltAny, err := w.Stash("bakeoff-fountain", func() (any, error) {
+				return fountain.NewLT(ltBlocks, ltBlockSize, base)
+			})
+			if err != nil {
+				return frameTrial{}, err
+			}
+			lt := ltAny.(*fountain.LT)
+			pl, err := spec.Build(pipelineSeed(base, uint64(trial)))
+			if err != nil {
+				return frameTrial{}, err
+			}
+			src := rng.New(base ^ (0x9e3779b97f4a7c15 * uint64(trial+1)))
+			source := make([][]byte, ltBlocks)
+			for i := range source {
+				source[i] = make([]byte, ltBlockSize)
+				for j := range source[i] {
+					source[i][j] = byte(src.Intn(256))
+				}
+			}
+			dec := fountain.NewDecoder(lt)
+			sent := 0
+			bits := make([]byte, packetBytes*8)
+			packed := make([]byte, packetBytes)
+			for id := uint32(0); !dec.Done() && sent < maxOverhead*ltBlocks; id++ {
+				payload, err := lt.EncodeSymbol(id, source)
+				if err != nil {
+					return frameTrial{}, err
+				}
+				pkt := crc.Append32(payload)
+				for i, b := range pkt {
+					for j := 0; j < 8; j++ {
+						bits[i*8+j] = (b >> uint(7-j)) & 1
+					}
+				}
+				syms, err := mod.Modulate(bits)
+				if err != nil {
+					return frameTrial{}, err
+				}
+				sigma2 := staleVariance(pl)
+				pl.CorruptBlock(syms, syms)
+				llr := mod.Demodulate(syms, sigma2)
+				for i := range packed {
+					packed[i] = 0
+					for j := 0; j < 8; j++ {
+						// Positive LLR favours bit 0.
+						if llr[i*8+j] <= 0 {
+							packed[i] |= 1 << uint(7-j)
+						}
+					}
+				}
+				sent++
+				if data, ok := crc.Verify32(packed); ok {
+					if err := dec.AddSymbol(id, data); err != nil {
+						return frameTrial{}, err
+					}
+				}
+			}
+			ok := dec.Done()
+			if ok {
+				for i, blk := range dec.Source() {
+					for j := range blk {
+						if blk[j] != source[i][j] {
+							ok = false
+						}
+					}
+				}
+			}
+			infoBits := 0
+			if ok {
+				infoBits = ltBlocks * ltBlockSize * 8
+			}
+			return frameTrial{bits: infoBits, symbols: sent * packetSymbols, ok: ok}, nil
 		})
 	default:
 		return nil, fmt.Errorf("experiments: unknown bakeoff scheme %q", scheme)

@@ -19,15 +19,15 @@ import (
 
 // Flag-name groups shared by the scenario declarations.
 var (
-	codeFlags  = []string{"trials", "beam", "k", "c", "m", "adc", "seed", "mapper", "schedule", "workers", "trial-workers", "metric"}
+	codeFlags  = []string{"trials", "beam", "k", "c", "m", "adc", "seed", "mapper", "schedule", "workers", "trial-workers", "metric", "search"}
 	sweepFlags = append([]string{"snr-min", "snr-max", "snr-step"}, codeFlags...)
 	pointFlags = append([]string{"snr"}, codeFlags...)
 )
 
 // spinalConfigFrom maps the generic request knobs onto a SpinalConfig,
 // mirroring the historical spinalsim flag handling: zero-valued knobs keep
-// the Figure 2 defaults. The only error source is an unknown -metric
-// spelling.
+// the Figure 2 defaults. The only error sources are unknown -metric or
+// -search spellings.
 func spinalConfigFrom(req sim.Request) (SpinalConfig, error) {
 	cfg := Figure2Config()
 	if req.Trials > 0 {
@@ -64,6 +64,11 @@ func spinalConfigFrom(req sim.Request) (SpinalConfig, error) {
 		return cfg, err
 	}
 	cfg.Metric = metric
+	search, err := core.ParseSearchConfig(req.Search)
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Search = search
 	return cfg, nil
 }
 
@@ -507,6 +512,81 @@ func init() {
 		},
 	})
 	sim.Register(sim.Scenario{
+		Name:        "frontier",
+		Description: "approximate-search frontier: rate vs nodes expanded for exact/gap/lookahead/approx on identical seeds",
+		Flags:       append([]string{"snr-min", "snr-max", "snr-step", "short"}, codeFlags...),
+		Schema:      FrontierColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			if req.Beam == 0 || req.Beam == 16 {
+				// The -beam default; approximate narrowing needs beam headroom
+				// to show its work savings, so this experiment runs B=32
+				// unless -beam selects something else.
+				cfg.BeamWidth = 32
+			}
+			if req.MessageBits == 0 || req.MessageBits == 24 {
+				// Likewise the -m default: longer messages give the search
+				// tree enough levels for pruning and prefix commit to matter.
+				cfg.MessageBits = 96
+			}
+			cfg.MaxPasses = 150
+			cfg.Trials = capTrials(req.Trials, 20)
+			if req.Short {
+				cfg.Trials = capTrials(req.Trials, 4)
+			}
+			pts, err := FrontierComparison(cfg, snrsFrom(req))
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("frontier")
+			res.Notef("approximate-search frontier: every mode decodes the same per-trial symbol streams (-search is ignored; all modes run)")
+			res.Notef("gate: at the default operating point an approximate mode reaches >=95%% of the exact rate at <=40%% of the exact nodes")
+			res.Notef("effective config: B=%d, m=%d, %d trials, %d passes max (this experiment defaults B to 32 and m to 96; -beam/-m override)",
+				cfg.BeamWidth, cfg.MessageBits, cfg.Trials, cfg.MaxPasses)
+			res.Add(FormatFrontier(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
+		Name:        "saturate",
+		Description: "load-adaptive search under saturation: many flows, scarce decode workers, adaptive vs all-exact goodput",
+		Flags:       append([]string{"snr", "short"}, codeFlags...),
+		Schema:      SaturateColumns(),
+		Run: func(req sim.Request) (*sim.Result, error) {
+			cfg, err := spinalConfigFrom(req)
+			if err != nil {
+				return nil, err
+			}
+			if req.K == 0 || req.K == 8 {
+				// The -k default; many concurrent decodes make k=8 slow, so
+				// this experiment runs k=4 unless -k selects something else.
+				cfg.K = 4
+			}
+			flows, msgs := 16, 4
+			if req.Trials > 0 && req.Trials < 100 {
+				msgs = req.Trials // let -trials scale messages per flow
+			}
+			if req.Short {
+				flows, msgs = 6, 2
+			}
+			const budget = 4000
+			pts, err := SaturateComparison(cfg, req.SNR, flows, msgs, budget)
+			if err != nil {
+				return nil, err
+			}
+			res := sim.NewResult("saturate")
+			res.Notef("saturated receiver at %.1f dB: %d flows x %d messages on %d decode workers, per-flow decode budget %d nodes",
+				req.SNR, flows, msgs, saturateDecodeWorkers, budget)
+			res.Notef("gate: adaptive goodput should beat all-exact with Jain fairness within 5%% (wall-clock dependent; CRC keeps approximate decodes safe)")
+			res.Notef("effective config: k=%d (this experiment defaults k to 4; pass -k to override)", cfg.K)
+			res.Add(FormatSaturate(pts))
+			return res, nil
+		},
+	})
+	sim.Register(sim.Scenario{
 		Name:        "wiresoak",
 		Description: "zero-copy wire path soak: steady-state frames/s, allocs/frame and ack round-trip p99, batched vs unbatched",
 		Flags:       []string{"trials", "frames", "seed"},
@@ -638,7 +718,7 @@ func init() {
 	})
 	sim.Register(sim.Scenario{
 		Name:        "bakeoff",
-		Description: "spinal vs LDPC/conv/HARQ over stacked impairment profiles on identical per-trial seeds (-impair adds a custom profile)",
+		Description: "spinal vs LDPC/conv/HARQ/LT-fountain over stacked impairment profiles on identical per-trial seeds (-impair adds a custom profile)",
 		Flags:       append([]string{"impair", "short"}, codeFlags...),
 		Schema:      BakeoffColumns(),
 		Run: func(req sim.Request) (*sim.Result, error) {

@@ -13,7 +13,7 @@ var registryNames = []string{
 	"figure2", "spinal", "bounds", "ldpc", "conv", "bsc", "beam", "puncture",
 	"adc", "mapper", "theorem1", "fountain", "harq", "adapt", "fixedrate",
 	"incremental", "parallel", "multiflow", "batch", "quantcost",
-	"impairsweep", "churnload", "bakeoff",
+	"impairsweep", "churnload", "bakeoff", "frontier", "saturate",
 }
 
 // smokeRequest is the minimal-trials request the registry-wide tests run

@@ -54,6 +54,10 @@ type SpinalConfig struct {
 	// default, or core.CostInt32 — the fixed-point metric whose rate
 	// tariff the quantcost scenario measures).
 	Metric core.CostMetric
+	// Search is the decoder's tree-search strategy (the zero value is the
+	// exact beam search; see core.SearchConfig). The frontier scenario
+	// measures the rate/work trade of the approximate modes.
+	Search core.SearchConfig
 	// Pool optionally shares a decoder pool across calls (e.g. across the
 	// points of a sweep); nil lets each call pool privately.
 	Pool *core.DecoderPool
@@ -201,10 +205,13 @@ func SpinalRateAtSNR(cfg SpinalConfig, snrDB float64) (RatePoint, error) {
 		if err != nil {
 			return genieTrial{}, err
 		}
-		// Validate the metric against the mapper once up front;
-		// runGenieTrial re-applies it after every lease.Reset (which
-		// reverts per-lease tuning to the float64 default).
+		// Validate the metric and search strategy against the decoder once
+		// up front; runGenieTrial re-applies both after every lease.Reset
+		// (which reverts per-lease tuning to the exact defaults).
 		if err := lease.Dec.SetCostMetric(cfg.Metric); err != nil {
+			return genieTrial{}, err
+		}
+		if err := lease.Dec.SetSearchConfig(cfg.Search); err != nil {
 			return genieTrial{}, err
 		}
 		// Trials already fan out across the runner's workers, so the
@@ -291,10 +298,14 @@ func runGenieTrialOver(cfg SpinalConfig, params core.Params, sched core.Schedule
 	decodes := func(prefix int) bool {
 		// Reset clears the leased container and bumps its epoch, so every
 		// prefix decodes from the root exactly as a fresh container would.
-		// It also reverts the cost metric, so a non-default one is
-		// re-applied (the caller already validated it against the mapper).
+		// It also reverts the cost metric and search strategy, so
+		// non-default ones are re-applied (the caller already validated
+		// them against the decoder).
 		lease.Reset()
 		if lease.Dec.SetCostMetric(cfg.Metric) != nil {
+			return false
+		}
+		if lease.Dec.SetSearchConfig(cfg.Search) != nil {
 			return false
 		}
 		if lease.Obs.AddBatch(positions[:prefix], received[:prefix]) != nil {
@@ -655,6 +666,7 @@ func SpinalBSCCurve(cfg SpinalConfig, crossovers []float64) ([]BSCPoint, error) 
 				Attempts:    core.AttemptEveryPass{},
 				MaxSymbols:  cfg.MaxPasses * params.NumSegments(),
 				Parallelism: trialParallelism(cfg),
+				Search:      cfg.Search,
 				Pool:        w.Pool(),
 			}
 			res, err := core.RunBitChannelSession(sessionCfg, msg, bsc, core.GenieVerifier(msg, cfg.MessageBits))

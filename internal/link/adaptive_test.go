@@ -1,0 +1,86 @@
+package link
+
+import (
+	"testing"
+
+	"spinal/internal/core"
+)
+
+// TestAdaptiveSearchPressureLadder drives the budget scheduler's pressure
+// ladder directly: a flow skipped over for being over budget accrues
+// pressure and climbs from the base strategy through gap and lookahead to
+// the stacked approx mode; executed picks decay the pressure back down so
+// relieved flows relax to the base strategy.
+func TestAdaptiveSearchPressureLadder(t *testing.T) {
+	e := &flowEngine{
+		budget:   100,
+		adaptive: true,
+		spent:    map[uint32]int64{},
+		flowQ:    map[uint32]*flowQueue{},
+		pressure: map[uint32]uint64{},
+	}
+	mk := func(id uint32) *flowQueue {
+		fq := &flowQueue{id: id, msgs: []*msgState{{flow: id}}, inRing: true}
+		e.flowQ[id] = fq
+		e.ring = append(e.ring, fq)
+		return fq
+	}
+	hog := mk(1)
+	mk(2)
+	e.spent[1] = 500 // over budget relative to flow 2
+	e.spent[2] = 10
+
+	if sc := e.searchFor(hog.id); sc.Mode != core.SearchExact {
+		t.Fatalf("unpressured flow got mode %v, want the exact base", sc.Mode)
+	}
+	// Each pick skips the hog once (one unit of pressure) and executes
+	// flow 2. Re-arm flow 2 after every pick so the ring keeps both flows.
+	pump := func() {
+		fq := e.pickLocked()
+		if fq == nil || fq.id != 2 {
+			t.Fatalf("picked %+v, want flow 2 while the hog is over budget", fq)
+		}
+		fq.inRing = true
+		e.ring = append(e.ring, fq)
+	}
+	pump()
+	if sc := e.searchFor(hog.id); sc.Mode != core.SearchGap {
+		t.Fatalf("pressure 1 got mode %v, want gap", sc.Mode)
+	}
+	for e.pressure[hog.id] < 4 {
+		pump()
+	}
+	if sc := e.searchFor(hog.id); sc.Mode != core.SearchLookahead {
+		t.Fatalf("pressure %d got mode %v, want lookahead", e.pressure[hog.id], sc.Mode)
+	}
+	for e.pressure[hog.id] < 8 {
+		pump()
+	}
+	if sc := e.searchFor(hog.id); sc.Mode != core.SearchApprox {
+		t.Fatalf("pressure %d got mode %v, want approx", e.pressure[hog.id], sc.Mode)
+	}
+
+	// Relieve the hog: once it is schedulable again, each executed pick
+	// halves its pressure until it relaxes to the base strategy.
+	e.spent[1] = 0
+	for i := 0; i < 10 && e.pressure[hog.id] > 0; i++ {
+		fq := e.pickLocked()
+		fq.inRing = true
+		e.ring = append(e.ring, fq)
+	}
+	if sc := e.searchFor(hog.id); sc.Mode != core.SearchExact {
+		t.Fatalf("drained flow got mode %v, want the exact base back", sc.Mode)
+	}
+
+	// The attempt counters and saved-node estimate surface via searchStats.
+	e.noteSearch(core.SearchGap, 1000)
+	e.noteSearch(core.SearchGap, 500)
+	e.noteSearch(core.SearchApprox, 2000)
+	attempts, saved := e.searchStats()
+	if attempts["gap"] != 2 || attempts["approx"] != 1 || attempts["exact"] != 0 {
+		t.Fatalf("searchStats attempts = %v, want gap=2 approx=1", attempts)
+	}
+	if saved != 3500 {
+		t.Fatalf("searchStats saved = %d, want 3500", saved)
+	}
+}

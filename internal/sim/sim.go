@@ -63,6 +63,11 @@ type Request struct {
 	// or "int32" (core.ParseCostMetric spellings). Scenarios that declare
 	// the flag pass it to their decoders; the rest ignore it.
 	Metric string
+	// Search names the decoder search strategy (-search): "exact"
+	// (default), "gap[:G]", "lookahead[:M]" or "approx"
+	// (core.ParseSearchConfig spellings). Scenarios that declare the flag
+	// pass it to their decoders; the rest ignore it.
+	Search string
 	// Impair is an impairment-pipeline spec (-impair) in the
 	// internal/impair syntax: stages joined by '|', e.g.
 	// "ge(good=16,bad=3)|spike(prob=0.02,db=-3)", or the JSON form.

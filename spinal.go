@@ -83,6 +83,13 @@ type Config struct {
 	// ship — for a small, measured rate tariff (see the `quantcost`
 	// scenario). Requires one of the built-in (table-backed) mappers.
 	CostMetric CostMetric
+	// Search selects the decoder's tree-search strategy: the exact beam
+	// search (the zero value, bit-identical to the decoder before
+	// approximate modes existed) or one of the approximate modes — gap
+	// pruning, lookahead narrowing, or both stacked — which trade a small,
+	// measured rate tariff for a large cut in expanded tree nodes (see the
+	// `frontier` scenario). Parse CLI spellings with ParseSearchConfig.
+	Search SearchConfig
 }
 
 // CostMetric selects the decoder's cost arithmetic; see Config.CostMetric.
@@ -98,6 +105,31 @@ const (
 // ParseCostMetric resolves the CLI spelling of a cost metric ("float64" or
 // "int32"; the empty string selects the default).
 func ParseCostMetric(s string) (CostMetric, error) { return core.ParseCostMetric(s) }
+
+// SearchConfig configures the decoder's tree search; see Config.Search. The
+// zero value is the exact beam search.
+type SearchConfig = core.SearchConfig
+
+// SearchMode selects the decoder's tree-search strategy.
+type SearchMode = core.SearchMode
+
+const (
+	// SearchExact is the full beam search of the paper (the default).
+	SearchExact = core.SearchExact
+	// SearchGap prunes candidates trailing the per-level best by more than
+	// a configurable cost gap.
+	SearchGap = core.SearchGap
+	// SearchLookahead narrows each level's frontier to the top ExpandTop
+	// nodes, half ranked by a half-level lookahead probe.
+	SearchLookahead = core.SearchLookahead
+	// SearchApprox stacks gap pruning, lookahead narrowing and prefix
+	// commit.
+	SearchApprox = core.SearchApprox
+)
+
+// ParseSearchConfig resolves the CLI spelling of a search strategy: "exact"
+// (or empty), "gap[:G]", "lookahead[:M]", or "approx".
+func ParseSearchConfig(s string) (SearchConfig, error) { return core.ParseSearchConfig(s) }
 
 func (c Config) withDefaults() Config {
 	if c.K == 0 {
@@ -303,9 +335,13 @@ func (p *DecoderPool) Lease(c *Code) (*Decoder, error) {
 	// Always set parallelism: a cached decoder carries its previous
 	// lessee's setting, and Workers == 0 must mean the fresh-decoder
 	// default (GOMAXPROCS), not whatever came before. (Release resets the
-	// cost metric to the float64 default, so only a non-default metric
-	// needs applying here.)
+	// cost metric and search strategy to their defaults, so only
+	// non-default values need applying here.)
 	if err := lease.Dec.SetCostMetric(c.cfg.CostMetric); err != nil {
+		lease.Release()
+		return nil, err
+	}
+	if err := lease.Dec.SetSearchConfig(c.cfg.Search); err != nil {
 		lease.Release()
 		return nil, err
 	}
@@ -340,6 +376,9 @@ func (c *Code) NewDecoder() (*Decoder, error) {
 		return nil, err
 	}
 	if err := dec.SetCostMetric(c.cfg.CostMetric); err != nil {
+		return nil, err
+	}
+	if err := dec.SetSearchConfig(c.cfg.Search); err != nil {
 		return nil, err
 	}
 	if c.cfg.Workers > 0 {
@@ -446,6 +485,7 @@ func (c *Code) sessionConfig(message []byte, verify func([]byte) bool, maxSymbol
 		MaxSymbols:  maxSymbols,
 		Parallelism: c.cfg.Workers,
 		CostMetric:  c.cfg.CostMetric,
+		Search:      c.cfg.Search,
 	}, core.Verifier(verify), nil
 }
 
